@@ -1,0 +1,577 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sections 6-8). Run with no argument for everything, or pass
+   one of: fig6b fig7 fig8 fig9 fig10a fig10b fig11a fig11b table2
+   ablation kernels.
+
+   Absolute numbers differ from the paper (synthetic workload, different
+   machine); the printed "paper" annotations give the reference values so
+   the qualitative shape can be compared directly. *)
+
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+open Netcov_nettest
+open Netcov_workloads
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pct = Printf.sprintf "%.1f%%"
+
+(* ------------------------------------------------------------------ *)
+(* Shared environments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type tested_test = {
+  test : Nettest.t;
+  result : Nettest.result;
+  exec_s : float;
+  report : Netcov.report;
+}
+
+let run_tests state tests =
+  List.map
+    (fun (t : Nettest.t) ->
+      let result, exec_s = timed (fun () -> t.run state) in
+      let report = Netcov.analyze state result.Nettest.tested in
+      { test = t; result; exec_s; report })
+    tests
+
+type i2_env = {
+  net : Internet2.t;
+  state : Stable_state.t;
+  tests : tested_test list;
+  sim_s : float;
+}
+
+let i2_env =
+  lazy
+    (let net = Internet2.generate Internet2.paper_params in
+     let reg = Registry.build net.Internet2.devices in
+     let state, sim_s = timed (fun () -> Stable_state.compute reg) in
+     let tests = run_tests state (Iterations.improved_suite net) in
+     { net; state; tests; sim_s })
+
+type ft_env = {
+  ft : Fattree.t;
+  ft_state : Stable_state.t;
+  ft_tests : tested_test list;
+  ft_sim_s : float;
+}
+
+let make_ft_env k =
+  let ft = Fattree.generate ~k () in
+  let reg = Registry.build ft.Fattree.devices in
+  let ft_state, ft_sim_s = timed (fun () -> Stable_state.compute reg) in
+  let ft_tests = run_tests ft_state (Datacenter.suite ft) in
+  { ft; ft_state; ft_tests; ft_sim_s }
+
+let ft_env = lazy (make_ft_env 8)
+
+let suite_report state tests =
+  let tested =
+    List.fold_left
+      (fun acc t -> Netcov.merge_tested acc t.result.Nettest.tested)
+      Netcov.no_tests tests
+  in
+  Netcov.analyze state tested
+
+let coverage_pct report = Coverage.pct (Coverage.line_stats report.Netcov.coverage)
+let bagpipe_of env = List.filteri (fun i _ -> i < 3) env.tests
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6(b): file-level aggregate coverage                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig6b () =
+  section "Figure 6(b): Internet2 file-level coverage (Bagpipe suite)";
+  let env = Lazy.force i2_env in
+  let report = suite_report env.state (bagpipe_of env) in
+  print_string (Lcov.file_table report.Netcov.coverage);
+  Printf.printf "(paper: overall 26.1%%, per-device range 11.8%%..40.5%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 + section 6.1.1: coverage by configuration type per test   *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_row cov =
+  List.map
+    (fun (b, (s : Coverage.type_stats)) ->
+      let covered = s.lines_strong + s.lines_weak in
+      ( Element.bucket_to_string b,
+        if s.lines_total = 0 then 0.
+        else 100. *. float_of_int covered /. float_of_int s.lines_total ))
+    (Coverage.bucket_stats cov)
+
+let print_bucket_header () =
+  Printf.printf "%-24s %8s | %-10s %-10s %-10s %-10s\n" "test" "total"
+    "Interface" "BGP" "Policy" "MatchList"
+
+let print_bucket_row name total cov =
+  let find b = try List.assoc b (bucket_row cov) with Not_found -> 0. in
+  Printf.printf "%-24s %8s | %-10s %-10s %-10s %-10s\n" name (pct total)
+    (pct (find "Interfaces"))
+    (pct (find "BGP"))
+    (pct (find "Routing policies"))
+    (pct (find "Match lists"))
+
+let fig7 () =
+  section "Figure 7: Internet2 coverage by test and configuration type";
+  let env = Lazy.force i2_env in
+  print_bucket_header ();
+  List.iter
+    (fun t ->
+      print_bucket_row t.test.Nettest.name (coverage_pct t.report)
+        t.report.Netcov.coverage)
+    (bagpipe_of env);
+  let suite = suite_report env.state (bagpipe_of env) in
+  print_bucket_row "Test Suite" (coverage_pct suite) suite.Netcov.coverage;
+  let stats = Coverage.line_stats suite.Netcov.coverage in
+  Printf.printf
+    "suite: %d/%d considered lines covered; weak share %.1f%%; dead code %.1f%%\n"
+    (Coverage.covered_lines stats) stats.Coverage.considered
+    (100.
+    *. float_of_int stats.Coverage.weak_lines
+    /. float_of_int (max 1 stats.Coverage.considered))
+    (Netcov.dead_line_pct suite);
+  Printf.printf
+    "(paper: BlockToExternal 0.6%%, NoMartian 0.9%%, RoutePreference 24.7%%, \
+     suite 26.1%%, weak 0.5%%, dead 27.9%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: coverage growth over test-development iterations          *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  section "Figure 8: Internet2 coverage across test iterations";
+  let env = Lazy.force i2_env in
+  let paper = [ 26.1; 26.7; 33.0; 43.0 ] in
+  let stages =
+    [
+      ("Bagpipe suite", 3);
+      ("+ SanityIn", 4);
+      ("+ PeerSpecificRoute", 5);
+      ("+ InterfaceReachability", 6);
+    ]
+  in
+  Printf.printf "%-26s %10s %10s\n" "suite" "measured" "paper";
+  List.iteri
+    (fun i (name, n) ->
+      let tests = List.filteri (fun j _ -> j < n) env.tests in
+      let report = suite_report env.state tests in
+      Printf.printf "%-26s %10s %10s\n" name
+        (pct (coverage_pct report))
+        (pct (List.nth paper i)))
+    stages
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: datacenter coverage with strong/weak split                *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  section "Figure 9: fat-tree (k=8, 80 routers) coverage by test";
+  let env = Lazy.force ft_env in
+  Printf.printf "%-20s %10s %10s %10s\n" "test" "covered" "strong" "weak";
+  let row name cov =
+    let s = Coverage.line_stats cov in
+    let f n = 100. *. float_of_int n /. float_of_int (max 1 s.Coverage.considered) in
+    Printf.printf "%-20s %10s %10s %10s\n" name
+      (pct (Coverage.pct s))
+      (pct (f s.Coverage.strong_lines))
+      (pct (f s.Coverage.weak_lines))
+  in
+  List.iter (fun t -> row t.test.Nettest.name t.report.Netcov.coverage) env.ft_tests;
+  let suite = suite_report env.ft_state env.ft_tests in
+  row "Test Suite" suite.Netcov.coverage;
+  Printf.printf
+    "(paper: DefaultRouteCheck 81.5%%, ToRPingmesh 82.1%%, ExportAggregate \
+     80.7%% with a large weak share, suite 85.3%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(a): per-test times on Internet2                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig10a () =
+  section "Figure 10(a): Internet2 test execution vs coverage computation time";
+  let env = Lazy.force i2_env in
+  Printf.printf "%-24s %10s %12s %10s %10s\n" "test" "exec(s)" "coverage(s)"
+    "sims(s)" "label(s)";
+  let bagpipe = bagpipe_of env in
+  List.iter
+    (fun t ->
+      let tm = t.report.Netcov.timing in
+      Printf.printf "%-24s %10.3f %12.3f %10.3f %10.3f\n" t.test.Nettest.name
+        t.exec_s tm.Netcov.total_s tm.Netcov.sim_s tm.Netcov.label_s)
+    bagpipe;
+  let exec_total = List.fold_left (fun a t -> a +. t.exec_s) 0. bagpipe in
+  let suite, cov_s = timed (fun () -> suite_report env.state bagpipe) in
+  let tm = suite.Netcov.timing in
+  Printf.printf "%-24s %10.3f %12.3f %10.3f %10.3f\n" "Full suite" exec_total
+    cov_s tm.Netcov.sim_s tm.Netcov.label_s;
+  Printf.printf
+    "test execution including the control-plane computation the tests run \
+     against: %.2fs (the paper's 2358s includes Batfish's data plane \
+     generation)\n"
+    (env.sim_s +. exec_total);
+  Printf.printf
+    "(paper: full suite coverage 99.4s vs execution 2358s; simulations and \
+     labeling are minority components; suite < sum of individual runs)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(b): scaling with fat-tree size                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig10b () =
+  section "Figure 10(b): fat-tree scaling (suite execution vs coverage time)";
+  Printf.printf "%-6s %8s %10s %10s %12s %10s\n" "k" "routers" "RIB" "exec(s)"
+    "coverage(s)" "cov/exec";
+  List.iter
+    (fun k ->
+      let env = make_ft_env k in
+      let rib = Stable_state.total_main_entries env.ft_state in
+      let exec_total =
+        (* like the paper's, test execution includes producing the data
+           plane state the tests inspect *)
+        env.ft_sim_s
+        +. List.fold_left (fun a t -> a +. t.exec_s) 0. env.ft_tests
+      in
+      let _, cov_s = timed (fun () -> suite_report env.ft_state env.ft_tests) in
+      Printf.printf "%-6d %8d %10d %10.2f %12.2f %9.1f%%\n" k
+        (Fattree.router_count k) rib exec_total cov_s
+        (100. *. cov_s /. max 1e-9 exec_total))
+    [ 4; 6; 8; 10; 12 ];
+  Printf.printf
+    "(paper: coverage 4413s on the largest network [2,040,624 RIB entries], \
+     under 9%% of test execution; both grow superlinearly with size)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: control-plane vs data-plane coverage                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig11_rows state tests =
+  List.iter
+    (fun t ->
+      let dp = Netcov_dpcov.Dpcov.of_tested state t.result.Nettest.tested in
+      Printf.printf "%-24s %14s %14s\n" t.test.Nettest.name
+        (pct (coverage_pct t.report))
+        (pct (Netcov_dpcov.Dpcov.pct dp)))
+    tests
+
+let fig11a () =
+  section "Figure 11(a): Internet2 -- configuration vs data plane coverage";
+  let env = Lazy.force i2_env in
+  Printf.printf "%-24s %14s %14s\n" "test" "config-cov" "dataplane-cov";
+  fig11_rows env.state env.tests;
+  let all = Netcov_dpcov.Dpcov.all_data_plane_tested env.state in
+  let report = Netcov.analyze env.state all in
+  let dp = Netcov_dpcov.Dpcov.of_tested env.state all in
+  Printf.printf "%-24s %14s %14s\n" "All data plane"
+    (pct (coverage_pct report))
+    (pct (Netcov_dpcov.Dpcov.pct dp));
+  Printf.printf
+    "(paper: control-plane tests show 0%% data plane coverage; testing 100%% \
+     of the data plane still covers only 41%% of configuration)\n"
+
+let fig11b () =
+  section "Figure 11(b): fat-tree -- configuration vs data plane coverage";
+  let env = Lazy.force ft_env in
+  Printf.printf "%-24s %14s %14s\n" "test" "config-cov" "dataplane-cov";
+  fig11_rows env.ft_state env.ft_tests;
+  Printf.printf
+    "(paper: DefaultRouteCheck pairs 1.8%% data plane coverage with ~87%% \
+     configuration coverage; ToRPingmesh covers 88%% of the data plane but \
+     adds little configuration coverage on top)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: element inventory                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: configuration element types (instances per workload)";
+  let env = Lazy.force i2_env in
+  let ft = Lazy.force ft_env in
+  let count reg =
+    let tbl = Hashtbl.create 16 in
+    Registry.iter_elements reg (fun e ->
+        let k = Element.etype_of e in
+        Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0));
+    tbl
+  in
+  let i2_counts = count (Stable_state.registry env.state) in
+  let ft_counts = count (Stable_state.registry ft.ft_state) in
+  Printf.printf "%-24s %10s %10s\n" "element type" "internet2" "fattree-8";
+  List.iter
+    (fun et ->
+      let get tbl = Option.value (Hashtbl.find_opt tbl et) ~default:0 in
+      Printf.printf "%-24s %10d %10d\n" (Element.etype_to_string et)
+        (get i2_counts) (get ft_counts))
+    Element.all_etypes
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: lazy IFG and the disjunction-free variable heuristic";
+  let env = Lazy.force ft_env in
+  let t =
+    List.find (fun t -> t.test.Nettest.name = "ExportAggregate") env.ft_tests
+  in
+  let ctx = Rules.make_ctx env.ft_state in
+  let g, tested_ids, mstats =
+    Materialize.run ctx ~tested:t.result.Nettest.tested.Netcov.dp_facts
+  in
+  let with_h, t_with = timed (fun () -> Label.run g ~tested:tested_ids) in
+  let without_h, t_without =
+    timed (fun () -> Label.run ~disjfree_heuristic:false g ~tested:tested_ids)
+  in
+  Printf.printf "labeling with heuristic:    %.3fs, %d BDD vars\n" t_with
+    with_h.Label.vars;
+  Printf.printf "labeling without heuristic: %.3fs, %d BDD vars\n" t_without
+    without_h.Label.vars;
+  Printf.printf "identical results: %b\n"
+    (Element.Id_set.equal with_h.Label.strong without_h.Label.strong
+    && Element.Id_set.equal with_h.Label.weak without_h.Label.weak);
+  let ctx_all = Rules.make_ctx env.ft_state in
+  let all = Netcov_dpcov.Dpcov.all_data_plane_tested env.ft_state in
+  let _, _, eager_stats = Materialize.run ctx_all ~tested:all.Netcov.dp_facts in
+  Printf.printf
+    "lazy IFG for ExportAggregate: %d nodes (%.3fs); eager over the full \
+     data plane: %d nodes (%.3fs)\n"
+    mstats.Materialize.nodes mstats.Materialize.rule_seconds
+    eager_stats.Materialize.nodes eager_stats.Materialize.rule_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Mutation coverage comparison (paper section 3.1)                    *)
+(* ------------------------------------------------------------------ *)
+
+let mutation () =
+  section
+    "Mutation coverage vs IFG coverage (the alternative definition of \
+     section 3.1, on a k=4 fat-tree with the DefaultRouteCheck facts)";
+  let ft = Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Fattree.devices in
+  let state = Stable_state.compute reg in
+  let t = Datacenter.default_route_check ft in
+  let r = t.Nettest.run state in
+  let tested = r.Nettest.tested in
+  let report, ifg_s = timed (fun () -> Netcov.analyze state tested) in
+  let covered = Coverage.covered_elements report.Netcov.coverage in
+  let mut =
+    Mutation.run reg ~oracle:(Mutation.facts_oracle tested.Netcov.dp_facts) ()
+  in
+  let killed = mut.Mutation.killed in
+  let inter = Element.Id_set.inter covered killed in
+  Printf.printf "IFG coverage:      %4d elements in %.2fs\n"
+    (Element.Id_set.cardinal covered) ifg_s;
+  Printf.printf "mutation coverage: %4d elements in %.2fs (%d mutants)\n"
+    (Element.Id_set.cardinal killed) mut.Mutation.seconds mut.Mutation.mutants_run;
+  Printf.printf "agreement: %d common; %d only-IFG (redundant contributors); %d \
+                 only-mutation (competitor suppression)\n"
+    (Element.Id_set.cardinal inter)
+    (Element.Id_set.cardinal (Element.Id_set.diff covered killed))
+    (Element.Id_set.cardinal (Element.Id_set.diff killed covered));
+  Printf.printf
+    "(paper: mutation-based coverage additionally reports elements that \
+     de-prioritize or reject competitors, and is significantly harder to \
+     compute)\n"
+
+(* ------------------------------------------------------------------ *)
+(* What-if: coverage under failures (section 8 discussion)             *)
+(* ------------------------------------------------------------------ *)
+
+let whatif () =
+  section
+    "What-if extension: single-path fat-tree coverage under single link \
+     failures (elements only exercised in failure environments)";
+  (* a single-path (no-ECMP) fat-tree: the fault-free run exercises only
+     the selected uplinks; failures shift traffic onto the backups *)
+  let ft = Fattree.generate ~k:4 ~multipath:1 () in
+  let reg = Registry.build ft.Fattree.devices in
+  let state = Stable_state.compute reg in
+  (* ExportAggregate weakly covers every contributor even without ECMP,
+     masking the effect; use the two reachability tests *)
+  let suite = [ Datacenter.default_route_check ft; Datacenter.tor_pingmesh ft ] in
+  let result, secs = timed (fun () -> Whatif.run state suite) in
+  let stats cov = Coverage.pct (Coverage.line_stats cov) in
+  Printf.printf "baseline suite coverage:        %s\n" (pct (stats result.Whatif.baseline));
+  Printf.printf "union over %2d failure scenarios: %s (%.1fs)\n"
+    (List.length result.Whatif.scenarios)
+    (pct (stats result.Whatif.union))
+    secs;
+  Printf.printf "elements covered only under failures: %d\n"
+    (Element.Id_set.cardinal (Whatif.failure_only result));
+  Printf.printf
+    "(paper section 8: some configuration lines are only exercised under \
+     specific environments such as failures)\n"
+
+(* ------------------------------------------------------------------ *)
+(* iBGP design comparison (extension)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rr () =
+  section
+    "Extension: coverage under full-mesh vs route-reflector iBGP design \
+     (Internet2, improved suite)";
+  let run design name =
+    let params =
+      { Internet2.default_params with Internet2.ibgp = design; n_peers = 60 }
+    in
+    let net = Internet2.generate params in
+    let state = Stable_state.compute (Registry.build net.Internet2.devices) in
+    let results = Nettest.run_suite state (Iterations.improved_suite net) in
+    let report = Netcov.analyze state (Nettest.suite_tested results) in
+    let stats = Coverage.line_stats report.Netcov.coverage in
+    Printf.printf "%-28s coverage %s (%d edges, %d rounds)\n" name
+      (pct (Coverage.pct stats))
+      (List.length (Stable_state.edges state))
+      (Stable_state.rounds state)
+  in
+  run Internet2.Full_mesh "iBGP full mesh";
+  run (Internet2.Route_reflectors 2) "2 route reflectors";
+  Printf.printf
+    "(the reflector design concentrates iBGP edges: fewer sessions exist, \
+     and the reflectors' configuration becomes a non-local contributor to \
+     every tested remote route)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-kernels                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  section "Micro-kernels (Bechamel, ns/op)";
+  let open Bechamel in
+  let open Toolkit in
+  let bdd_test =
+    Test.make ~name:"bdd-conj-32"
+      (Staged.stage (fun () ->
+           let m = Netcov_bdd.Bdd.create () in
+           let vars = List.init 32 (Netcov_bdd.Bdd.var m) in
+           ignore (Netcov_bdd.Bdd.conj m vars)))
+  in
+  let trie =
+    let open Netcov_types in
+    List.init 1024 (fun i ->
+        (Prefix.make (Ipv4.of_octets (i mod 224) (i / 8 mod 250) 0 0) 16, i))
+    |> Netcov_types.Prefix_trie.of_list
+  in
+  let trie_test =
+    Test.make ~name:"trie-lpm"
+      (Staged.stage (fun () ->
+           ignore
+             (Netcov_types.Prefix_trie.longest_match
+                (Netcov_types.Ipv4.of_octets 100 50 1 1)
+                trie)))
+  in
+  let env = Lazy.force i2_env in
+  let d = Stable_state.find_device env.state (List.hd env.net.Internet2.routers) in
+  let route =
+    Netcov_types.Route.originate
+      (Netcov_types.Prefix.of_string "100.0.1.0/24")
+      ~next_hop:Netcov_types.Ipv4.zero
+  in
+  let chain =
+    match d.Device.bgp with
+    | Some b -> (
+        match
+          List.find_opt (fun (nb : Device.neighbor) -> nb.nb_import <> []) b.neighbors
+        with
+        | Some nb -> Device.neighbor_import d nb
+        | None -> [])
+    | None -> []
+  in
+  let policy_test =
+    Test.make ~name:"policy-chain-eval"
+      (Staged.stage (fun () ->
+           ignore
+             (Netcov_policy.Eval.run_chain d ~chain
+                ~default:Netcov_policy.Eval.Accepted route)))
+  in
+  let re = Netcov_types.As_regex.compile "_(64512|65000|65534)_" in
+  let path = Netcov_types.As_path.of_list [ 3356; 1299; 65000; 44; 3 ] in
+  let regex_test =
+    Test.make ~name:"as-regex-match"
+      (Staged.stage (fun () -> ignore (Netcov_types.As_regex.matches re path)))
+  in
+  let mat_state = env.state in
+  let tested_fact =
+    let host = List.hd env.net.Internet2.routers in
+    match Netcov_sim.Rib.table_entries (Stable_state.main_rib mat_state host) with
+    | (_, entry) :: _ -> [ Fact.F_main_rib { host; entry } ]
+    | [] -> []
+  in
+  let ifg_test =
+    Test.make ~name:"ifg-materialize-1-fact"
+      (Staged.stage (fun () ->
+           let ctx = Rules.make_ctx mat_state in
+           ignore (Materialize.run ctx ~tested:tested_fact)))
+  in
+  let grouped =
+    Test.make_grouped ~name:"netcov"
+      [ bdd_test; trie_test; policy_test; regex_test; ifg_test ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%12.1f ns/op" x
+        | Some [] | None -> "n/a"
+      in
+      Printf.printf "%-36s %s\n" name est)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig6b", fig6b);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10a", fig10a);
+    ("fig10b", fig10b);
+    ("fig11a", fig11a);
+    ("fig11b", fig11b);
+    ("table2", table2);
+    ("ablation", ablation);
+    ("mutation", mutation);
+    ("whatif", whatif);
+    ("rr", rr);
+    ("kernels", kernels);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) experiments;
+      let env = Lazy.force i2_env in
+      Printf.printf "\n(internet2 control-plane simulation: %.2fs; %d peers)\n"
+        env.sim_s
+        (List.length env.net.Internet2.peers);
+      let ft = Lazy.force ft_env in
+      Printf.printf "(fat-tree k=8 simulation: %.2fs)\n" ft.ft_sim_s
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; available: %s\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 1)
+        names

@@ -1,0 +1,371 @@
+(* netcov — command-line front end.
+
+   Subcommands:
+     internet2   run the Internet2 case study and write coverage reports
+     fattree     run the datacenter case study and write coverage reports
+     annotate    print one device's annotated configuration
+     render      render a workload's configurations to a directory *)
+
+open Cmdliner
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+open Netcov_nettest
+open Netcov_workloads
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"DIR"
+        ~doc:"Write rendered configurations and an lcov report to $(docv).")
+
+let i2_suite =
+  Arg.(
+    value
+    & opt (enum [ ("bagpipe", `Bagpipe); ("improved", `Improved) ]) `Bagpipe
+    & info [ "suite" ] ~docv:"SUITE"
+        ~doc:"Test suite to run: $(b,bagpipe) or $(b,improved).")
+
+let print_summary results report =
+  List.iter
+    (fun ((t : Nettest.t), (r : Nettest.result)) ->
+      Printf.printf "%-24s %-13s %6d checks  %s\n" t.name
+        (Nettest.kind_to_string t.kind)
+        r.outcome.Nettest.checks
+        (if Nettest.passed r.outcome then "PASS"
+         else Printf.sprintf "FAIL (%d)" (List.length r.outcome.Nettest.failures)))
+    results;
+  let stats = Coverage.line_stats report.Netcov.coverage in
+  Printf.printf "\n%s" (Lcov.file_table report.Netcov.coverage);
+  Printf.printf "weak lines: %d; dead code: %.1f%%\n" stats.Coverage.weak_lines
+    (Netcov.dead_line_pct report);
+  Printf.printf
+    "timing: total %.2fs (simulations %.2fs, labeling %.2fs); IFG %d nodes\n"
+    report.Netcov.timing.Netcov.total_s report.Netcov.timing.Netcov.sim_s
+    report.Netcov.timing.Netcov.label_s report.Netcov.timing.Netcov.ifg_nodes
+
+let maybe_write out report =
+  match out with
+  | None -> ()
+  | Some dir ->
+      Lcov.write_tree report.Netcov.coverage dir;
+      Html_report.write_tree report.Netcov.coverage (Filename.concat dir "html");
+      let oc = open_out (Filename.concat dir "coverage.json") in
+      output_string oc (Json_export.report report);
+      close_out oc;
+      Printf.printf
+        "wrote %s/coverage.info, %s/coverage.json, %s/configs/ and %s/html/\n"
+        dir dir dir dir
+
+let internet2_cmd =
+  let peers =
+    Arg.(
+      value & opt int 60
+      & info [ "peers" ] ~docv:"N" ~doc:"Number of external eBGP peers.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let reflectors =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "route-reflectors" ] ~docv:"N"
+          ~doc:
+            "Use $(docv) route reflectors instead of an iBGP full mesh \
+             (the first $(docv) routers become reflectors).")
+  in
+  let run verbose peers seed reflectors suite out =
+    setup_logs verbose;
+    let ibgp =
+      match reflectors with
+      | None -> Internet2.Full_mesh
+      | Some n -> Internet2.Route_reflectors n
+    in
+    let params = { Internet2.default_params with n_peers = peers; seed; ibgp } in
+    let net = Internet2.generate params in
+    let state = Stable_state.compute (Registry.build net.Internet2.devices) in
+    let tests =
+      match suite with
+      | `Bagpipe -> Bagpipe.suite net
+      | `Improved -> Iterations.improved_suite net
+    in
+    let results = Nettest.run_suite state tests in
+    let report = Netcov.analyze state (Nettest.suite_tested results) in
+    print_summary results report;
+    maybe_write out report
+  in
+  Cmd.v
+    (Cmd.info "internet2" ~doc:"Run the Internet2 backbone case study.")
+    Term.(const run $ verbose $ peers $ seed $ reflectors $ i2_suite $ out_dir)
+
+let fattree_cmd =
+  let k =
+    Arg.(
+      value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
+  in
+  let run verbose k out =
+    setup_logs verbose;
+    let ft = Fattree.generate ~k () in
+    let state = Stable_state.compute (Registry.build ft.Fattree.devices) in
+    let results = Nettest.run_suite state (Datacenter.suite ft) in
+    let report = Netcov.analyze state (Nettest.suite_tested results) in
+    print_summary results report;
+    maybe_write out report
+  in
+  Cmd.v
+    (Cmd.info "fattree" ~doc:"Run the fat-tree datacenter case study.")
+    Term.(const run $ verbose $ k $ out_dir)
+
+let annotate_cmd =
+  let device =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DEVICE" ~doc:"Device hostname to annotate.")
+  in
+  let peers =
+    Arg.(
+      value & opt int 60
+      & info [ "peers" ] ~docv:"N" ~doc:"Number of external eBGP peers.")
+  in
+  let run verbose device peers =
+    setup_logs verbose;
+    let params = { Internet2.default_params with n_peers = peers } in
+    let net = Internet2.generate params in
+    let state = Stable_state.compute (Registry.build net.Internet2.devices) in
+    let results = Nettest.run_suite state (Iterations.improved_suite net) in
+    let report = Netcov.analyze state (Nettest.suite_tested results) in
+    print_string (Lcov.annotate report.Netcov.coverage device)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:
+         "Print a device's configuration annotated with coverage from the \
+          improved Internet2 suite.")
+    Term.(const run $ verbose $ device $ peers)
+
+let render_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("internet2", `I2); ("fattree", `Ft) ]) `I2
+      & info [ "workload" ] ~docv:"W" ~doc:"Workload to render.")
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run verbose workload dir =
+    setup_logs verbose;
+    let devices =
+      match workload with
+      | `I2 -> (Internet2.generate Internet2.default_params).Internet2.devices
+      | `Ft -> (Fattree.generate ~k:4 ()).Fattree.devices
+    in
+    let reg = Registry.build devices in
+    let report = Netcov.analyze (Stable_state.compute reg) Netcov.no_tests in
+    Lcov.write_tree report.Netcov.coverage dir;
+    Printf.printf "rendered %d internal devices into %s/configs/\n"
+      (List.length (Registry.internal_devices reg))
+      dir
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a workload's configurations to files.")
+    Term.(const run $ verbose $ workload $ dir)
+
+let whatif_cmd =
+  let k =
+    Arg.(
+      value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
+  in
+  let multipath =
+    Arg.(
+      value & opt int 1
+      & info [ "multipath" ] ~docv:"M"
+          ~doc:"ECMP width (1 makes backup links visible only under failures).")
+  in
+  let run verbose k multipath =
+    setup_logs verbose;
+    let ft = Fattree.generate ~k ~multipath () in
+    let state = Stable_state.compute (Registry.build ft.Fattree.devices) in
+    let suite =
+      [ Datacenter.default_route_check ft; Datacenter.tor_pingmesh ft ]
+    in
+    let result = Whatif.run state suite in
+    let stats cov = Coverage.pct (Coverage.line_stats cov) in
+    Printf.printf "baseline coverage:                %.1f%%\n"
+      (stats result.Whatif.baseline);
+    Printf.printf "union over %d failure scenarios:  %.1f%%\n"
+      (List.length result.Whatif.scenarios)
+      (stats result.Whatif.union);
+    let only = Whatif.failure_only result in
+    Printf.printf "elements covered only under failures: %d\n"
+      (Element.Id_set.cardinal only);
+    let reg = Stable_state.registry state in
+    Element.Id_set.elements only
+    |> List.filteri (fun i _ -> i < 10)
+    |> List.iter (fun id ->
+           let e = Registry.element reg id in
+           Printf.printf "  %s:%s\n" e.Element.device (Element.name_of e))
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:"Coverage under single-link failures (fat-tree reachability suite).")
+    Term.(const run $ verbose $ k $ multipath)
+
+let mutation_cmd =
+  let k =
+    Arg.(
+      value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
+  in
+  let run verbose k =
+    setup_logs verbose;
+    let ft = Fattree.generate ~k () in
+    let reg = Registry.build ft.Fattree.devices in
+    let state = Stable_state.compute reg in
+    let t = Datacenter.default_route_check ft in
+    let r = t.Nettest.run state in
+    let report = Netcov.analyze state r.Nettest.tested in
+    let covered = Coverage.covered_elements report.Netcov.coverage in
+    let mut =
+      Mutation.run reg
+        ~oracle:(Mutation.facts_oracle r.Nettest.tested.Netcov.dp_facts)
+        ()
+    in
+    Printf.printf "IFG coverage:      %d elements\n" (Element.Id_set.cardinal covered);
+    Printf.printf "mutation coverage: %d elements (%d mutants, %.1fs)\n"
+      (Element.Id_set.cardinal mut.Mutation.killed)
+      mut.Mutation.mutants_run mut.Mutation.seconds;
+    Printf.printf "only IFG: %d; only mutation: %d\n"
+      (Element.Id_set.cardinal (Element.Id_set.diff covered mut.Mutation.killed))
+      (Element.Id_set.cardinal (Element.Id_set.diff mut.Mutation.killed covered))
+  in
+  Cmd.v
+    (Cmd.info "mutation"
+       ~doc:
+         "Compare IFG coverage against mutation-based coverage \
+          (one control-plane recomputation per configuration element).")
+    Term.(const run $ verbose $ k)
+
+let audit_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Directory of configuration files (*.cfg or *.conf).")
+  in
+  let syntax =
+    Arg.(
+      value
+      & opt (enum [ ("junos", `Junos); ("ios", `Ios) ]) `Junos
+      & info [ "syntax" ] ~docv:"SYNTAX" ~doc:"Concrete syntax of the files.")
+  in
+  let run verbose dir syntax out =
+    setup_logs verbose;
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".cfg" || Filename.check_suffix f ".conf")
+      |> List.sort String.compare
+    in
+    if files = [] then begin
+      Printf.eprintf "no *.cfg or *.conf files in %s\n" dir;
+      exit 1
+    end;
+    let read_file path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let devices =
+      List.filter_map
+        (fun f ->
+          let hostname = Filename.remove_extension f in
+          let text = read_file (Filename.concat dir f) in
+          let parsed =
+            match syntax with
+            | `Junos ->
+                Result.map_error Parse_junos.error_to_string
+                  (Parse_junos.parse ~hostname text)
+            | `Ios ->
+                Result.map_error Parse_ios.error_to_string
+                  (Parse_ios.parse ~hostname text)
+          in
+          match parsed with
+          | Ok d -> Some d
+          | Error msg ->
+              Printf.eprintf "skipping %s: %s\n" f msg;
+              None)
+        files
+    in
+    Printf.printf "parsed %d device(s)\n" (List.length devices);
+    let reg = Registry.build devices in
+    Printf.printf "%d elements across %d considered lines (%d total)\n"
+      (Registry.n_elements reg)
+      (Registry.considered_lines reg)
+      (Registry.total_lines reg);
+    let state = Stable_state.compute reg in
+    Printf.printf
+      "stable state: %d main-RIB entries, %d BGP sessions, converged in %d \
+       rounds\n"
+      (Stable_state.total_main_entries state)
+      (List.length (Stable_state.edges state) / 2)
+      (Stable_state.rounds state);
+    (* hypothetical full data plane test: the configuration a perfect
+       data plane test suite could ever cover *)
+    let all = Netcov_dpcov.Dpcov.all_data_plane_tested state in
+    let report = Netcov.analyze state all in
+    let stats = Coverage.line_stats report.Netcov.coverage in
+    Printf.printf
+      "\nupper bound for data-plane testing: %.1f%% of considered lines\n"
+      (Coverage.pct stats);
+    Printf.printf "dead configuration: %.1f%%\n" (Netcov.dead_line_pct report);
+    let by_reason = Hashtbl.create 8 in
+    List.iter
+      (fun (_, reason) ->
+        Hashtbl.replace by_reason reason
+          (1 + Option.value (Hashtbl.find_opt by_reason reason) ~default:0))
+      report.Netcov.dead.Deadcode.details;
+    Hashtbl.iter
+      (fun reason n ->
+        Printf.printf "  %4d x %s\n" n (Deadcode.reason_to_string reason))
+      by_reason;
+    maybe_write out report
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Parse configuration files from a directory, simulate the network \
+          and report the data-plane-testable coverage ceiling plus dead \
+          configuration.")
+    Term.(const run $ verbose $ dir $ syntax $ out_dir)
+
+let () =
+  let doc = "test coverage for network configurations (NetCov, NSDI 2023)" in
+  let info = Cmd.info "netcov" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            internet2_cmd;
+            fattree_cmd;
+            annotate_cmd;
+            render_cmd;
+            whatif_cmd;
+            mutation_cmd;
+            audit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/internet2_case_study.mli:

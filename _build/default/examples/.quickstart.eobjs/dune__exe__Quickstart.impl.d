@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coverage Device Fact Ipv4 Lcov List Netcov Netcov_config Netcov_core Netcov_sim Netcov_types Policy_ast Prefix Printf Registry Stable_state

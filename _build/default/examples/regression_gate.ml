@@ -1,0 +1,104 @@
+(* CI-style coverage regression gate.
+
+   Scenario: the network evolves (a new external peer is provisioned on
+   the Internet2 backbone) while the test suite stays the same. The gate
+   recomputes coverage on the evolved network and (1) fails if any
+   previously covered element regressed, (2) reports the new, untested
+   configuration the change introduced — the "you added config without
+   adding tests" signal code-coverage gates give software teams.
+
+   Run with: dune exec examples/regression_gate.exe *)
+
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+open Netcov_nettest
+open Netcov_workloads
+
+let suite_coverage net =
+  let state = Stable_state.compute (Registry.build net.Internet2.devices) in
+  let results = Nettest.run_suite state (Iterations.improved_suite net) in
+  Netcov.analyze state (Nettest.suite_tested results)
+
+let () =
+  (* baseline network and its coverage *)
+  let params = { Internet2.default_params with n_peers = 24 } in
+  let baseline_net = Internet2.generate params in
+  let baseline = suite_coverage baseline_net in
+  Printf.printf "baseline: %.1f%% coverage\n"
+    (Coverage.pct (Coverage.line_stats baseline.Netcov.coverage));
+
+  (* the "change": two more peers get provisioned *)
+  let evolved_net = Internet2.generate { params with n_peers = 26 } in
+  let evolved = suite_coverage evolved_net in
+  Printf.printf "after change: %.1f%% coverage\n\n"
+    (Coverage.pct (Coverage.line_stats evolved.Netcov.coverage));
+
+  (* The registries differ (new elements exist), so the gate compares at
+     the element-name level: everything covered before must still be
+     covered, and new elements should be covered too. *)
+  let covered_names report =
+    let reg = Coverage.registry report.Netcov.coverage in
+    Registry.fold_elements reg
+      (fun acc e ->
+        if
+          Coverage.element_status report.Netcov.coverage e.Element.id
+          <> Coverage.Not_covered
+        then (e.Element.device ^ "|" ^ Element.name_of e) :: acc
+        else acc)
+      []
+    |> List.sort_uniq String.compare
+  in
+  let before = covered_names baseline and after = covered_names evolved in
+  let lost = List.filter (fun n -> not (List.mem n after)) before in
+  Printf.printf "regression check: %d previously covered element(s) lost\n"
+    (List.length lost);
+  List.iteri (fun i n -> if i < 5 then Printf.printf "  LOST %s\n" n) lost;
+
+  (* new untested config introduced by the change *)
+  let reg = Coverage.registry evolved.Netcov.coverage in
+  let baseline_names =
+    let breg = Coverage.registry baseline.Netcov.coverage in
+    Registry.fold_elements breg
+      (fun acc e -> (e.Element.device ^ "|" ^ Element.name_of e) :: acc)
+      []
+    |> List.sort_uniq String.compare
+  in
+  let new_untested =
+    Registry.fold_elements reg
+      (fun acc e ->
+        let name = e.Element.device ^ "|" ^ Element.name_of e in
+        if
+          (not (List.mem name baseline_names))
+          && Coverage.element_status evolved.Netcov.coverage e.Element.id
+             = Coverage.Not_covered
+          && not (Element.Id_set.mem e.Element.id evolved.Netcov.dead.Deadcode.dead)
+        then name :: acc
+        else acc)
+      []
+  in
+  Printf.printf "\nnew live configuration without coverage: %d element(s)\n"
+    (List.length new_untested);
+  List.iteri (fun i n -> if i < 8 then Printf.printf "  UNTESTED %s\n" n) new_untested;
+
+  (* same-registry diff: the suite with and without one test *)
+  Printf.printf "\nsame-network diff (dropping InterfaceReachability):\n";
+  let state = Stable_state.compute (Registry.build baseline_net.Internet2.devices) in
+  let full =
+    Netcov.analyze state
+      (Nettest.suite_tested
+         (Nettest.run_suite state (Iterations.improved_suite baseline_net)))
+  in
+  let reduced =
+    Netcov.analyze state
+      (Nettest.suite_tested
+         (Nettest.run_suite state
+            (Bagpipe.suite baseline_net
+            @ [ Iterations.sanity_in baseline_net ])))
+  in
+  let d =
+    Coverage_diff.diff ~baseline:full.Netcov.coverage reduced.Netcov.coverage
+  in
+  Printf.printf "gate passes: %b\n" (Coverage_diff.no_regression d);
+  print_string
+    (Coverage_diff.summary (Stable_state.registry state) d)

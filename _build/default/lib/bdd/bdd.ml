@@ -1,0 +1,193 @@
+(* Nodes live in growable parallel arrays; ids 0 and 1 are the FALSE and
+   TRUE terminals. Structural uniqueness is enforced through the unique
+   table, so equality of handles is integer equality. *)
+
+type node = int
+
+type manager = {
+  mutable var_ : int array;
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  cache : (int * int * int, int) Hashtbl.t;
+  cache_size : int;
+}
+
+let terminal_var = max_int
+
+let create ?(cache_size = 1 lsl 16) () =
+  let n = 1024 in
+  let m =
+    {
+      var_ = Array.make n 0;
+      lo = Array.make n 0;
+      hi = Array.make n 0;
+      next = 2;
+      unique = Hashtbl.create 4096;
+      cache = Hashtbl.create 4096;
+      cache_size;
+    }
+  in
+  m.var_.(0) <- terminal_var;
+  m.var_.(1) <- terminal_var;
+  m
+
+let bdd_false (_ : manager) = 0
+let bdd_true (_ : manager) = 1
+let is_false n = n = 0
+let is_true n = n = 1
+let equal (a : node) (b : node) = a = b
+
+let grow m =
+  let cap = Array.length m.var_ in
+  if m.next >= cap then begin
+    let ncap = cap * 2 in
+    let copy a = Array.append a (Array.make (ncap - cap) 0) in
+    m.var_ <- copy m.var_;
+    m.lo <- copy m.lo;
+    m.hi <- copy m.hi
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+        grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_.(id) <- v;
+        m.lo.(id) <- lo;
+        m.hi.(id) <- hi;
+        Hashtbl.add m.unique (v, lo, hi) id;
+        id
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative index";
+  mk m i 0 1
+
+let cache_find m key = Hashtbl.find_opt m.cache key
+
+let cache_add m key v =
+  if Hashtbl.length m.cache >= m.cache_size then Hashtbl.reset m.cache;
+  Hashtbl.replace m.cache key v;
+  v
+
+(* op codes for the apply cache *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_not = 3
+
+let rec apply m op a b =
+  let terminal =
+    if op = op_and then
+      if a = 0 || b = 0 then Some 0
+      else if a = 1 then Some b
+      else if b = 1 then Some a
+      else if a = b then Some a
+      else None
+    else if op = op_or then
+      if a = 1 || b = 1 then Some 1
+      else if a = 0 then Some b
+      else if b = 0 then Some a
+      else if a = b then Some a
+      else None
+    else if a = b then Some 0
+    else if a = 0 then Some b
+    else if b = 0 then Some a
+    else None
+  in
+  match terminal with
+  | Some r -> r
+  | None -> (
+      (* commutative ops: canonicalize the key *)
+      let a, b = if a <= b then (a, b) else (b, a) in
+      let key = (op, a, b) in
+      match cache_find m key with
+      | Some r -> r
+      | None ->
+          let va = m.var_.(a) and vb = m.var_.(b) in
+          let v = min va vb in
+          let a_lo, a_hi = if va = v then (m.lo.(a), m.hi.(a)) else (a, a) in
+          let b_lo, b_hi = if vb = v then (m.lo.(b), m.hi.(b)) else (b, b) in
+          let r = mk m v (apply m op a_lo b_lo) (apply m op a_hi b_hi) in
+          cache_add m key r)
+
+let bdd_and m a b = apply m op_and a b
+let bdd_or m a b = apply m op_or a b
+let bdd_xor m a b = apply m op_xor a b
+
+let rec bdd_not m a =
+  if a = 0 then 1
+  else if a = 1 then 0
+  else
+    let key = (op_not, a, -1) in
+    match cache_find m key with
+    | Some r -> r
+    | None ->
+        let r = mk m m.var_.(a) (bdd_not m m.lo.(a)) (bdd_not m m.hi.(a)) in
+        cache_add m key r
+
+let conj m nodes = List.fold_left (bdd_and m) 1 nodes
+let disj m nodes = List.fold_left (bdd_or m) 0 nodes
+
+let op_restrict0 = 4
+let op_restrict1 = 5
+
+let rec restrict m n ~var:v ~value =
+  if n < 2 then n
+  else
+    let nv = m.var_.(n) in
+    if nv > v then n
+    else if nv = v then if value then m.hi.(n) else m.lo.(n)
+    else
+      let op = if value then op_restrict1 else op_restrict0 in
+      let key = (op, n, v) in
+      match cache_find m key with
+      | Some r -> r
+      | None ->
+          let r =
+            mk m nv
+              (restrict m m.lo.(n) ~var:v ~value)
+              (restrict m m.hi.(n) ~var:v ~value)
+          in
+          cache_add m key r
+
+let is_necessary m n ~var:v = is_false (restrict m n ~var:v ~value:false)
+
+let support m n =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars m.var_.(n) ();
+      go m.lo.(n);
+      go m.hi.(n)
+    end
+  in
+  go n;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let eval m n assignment =
+  let rec go n =
+    if n = 0 then false
+    else if n = 1 then true
+    else if assignment m.var_.(n) then go m.hi.(n)
+    else go m.lo.(n)
+  in
+  go n
+
+let node_count m = m.next
+
+let any_sat m n =
+  let rec go n acc =
+    if n = 0 then None
+    else if n = 1 then Some (List.rev acc)
+    else if m.lo.(n) <> 0 then go m.lo.(n) ((m.var_.(n), false) :: acc)
+    else go m.hi.(n) ((m.var_.(n), true) :: acc)
+  in
+  go n []

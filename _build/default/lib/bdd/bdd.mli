@@ -1,0 +1,55 @@
+(** Reduced ordered binary decision diagrams with hash-consing and an
+    apply cache — the CUDD stand-in used by the strong/weak coverage
+    labeling (§4.3). Variables are non-negative integers ordered by
+    index. *)
+
+type manager
+
+(** A node handle, valid only with the manager that created it. *)
+type node
+
+(** [create ()] makes a fresh manager. [cache_size] tunes the apply
+    cache (default 1 shl 16 entries). *)
+val create : ?cache_size:int -> unit -> manager
+
+val bdd_true : manager -> node
+val bdd_false : manager -> node
+
+(** [var m i] is the BDD of variable [i]. *)
+val var : manager -> int -> node
+
+val bdd_not : manager -> node -> node
+val bdd_and : manager -> node -> node -> node
+val bdd_or : manager -> node -> node -> node
+val bdd_xor : manager -> node -> node -> node
+
+(** n-ary forms, convenient for predicate construction. *)
+val conj : manager -> node list -> node
+
+val disj : manager -> node list -> node
+
+(** [restrict m n ~var ~value] is the cofactor of [n] with [var] fixed
+    to [value]. *)
+val restrict : manager -> node -> var:int -> value:bool -> node
+
+val is_true : node -> bool
+val is_false : node -> bool
+val equal : node -> node -> bool
+
+(** [is_necessary m n ~var] is true iff setting [var] to false forces
+    [n] to false — [¬var ⇒ ¬n], the necessity test of §4.3. *)
+val is_necessary : manager -> node -> var:int -> bool
+
+(** Variables appearing in the BDD (the support). *)
+val support : manager -> node -> int list
+
+(** [eval m n assignment] evaluates under a total assignment function. *)
+val eval : manager -> node -> (int -> bool) -> bool
+
+(** Number of unique nodes allocated so far (diagnostics, perf
+    reporting). *)
+val node_count : manager -> int
+
+(** [any_sat m n] is a satisfying partial assignment as
+    [(var, value)] pairs, or [None] when unsatisfiable. *)
+val any_sat : manager -> node -> (int * bool) list option

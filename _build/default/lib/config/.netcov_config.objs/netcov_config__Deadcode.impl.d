@@ -1,0 +1,1 @@
+lib/config/deadcode.ml: Device Element Fun List Policy_ast Registry Set String

@@ -1,0 +1,1 @@
+lib/config/deadcode.mli: Element Registry

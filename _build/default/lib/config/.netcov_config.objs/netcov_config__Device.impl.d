@@ -1,0 +1,1 @@
+lib/config/device.ml: As_regex Community Element Ipv4 List Netcov_types Option Policy_ast Prefix Route String

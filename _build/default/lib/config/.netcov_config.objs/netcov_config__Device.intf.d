@@ -1,0 +1,1 @@
+lib/config/device.mli: As_regex Community Element Ipv4 Netcov_types Policy_ast Prefix Route

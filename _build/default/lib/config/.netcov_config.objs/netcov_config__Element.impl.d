@@ -1,0 +1,1 @@
+lib/config/element.ml: Format Int List Map Set String

@@ -1,0 +1,1 @@
+lib/config/element.mli: Format Map Set

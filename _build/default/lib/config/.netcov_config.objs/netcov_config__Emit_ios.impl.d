@@ -1,0 +1,1 @@
+lib/config/emit_ios.ml: Array As_regex Community Device Element Emitter Ipv4 List Masks Netcov_types Policy_ast Prefix Printf Route String

@@ -1,0 +1,1 @@
+lib/config/emit_ios.mli: Device Element

@@ -1,0 +1,1 @@
+lib/config/emit_junos.mli: Device Element

@@ -1,0 +1,1 @@
+lib/config/emitter.ml: Array Element Fun List

@@ -1,0 +1,1 @@
+lib/config/emitter.mli: Element

@@ -1,0 +1,1 @@
+lib/config/masks.ml: Ipv4 Netcov_types

@@ -1,0 +1,1 @@
+lib/config/masks.mli: Ipv4 Netcov_types

@@ -1,0 +1,1 @@
+lib/config/parse_ios.ml: As_regex Community Device Hashtbl Ipv4 List Masks Netcov_types Option Policy_ast Prefix Printf Route String

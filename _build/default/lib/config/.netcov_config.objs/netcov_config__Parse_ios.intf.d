@@ -1,0 +1,1 @@
+lib/config/parse_ios.mli: Device

@@ -1,0 +1,1 @@
+lib/config/parse_junos.ml: As_regex Buffer Community Device Ipv4 List Netcov_types Option Policy_ast Prefix Printf Route String

@@ -1,0 +1,1 @@
+lib/config/policy_ast.ml: Community Format Ipv4 List Netcov_types Prefix Printf Route String

@@ -1,0 +1,1 @@
+lib/config/policy_ast.mli: Community Format Ipv4 Netcov_types Prefix Route

@@ -1,0 +1,1 @@
+lib/config/registry.ml: Array Device Element Emit_ios Emit_junos Format Hashtbl List Option

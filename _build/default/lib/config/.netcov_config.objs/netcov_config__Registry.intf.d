@@ -1,0 +1,1 @@
+lib/config/registry.mli: Device Element

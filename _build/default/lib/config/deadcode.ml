@@ -1,0 +1,142 @@
+type reason =
+  | Unused_policy
+  | Unused_prefix_list
+  | Unused_community_list
+  | Unused_as_path_list
+  | Empty_peer_group
+  | Unused_acl
+
+let reason_to_string = function
+  | Unused_policy -> "policy never attached to a peer"
+  | Unused_prefix_list -> "prefix list never referenced"
+  | Unused_community_list -> "community list never referenced"
+  | Unused_as_path_list -> "as-path list never referenced"
+  | Empty_peer_group -> "peer group has no members"
+  | Unused_acl -> "ACL not attached to any interface"
+
+type report = { dead : Element.Id_set.t; details : (Element.id * reason) list }
+
+module Sset = Set.Make (String)
+
+let analyze_device (reg : Registry.t) (d : Device.t) =
+  let member_group_names =
+    match d.bgp with
+    | None -> Sset.empty
+    | Some b ->
+        List.filter_map (fun (n : Device.neighbor) -> n.nb_group) b.neighbors
+        |> Sset.of_list
+  in
+  let used_policies =
+    match d.bgp with
+    | None -> Sset.empty
+    | Some b ->
+        (* A policy is used only when some actual peer (directly or via
+           a group with members) or a redistribution references it;
+           references from empty groups do not save it. *)
+        let from_groups =
+          List.concat_map
+            (fun (g : Device.peer_group) ->
+              if Sset.mem g.pg_name member_group_names then
+                g.pg_import @ g.pg_export
+              else [])
+            b.groups
+        in
+        let from_neighbors =
+          List.concat_map
+            (fun (n : Device.neighbor) -> n.nb_import @ n.nb_export)
+            b.neighbors
+        in
+        let from_redist =
+          List.filter_map (fun (r : Device.redistribute) -> r.rd_policy)
+            b.redistributes
+        in
+        Sset.of_list (from_groups @ from_neighbors @ from_redist)
+  in
+  let live_terms =
+    List.filter (fun (p : Policy_ast.policy) -> Sset.mem p.pol_name used_policies)
+      d.policies
+    |> List.concat_map (fun (p : Policy_ast.policy) -> p.terms)
+  in
+  let used_pls =
+    Sset.of_list (List.concat_map Policy_ast.referenced_prefix_lists live_terms)
+  in
+  let used_cls =
+    Sset.of_list
+      (List.concat_map Policy_ast.referenced_community_lists live_terms)
+  in
+  let used_als =
+    Sset.of_list (List.concat_map Policy_ast.referenced_as_path_lists live_terms)
+  in
+  let used_acls =
+    List.concat_map
+      (fun (i : Device.interface) ->
+        List.filter_map Fun.id [ i.in_acl; i.out_acl ])
+      d.interfaces
+    |> Sset.of_list
+  in
+  let member_groups = member_group_names in
+  let host = d.hostname in
+  let find key = Registry.find reg ~device:host key in
+  let acc = ref [] in
+  let flag key reason =
+    match find key with Some id -> acc := (id, reason) :: !acc | None -> ()
+  in
+  List.iter
+    (fun (p : Policy_ast.policy) ->
+      if not (Sset.mem p.pol_name used_policies) then
+        List.iter
+          (fun (t : Policy_ast.term) ->
+            flag
+              (Element.key Route_policy_clause
+                 (Policy_ast.term_element_name ~policy_name:p.pol_name
+                    ~term_name:t.term_name))
+              Unused_policy)
+          p.terms)
+    d.policies;
+  List.iter
+    (fun (pl : Device.prefix_list) ->
+      if not (Sset.mem pl.pl_name used_pls) then
+        (* A prefix list may also be referenced outside policies in
+           future extensions; only policy references count today. *)
+        flag (Element.key Prefix_list pl.pl_name) Unused_prefix_list)
+    d.prefix_lists;
+  List.iter
+    (fun (cl : Device.community_list) ->
+      if not (Sset.mem cl.cl_name used_cls) then
+        flag (Element.key Community_list cl.cl_name) Unused_community_list)
+    d.community_lists;
+  List.iter
+    (fun (al : Device.as_path_list) ->
+      if not (Sset.mem al.al_name used_als) then
+        flag (Element.key As_path_list al.al_name) Unused_as_path_list)
+    d.as_path_lists;
+  List.iter
+    (fun (a : Device.acl) ->
+      if not (Sset.mem a.acl_name used_acls) then
+        flag (Element.key Acl_def a.acl_name) Unused_acl)
+    d.acls;
+  (match d.bgp with
+  | None -> ()
+  | Some b ->
+      List.iter
+        (fun (g : Device.peer_group) ->
+          if not (Sset.mem g.pg_name member_groups) then
+            flag (Element.key Bgp_peer_group g.pg_name) Empty_peer_group)
+        b.groups);
+  !acc
+
+let analyze reg =
+  let details =
+    List.concat_map (analyze_device reg) (Registry.internal_devices reg)
+  in
+  let dead =
+    List.fold_left
+      (fun s (id, _) -> Element.Id_set.add id s)
+      Element.Id_set.empty details
+  in
+  { dead; details }
+
+let dead_lines reg report =
+  Element.Id_set.fold
+    (fun id acc -> acc + Element.line_count (Registry.element reg id))
+    report.dead 0

@@ -1,0 +1,25 @@
+(** Dead configuration detection: elements that can never be exercised by
+    any data plane test, such as routing policies never attached to a
+    peer, match lists never referenced, and peer groups with no members
+    (§6.1.1 reports 27.9% such lines for Internet2). *)
+
+type reason =
+  | Unused_policy  (** policy not in any import/export chain *)
+  | Unused_prefix_list
+  | Unused_community_list
+  | Unused_as_path_list
+  | Empty_peer_group  (** group with no member neighbors *)
+  | Unused_acl  (** ACL not attached to any interface *)
+
+val reason_to_string : reason -> string
+
+type report = {
+  dead : Element.Id_set.t;
+  details : (Element.id * reason) list;
+}
+
+(** [analyze reg] inspects every internal device. *)
+val analyze : Registry.t -> report
+
+(** Dead lines (count over internal devices). *)
+val dead_lines : Registry.t -> report -> int

@@ -1,0 +1,110 @@
+type etype =
+  | Interface
+  | Bgp_peer
+  | Bgp_peer_group
+  | Route_policy_clause
+  | Prefix_list
+  | Community_list
+  | As_path_list
+  | Static_route
+  | Bgp_network
+  | Bgp_aggregate
+  | Bgp_redistribute
+  | Acl_def
+
+let etype_to_string = function
+  | Interface -> "interface"
+  | Bgp_peer -> "bgp-peer"
+  | Bgp_peer_group -> "bgp-peer-group"
+  | Route_policy_clause -> "route-policy-clause"
+  | Prefix_list -> "prefix-list"
+  | Community_list -> "community-list"
+  | As_path_list -> "as-path-list"
+  | Static_route -> "static-route"
+  | Bgp_network -> "bgp-network"
+  | Bgp_aggregate -> "bgp-aggregate"
+  | Bgp_redistribute -> "bgp-redistribute"
+  | Acl_def -> "acl"
+
+let all_etypes =
+  [
+    Interface;
+    Bgp_peer;
+    Bgp_peer_group;
+    Route_policy_clause;
+    Prefix_list;
+    Community_list;
+    As_path_list;
+    Static_route;
+    Bgp_network;
+    Bgp_aggregate;
+    Bgp_redistribute;
+    Acl_def;
+  ]
+
+let etype_rank = function
+  | Interface -> 0
+  | Bgp_peer -> 1
+  | Bgp_peer_group -> 2
+  | Route_policy_clause -> 3
+  | Prefix_list -> 4
+  | Community_list -> 5
+  | As_path_list -> 6
+  | Static_route -> 7
+  | Bgp_network -> 8
+  | Bgp_aggregate -> 9
+  | Bgp_redistribute -> 10
+  | Acl_def -> 11
+
+let compare_etype a b = Int.compare (etype_rank a) (etype_rank b)
+
+type bucket = B_interface | B_bgp | B_policy | B_match_list | B_other
+
+let bucket_of_etype = function
+  | Interface -> B_interface
+  | Bgp_peer | Bgp_peer_group | Bgp_network | Bgp_aggregate | Bgp_redistribute ->
+      B_bgp
+  | Route_policy_clause -> B_policy
+  | Prefix_list | Community_list | As_path_list -> B_match_list
+  | Static_route | Acl_def -> B_other
+
+let bucket_to_string = function
+  | B_interface -> "Interfaces"
+  | B_bgp -> "BGP"
+  | B_policy -> "Routing policies"
+  | B_match_list -> "Match lists"
+  | B_other -> "Other"
+
+let all_buckets = [ B_interface; B_bgp; B_policy; B_match_list; B_other ]
+
+type key = { etype : etype; name : string }
+
+let key etype name = { etype; name }
+
+let compare_key a b =
+  match compare_etype a.etype b.etype with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let pp_key fmt k =
+  Format.fprintf fmt "%s:%s" (etype_to_string k.etype) k.name
+
+type id = int
+
+type t = { id : id; device : string; ekey : key; lines : int list }
+
+let etype_of e = e.ekey.etype
+let name_of e = e.ekey.name
+let line_count e = List.length e.lines
+
+let pp fmt e =
+  Format.fprintf fmt "#%d %s %a (%d lines)" e.id e.device pp_key e.ekey
+    (line_count e)
+
+module Id_set = Set.Make (Int)
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare = compare_key
+end)

@@ -1,0 +1,57 @@
+(** Typed configuration elements — the coverage domain of NetCov
+    (paper Table 2, plus the extra element kinds our simulator models). *)
+
+(** Kind of configuration element. The first seven are the paper's
+    Table 2; the rest are additional control-plane elements our simulator
+    understands and NetCov tracks. *)
+type etype =
+  | Interface
+  | Bgp_peer
+  | Bgp_peer_group
+  | Route_policy_clause
+  | Prefix_list
+  | Community_list
+  | As_path_list
+  | Static_route
+  | Bgp_network
+  | Bgp_aggregate
+  | Bgp_redistribute
+  | Acl_def
+
+val etype_to_string : etype -> string
+val all_etypes : etype list
+val compare_etype : etype -> etype -> int
+
+(** Aggregation buckets used by the paper's Figure 7 / 9. *)
+type bucket = B_interface | B_bgp | B_policy | B_match_list | B_other
+
+val bucket_of_etype : etype -> bucket
+val bucket_to_string : bucket -> string
+val all_buckets : bucket list
+
+(** Key identifying an element within one device's configuration. *)
+type key = { etype : etype; name : string }
+
+val key : etype -> string -> key
+val compare_key : key -> key -> int
+val pp_key : Format.formatter -> key -> unit
+
+(** Globally unique element id, assigned by {!Registry}. *)
+type id = int
+
+(** An extracted configuration element: where it lives and which
+    configuration lines it owns (1-based, not necessarily contiguous). *)
+type t = {
+  id : id;
+  device : string;
+  ekey : key;
+  lines : int list;
+}
+
+val etype_of : t -> etype
+val name_of : t -> string
+val line_count : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Id_set : Set.S with type elt = id
+module Key_map : Map.S with type key = key

@@ -1,0 +1,277 @@
+open Netcov_types
+
+let ip = Ipv4.to_string
+let nm len = Ipv4.to_string (Masks.netmask_of_len len)
+let wc len = Ipv4.to_string (Masks.wildcard_of_len len)
+
+(* Sequence number of the [i]-th route-map entry: the term name when it
+   is numeric (round-trippable), positional otherwise. *)
+let seq_of_term i (t : Policy_ast.term) =
+  match int_of_string_opt t.term_name with
+  | Some n -> n
+  | None -> (i + 1) * 10
+
+let ios_match (m : Policy_ast.match_cond) =
+  match m with
+  | Match_prefix_list n -> Printf.sprintf " match ip address prefix-list %s" n
+  | Match_prefix (p, Exact) ->
+      Printf.sprintf " match ip address prefix %s exact" (Prefix.to_string p)
+  | Match_prefix (p, Orlonger) ->
+      Printf.sprintf " match ip address prefix %s orlonger" (Prefix.to_string p)
+  | Match_prefix (p, Upto n) ->
+      Printf.sprintf " match ip address prefix %s upto %d" (Prefix.to_string p) n
+  | Match_community_list n -> Printf.sprintf " match community %s" n
+  | Match_community c ->
+      Printf.sprintf " match community-literal %s" (Community.to_string c)
+  | Match_as_path_list n -> Printf.sprintf " match as-path %s" n
+  | Match_protocol pr ->
+      Printf.sprintf " match source-protocol %s" (Route.protocol_to_string pr)
+  | Match_next_hop nh -> Printf.sprintf " match ip next-hop %s" (ip nh)
+
+let ios_set (a : Policy_ast.action) =
+  match a with
+  | Accept | Reject -> None
+  | Next_term -> Some " continue"
+  | Set_local_pref n -> Some (Printf.sprintf " set local-preference %d" n)
+  | Set_med n -> Some (Printf.sprintf " set metric %d" n)
+  | Add_community c ->
+      Some (Printf.sprintf " set community %s additive" (Community.to_string c))
+  | Remove_community c ->
+      Some (Printf.sprintf " set community-remove %s" (Community.to_string c))
+  | Delete_community_in n -> Some (Printf.sprintf " set comm-list %s delete" n)
+  | Prepend_as (asn, times) ->
+      Some
+        (Printf.sprintf " set as-path prepend %s"
+           (String.concat " " (List.init times (fun _ -> string_of_int asn))))
+
+let emit (d : Device.t) =
+  let buf = Emitter.create () in
+  let line ?owner text = Emitter.line buf ?owner text in
+  let owned key f = Emitter.with_owner buf (Some key) f in
+  let bang () = line "!" in
+  line (Printf.sprintf "! device: %s" d.hostname);
+  line "version 15.2";
+  line "service timestamps debug datetime msec";
+  line (Printf.sprintf "hostname %s" d.hostname);
+  bang ();
+  (* ACLs *)
+  List.iter
+    (fun (a : Device.acl) ->
+      owned (Element.key Acl_def a.acl_name) (fun () ->
+          line (Printf.sprintf "ip access-list extended %s" a.acl_name);
+          List.iter
+            (fun (r : Device.acl_rule) ->
+              line
+                (Printf.sprintf " %s ip any %s %s"
+                   (if r.permit then "permit" else "deny")
+                   (ip (Prefix.addr r.rule_prefix))
+                   (wc (Prefix.len r.rule_prefix))))
+            a.rules);
+      bang ())
+    d.acls;
+  (* interfaces *)
+  List.iter
+    (fun (i : Device.interface) ->
+      owned (Element.key Interface i.if_name) (fun () ->
+          line (Printf.sprintf "interface %s" i.if_name);
+          (match i.description with
+          | Some t -> line (Printf.sprintf " description %s" t)
+          | None -> ());
+          (match i.address with
+          | Some (a, len) -> line (Printf.sprintf " ip address %s %s" (ip a) (nm len))
+          | None -> line " no ip address");
+          (match i.in_acl with
+          | Some f -> line (Printf.sprintf " ip access-group %s in" f)
+          | None -> ());
+          (match i.out_acl with
+          | Some f -> line (Printf.sprintf " ip access-group %s out" f)
+          | None -> ());
+          if i.igp_enabled then
+            (* IGP participation is unowned, matching the paper's
+               exclusion of IGP stanzas from the coverage domain. *)
+            Emitter.with_owner buf None (fun () ->
+                line (Printf.sprintf " ip ospf 1 area 0 cost %d" i.igp_metric));
+          line " no shutdown");
+      bang ())
+    d.interfaces;
+  (* BGP *)
+  (match d.bgp with
+  | None -> ()
+  | Some b ->
+      line (Printf.sprintf "router bgp %d" b.local_as);
+      line (Printf.sprintf " bgp router-id %s" (ip b.router_id));
+      line " bgp log-neighbor-changes";
+      if b.multipath > 1 then line (Printf.sprintf " maximum-paths %d" b.multipath);
+      List.iter
+        (fun p ->
+          line
+            ~owner:(Element.key Bgp_network (Prefix.to_string p))
+            (Printf.sprintf " network %s mask %s" (ip (Prefix.addr p))
+               (nm (Prefix.len p))))
+        b.networks;
+      List.iter
+        (fun (a : Device.aggregate) ->
+          line
+            ~owner:(Element.key Bgp_aggregate (Prefix.to_string a.ag_prefix))
+            (Printf.sprintf " aggregate-address %s %s%s"
+               (ip (Prefix.addr a.ag_prefix))
+               (nm (Prefix.len a.ag_prefix))
+               (if a.ag_summary_only then " summary-only" else "")))
+        b.aggregates;
+      List.iter
+        (fun (r : Device.redistribute) ->
+          line
+            ~owner:
+              (Element.key Bgp_redistribute (Route.protocol_to_string r.rd_from))
+            (Printf.sprintf " redistribute %s%s"
+               (Route.protocol_to_string r.rd_from)
+               (match r.rd_policy with
+               | Some p -> " route-map " ^ p
+               | None -> "")))
+        b.redistributes;
+      List.iter
+        (fun (g : Device.peer_group) ->
+          owned (Element.key Bgp_peer_group g.pg_name) (fun () ->
+              line (Printf.sprintf " neighbor %s peer-group" g.pg_name);
+              (match g.pg_remote_as with
+              | Some asn ->
+                  line (Printf.sprintf " neighbor %s remote-as %d" g.pg_name asn)
+              | None -> ());
+              (match g.pg_description with
+              | Some t ->
+                  line (Printf.sprintf " neighbor %s description %s" g.pg_name t)
+              | None -> ());
+              (match g.pg_local_pref with
+              | Some lp ->
+                  line
+                    (Printf.sprintf " neighbor %s local-preference %d" g.pg_name lp)
+              | None -> ());
+              List.iter
+                (fun pol ->
+                  line
+                    (Printf.sprintf " neighbor %s route-map %s in" g.pg_name pol))
+                g.pg_import;
+              List.iter
+                (fun pol ->
+                  line
+                    (Printf.sprintf " neighbor %s route-map %s out" g.pg_name pol))
+                g.pg_export))
+        b.groups;
+      List.iter
+        (fun (n : Device.neighbor) ->
+          let nip = ip n.nb_ip in
+          owned (Element.key Bgp_peer nip) (fun () ->
+              line (Printf.sprintf " neighbor %s remote-as %d" nip n.nb_remote_as);
+              (match n.nb_group with
+              | Some g -> line (Printf.sprintf " neighbor %s peer-group %s" nip g)
+              | None -> ());
+              (match n.nb_description with
+              | Some t -> line (Printf.sprintf " neighbor %s description %s" nip t)
+              | None -> ());
+              (match n.nb_local_addr with
+              | Some a ->
+                  line
+                    (Printf.sprintf " neighbor %s update-source %s" nip (ip a))
+              | None -> ());
+              if n.nb_next_hop_self then
+                line (Printf.sprintf " neighbor %s next-hop-self" nip);
+              if n.nb_rr_client then
+                line (Printf.sprintf " neighbor %s route-reflector-client" nip);
+              List.iter
+                (fun pol ->
+                  line (Printf.sprintf " neighbor %s route-map %s in" nip pol))
+                n.nb_import;
+              List.iter
+                (fun pol ->
+                  line (Printf.sprintf " neighbor %s route-map %s out" nip pol))
+                n.nb_export))
+        b.neighbors;
+      bang ());
+  (* static routes *)
+  List.iter
+    (fun (s : Device.static_route) ->
+      line
+        ~owner:(Element.key Static_route (Prefix.to_string s.st_prefix))
+        (Printf.sprintf "ip route %s %s %s"
+           (ip (Prefix.addr s.st_prefix))
+           (nm (Prefix.len s.st_prefix))
+           (ip s.st_next_hop)))
+    d.static_routes;
+  if d.static_routes <> [] then bang ();
+  (* prefix lists *)
+  List.iter
+    (fun (pl : Device.prefix_list) ->
+      owned (Element.key Prefix_list pl.pl_name) (fun () ->
+          List.iteri
+            (fun i (e : Device.prefix_list_entry) ->
+              let bounds =
+                (match e.ple_ge with
+                | Some g -> Printf.sprintf " ge %d" g
+                | None -> "")
+                ^
+                match e.ple_le with
+                | Some l -> Printf.sprintf " le %d" l
+                | None -> ""
+              in
+              line
+                (Printf.sprintf "ip prefix-list %s seq %d permit %s%s" pl.pl_name
+                   ((i + 1) * 5)
+                   (Prefix.to_string e.ple_prefix)
+                   bounds))
+            pl.pl_entries);
+      bang ())
+    d.prefix_lists;
+  (* community lists *)
+  List.iter
+    (fun (cl : Device.community_list) ->
+      owned (Element.key Community_list cl.cl_name) (fun () ->
+          List.iter
+            (fun c ->
+              line
+                (Printf.sprintf "ip community-list standard %s permit %s"
+                   cl.cl_name (Community.to_string c)))
+            cl.cl_members);
+      bang ())
+    d.community_lists;
+  (* as-path lists *)
+  List.iter
+    (fun (al : Device.as_path_list) ->
+      owned (Element.key As_path_list al.al_name) (fun () ->
+          List.iter
+            (fun re ->
+              line
+                (Printf.sprintf "ip as-path access-list %s permit %s" al.al_name
+                   (As_regex.source re)))
+            al.al_patterns);
+      bang ())
+    d.as_path_lists;
+  (* route maps *)
+  List.iter
+    (fun (p : Policy_ast.policy) ->
+      List.iteri
+        (fun i (t : Policy_ast.term) ->
+          let ekey =
+            Element.key Route_policy_clause
+              (Policy_ast.term_element_name ~policy_name:p.pol_name
+                 ~term_name:t.term_name)
+          in
+          owned ekey (fun () ->
+              let verdict =
+                if List.mem Policy_ast.Reject t.actions then "deny" else "permit"
+              in
+              line
+                (Printf.sprintf "route-map %s %s %d" p.pol_name verdict
+                   (seq_of_term i t));
+              List.iter (fun m -> line (ios_match m)) t.matches;
+              List.iter
+                (fun a -> match ios_set a with Some s -> line s | None -> ())
+                t.actions))
+        p.terms;
+      bang ())
+    d.policies;
+  line "end";
+  Emitter.contents buf
+
+let to_string d =
+  let texts, _ = emit d in
+  String.concat "\n" (Array.to_list texts) ^ "\n"

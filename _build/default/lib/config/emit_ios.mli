@@ -1,0 +1,5 @@
+(** Render a device configuration in a Cisco-IOS-like line-oriented
+    syntax, recording per-line element ownership. *)
+
+val emit : Device.t -> string array * Element.key option array
+val to_string : Device.t -> string

@@ -1,0 +1,362 @@
+open Netcov_types
+
+let indent n = String.make (n * 4) ' '
+
+let policy_chain_str names = String.concat " " names
+
+let junos_match (m : Policy_ast.match_cond) =
+  match m with
+  | Match_prefix_list n -> Printf.sprintf "prefix-list %s;" n
+  | Match_prefix (p, Exact) ->
+      Printf.sprintf "route-filter %s exact;" (Prefix.to_string p)
+  | Match_prefix (p, Orlonger) ->
+      Printf.sprintf "route-filter %s orlonger;" (Prefix.to_string p)
+  | Match_prefix (p, Upto n) ->
+      Printf.sprintf "route-filter %s upto /%d;" (Prefix.to_string p) n
+  | Match_community_list n -> Printf.sprintf "community %s;" n
+  | Match_community c ->
+      Printf.sprintf "community-literal %s;" (Community.to_string c)
+  | Match_as_path_list n -> Printf.sprintf "as-path-group %s;" n
+  | Match_protocol pr ->
+      Printf.sprintf "protocol %s;" (Route.protocol_to_string pr)
+  | Match_next_hop ip -> Printf.sprintf "next-hop %s;" (Ipv4.to_string ip)
+
+let junos_action (a : Policy_ast.action) =
+  match a with
+  | Accept -> "accept;"
+  | Reject -> "reject;"
+  | Next_term -> "next term;"
+  | Set_local_pref n -> Printf.sprintf "local-preference %d;" n
+  | Set_med n -> Printf.sprintf "metric %d;" n
+  | Add_community c ->
+      Printf.sprintf "community add %s;" (Community.to_string c)
+  | Remove_community c ->
+      Printf.sprintf "community remove %s;" (Community.to_string c)
+  | Delete_community_in n -> Printf.sprintf "community delete %s;" n
+  | Prepend_as (asn, times) ->
+      Printf.sprintf "as-path-prepend \"%s\";"
+        (String.concat " " (List.init times (fun _ -> string_of_int asn)))
+
+let emit (d : Device.t) =
+  let buf = Emitter.create () in
+  let line ?owner lvl text = Emitter.line buf ?owner (indent lvl ^ text) in
+  let owned key f = Emitter.with_owner buf (Some key) f in
+  (* system block: management noise, unconsidered *)
+  line 0 (Printf.sprintf "/* %s */" d.hostname);
+  line 0 "system {";
+  line 1 (Printf.sprintf "host-name %s;" d.hostname);
+  line 1 "root-authentication {";
+  line 2 "encrypted-password \"$6$redacted\";";
+  line 1 "}";
+  line 1 "login {";
+  line 2 "class operators {";
+  line 3 "permissions [ view view-configuration ];";
+  line 2 "}";
+  line 2 "user neteng {";
+  line 3 "class super-user;";
+  line 3 "authentication {";
+  line 4 "ssh-ed25519 \"ssh-ed25519 AAAA-redacted\";";
+  line 3 "}";
+  line 2 "}";
+  line 1 "}";
+  line 1 "services {";
+  line 2 "ssh;";
+  line 2 "netconf {";
+  line 3 "ssh;";
+  line 2 "}";
+  line 1 "}";
+  line 1 "ntp {";
+  line 2 "server 198.32.8.10;";
+  line 2 "server 198.32.9.10;";
+  line 1 "}";
+  line 1 "syslog {";
+  line 2 "host 198.32.8.20 {";
+  line 3 "any warning;";
+  line 2 "}";
+  line 2 "file messages {";
+  line 3 "any notice;";
+  line 2 "}";
+  line 1 "}";
+  line 0 "}";
+  line 0 "snmp {";
+  line 1 "community \"redacted\" {";
+  line 2 "authorization read-only;";
+  line 1 "}";
+  line 0 "}";
+  (* interfaces *)
+  if d.interfaces <> [] then begin
+    line 0 "interfaces {";
+    List.iter
+      (fun (i : Device.interface) ->
+        owned (Element.key Interface i.if_name) (fun () ->
+            line 1 (Printf.sprintf "%s {" i.if_name);
+            (match i.description with
+            | Some t -> line 2 (Printf.sprintf "description \"%s\";" t)
+            | None -> ());
+            line 2 "unit 0 {";
+            line 3 "family inet {";
+            (match i.address with
+            | Some (a, len) ->
+                line 4 (Printf.sprintf "address %s/%d;" (Ipv4.to_string a) len)
+            | None -> ());
+            (match i.in_acl with
+            | Some f -> line 4 (Printf.sprintf "filter input %s;" f)
+            | None -> ());
+            (match i.out_acl with
+            | Some f -> line 4 (Printf.sprintf "filter output %s;" f)
+            | None -> ());
+            line 3 "}";
+            (* IPv6 is not modeled by the coverage computation (§5);
+               these lines are emitted unowned. *)
+            (match i.address with
+            | Some (a, _) ->
+                Emitter.with_owner buf None (fun () ->
+                    line 3 "family inet6 {";
+                    line 4
+                      (Printf.sprintf "address 2001:db8:%x::1/64;"
+                         (Ipv4.to_int a land 0xFFFF));
+                    line 3 "}")
+            | None -> ());
+            line 2 "}";
+            line 1 "}"))
+      d.interfaces;
+    line 0 "}"
+  end;
+  (* routing-options *)
+  let router_id =
+    match d.bgp with Some b -> Some b.router_id | None -> None
+  in
+  if router_id <> None || d.static_routes <> [] || d.bgp <> None then begin
+    line 0 "routing-options {";
+    (match router_id with
+    | Some rid -> line 1 (Printf.sprintf "router-id %s;" (Ipv4.to_string rid))
+    | None -> ());
+    (match d.bgp with
+    | Some b -> line 1 (Printf.sprintf "autonomous-system %d;" b.local_as)
+    | None -> ());
+    if d.static_routes <> [] then begin
+      line 1 "static {";
+      List.iter
+        (fun (s : Device.static_route) ->
+          line 2
+            ~owner:(Element.key Static_route (Prefix.to_string s.st_prefix))
+            (Printf.sprintf "route %s next-hop %s;"
+               (Prefix.to_string s.st_prefix)
+               (Ipv4.to_string s.st_next_hop)))
+        d.static_routes;
+      line 1 "}"
+    end;
+    line 0 "}"
+  end;
+  (* protocols *)
+  let igp_ifaces = List.filter (fun (i : Device.interface) -> i.igp_enabled) d.interfaces in
+  if d.bgp <> None || igp_ifaces <> [] then begin
+    line 0 "protocols {";
+    (match d.bgp with
+    | None -> ()
+    | Some b ->
+        line 1 "bgp {";
+        if b.multipath > 1 then begin
+          line 2 "multipath;";
+          line 2 (Printf.sprintf "maximum-paths %d;" b.multipath)
+        end;
+        List.iter
+          (fun p ->
+            line 2
+              ~owner:(Element.key Bgp_network (Prefix.to_string p))
+              (Printf.sprintf "network %s;" (Prefix.to_string p)))
+          b.networks;
+        List.iter
+          (fun (a : Device.aggregate) ->
+            line 2
+              ~owner:(Element.key Bgp_aggregate (Prefix.to_string a.ag_prefix))
+              (Printf.sprintf "aggregate %s%s;"
+                 (Prefix.to_string a.ag_prefix)
+                 (if a.ag_summary_only then " summary-only" else "")))
+          b.aggregates;
+        List.iter
+          (fun (r : Device.redistribute) ->
+            line 2
+              ~owner:
+                (Element.key Bgp_redistribute
+                   (Route.protocol_to_string r.rd_from))
+              (Printf.sprintf "redistribute %s%s;"
+                 (Route.protocol_to_string r.rd_from)
+                 (match r.rd_policy with
+                 | Some p -> " policy " ^ p
+                 | None -> "")))
+          b.redistributes;
+        let emit_neighbor lvl (n : Device.neighbor) =
+          owned (Element.key Bgp_peer (Ipv4.to_string n.nb_ip)) (fun () ->
+              line lvl (Printf.sprintf "neighbor %s {" (Ipv4.to_string n.nb_ip));
+              (match n.nb_description with
+              | Some t -> line (lvl + 1) (Printf.sprintf "description \"%s\";" t)
+              | None -> ());
+              line (lvl + 1) (Printf.sprintf "peer-as %d;" n.nb_remote_as);
+              if n.nb_import <> [] then
+                line (lvl + 1)
+                  (Printf.sprintf "import [ %s ];" (policy_chain_str n.nb_import));
+              if n.nb_export <> [] then
+                line (lvl + 1)
+                  (Printf.sprintf "export [ %s ];" (policy_chain_str n.nb_export));
+              (match n.nb_local_addr with
+              | Some a ->
+                  line (lvl + 1)
+                    (Printf.sprintf "local-address %s;" (Ipv4.to_string a))
+              | None -> ());
+              if n.nb_next_hop_self then line (lvl + 1) "next-hop-self;";
+              if n.nb_rr_client then line (lvl + 1) "route-reflector-client;";
+              line lvl "}")
+        in
+        let grouped g =
+          List.filter
+            (fun (n : Device.neighbor) -> n.nb_group = Some g.Device.pg_name)
+            b.neighbors
+        in
+        List.iter
+          (fun (g : Device.peer_group) ->
+            owned (Element.key Bgp_peer_group g.pg_name) (fun () ->
+                line 2 (Printf.sprintf "group %s {" g.pg_name);
+                (match g.pg_description with
+                | Some t -> line 3 (Printf.sprintf "description \"%s\";" t)
+                | None -> ());
+                (match g.pg_remote_as with
+                | Some asn -> line 3 (Printf.sprintf "peer-as %d;" asn)
+                | None -> ());
+                (match g.pg_local_pref with
+                | Some lp -> line 3 (Printf.sprintf "local-preference %d;" lp)
+                | None -> ());
+                if g.pg_import <> [] then
+                  line 3
+                    (Printf.sprintf "import [ %s ];" (policy_chain_str g.pg_import));
+                if g.pg_export <> [] then
+                  line 3
+                    (Printf.sprintf "export [ %s ];" (policy_chain_str g.pg_export));
+                List.iter (emit_neighbor 3) (grouped g);
+                line 2 "}"))
+          b.groups;
+        let ungrouped =
+          List.filter
+            (fun (n : Device.neighbor) ->
+              match n.nb_group with
+              | None -> true
+              | Some g -> Device.find_group d g = None)
+            b.neighbors
+        in
+        List.iter (emit_neighbor 2) ungrouped;
+        line 1 "}");
+    if igp_ifaces <> [] then begin
+      (* IS-IS lines are deliberately unowned: the paper's coverage
+         computation does not consider the IGP protocol sections. *)
+      line 1 "isis {";
+      line 2 "level 2 wide-metrics-only;";
+      List.iter
+        (fun (i : Device.interface) ->
+          line 2 (Printf.sprintf "interface %s.0 {" i.if_name);
+          line 3 (Printf.sprintf "level 2 metric %d;" i.igp_metric);
+          line 2 "}")
+        igp_ifaces;
+      line 1 "}"
+    end;
+    line 0 "}"
+  end;
+  (* policy-options *)
+  if
+    d.policies <> [] || d.prefix_lists <> [] || d.community_lists <> []
+    || d.as_path_lists <> []
+  then begin
+    line 0 "policy-options {";
+    List.iter
+      (fun (pl : Device.prefix_list) ->
+        owned (Element.key Prefix_list pl.pl_name) (fun () ->
+            line 1 (Printf.sprintf "prefix-list %s {" pl.pl_name);
+            List.iter
+              (fun (e : Device.prefix_list_entry) ->
+                let bounds =
+                  (match e.ple_ge with
+                  | Some g -> Printf.sprintf " ge %d" g
+                  | None -> "")
+                  ^
+                  match e.ple_le with
+                  | Some l -> Printf.sprintf " le %d" l
+                  | None -> ""
+                in
+                line 2 (Prefix.to_string e.ple_prefix ^ bounds ^ ";"))
+              pl.pl_entries;
+            line 1 "}"))
+      d.prefix_lists;
+    List.iter
+      (fun (cl : Device.community_list) ->
+        line 1
+          ~owner:(Element.key Community_list cl.cl_name)
+          (Printf.sprintf "community %s members [ %s ];" cl.cl_name
+             (String.concat " " (List.map Community.to_string cl.cl_members))))
+      d.community_lists;
+    List.iter
+      (fun (al : Device.as_path_list) ->
+        owned (Element.key As_path_list al.al_name) (fun () ->
+            line 1 (Printf.sprintf "as-path-group %s {" al.al_name);
+            List.iteri
+              (fun i re ->
+                line 2
+                  (Printf.sprintf "as-path p%d \"%s\";" i (As_regex.source re)))
+              al.al_patterns;
+            line 1 "}"))
+      d.as_path_lists;
+    List.iter
+      (fun (p : Policy_ast.policy) ->
+        line 1 (Printf.sprintf "policy-statement %s {" p.pol_name);
+        List.iter
+          (fun (t : Policy_ast.term) ->
+            let ekey =
+              Element.key Route_policy_clause
+                (Policy_ast.term_element_name ~policy_name:p.pol_name
+                   ~term_name:t.term_name)
+            in
+            owned ekey (fun () ->
+                line 2 (Printf.sprintf "term %s {" t.term_name);
+                if t.matches <> [] then begin
+                  line 3 "from {";
+                  List.iter
+                    (fun m -> line 4 (junos_match m))
+                    t.matches;
+                  line 3 "}"
+                end;
+                line 3 "then {";
+                List.iter (fun a -> line 4 (junos_action a)) t.actions;
+                line 3 "}";
+                line 2 "}"))
+          p.terms;
+        line 1 "}")
+      d.policies;
+    line 0 "}"
+  end;
+  (* firewall filters (ACLs) *)
+  if d.acls <> [] then begin
+    line 0 "firewall {";
+    List.iter
+      (fun (a : Device.acl) ->
+        owned (Element.key Acl_def a.acl_name) (fun () ->
+            line 1 (Printf.sprintf "filter %s {" a.acl_name);
+            List.iteri
+              (fun i (r : Device.acl_rule) ->
+                line 2 (Printf.sprintf "term r%d {" i);
+                line 3 "from {";
+                line 4
+                  (Printf.sprintf "destination-address %s;"
+                     (Prefix.to_string r.rule_prefix));
+                line 3 "}";
+                line 3
+                  (Printf.sprintf "then %s;"
+                     (if r.permit then "accept" else "discard"));
+                line 2 "}")
+              a.rules;
+            line 1 "}"))
+      d.acls;
+    line 0 "}"
+  end;
+  Emitter.contents buf
+
+let to_string d =
+  let texts, _ = emit d in
+  String.concat "\n" (Array.to_list texts) ^ "\n"

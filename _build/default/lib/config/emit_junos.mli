@@ -1,0 +1,11 @@
+(** Render a device configuration in a JunOS-like hierarchical syntax,
+    recording per-line element ownership. *)
+
+(** [emit d] returns the configuration lines and, for each line, the key
+    of the element owning it ([None] for structural / management lines,
+    which the coverage denominator excludes). *)
+val emit : Device.t -> string array * Element.key option array
+
+(** [to_string d] is the text alone, for files on disk and parser
+    round-trip tests. *)
+val to_string : Device.t -> string

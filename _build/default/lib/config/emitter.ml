@@ -1,0 +1,31 @@
+type t = {
+  mutable rev_lines : (string * Element.key option) list;
+  mutable count : int;
+  mutable owner_stack : Element.key option list;
+}
+
+let create () = { rev_lines = []; count = 0; owner_stack = [] }
+
+let current_owner buf =
+  match buf.owner_stack with [] -> None | o :: _ -> o
+
+let line buf ?owner text =
+  let owner = match owner with Some _ as o -> o | None -> current_owner buf in
+  buf.rev_lines <- (text, owner) :: buf.rev_lines;
+  buf.count <- buf.count + 1
+
+let with_owner buf owner f =
+  buf.owner_stack <- owner :: buf.owner_stack;
+  Fun.protect ~finally:(fun () ->
+      match buf.owner_stack with
+      | _ :: rest -> buf.owner_stack <- rest
+      | [] -> ())
+    f
+
+let length buf = buf.count
+
+let contents buf =
+  let items = List.rev buf.rev_lines in
+  let texts = Array.of_list (List.map fst items) in
+  let owners = Array.of_list (List.map snd items) in
+  (texts, owners)

@@ -1,0 +1,27 @@
+(** Line-oriented emission buffer that records, for every emitted line,
+    which configuration element (if any) owns it. Ownership drives
+    line-level coverage: a line is covered iff its owning element is. *)
+
+type t
+
+val create : unit -> t
+
+(** [line buf ?owner text] appends one line. Lines without an owner are
+    structural or management noise and are excluded from the coverage
+    denominator ("unconsidered" in the paper's terms). *)
+val line : t -> ?owner:Element.key -> string -> unit
+
+(** [block buf ?owner ~indent header body] emits [header {], the body at
+    one deeper indent, and [}], all owned by [owner]. *)
+val with_owner : t -> Element.key option -> (unit -> unit) -> unit
+
+(** Lines emitted while the callback runs inherit [owner] unless they
+    set their own. *)
+
+val current_owner : t -> Element.key option
+
+(** Total number of lines emitted so far (the next line number minus
+    one). *)
+val length : t -> int
+
+val contents : t -> string array * Element.key option array

@@ -1,0 +1,17 @@
+open Netcov_types
+
+let netmask_of_len len =
+  if len < 0 || len > 32 then invalid_arg "Masks.netmask_of_len";
+  if len = 0 then Ipv4.zero else Ipv4.of_int (0xFFFFFFFF lsl (32 - len))
+
+let len_of_netmask m =
+  let rec go len =
+    if len > 32 then None
+    else if Ipv4.equal (netmask_of_len len) m then Some len
+    else go (len + 1)
+  in
+  go 0
+
+let wildcard_of_len len = Ipv4.lognot (netmask_of_len len)
+
+let len_of_wildcard w = len_of_netmask (Ipv4.lognot w)

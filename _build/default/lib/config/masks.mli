@@ -1,0 +1,15 @@
+(** Netmask / wildcard-mask conversions for the IOS-style syntax. *)
+
+open Netcov_types
+
+(** [netmask_of_len 24] is 255.255.255.0. *)
+val netmask_of_len : int -> Ipv4.t
+
+(** [len_of_netmask m] inverts {!netmask_of_len}; [None] for
+    non-contiguous masks. *)
+val len_of_netmask : Ipv4.t -> int option
+
+(** [wildcard_of_len 24] is 0.0.0.255. *)
+val wildcard_of_len : int -> Ipv4.t
+
+val len_of_wildcard : Ipv4.t -> int option

@@ -1,0 +1,409 @@
+open Netcov_types
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line message = raise (Fail { line; message })
+
+let ipv4 at s =
+  match Ipv4.of_string_opt s with
+  | Some a -> a
+  | None -> fail at (Printf.sprintf "bad address %S" s)
+
+let int_at at s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail at (Printf.sprintf "bad number %S" s)
+
+let prefix_of_mask at addr mask =
+  match Masks.len_of_netmask (ipv4 at mask) with
+  | Some len -> Prefix.make (ipv4 at addr) len
+  | None -> fail at (Printf.sprintf "bad netmask %S" mask)
+
+let prefix_of_wildcard at addr wc =
+  match Masks.len_of_wildcard (ipv4 at wc) with
+  | Some len -> Prefix.make (ipv4 at addr) len
+  | None -> fail at (Printf.sprintf "bad wildcard %S" wc)
+
+let prefix at s =
+  match Prefix.of_string_opt s with
+  | Some p -> p
+  | None -> fail at (Printf.sprintf "bad prefix %S" s)
+
+let is_ip s = Ipv4.of_string_opt s <> None
+
+(* Mutable builders keyed by name, preserving first-seen order. *)
+module Builder = struct
+  type 'a t = { tbl : (string, 'a) Hashtbl.t; mutable order : string list }
+
+  let create () = { tbl = Hashtbl.create 16; order = [] }
+
+  let get b key ~default =
+    match Hashtbl.find_opt b.tbl key with
+    | Some v -> v
+    | None ->
+        b.order <- key :: b.order;
+        Hashtbl.replace b.tbl key default;
+        default
+
+  let set b key v =
+    if not (Hashtbl.mem b.tbl key) then b.order <- key :: b.order;
+    Hashtbl.replace b.tbl key v
+
+  let to_list b =
+    List.rev_map (fun k -> Hashtbl.find b.tbl k) b.order
+end
+
+type rm_entry = {
+  rm_term : string;
+  rm_deny : bool;
+  mutable rm_matches : Policy_ast.match_cond list;
+  mutable rm_sets : Policy_ast.action list;
+  mutable rm_continue : bool;
+}
+
+type section =
+  | Top
+  | In_interface of string
+  | In_acl of string
+  | In_bgp
+  | In_route_map of string * rm_entry
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let parse ?(hostname = "device") text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let hostname = ref hostname in
+    let interfaces : (string * Device.interface ref) list ref = ref [] in
+    let statics = ref [] in
+    let acls = Builder.create () in
+    let prefix_lists = Builder.create () in
+    let community_lists = Builder.create () in
+    let as_path_lists = Builder.create () in
+    let route_maps : (string * rm_entry list ref) list ref = ref [] in
+    let bgp_local_as = ref None in
+    let bgp_router_id = ref Ipv4.zero in
+    let bgp_multipath = ref 1 in
+    let bgp_networks = ref [] in
+    let bgp_aggregates = ref [] in
+    let bgp_redistributes = ref [] in
+    let groups : (string * Device.peer_group ref) list ref = ref [] in
+    let neighbors : (int * Device.neighbor ref) list ref = ref [] in
+    let section = ref Top in
+    let find_iface name =
+      match List.assoc_opt name !interfaces with
+      | Some r -> r
+      | None ->
+          let r = ref (Device.interface name) in
+          interfaces := !interfaces @ [ (name, r) ];
+          r
+    in
+    let find_group name at =
+      ignore at;
+      match List.assoc_opt name !groups with
+      | Some r -> r
+      | None ->
+          let r =
+            ref
+              {
+                Device.pg_name = name;
+                pg_remote_as = None;
+                pg_import = [];
+                pg_export = [];
+                pg_local_pref = None;
+                pg_description = None;
+              }
+          in
+          groups := !groups @ [ (name, r) ];
+          r
+    in
+    let find_neighbor ip at =
+      let key = Ipv4.to_int (ipv4 at ip) in
+      match List.assoc_opt key !neighbors with
+      | Some r -> r
+      | None ->
+          let r =
+            ref
+              {
+                Device.nb_ip = ipv4 at ip;
+                nb_remote_as = 0;
+                nb_group = None;
+                nb_import = [];
+                nb_export = [];
+                nb_local_addr = None;
+                nb_next_hop_self = false;
+                nb_rr_client = false;
+                nb_description = None;
+              }
+          in
+          neighbors := !neighbors @ [ (key, r) ];
+          r
+    in
+    let find_route_map name =
+      match List.assoc_opt name !route_maps with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          route_maps := !route_maps @ [ (name, r) ];
+          r
+    in
+    let parse_match at rest =
+      match rest with
+      | [ "ip"; "address"; "prefix-list"; n ] -> Policy_ast.Match_prefix_list n
+      | [ "ip"; "address"; "prefix"; p; "exact" ] ->
+          Policy_ast.Match_prefix (prefix at p, Policy_ast.Exact)
+      | [ "ip"; "address"; "prefix"; p; "orlonger" ] ->
+          Policy_ast.Match_prefix (prefix at p, Policy_ast.Orlonger)
+      | [ "ip"; "address"; "prefix"; p; "upto"; l ] ->
+          Policy_ast.Match_prefix (prefix at p, Policy_ast.Upto (int_at at l))
+      | [ "community"; n ] -> Policy_ast.Match_community_list n
+      | [ "community-literal"; c ] ->
+          Policy_ast.Match_community (Community.of_string c)
+      | [ "as-path"; n ] -> Policy_ast.Match_as_path_list n
+      | [ "source-protocol"; p ] -> (
+          match Route.protocol_of_string p with
+          | Some p -> Policy_ast.Match_protocol p
+          | None -> fail at "source-protocol")
+      | [ "ip"; "next-hop"; ip ] -> Policy_ast.Match_next_hop (ipv4 at ip)
+      | _ -> fail at ("unknown match: " ^ String.concat " " rest)
+    in
+    let parse_set at rest =
+      match rest with
+      | [ "local-preference"; n ] -> Policy_ast.Set_local_pref (int_at at n)
+      | [ "metric"; n ] -> Policy_ast.Set_med (int_at at n)
+      | [ "community"; c; "additive" ] ->
+          Policy_ast.Add_community (Community.of_string c)
+      | [ "community-remove"; c ] ->
+          Policy_ast.Remove_community (Community.of_string c)
+      | [ "comm-list"; n; "delete" ] -> Policy_ast.Delete_community_in n
+      | "as-path" :: "prepend" :: (asn :: _ as all) ->
+          Policy_ast.Prepend_as (int_at at asn, List.length all)
+      | _ -> fail at ("unknown set: " ^ String.concat " " rest)
+    in
+    List.iteri
+      (fun i raw ->
+        let at = i + 1 in
+        let line = if raw <> "" && raw.[0] = ' ' then raw else String.trim raw in
+        let indented = String.length raw > 0 && raw.[0] = ' ' in
+        let w = words line in
+        match (w, indented, !section) with
+        | [], _, _ -> ()
+        | "!" :: _, _, _ -> section := Top
+        | [ "end" ], _, _ -> section := Top
+        | [ "hostname"; h ], false, _ -> hostname := h
+        | "version" :: _, false, _ | "service" :: _, false, _ -> ()
+        | [ "ip"; "access-list"; "extended"; name ], false, _ ->
+            ignore (Builder.get acls name ~default:[]);
+            section := In_acl name
+        | (("permit" | "deny") as verb) :: [ "ip"; "any"; a; wc ], true, In_acl name
+          ->
+            let rule =
+              {
+                Device.permit = verb = "permit";
+                rule_prefix = prefix_of_wildcard at a wc;
+              }
+            in
+            Builder.set acls name (Builder.get acls name ~default:[] @ [ rule ])
+        | [ "interface"; name ], false, _ -> (
+            section := In_interface name;
+            ignore (find_iface name))
+        | [ "description" ], true, In_interface _ -> ()
+        | "description" :: rest, true, In_interface name ->
+            let r = find_iface name in
+            r := { !r with Device.description = Some (String.concat " " rest) }
+        | [ "ip"; "address"; a; m ], true, In_interface name ->
+            let r = find_iface name in
+            let p = prefix_of_mask at a m in
+            r := { !r with Device.address = Some (ipv4 at a, Prefix.len p) }
+        | [ "no"; "ip"; "address" ], true, In_interface _ -> ()
+        | [ "ip"; "access-group"; acl; "in" ], true, In_interface name ->
+            let r = find_iface name in
+            r := { !r with Device.in_acl = Some acl }
+        | [ "ip"; "access-group"; acl; "out" ], true, In_interface name ->
+            let r = find_iface name in
+            r := { !r with Device.out_acl = Some acl }
+        | [ "ip"; "ospf"; "1"; "area"; "0"; "cost"; n ], true, In_interface name
+          ->
+            let r = find_iface name in
+            r := { !r with Device.igp_enabled = true; igp_metric = int_at at n }
+        | [ "no"; "shutdown" ], true, In_interface _ -> ()
+        | [ "router"; "bgp"; asn ], false, _ ->
+            bgp_local_as := Some (int_at at asn);
+            section := In_bgp
+        | [ "bgp"; "router-id"; a ], true, In_bgp -> bgp_router_id := ipv4 at a
+        | [ "bgp"; "log-neighbor-changes" ], true, In_bgp -> ()
+        | [ "maximum-paths"; n ], true, In_bgp -> bgp_multipath := int_at at n
+        | [ "network"; a; "mask"; m ], true, In_bgp ->
+            bgp_networks := prefix_of_mask at a m :: !bgp_networks
+        | "aggregate-address" :: a :: m :: rest, true, In_bgp ->
+            bgp_aggregates :=
+              {
+                Device.ag_prefix = prefix_of_mask at a m;
+                ag_summary_only = rest = [ "summary-only" ];
+              }
+              :: !bgp_aggregates
+        | "redistribute" :: proto :: rest, true, In_bgp -> (
+            match Route.protocol_of_string proto with
+            | None -> fail at ("redistribute " ^ proto)
+            | Some proto ->
+                let rd_policy =
+                  match rest with [ "route-map"; rm ] -> Some rm | _ -> None
+                in
+                bgp_redistributes :=
+                  { Device.rd_from = proto; rd_policy } :: !bgp_redistributes)
+        | "neighbor" :: target :: rest, true, In_bgp -> (
+            if is_ip target then begin
+              let r = find_neighbor target at in
+              match rest with
+              | [ "remote-as"; asn ] ->
+                  r := { !r with Device.nb_remote_as = int_at at asn }
+              | [ "peer-group"; g ] -> r := { !r with Device.nb_group = Some g }
+              | "description" :: d ->
+                  r := { !r with Device.nb_description = Some (String.concat " " d) }
+              | [ "update-source"; a ] ->
+                  r := { !r with Device.nb_local_addr = Some (ipv4 at a) }
+              | [ "next-hop-self" ] ->
+                  r := { !r with Device.nb_next_hop_self = true }
+              | [ "route-reflector-client" ] ->
+                  r := { !r with Device.nb_rr_client = true }
+              | [ "route-map"; rm; "in" ] ->
+                  r := { !r with Device.nb_import = !r.Device.nb_import @ [ rm ] }
+              | [ "route-map"; rm; "out" ] ->
+                  r := { !r with Device.nb_export = !r.Device.nb_export @ [ rm ] }
+              | _ -> fail at ("unknown neighbor option: " ^ String.concat " " rest)
+            end
+            else
+              let r = find_group target at in
+              match rest with
+              | [ "peer-group" ] -> ()
+              | [ "remote-as"; asn ] ->
+                  r := { !r with Device.pg_remote_as = Some (int_at at asn) }
+              | "description" :: d ->
+                  r := { !r with Device.pg_description = Some (String.concat " " d) }
+              | [ "local-preference"; n ] ->
+                  r := { !r with Device.pg_local_pref = Some (int_at at n) }
+              | [ "route-map"; rm; "in" ] ->
+                  r := { !r with Device.pg_import = !r.Device.pg_import @ [ rm ] }
+              | [ "route-map"; rm; "out" ] ->
+                  r := { !r with Device.pg_export = !r.Device.pg_export @ [ rm ] }
+              | _ -> fail at ("unknown group option: " ^ String.concat " " rest))
+        | [ "ip"; "route"; a; m; nh ], false, _ ->
+            statics :=
+              { Device.st_prefix = prefix_of_mask at a m; st_next_hop = ipv4 at nh }
+              :: !statics
+        | "ip" :: "prefix-list" :: name :: "seq" :: _ :: "permit" :: p :: rest, false, _
+          ->
+            let base = prefix at p in
+            let rec bounds ge le = function
+              | "ge" :: v :: tl -> bounds (Some (int_at at v)) le tl
+              | "le" :: v :: tl -> bounds ge (Some (int_at at v)) tl
+              | [] -> (ge, le)
+              | _ -> fail at "prefix-list bounds"
+            in
+            let ge, le = bounds None None rest in
+            Builder.set prefix_lists name
+              (Builder.get prefix_lists name ~default:[]
+              @ [ { Device.ple_prefix = base; ple_ge = ge; ple_le = le } ])
+        | [ "ip"; "community-list"; "standard"; name; "permit"; c ], false, _ ->
+            Builder.set community_lists name
+              (Builder.get community_lists name ~default:[] @ [ Community.of_string c ])
+        | "ip" :: "as-path" :: "access-list" :: name :: "permit" :: re, false, _
+          ->
+            Builder.set as_path_lists name
+              (Builder.get as_path_lists name ~default:[]
+              @ [ As_regex.compile (String.concat " " re) ])
+        | [ "route-map"; name; verb; seq ], false, _ ->
+            let entry =
+              {
+                rm_term = seq;
+                rm_deny = verb = "deny";
+                rm_matches = [];
+                rm_sets = [];
+                rm_continue = false;
+              }
+            in
+            let r = find_route_map name in
+            r := !r @ [ entry ];
+            section := In_route_map (name, entry)
+        | "match" :: rest, true, In_route_map (_, entry) ->
+            entry.rm_matches <- entry.rm_matches @ [ parse_match at rest ]
+        | [ "continue" ], true, In_route_map (_, entry) -> entry.rm_continue <- true
+        | "set" :: rest, true, In_route_map (_, entry) ->
+            entry.rm_sets <- entry.rm_sets @ [ parse_set at rest ]
+        | _, _, _ ->
+            fail at (Printf.sprintf "cannot parse %S" line))
+      lines;
+    let policies =
+      List.map
+        (fun (name, entries) ->
+          {
+            Policy_ast.pol_name = name;
+            terms =
+              List.map
+                (fun e ->
+                  let terminator =
+                    if e.rm_continue then [ Policy_ast.Next_term ]
+                    else if e.rm_deny then [ Policy_ast.Reject ]
+                    else [ Policy_ast.Accept ]
+                  in
+                  {
+                    Policy_ast.term_name = e.rm_term;
+                    matches = e.rm_matches;
+                    actions = e.rm_sets @ terminator;
+                  })
+                !entries;
+          })
+        !route_maps
+    in
+    let bgp =
+      Option.map
+        (fun local_as ->
+          {
+            Device.local_as;
+            router_id = !bgp_router_id;
+            networks = List.rev !bgp_networks;
+            aggregates = List.rev !bgp_aggregates;
+            redistributes = List.rev !bgp_redistributes;
+            groups = List.map (fun (_, r) -> !r) !groups;
+            neighbors = List.map (fun (_, r) -> !r) !neighbors;
+            multipath = !bgp_multipath;
+          })
+        !bgp_local_as
+    in
+    Ok
+      (Device.make ~syntax:Device.Ios
+         ~interfaces:(List.map (fun (_, r) -> !r) !interfaces)
+         ~static_routes:(List.rev !statics)
+         ~acls:
+           (List.map
+              (fun (name, rules) -> { Device.acl_name = name; rules })
+              (List.combine
+                 (List.rev acls.Builder.order)
+                 (Builder.to_list acls)))
+         ~prefix_lists:
+           (List.map2
+              (fun name entries -> { Device.pl_name = name; pl_entries = entries })
+              (List.rev prefix_lists.Builder.order)
+              (Builder.to_list prefix_lists))
+         ~community_lists:
+           (List.map2
+              (fun name members -> { Device.cl_name = name; cl_members = members })
+              (List.rev community_lists.Builder.order)
+              (Builder.to_list community_lists))
+         ~as_path_lists:
+           (List.map2
+              (fun name patterns -> { Device.al_name = name; al_patterns = patterns })
+              (List.rev as_path_lists.Builder.order)
+              (Builder.to_list as_path_lists))
+         ~policies ?bgp !hostname)
+  with Fail e -> Error e
+
+let parse_exn ?hostname text =
+  match parse ?hostname text with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Parse_ios: " ^ error_to_string e)

@@ -1,0 +1,8 @@
+(** Parser for the IOS-like concrete syntax produced by {!Emit_ios};
+    round-trips with it. *)
+
+type error = { line : int; message : string }
+
+val error_to_string : error -> string
+val parse : ?hostname:string -> string -> (Device.t, error) result
+val parse_exn : ?hostname:string -> string -> Device.t

@@ -1,0 +1,565 @@
+open Netcov_types
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line message = raise (Fail { line; message })
+
+(* ------------------------------------------------------------------ *)
+(* Block tree                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type node = { head : string list; body : node list; at : int }
+
+(* Tokenize one line into words, keeping quoted strings as single
+   tokens (quotes stripped). *)
+let words_of_line at line =
+  let n = String.length line in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match line.[!i] with
+    | ' ' | '\t' -> flush ()
+    | '"' ->
+        flush ();
+        incr i;
+        let start = !i in
+        while !i < n && line.[!i] <> '"' do
+          incr i
+        done;
+        if !i >= n then fail at "unterminated string";
+        out := String.sub line start (!i - start) :: !out
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !out
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i
+    when i + 1 < String.length line
+         && line.[i + 1] = '*'
+         && String.length line >= i + 2 -> (
+      (* single-line comment: drop from the opener on *)
+      match String.index_opt line '*' with
+      | Some _ -> String.sub line 0 i
+      | None -> line)
+  | _ -> line
+
+let parse_tree text =
+  let lines = String.split_on_char '\n' text in
+  let rec parse_block ~top acc at = function
+    | [] -> if top then (List.rev acc, [], at) else fail at "unexpected end of input inside a block"
+    | raw :: rest -> (
+        let line = String.trim (strip_comment raw) in
+        if line = "" then parse_block ~top acc (at + 1) rest
+        else if line = "}" then
+          if top then fail at "unmatched '}'" else (List.rev acc, rest, at + 1)
+        else if String.length line >= 1 && line.[String.length line - 1] = '{'
+        then begin
+          let head = words_of_line at (String.sub line 0 (String.length line - 1)) in
+          let body, rest', at' = parse_block ~top:false [] (at + 1) rest in
+          parse_block ~top ({ head; body; at } :: acc) at' rest'
+        end
+        else
+          let stmt =
+            if line.[String.length line - 1] = ';' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          match words_of_line at stmt with
+          | [] -> parse_block ~top acc (at + 1) rest
+          | head -> parse_block ~top ({ head; body = []; at } :: acc) (at + 1) rest)
+  in
+  let nodes, _, _ = parse_block ~top:true [] 1 lines in
+  nodes
+
+let find_blocks name nodes =
+  List.filter (fun n -> match n.head with h :: _ -> h = name | [] -> false) nodes
+
+let find_block name nodes =
+  match find_blocks name nodes with n :: _ -> Some n | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ipv4 at s =
+  match Ipv4.of_string_opt s with
+  | Some a -> a
+  | None -> fail at (Printf.sprintf "bad address %S" s)
+
+let prefix at s =
+  match Prefix.of_string_opt s with
+  | Some p -> p
+  | None -> fail at (Printf.sprintf "bad prefix %S" s)
+
+let int_at at s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail at (Printf.sprintf "bad number %S" s)
+
+(* Policy chain between [ ... ] or a single name. *)
+let chain at = function
+  | "[" :: rest ->
+      let rec go acc = function
+        | [ "]" ] | [] -> List.rev acc
+        | "]" :: _ -> List.rev acc
+        | x :: tl -> go (x :: acc) tl
+      in
+      go [] rest
+  | [ one ] -> [ one ]
+  | _ -> fail at "expected policy chain"
+
+let parse_interface (n : node) : Device.interface =
+  let name = match n.head with [ x ] -> x | _ -> fail n.at "interface name" in
+  let description = ref None in
+  let address = ref None in
+  let in_acl = ref None and out_acl = ref None in
+  let rec walk nodes =
+    List.iter
+      (fun c ->
+        match c.head with
+        | [ "family"; "inet6" ] -> ()  (* IPv6 is not modeled (§5) *)
+        | _ ->
+        (match c.head with
+        | [ "description"; d ] -> description := Some d
+        | [ "address"; a ] ->
+            let p = prefix c.at a in
+            (* keep the literal host address, not the canonical base *)
+            let ip =
+              match String.index_opt a '/' with
+              | Some i -> ipv4 c.at (String.sub a 0 i)
+              | None -> fail c.at "address needs /len"
+            in
+            address := Some (ip, Prefix.len p)
+        | [ "filter"; "input"; f ] -> in_acl := Some f
+        | [ "filter"; "output"; f ] -> out_acl := Some f
+        | _ -> ());
+        walk c.body)
+      nodes
+  in
+  walk n.body;
+  {
+    Device.if_name = name;
+    address = !address;
+    description = !description;
+    in_acl = !in_acl;
+    out_acl = !out_acl;
+    igp_enabled = false;
+    igp_metric = 10;
+  }
+
+let parse_match at (w : string list) : Policy_ast.match_cond option =
+  match w with
+  | [ "prefix-list"; n ] -> Some (Policy_ast.Match_prefix_list n)
+  | [ "route-filter"; p; "exact" ] ->
+      Some (Policy_ast.Match_prefix (prefix at p, Policy_ast.Exact))
+  | [ "route-filter"; p; "orlonger" ] ->
+      Some (Policy_ast.Match_prefix (prefix at p, Policy_ast.Orlonger))
+  | [ "route-filter"; p; "upto"; l ] ->
+      let l =
+        if String.length l > 1 && l.[0] = '/' then
+          int_at at (String.sub l 1 (String.length l - 1))
+        else int_at at l
+      in
+      Some (Policy_ast.Match_prefix (prefix at p, Policy_ast.Upto l))
+  | [ "community"; n ] -> Some (Policy_ast.Match_community_list n)
+  | [ "community-literal"; c ] -> (
+      match Community.of_string_opt c with
+      | Some c -> Some (Policy_ast.Match_community c)
+      | None -> fail at "bad community")
+  | [ "as-path-group"; n ] -> Some (Policy_ast.Match_as_path_list n)
+  | [ "protocol"; p ] -> (
+      match Route.protocol_of_string p with
+      | Some p -> Some (Policy_ast.Match_protocol p)
+      | None -> fail at ("unknown protocol " ^ p))
+  | [ "next-hop"; ip ] -> Some (Policy_ast.Match_next_hop (ipv4 at ip))
+  | _ -> None
+
+let parse_action at (w : string list) : Policy_ast.action option =
+  match w with
+  | [ "accept" ] -> Some Policy_ast.Accept
+  | [ "reject" ] -> Some Policy_ast.Reject
+  | [ "next"; "term" ] -> Some Policy_ast.Next_term
+  | [ "local-preference"; n ] -> Some (Policy_ast.Set_local_pref (int_at at n))
+  | [ "metric"; n ] -> Some (Policy_ast.Set_med (int_at at n))
+  | [ "community"; "add"; c ] ->
+      Some (Policy_ast.Add_community (Community.of_string c))
+  | [ "community"; "remove"; c ] ->
+      Some (Policy_ast.Remove_community (Community.of_string c))
+  | [ "community"; "delete"; n ] -> Some (Policy_ast.Delete_community_in n)
+  | [ "as-path-prepend"; spec ] -> (
+      match
+        String.split_on_char ' ' spec |> List.filter (fun s -> s <> "")
+      with
+      | [] -> fail at "empty as-path-prepend"
+      | asn :: _ as all -> Some (Policy_ast.Prepend_as (int_at at asn, List.length all)))
+  | _ -> None
+
+let parse_policy (n : node) : Policy_ast.policy =
+  let name =
+    match n.head with
+    | [ "policy-statement"; x ] -> x
+    | _ -> fail n.at "policy-statement"
+  in
+  let terms =
+    List.filter_map
+      (fun t ->
+        match t.head with
+        | [ "term"; tname ] ->
+            let matches =
+              match find_block "from" t.body with
+              | None -> []
+              | Some f -> List.filter_map (fun c -> parse_match c.at c.head) f.body
+            in
+            let actions =
+              match find_block "then" t.body with
+              | None -> []
+              | Some th ->
+                  List.filter_map (fun c -> parse_action c.at c.head) th.body
+            in
+            Some { Policy_ast.term_name = tname; matches; actions }
+        | _ -> None)
+      n.body
+  in
+  { Policy_ast.pol_name = name; terms }
+
+let parse_prefix_list (n : node) : Device.prefix_list =
+  let name =
+    match n.head with [ "prefix-list"; x ] -> x | _ -> fail n.at "prefix-list"
+  in
+  let entries =
+    List.filter_map
+      (fun c ->
+        match c.head with
+        | p :: rest ->
+            let base = prefix c.at p in
+            let rec bounds ge le = function
+              | "ge" :: v :: tl -> bounds (Some (int_at c.at v)) le tl
+              | "le" :: v :: tl -> bounds ge (Some (int_at c.at v)) tl
+              | [] -> (ge, le)
+              | _ -> fail c.at "bad prefix-list entry"
+            in
+            let ge, le = bounds None None rest in
+            Some { Device.ple_prefix = base; ple_ge = ge; ple_le = le }
+        | [] -> None)
+      n.body
+  in
+  { Device.pl_name = name; pl_entries = entries }
+
+let parse_neighbor ~group at head body : Device.neighbor =
+  let ip = match head with [ "neighbor"; x ] -> ipv4 at x | _ -> fail at "neighbor" in
+  let remote_as = ref 0 in
+  let import = ref [] and export = ref [] in
+  let local_addr = ref None in
+  let nhs = ref false in
+  let rr_client = ref false in
+  let description = ref None in
+  List.iter
+    (fun c ->
+      match c.head with
+      | [ "peer-as"; n ] -> remote_as := int_at c.at n
+      | "import" :: rest -> import := chain c.at rest
+      | "export" :: rest -> export := chain c.at rest
+      | [ "local-address"; a ] -> local_addr := Some (ipv4 c.at a)
+      | [ "next-hop-self" ] -> nhs := true
+      | [ "route-reflector-client" ] -> rr_client := true
+      | [ "description"; d ] -> description := Some d
+      | _ -> ())
+    body;
+  {
+    Device.nb_ip = ip;
+    nb_remote_as = !remote_as;
+    nb_group = group;
+    nb_import = !import;
+    nb_export = !export;
+    nb_local_addr = !local_addr;
+    nb_next_hop_self = !nhs;
+    nb_rr_client = !rr_client;
+    nb_description = !description;
+  }
+
+let parse ?(hostname = "device") text =
+  try
+    let tree = parse_tree text in
+    (* hostname *)
+    let hostname =
+      match find_block "system" tree with
+      | Some sys -> (
+          match
+            List.find_opt
+              (fun c -> match c.head with "host-name" :: _ -> true | _ -> false)
+              sys.body
+          with
+          | Some { head = [ _; h ]; _ } -> h
+          | _ -> hostname)
+      | None -> hostname
+    in
+    (* interfaces *)
+    let interfaces =
+      match find_block "interfaces" tree with
+      | None -> []
+      | Some blk -> List.map parse_interface blk.body
+    in
+    (* IS-IS participation back-annotates interfaces *)
+    let protocols = find_block "protocols" tree in
+    let isis_metrics =
+      match Option.bind protocols (fun p -> find_block "isis" p.body) with
+      | None -> []
+      | Some isis ->
+          List.filter_map
+            (fun c ->
+              match c.head with
+              | [ "interface"; ifname ] ->
+                  let base =
+                    match String.index_opt ifname '.' with
+                    | Some i -> String.sub ifname 0 i
+                    | None -> ifname
+                  in
+                  let metric =
+                    List.fold_left
+                      (fun acc m ->
+                        match m.head with
+                        | [ "level"; "2"; "metric"; v ] -> int_at m.at v
+                        | _ -> acc)
+                      10 c.body
+                  in
+                  Some (base, metric)
+              | _ -> None)
+            isis.body
+    in
+    let interfaces =
+      List.map
+        (fun (i : Device.interface) ->
+          match List.assoc_opt i.if_name isis_metrics with
+          | Some metric -> { i with igp_enabled = true; igp_metric = metric }
+          | None -> i)
+        interfaces
+    in
+    (* routing-options *)
+    let routing = find_block "routing-options" tree in
+    let router_id =
+      Option.bind routing (fun r ->
+          List.find_map
+            (fun c ->
+              match c.head with
+              | [ "router-id"; a ] -> Some (ipv4 c.at a)
+              | _ -> None)
+            r.body)
+    in
+    let local_as =
+      Option.bind routing (fun r ->
+          List.find_map
+            (fun c ->
+              match c.head with
+              | [ "autonomous-system"; n ] -> Some (int_at c.at n)
+              | _ -> None)
+            r.body)
+    in
+    let static_routes =
+      match Option.bind routing (fun r -> find_block "static" r.body) with
+      | None -> []
+      | Some s ->
+          List.filter_map
+            (fun c ->
+              match c.head with
+              | [ "route"; p; "next-hop"; nh ] ->
+                  Some
+                    { Device.st_prefix = prefix c.at p; st_next_hop = ipv4 c.at nh }
+              | _ -> None)
+            s.body
+    in
+    (* policy-options *)
+    let pol_opts = find_block "policy-options" tree in
+    let policies =
+      match pol_opts with
+      | None -> []
+      | Some po -> List.map parse_policy (find_blocks "policy-statement" po.body)
+    in
+    let prefix_lists =
+      match pol_opts with
+      | None -> []
+      | Some po -> List.map parse_prefix_list (find_blocks "prefix-list" po.body)
+    in
+    let community_lists =
+      match pol_opts with
+      | None -> []
+      | Some po ->
+          List.filter_map
+            (fun c ->
+              match c.head with
+              | "community" :: name :: "members" :: rest ->
+                  let members =
+                    List.filter (fun w -> w <> "[" && w <> "]") rest
+                    |> List.map Community.of_string
+                  in
+                  Some { Device.cl_name = name; cl_members = members }
+              | _ -> None)
+            po.body
+    in
+    let as_path_lists =
+      match pol_opts with
+      | None -> []
+      | Some po ->
+          List.map
+            (fun g ->
+              let name =
+                match g.head with
+                | [ "as-path-group"; x ] -> x
+                | _ -> fail g.at "as-path-group"
+              in
+              let patterns =
+                List.filter_map
+                  (fun c ->
+                    match c.head with
+                    | [ "as-path"; _; re ] -> Some (As_regex.compile re)
+                    | _ -> None)
+                  g.body
+              in
+              { Device.al_name = name; al_patterns = patterns })
+            (find_blocks "as-path-group" po.body)
+    in
+    (* firewall filters *)
+    let acls =
+      match find_block "firewall" tree with
+      | None -> []
+      | Some fw ->
+          List.map
+            (fun f ->
+              let name =
+                match f.head with [ "filter"; x ] -> x | _ -> fail f.at "filter"
+              in
+              let rules =
+                List.filter_map
+                  (fun t ->
+                    match t.head with
+                    | [ "term"; _ ] ->
+                        let dst =
+                          Option.bind (find_block "from" t.body) (fun fr ->
+                              List.find_map
+                                (fun c ->
+                                  match c.head with
+                                  | [ "destination-address"; p ] ->
+                                      Some (prefix c.at p)
+                                  | _ -> None)
+                                fr.body)
+                        in
+                        let permit =
+                          List.exists
+                            (fun c -> c.head = [ "then"; "accept" ])
+                            t.body
+                        in
+                        Option.map
+                          (fun p -> { Device.permit; rule_prefix = p })
+                          dst
+                    | _ -> None)
+                  f.body
+              in
+              { Device.acl_name = name; rules })
+            (find_blocks "filter" fw.body)
+    in
+    (* BGP *)
+    let bgp =
+      match Option.bind protocols (fun p -> find_block "bgp" p.body) with
+      | None -> None
+      | Some bgp_blk ->
+          let networks = ref [] in
+          let aggregates = ref [] in
+          let redistributes = ref [] in
+          let groups = ref [] in
+          let neighbors = ref [] in
+          let multipath = ref 1 in
+          List.iter
+            (fun c ->
+              match c.head with
+              | [ "network"; p ] -> networks := prefix c.at p :: !networks
+              | [ "aggregate"; p ] ->
+                  aggregates :=
+                    { Device.ag_prefix = prefix c.at p; ag_summary_only = false }
+                    :: !aggregates
+              | [ "aggregate"; p; "summary-only" ] ->
+                  aggregates :=
+                    { Device.ag_prefix = prefix c.at p; ag_summary_only = true }
+                    :: !aggregates
+              | [ "redistribute"; proto ] -> (
+                  match Route.protocol_of_string proto with
+                  | Some proto ->
+                      redistributes :=
+                        { Device.rd_from = proto; rd_policy = None }
+                        :: !redistributes
+                  | None -> fail c.at "redistribute protocol")
+              | [ "redistribute"; proto; "policy"; pol ] -> (
+                  match Route.protocol_of_string proto with
+                  | Some proto ->
+                      redistributes :=
+                        { Device.rd_from = proto; rd_policy = Some pol }
+                        :: !redistributes
+                  | None -> fail c.at "redistribute protocol")
+              | [ "maximum-paths"; n ] -> multipath := int_at c.at n
+              | [ "multipath" ] -> ()
+              | [ "group"; gname ] ->
+                  let remote_as = ref None in
+                  let import = ref [] and export = ref [] in
+                  let lp = ref None in
+                  let descr = ref None in
+                  List.iter
+                    (fun g ->
+                      match g.head with
+                      | [ "peer-as"; n ] -> remote_as := Some (int_at g.at n)
+                      | [ "local-preference"; n ] -> lp := Some (int_at g.at n)
+                      | "import" :: rest -> import := chain g.at rest
+                      | "export" :: rest -> export := chain g.at rest
+                      | [ "description"; d ] -> descr := Some d
+                      | "neighbor" :: _ ->
+                          neighbors :=
+                            parse_neighbor ~group:(Some gname) g.at g.head g.body
+                            :: !neighbors
+                      | _ -> ())
+                    c.body;
+                  groups :=
+                    {
+                      Device.pg_name = gname;
+                      pg_remote_as = !remote_as;
+                      pg_import = !import;
+                      pg_export = !export;
+                      pg_local_pref = !lp;
+                      pg_description = !descr;
+                    }
+                    :: !groups
+              | "neighbor" :: _ ->
+                  neighbors := parse_neighbor ~group:None c.at c.head c.body :: !neighbors
+              | _ -> ())
+            bgp_blk.body;
+          Some
+            {
+              Device.local_as = Option.value local_as ~default:0;
+              router_id = Option.value router_id ~default:Ipv4.zero;
+              networks = List.rev !networks;
+              aggregates = List.rev !aggregates;
+              redistributes = List.rev !redistributes;
+              groups = List.rev !groups;
+              neighbors = List.rev !neighbors;
+              multipath = !multipath;
+            }
+    in
+    Ok
+      (Device.make ~syntax:Device.Junos ~interfaces ~static_routes ~acls
+         ~prefix_lists ~community_lists ~as_path_lists ~policies ?bgp hostname)
+  with Fail e -> Error e
+
+let parse_exn ?hostname text =
+  match parse ?hostname text with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Parse_junos: " ^ error_to_string e)

@@ -1,0 +1,13 @@
+(** Parser for the JunOS-like concrete syntax produced by
+    {!Emit_junos}. Together they form a round-trippable pipeline, so
+    NetCov can ingest either device ASTs or raw configuration text. *)
+
+type error = { line : int; message : string }
+
+val error_to_string : error -> string
+
+(** [parse ~hostname text] parses a full configuration. The hostname
+    inside the text ([host-name]) wins over [~hostname] when present. *)
+val parse : ?hostname:string -> string -> (Device.t, error) result
+
+val parse_exn : ?hostname:string -> string -> Device.t

@@ -1,0 +1,92 @@
+open Netcov_types
+
+type match_cond =
+  | Match_prefix_list of string
+  | Match_prefix of Prefix.t * mode
+  | Match_community_list of string
+  | Match_community of Community.t
+  | Match_as_path_list of string
+  | Match_protocol of Route.protocol
+  | Match_next_hop of Ipv4.t
+
+and mode = Exact | Orlonger | Upto of int
+
+type action =
+  | Accept
+  | Reject
+  | Next_term
+  | Set_local_pref of int
+  | Set_med of int
+  | Add_community of Community.t
+  | Remove_community of Community.t
+  | Delete_community_in of string
+  | Prepend_as of int * int
+
+type term = {
+  term_name : string;
+  matches : match_cond list;
+  actions : action list;
+}
+
+type policy = { pol_name : string; terms : term list }
+
+let term_element_name ~policy_name ~term_name = policy_name ^ "/" ^ term_name
+
+let referenced_prefix_lists t =
+  List.filter_map
+    (function Match_prefix_list n -> Some n | _ -> None)
+    t.matches
+
+let referenced_community_lists t =
+  List.filter_map
+    (fun m ->
+      match m with
+      | Match_community_list n -> Some n
+      | _ -> None)
+    t.matches
+  @ List.filter_map
+      (function Delete_community_in n -> Some n | _ -> None)
+      t.actions
+
+let referenced_as_path_lists t =
+  List.filter_map
+    (function Match_as_path_list n -> Some n | _ -> None)
+    t.matches
+
+let mode_to_string = function
+  | Exact -> "exact"
+  | Orlonger -> "orlonger"
+  | Upto n -> Printf.sprintf "upto /%d" n
+
+let match_to_string = function
+  | Match_prefix_list n -> "prefix-list " ^ n
+  | Match_prefix (p, m) ->
+      Printf.sprintf "prefix %s %s" (Prefix.to_string p) (mode_to_string m)
+  | Match_community_list n -> "community-list " ^ n
+  | Match_community c -> "community " ^ Community.to_string c
+  | Match_as_path_list n -> "as-path-list " ^ n
+  | Match_protocol p -> "protocol " ^ Route.protocol_to_string p
+  | Match_next_hop ip -> "next-hop " ^ Ipv4.to_string ip
+
+let action_to_string = function
+  | Accept -> "accept"
+  | Reject -> "reject"
+  | Next_term -> "next-term"
+  | Set_local_pref n -> Printf.sprintf "local-preference %d" n
+  | Set_med n -> Printf.sprintf "med %d" n
+  | Add_community c -> "community add " ^ Community.to_string c
+  | Remove_community c -> "community remove " ^ Community.to_string c
+  | Delete_community_in n -> "community delete-in " ^ n
+  | Prepend_as (asn, times) -> Printf.sprintf "as-path-prepend %d x%d" asn times
+
+let pp_match fmt m = Format.pp_print_string fmt (match_to_string m)
+let pp_action fmt a = Format.pp_print_string fmt (action_to_string a)
+
+let equal_term a b =
+  String.equal a.term_name b.term_name
+  && a.matches = b.matches && a.actions = b.actions
+
+let equal_policy a b =
+  String.equal a.pol_name b.pol_name
+  && List.length a.terms = List.length b.terms
+  && List.for_all2 equal_term a.terms b.terms

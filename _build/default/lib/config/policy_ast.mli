@@ -1,0 +1,62 @@
+(** Abstract syntax of route policies (JunOS policy-statements /
+    IOS route-maps), shared by both concrete syntaxes. *)
+
+open Netcov_types
+
+(** Match conditions; a term matches a route iff all its conditions
+    hold. *)
+type match_cond =
+  | Match_prefix_list of string
+      (** route's prefix is matched by the named prefix list *)
+  | Match_prefix of Prefix.t * mode
+      (** inline prefix match *)
+  | Match_community_list of string
+      (** route carries at least one community of the named list *)
+  | Match_community of Community.t
+  | Match_as_path_list of string
+      (** route's AS path matches one pattern of the named list *)
+  | Match_protocol of Route.protocol
+      (** source protocol of the route (export-side matching) *)
+  | Match_next_hop of Ipv4.t
+
+and mode = Exact | Orlonger | Upto of int
+
+(** Actions applied when a term matches. [Accept]/[Reject] terminate the
+    whole policy chain; [Next_term] falls through explicitly; attribute
+    modifiers apply and continue evaluation. *)
+type action =
+  | Accept
+  | Reject
+  | Next_term
+  | Set_local_pref of int
+  | Set_med of int
+  | Add_community of Community.t
+  | Remove_community of Community.t
+  | Delete_community_in of string
+  | Prepend_as of int * int  (** ASN, repetition count *)
+
+(** One clause ("term" in JunOS, numbered entry in an IOS route-map).
+    This is the coverage granularity for policies (Table 2). *)
+type term = {
+  term_name : string;
+  matches : match_cond list;
+  actions : action list;
+}
+
+type policy = { pol_name : string; terms : term list }
+
+(** Name of the element key for a term of a policy, ["POLICY/term"]. *)
+val term_element_name : policy_name:string -> term_name:string -> string
+
+(** Names of prefix lists referenced by a term's matches. *)
+val referenced_prefix_lists : term -> string list
+
+val referenced_community_lists : term -> string list
+val referenced_as_path_lists : term -> string list
+
+val pp_match : Format.formatter -> match_cond -> unit
+val pp_action : Format.formatter -> action -> unit
+val match_to_string : match_cond -> string
+val action_to_string : action -> string
+val equal_term : term -> term -> bool
+val equal_policy : policy -> policy -> bool

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Device Element Hashtbl List Netcov_config Option Registry

@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Element Netcov_config Registry

@@ -1,0 +1,1 @@
+lib/core/coverage_diff.ml: Buffer Coverage Element List Netcov_config Printf Registry

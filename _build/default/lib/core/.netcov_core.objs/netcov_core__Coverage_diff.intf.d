@@ -1,0 +1,1 @@
+lib/core/coverage_diff.mli: Coverage Element Netcov_config Registry

@@ -1,0 +1,1 @@
+lib/core/fact.ml: As_path Community Element Format Ipv4 List Netcov_config Netcov_sim Netcov_types Prefix Printf Rib Route String

@@ -1,0 +1,1 @@
+lib/core/fact.mli: Element Format Ipv4 Netcov_config Netcov_sim Netcov_types Prefix Rib Route

@@ -1,0 +1,1 @@
+lib/core/html_report.ml: Array Buffer Coverage Device Element Filename List Netcov_config Printf Registry String Sys

@@ -1,0 +1,1 @@
+lib/core/ifg.ml: Array Fact Hashtbl List String

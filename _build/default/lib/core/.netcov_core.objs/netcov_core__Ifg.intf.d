@@ -1,0 +1,1 @@
+lib/core/ifg.mli: Fact Netcov_config

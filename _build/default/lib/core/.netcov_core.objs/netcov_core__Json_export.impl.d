@@ -1,0 +1,1 @@
+lib/core/json_export.ml: Buffer Char Coverage Deadcode Element List Netcov Netcov_config Printf Registry String

@@ -1,0 +1,1 @@
+lib/core/label.ml: Array Bdd Element Fact Hashtbl Ifg List Logs Netcov_bdd Netcov_config Unix

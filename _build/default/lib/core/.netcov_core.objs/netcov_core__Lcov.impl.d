@@ -1,0 +1,1 @@
+lib/core/lcov.ml: Array Buffer Coverage Device Filename List Netcov_config Printf Registry Sys

@@ -1,0 +1,1 @@
+lib/core/lcov.mli: Coverage

@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Fact Ifg List Netcov_sim Queue Rules Unix

@@ -1,0 +1,1 @@
+lib/core/mutation.ml: Device Element Fact Fun Ipv4 List Netcov_config Netcov_sim Netcov_types Option Policy_ast Prefix Registry Rib Route Stable_state String Unix

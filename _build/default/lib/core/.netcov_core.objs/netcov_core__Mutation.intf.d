@@ -1,0 +1,1 @@
+lib/core/mutation.mli: Device Element Fact Netcov_config Netcov_sim Registry Stable_state

@@ -1,0 +1,1 @@
+lib/core/netcov.ml: Coverage Deadcode Element Fact Hashtbl Int Label List Materialize Netcov_config Netcov_sim Registry Rules Stable_state Unix

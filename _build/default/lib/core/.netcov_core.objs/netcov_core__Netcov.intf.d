@@ -1,0 +1,1 @@
+lib/core/netcov.mli: Coverage Deadcode Element Fact Netcov_config Netcov_sim

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Bgp Device Element Fact Forward Hashtbl Ipv4 List Netcov_config Netcov_sim Netcov_types Option Prefix Prefix_trie Registry Rib Route Session Stable_state Topology Unix

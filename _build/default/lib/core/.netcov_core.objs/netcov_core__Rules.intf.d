@@ -1,0 +1,1 @@
+lib/core/rules.mli: Element Fact Netcov_config Netcov_sim Stable_state

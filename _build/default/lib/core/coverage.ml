@@ -1,0 +1,155 @@
+open Netcov_config
+
+type status = Not_covered | Weak | Strong
+
+let status_to_string = function
+  | Not_covered -> "not-covered"
+  | Weak -> "weak"
+  | Strong -> "strong"
+
+let status_rank = function Not_covered -> 0 | Weak -> 1 | Strong -> 2
+
+type t = { reg : Registry.t; status : status array }
+
+let registry t = t.reg
+let empty reg = { reg; status = Array.make (Registry.n_elements reg) Not_covered }
+
+let of_sets reg ~strong ~weak =
+  let t = empty reg in
+  Element.Id_set.iter
+    (fun id -> if id < Array.length t.status then t.status.(id) <- Weak)
+    weak;
+  Element.Id_set.iter
+    (fun id -> if id < Array.length t.status then t.status.(id) <- Strong)
+    strong;
+  t
+
+let merge a b =
+  let status =
+    Array.mapi
+      (fun i s -> if status_rank b.status.(i) > status_rank s then b.status.(i) else s)
+      a.status
+  in
+  { reg = a.reg; status }
+
+let element_status t id =
+  if id >= 0 && id < Array.length t.status then t.status.(id) else Not_covered
+
+let with_strong t ids =
+  let status = Array.copy t.status in
+  List.iter
+    (fun id -> if id >= 0 && id < Array.length status then status.(id) <- Strong)
+    ids;
+  { t with status }
+
+type line_stats = {
+  strong_lines : int;
+  weak_lines : int;
+  considered : int;
+  total : int;
+}
+
+let covered_lines s = s.strong_lines + s.weak_lines
+
+let pct s =
+  if s.considered = 0 then 0.
+  else 100. *. float_of_int (covered_lines s) /. float_of_int s.considered
+
+let device_line_stats t host =
+  let strong_lines = ref 0 and weak_lines = ref 0 and considered = ref 0 in
+  let total = Registry.device_total_lines t.reg host in
+  for line = 1 to total do
+    match Registry.line_owner t.reg host line with
+    | None -> ()
+    | Some id -> (
+        incr considered;
+        match element_status t id with
+        | Strong -> incr strong_lines
+        | Weak -> incr weak_lines
+        | Not_covered -> ())
+  done;
+  {
+    strong_lines = !strong_lines;
+    weak_lines = !weak_lines;
+    considered = !considered;
+    total;
+  }
+
+let internal_hosts t =
+  List.map
+    (fun (d : Device.t) -> d.hostname)
+    (Registry.internal_devices t.reg)
+
+let device_stats t =
+  List.map (fun h -> (h, device_line_stats t h)) (internal_hosts t)
+
+let line_stats t =
+  List.fold_left
+    (fun acc (_, s) ->
+      {
+        strong_lines = acc.strong_lines + s.strong_lines;
+        weak_lines = acc.weak_lines + s.weak_lines;
+        considered = acc.considered + s.considered;
+        total = acc.total + s.total;
+      })
+    { strong_lines = 0; weak_lines = 0; considered = 0; total = 0 }
+    (device_stats t)
+
+type type_stats = {
+  elems_covered : int;
+  elems_total : int;
+  lines_strong : int;
+  lines_weak : int;
+  lines_total : int;
+}
+
+let empty_type_stats =
+  {
+    elems_covered = 0;
+    elems_total = 0;
+    lines_strong = 0;
+    lines_weak = 0;
+    lines_total = 0;
+  }
+
+let stats_by classify t =
+  let tbl = Hashtbl.create 16 in
+  Registry.iter_elements t.reg (fun e ->
+      let klass = classify (Element.etype_of e) in
+      let cur = Option.value (Hashtbl.find_opt tbl klass) ~default:empty_type_stats in
+      let lines = Element.line_count e in
+      let status = element_status t e.Element.id in
+      let updated =
+        {
+          elems_covered = (cur.elems_covered + if status <> Not_covered then 1 else 0);
+          elems_total = cur.elems_total + 1;
+          lines_strong = (cur.lines_strong + if status = Strong then lines else 0);
+          lines_weak = (cur.lines_weak + if status = Weak then lines else 0);
+          lines_total = cur.lines_total + lines;
+        }
+      in
+      Hashtbl.replace tbl klass updated);
+  tbl
+
+let etype_stats t =
+  let tbl = stats_by (fun e -> e) t in
+  List.filter_map
+    (fun et ->
+      Option.map (fun s -> (et, s)) (Hashtbl.find_opt tbl et))
+    Element.all_etypes
+
+let bucket_stats t =
+  let tbl = stats_by Element.bucket_of_etype t in
+  List.filter_map
+    (fun b -> Option.map (fun s -> (b, s)) (Hashtbl.find_opt tbl b))
+    Element.all_buckets
+
+let line_status t host line =
+  Option.map (fun id -> element_status t id) (Registry.line_owner t.reg host line)
+
+let covered_elements t =
+  let s = ref Element.Id_set.empty in
+  Array.iteri
+    (fun id st -> if st <> Not_covered then s := Element.Id_set.add id !s)
+    t.status;
+  !s

@@ -1,0 +1,65 @@
+(** Coverage accounting: element status, line-level mapping, and the
+    aggregations behind the paper's outputs (file-level table, per-type
+    breakdown, dead-code share). *)
+
+open Netcov_config
+
+type status = Not_covered | Weak | Strong
+
+val status_to_string : status -> string
+
+type t
+
+val registry : t -> Registry.t
+
+(** [of_sets reg ~strong ~weak] builds a coverage map; strong wins when
+    an element appears in both. *)
+val of_sets :
+  Registry.t -> strong:Element.Id_set.t -> weak:Element.Id_set.t -> t
+
+val empty : Registry.t -> t
+
+(** Union of two runs over the same registry: per element the stronger
+    status wins. *)
+val merge : t -> t -> t
+
+val element_status : t -> Element.id -> status
+
+(** Mark additional elements strong (directly tested by control-plane
+    tests). *)
+val with_strong : t -> Element.id list -> t
+
+type line_stats = {
+  strong_lines : int;
+  weak_lines : int;
+  considered : int;  (** denominator: element-owned lines *)
+  total : int;  (** all configuration lines *)
+}
+
+val covered_lines : line_stats -> int
+
+(** Fraction of considered lines covered (strong + weak). *)
+val pct : line_stats -> float
+
+val line_stats : t -> line_stats
+val device_stats : t -> (string * line_stats) list
+
+(** Per element type: (covered elements, total elements, covered lines,
+    considered lines). *)
+type type_stats = {
+  elems_covered : int;
+  elems_total : int;
+  lines_strong : int;
+  lines_weak : int;
+  lines_total : int;
+}
+
+val etype_stats : t -> (Element.etype * type_stats) list
+val bucket_stats : t -> (Element.bucket * type_stats) list
+
+(** Status of a specific 1-based line of a device ([None] when the line
+    is unconsidered). *)
+val line_status : t -> string -> int -> status option
+
+(** Elements that are covered (weak or strong). *)
+val covered_elements : t -> Element.Id_set.t

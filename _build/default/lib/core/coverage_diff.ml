@@ -1,0 +1,67 @@
+open Netcov_config
+
+type t = {
+  gained : Element.Id_set.t;
+  lost : Element.Id_set.t;
+  strengthened : Element.Id_set.t;
+  weakened : Element.Id_set.t;
+}
+
+let diff ~baseline current =
+  let reg = Coverage.registry baseline in
+  if Registry.n_elements reg <> Registry.n_elements (Coverage.registry current)
+  then invalid_arg "Coverage_diff.diff: different registries";
+  let gained = ref Element.Id_set.empty in
+  let lost = ref Element.Id_set.empty in
+  let strengthened = ref Element.Id_set.empty in
+  let weakened = ref Element.Id_set.empty in
+  Registry.iter_elements reg (fun e ->
+      let id = e.Element.id in
+      let add set = set := Element.Id_set.add id !set in
+      match (Coverage.element_status baseline id, Coverage.element_status current id) with
+      | Coverage.Not_covered, (Coverage.Weak | Coverage.Strong) -> add gained
+      | (Coverage.Weak | Coverage.Strong), Coverage.Not_covered -> add lost
+      | Coverage.Weak, Coverage.Strong -> add strengthened
+      | Coverage.Strong, Coverage.Weak -> add weakened
+      | Coverage.Not_covered, Coverage.Not_covered
+      | Coverage.Weak, Coverage.Weak
+      | Coverage.Strong, Coverage.Strong ->
+          ());
+  {
+    gained = !gained;
+    lost = !lost;
+    strengthened = !strengthened;
+    weakened = !weakened;
+  }
+
+let is_empty d =
+  Element.Id_set.is_empty d.gained
+  && Element.Id_set.is_empty d.lost
+  && Element.Id_set.is_empty d.strengthened
+  && Element.Id_set.is_empty d.weakened
+
+let no_regression d =
+  Element.Id_set.is_empty d.lost && Element.Id_set.is_empty d.weakened
+
+let summary reg d =
+  let buf = Buffer.create 512 in
+  let section title set =
+    let n = Element.Id_set.cardinal set in
+    if n > 0 then begin
+      Buffer.add_string buf (Printf.sprintf "%s: %d element(s)\n" title n);
+      Element.Id_set.elements set
+      |> List.filteri (fun i _ -> i < 5)
+      |> List.iter (fun id ->
+             let e = Registry.element reg id in
+             Buffer.add_string buf
+               (Printf.sprintf "  %s:%s (%s)\n" e.Element.device
+                  (Element.name_of e)
+                  (Element.etype_to_string (Element.etype_of e))))
+    end
+  in
+  section "newly covered" d.gained;
+  section "coverage lost" d.lost;
+  section "strengthened (weak -> strong)" d.strengthened;
+  section "weakened (strong -> weak)" d.weakened;
+  if is_empty d then Buffer.add_string buf "coverage unchanged\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Coverage regression analysis: compare two coverage runs over the
+    same registry (e.g. before/after a test-suite change, or across two
+    branches of the configuration), in the spirit of diff-cover. *)
+
+open Netcov_config
+
+type t = {
+  gained : Element.Id_set.t;  (** newly covered elements *)
+  lost : Element.Id_set.t;  (** elements no longer covered *)
+  strengthened : Element.Id_set.t;  (** weak → strong *)
+  weakened : Element.Id_set.t;  (** strong → weak *)
+}
+
+(** [diff ~baseline current] classifies every element. Raises
+    [Invalid_argument] when the two runs cover different registries
+    (element counts differ). *)
+val diff : baseline:Coverage.t -> Coverage.t -> t
+
+val is_empty : t -> bool
+
+(** No element got worse (lost or weakened) — the regression gate. *)
+val no_regression : t -> bool
+
+(** Human-readable summary listing a few exemplar elements per class. *)
+val summary : Registry.t -> t -> string

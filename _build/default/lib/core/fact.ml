@@ -1,0 +1,74 @@
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+type msg_kind = Pre_import | Post_import
+
+type t =
+  | F_config of Element.id
+  | F_main_rib of { host : string; entry : Rib.main_entry }
+  | F_bgp_rib of { host : string; route : Route.bgp; source : Rib.bgp_source }
+  | F_connected_rib of { host : string; prefix : Prefix.t; ifname : string }
+  | F_igp_rib of { host : string; entry : Rib.igp_entry }
+  | F_acl of { host : string; acl : string; rule : int option }
+  | F_msg of { kind : msg_kind; edge : string; route : Route.bgp }
+  | F_edge of string
+  | F_redist_edge of { host : string; proto : Route.protocol }
+  | F_path of { src : string; dst : Ipv4.t; idx : int }
+
+let route_key (r : Route.bgp) =
+  Printf.sprintf "%s|%s|%s|%d|%d|%s|%s|%d"
+    (Prefix.to_string r.prefix)
+    (Ipv4.to_string r.next_hop)
+    (As_path.to_string r.as_path)
+    r.local_pref r.med
+    (String.concat ","
+       (List.map Community.to_string (Community.Set.elements r.communities)))
+    (Route.origin_to_string r.origin)
+    r.cluster_len
+
+let key = function
+  | F_config id -> Printf.sprintf "cfg:%d" id
+  | F_main_rib { host; entry } ->
+      Printf.sprintf "main:%s:%s:%s:%s" host
+        (Prefix.to_string entry.me_prefix)
+        (Rib.nexthop_to_string entry.me_nexthop)
+        (Route.protocol_to_string entry.me_protocol)
+  | F_bgp_rib { host; route; source } ->
+      Printf.sprintf "bgp:%s:%s:%s" host (route_key route)
+        (Rib.bgp_source_to_string source)
+  | F_connected_rib { host; prefix; ifname } ->
+      Printf.sprintf "conn:%s:%s:%s" host (Prefix.to_string prefix) ifname
+  | F_igp_rib { host; entry } ->
+      Printf.sprintf "igp:%s:%s:%s:%s" host
+        (Prefix.to_string entry.ie_prefix)
+        (Ipv4.to_string entry.ie_nexthop)
+        entry.ie_out_if
+  | F_acl { host; acl; rule } ->
+      Printf.sprintf "acl:%s:%s:%s" host acl
+        (match rule with Some i -> string_of_int i | None -> "default")
+  | F_msg { kind; edge; route } ->
+      Printf.sprintf "msg:%s:%s:%s"
+        (match kind with Pre_import -> "pre" | Post_import -> "post")
+        edge (route_key route)
+  | F_edge k -> "edge:" ^ k
+  | F_redist_edge { host; proto } ->
+      Printf.sprintf "redist-edge:%s:%s" host (Route.protocol_to_string proto)
+  | F_path { src; dst; idx } ->
+      Printf.sprintf "path:%s:%s:%d" src (Ipv4.to_string dst) idx
+
+let host_of = function
+  | F_config _ -> None
+  | F_main_rib { host; _ }
+  | F_bgp_rib { host; _ }
+  | F_connected_rib { host; _ }
+  | F_igp_rib { host; _ }
+  | F_acl { host; _ }
+  | F_redist_edge { host; _ } ->
+      Some host
+  | F_msg _ | F_edge _ -> None
+  | F_path { src; _ } -> Some src
+
+let is_config = function F_config id -> Some id | _ -> None
+let pp fmt f = Format.pp_print_string fmt (key f)
+let equal a b = String.equal (key a) (key b)

@@ -1,0 +1,35 @@
+(** Network facts — the vertices of the information flow graph
+    (paper Table 1). *)
+
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+type msg_kind = Pre_import | Post_import
+
+type t =
+  | F_config of Element.id
+      (** a configuration element (leaf of the IFG) *)
+  | F_main_rib of { host : string; entry : Rib.main_entry }
+  | F_bgp_rib of { host : string; route : Route.bgp; source : Rib.bgp_source }
+  | F_connected_rib of { host : string; prefix : Prefix.t; ifname : string }
+  | F_igp_rib of { host : string; entry : Rib.igp_entry }
+  | F_acl of { host : string; acl : string; rule : int option }
+  | F_msg of { kind : msg_kind; edge : string; route : Route.bgp }
+      (** a routing message on a directed edge (auxiliary fact) *)
+  | F_edge of string  (** inter-device routing edge, by session key *)
+  | F_redist_edge of { host : string; proto : Route.protocol }
+      (** intra-device routing edge modeling redistribution *)
+  | F_path of { src : string; dst : Ipv4.t; idx : int }
+      (** the [idx]-th enumerated forwarding path src → dst *)
+
+(** Canonical string identity; equal facts have equal keys. *)
+val key : t -> string
+
+(** Host a fact lives on, when host-bound. Messages and inter-device
+    edges belong to their receiving side. *)
+val host_of : t -> string option
+
+val is_config : t -> Element.id option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,124 @@
+open Netcov_config
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|<style>
+body { font-family: -apple-system, Segoe UI, sans-serif; margin: 2em; color: #1a2433; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #d5dbe3; padding: 4px 12px; text-align: right; }
+th { background: #eef1f5; } td.name { text-align: left; }
+.bar { display: inline-block; height: 10px; background: #2e7d32; }
+.barbox { display: inline-block; width: 120px; background: #e7d1d1; }
+pre { font-size: 12px; line-height: 1.45; }
+.strong { background: #d9ecd9; } .weak { background: #fdf3d0; }
+.uncov { background: #f6d6d6; } .lineno { color: #98a2ae; }
+.legend span { padding: 1px 8px; margin-right: 8px; }
+a { color: #20508a; }
+</style>|}
+
+let pct_cell s =
+  let pct = Coverage.pct s in
+  Printf.sprintf
+    "<td>%.1f%%</td><td><span class=\"barbox\"><span class=\"bar\" \
+     style=\"width:%dpx\"></span></span></td>"
+    pct
+    (int_of_float (1.2 *. pct))
+
+let index cov =
+  let buf = Buffer.create 8192 in
+  let overall = Coverage.line_stats cov in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<!doctype html><html><head><meta charset=\"utf-8\"><title>NetCov \
+        coverage</title>%s</head><body><h1>NetCov configuration coverage</h1>"
+       style);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p>Overall: <b>%.1f%%</b> of considered lines covered (%d of %d; %d \
+        weak, %d total lines including unconsidered).</p>"
+       (Coverage.pct overall)
+       (Coverage.covered_lines overall)
+       overall.Coverage.considered overall.Coverage.weak_lines
+       overall.Coverage.total);
+  Buffer.add_string buf
+    "<table><tr><th>device</th><th>covered</th><th>considered</th><th>total</th><th \
+     colspan=\"2\">coverage</th></tr>";
+  List.iter
+    (fun (host, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td class=\"name\"><a href=\"%s.html\">%s</a></td><td>%d</td><td>%d</td><td>%d</td>%s</tr>"
+           (escape host) (escape host)
+           (Coverage.covered_lines s)
+           s.Coverage.considered s.Coverage.total (pct_cell s)))
+    (Coverage.device_stats cov);
+  Buffer.add_string buf "</table>";
+  (* per-type table *)
+  Buffer.add_string buf
+    "<h2>By element type</h2><table><tr><th>type</th><th>elements \
+     covered</th><th>elements</th><th>lines covered</th><th>lines</th></tr>";
+  List.iter
+    (fun (et, (s : Coverage.type_stats)) ->
+      if s.elems_total > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td class=\"name\">%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>"
+             (Element.etype_to_string et) s.elems_covered s.elems_total
+             (s.lines_strong + s.lines_weak)
+             s.lines_total))
+    (Coverage.etype_stats cov);
+  Buffer.add_string buf "</table></body></html>";
+  Buffer.contents buf
+
+let device_page cov host =
+  let reg = Coverage.registry cov in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<!doctype html><html><head><meta charset=\"utf-8\"><title>%s \
+        coverage</title>%s</head><body><h1>%s</h1><p class=\"legend\"><span \
+        class=\"strong\">covered</span><span class=\"weak\">weakly \
+        covered</span><span class=\"uncov\">uncovered</span><span>unconsidered</span> \
+        &mdash; <a href=\"index.html\">back to index</a></p><pre>"
+       (escape host) style (escape host));
+  Array.iteri
+    (fun i line ->
+      let cls =
+        match Coverage.line_status cov host (i + 1) with
+        | None -> ""
+        | Some Coverage.Strong -> " class=\"strong\""
+        | Some Coverage.Weak -> " class=\"weak\""
+        | Some Coverage.Not_covered -> " class=\"uncov\""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<span class=\"lineno\">%5d</span> <span%s>%s</span>\n"
+           (i + 1) cls (escape line)))
+    (Registry.text reg host);
+  Buffer.add_string buf "</pre></body></html>";
+  Buffer.contents buf
+
+let write_tree cov dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "index.html" (index cov);
+  List.iter
+    (fun (d : Device.t) ->
+      write (d.hostname ^ ".html") (device_page cov d.hostname))
+    (Registry.internal_devices (Coverage.registry cov))

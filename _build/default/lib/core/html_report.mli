@@ -1,0 +1,15 @@
+(** Self-contained HTML coverage reports, in the spirit of LCOV's
+    genhtml (§5 Figure 6): an index page with the per-device aggregate
+    table, and one annotated page per device configuration with covered
+    lines in green (weak in yellow), uncovered in red, and unconsidered
+    lines unhighlighted. *)
+
+(** [index cov] is the HTML of the summary page. *)
+val index : Coverage.t -> string
+
+(** [device_page cov host] is the HTML of one annotated configuration. *)
+val device_page : Coverage.t -> string -> string
+
+(** [write_tree cov dir] writes [dir/index.html] and
+    [dir/<host>.html] for every internal device. *)
+val write_tree : Coverage.t -> string -> unit

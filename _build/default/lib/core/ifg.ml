@@ -1,0 +1,111 @@
+type node_id = int
+type node_kind = N_fact of Fact.t | N_disj
+
+type node_rec = {
+  kind : node_kind;
+  mutable parents : node_id list;
+  mutable children : node_id list;
+  mutable parent_set : (node_id, unit) Hashtbl.t;
+  mutable expanded : bool;
+}
+
+type t = {
+  mutable nodes : node_rec array;
+  mutable next : int;
+  by_key : (string, node_id) Hashtbl.t;
+  mutable edges : int;
+}
+
+let fresh_node kind =
+  {
+    kind;
+    parents = [];
+    children = [];
+    parent_set = Hashtbl.create 4;
+    expanded = false;
+  }
+
+let create () =
+  {
+    nodes = Array.make 1024 (fresh_node N_disj);
+    next = 0;
+    by_key = Hashtbl.create 4096;
+    edges = 0;
+  }
+
+let grow g =
+  let cap = Array.length g.nodes in
+  if g.next >= cap then begin
+    let bigger = Array.make (cap * 2) (fresh_node N_disj) in
+    Array.blit g.nodes 0 bigger 0 cap;
+    g.nodes <- bigger
+  end
+
+let alloc g kind =
+  grow g;
+  let id = g.next in
+  g.next <- id + 1;
+  g.nodes.(id) <- fresh_node kind;
+  id
+
+let add_fact g f =
+  let k = Fact.key f in
+  match Hashtbl.find_opt g.by_key k with
+  | Some id -> (id, false)
+  | None ->
+      let id = alloc g (N_fact f) in
+      Hashtbl.add g.by_key k id;
+      (id, true)
+
+let find g f = Hashtbl.find_opt g.by_key (Fact.key f)
+
+let add_edge g ~parent ~child =
+  let c = g.nodes.(child) in
+  if not (Hashtbl.mem c.parent_set parent) then begin
+    Hashtbl.add c.parent_set parent ();
+    c.parents <- parent :: c.parents;
+    let p = g.nodes.(parent) in
+    p.children <- child :: p.children;
+    g.edges <- g.edges + 1
+  end
+
+let add_disj g ~target parents =
+  let parent_ids = List.map (fun f -> fst (add_fact g f)) parents in
+  let dkey =
+    "disj:" ^ string_of_int target ^ ":"
+    ^ String.concat ","
+        (List.sort_uniq String.compare (List.map string_of_int parent_ids))
+  in
+  match Hashtbl.find_opt g.by_key dkey with
+  | Some id -> id
+  | None ->
+      let id = alloc g N_disj in
+      Hashtbl.add g.by_key dkey id;
+      add_edge g ~parent:id ~child:target;
+      List.iter (fun p -> add_edge g ~parent:p ~child:id) parent_ids;
+      id
+
+let kind g id = g.nodes.(id).kind
+let parents g id = g.nodes.(id).parents
+let children g id = g.nodes.(id).children
+let n_nodes g = g.next
+let n_edges g = g.edges
+
+let iter_nodes g f =
+  for i = 0 to g.next - 1 do
+    f i g.nodes.(i).kind
+  done
+
+let config_nodes g =
+  let acc = ref [] in
+  iter_nodes g (fun id k ->
+      match k with
+      | N_fact f -> (
+          match Fact.is_config f with
+          | Some eid -> acc := (id, eid) :: !acc
+          | None -> ())
+      | N_disj -> ());
+  List.rev !acc
+
+let mark_expanded g id = g.nodes.(id).expanded <- true
+let is_expanded g id = g.nodes.(id).expanded

@@ -1,0 +1,51 @@
+(** The information flow graph: a DAG whose vertices are facts (plus
+    disjunctive nodes for non-deterministic contributions, §4.3) and
+    whose edges point from contributor to derived fact. *)
+
+type node_id = int
+
+type node_kind =
+  | N_fact of Fact.t
+  | N_disj  (** contribution holds if any parent holds *)
+
+type t
+
+val create : unit -> t
+
+(** [add_fact g f] returns the node for [f], creating it if new; the
+    boolean is [true] when the node is new. *)
+val add_fact : t -> Fact.t -> node_id * bool
+
+(** [find g f] is the node of [f] if materialized. *)
+val find : t -> Fact.t -> node_id option
+
+(** [add_disj g ~target parents] creates (or reuses) the disjunctive
+    node grouping [parents] under [target], wiring parent and target
+    edges. Parents are created as needed. *)
+val add_disj : t -> target:node_id -> Fact.t list -> node_id
+
+(** [add_edge g ~parent ~child] records that [parent] contributes to
+    [child] (idempotent). *)
+val add_edge : t -> parent:node_id -> child:node_id -> unit
+
+val kind : t -> node_id -> node_kind
+
+(** Contributors of a node. *)
+val parents : t -> node_id -> node_id list
+
+(** Facts this node contributes to. *)
+val children : t -> node_id -> node_id list
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+(** Iterate all nodes. *)
+val iter_nodes : t -> (node_id -> node_kind -> unit) -> unit
+
+(** Config-element nodes present in the graph. *)
+val config_nodes : t -> (node_id * Netcov_config.Element.id) list
+
+(** Expansion bookkeeping for the materialization loop. *)
+val mark_expanded : t -> node_id -> unit
+
+val is_expanded : t -> node_id -> bool

@@ -1,0 +1,152 @@
+open Netcov_config
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* A tiny JSON tree, enough for stable-ordered emission. *)
+type json =
+  | J_str of string
+  | J_int of int
+  | J_float of float
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec emit buf = function
+  | J_str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | J_int n -> Buffer.add_string buf (string_of_int n)
+  | J_float f -> Buffer.add_string buf (Printf.sprintf "%.4f" f)
+  | J_list items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | J_obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 4096 in
+  emit buf j;
+  Buffer.contents buf
+
+let line_stats_json (s : Coverage.line_stats) =
+  J_obj
+    [
+      ("covered", J_int (Coverage.covered_lines s));
+      ("strong", J_int s.Coverage.strong_lines);
+      ("weak", J_int s.Coverage.weak_lines);
+      ("considered", J_int s.Coverage.considered);
+      ("total", J_int s.Coverage.total);
+      ("percent", J_float (Coverage.pct s));
+    ]
+
+let coverage_json cov =
+  let reg = Coverage.registry cov in
+  let devices =
+    List.map
+      (fun (host, s) -> J_obj [ ("device", J_str host); ("lines", line_stats_json s) ])
+      (Coverage.device_stats cov)
+  in
+  let types =
+    List.map
+      (fun (et, (s : Coverage.type_stats)) ->
+        J_obj
+          [
+            ("type", J_str (Element.etype_to_string et));
+            ("elements_covered", J_int s.elems_covered);
+            ("elements_total", J_int s.elems_total);
+            ("lines_strong", J_int s.lines_strong);
+            ("lines_weak", J_int s.lines_weak);
+            ("lines_total", J_int s.lines_total);
+          ])
+      (Coverage.etype_stats cov)
+  in
+  let elements =
+    Registry.fold_elements reg
+      (fun acc e ->
+        J_obj
+          [
+            ("id", J_int e.Element.id);
+            ("device", J_str e.Element.device);
+            ("type", J_str (Element.etype_to_string (Element.etype_of e)));
+            ("name", J_str (Element.name_of e));
+            ("lines", J_int (Element.line_count e));
+            ( "status",
+              J_str
+                (Coverage.status_to_string
+                   (Coverage.element_status cov e.Element.id)) );
+          ]
+        :: acc)
+      []
+    |> List.rev
+  in
+  J_obj
+    [
+      ("overall", line_stats_json (Coverage.line_stats cov));
+      ("devices", J_list devices);
+      ("types", J_list types);
+      ("elements", J_list elements);
+    ]
+
+let coverage cov = to_string (coverage_json cov)
+
+let timing_json (t : Netcov.timing) =
+  J_obj
+    [
+      ("total_s", J_float t.Netcov.total_s);
+      ("materialize_s", J_float t.Netcov.materialize_s);
+      ("sim_s", J_float t.Netcov.sim_s);
+      ("label_s", J_float t.Netcov.label_s);
+      ("sim_count", J_int t.Netcov.sim_count);
+      ("ifg_nodes", J_int t.Netcov.ifg_nodes);
+      ("ifg_edges", J_int t.Netcov.ifg_edges);
+      ("bdd_vars", J_int t.Netcov.bdd_vars);
+    ]
+
+let timing t = to_string (timing_json t)
+
+let report (r : Netcov.report) =
+  let dead =
+    List.map
+      (fun (id, reason) ->
+        J_obj
+          [
+            ("element", J_int id);
+            ("reason", J_str (Deadcode.reason_to_string reason));
+          ])
+      r.Netcov.dead.Deadcode.details
+  in
+  to_string
+    (J_obj
+       [
+         ("coverage", coverage_json r.Netcov.coverage);
+         ("timing", timing_json r.Netcov.timing);
+         ("dead", J_list dead);
+       ])

@@ -1,0 +1,16 @@
+(** Machine-readable coverage reports (JSON), for CI integration and
+    external dashboards. No external JSON dependency: the emitter is
+    self-contained and the output is stable-ordered (diff-friendly). *)
+
+(** Full report: overall line stats, per-device table, per-element-type
+    table and the per-element status list. *)
+val coverage : Coverage.t -> string
+
+(** Timing/diagnostics of one analysis run. *)
+val timing : Netcov.timing -> string
+
+(** Report including dead-code details. *)
+val report : Netcov.report -> string
+
+(** Minimal JSON string escaping (exposed for tests). *)
+val escape_string : string -> string

@@ -1,0 +1,172 @@
+open Netcov_config
+open Netcov_bdd
+
+type result = {
+  covered : Element.Id_set.t;
+  strong : Element.Id_set.t;
+  weak : Element.Id_set.t;
+  vars : int;
+  bdd_nodes : int;
+  seconds : float;
+}
+
+(* Multi-source reverse DFS from the tested nodes along parent edges,
+   never passing through a disjunctive node: every config node reached
+   this way is necessarily strong. *)
+let disjunction_free_strong g ~tested =
+  let n = Ifg.n_nodes g in
+  let visited = Array.make n false in
+  let strong = ref Element.Id_set.empty in
+  let rec go id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      (match Ifg.kind g id with
+      | Ifg.N_fact f -> (
+          match Fact.is_config f with
+          | Some eid -> strong := Element.Id_set.add eid !strong
+          | None -> ())
+      | Ifg.N_disj -> ());
+      match Ifg.kind g id with
+      | Ifg.N_disj -> ()  (* do not cross disjunctive nodes *)
+      | Ifg.N_fact _ -> List.iter go (Ifg.parents g id)
+    end
+  in
+  List.iter go tested;
+  !strong
+
+(* Ancestor cone of one node, in reverse-DFS discovery order. *)
+let cone g root =
+  let seen = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      order := id :: !order;
+      List.iter go (Ifg.parents g id)
+    end
+  in
+  go root;
+  (seen, List.rev !order)
+
+(* Upper bound on BDD variables per cone; beyond it we conservatively
+   leave the remaining candidates weak (sound for strong-labeling: weak
+   is the safe default) and log. *)
+let max_cone_vars = 8192
+
+let src = Logs.Src.create "netcov.label" ~doc:"strong/weak labeling"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run ?(disjfree_heuristic = true) g ~tested =
+  let t0 = Unix.gettimeofday () in
+  let pre_strong =
+    if disjfree_heuristic then disjunction_free_strong g ~tested
+    else Element.Id_set.empty
+  in
+  let config = Ifg.config_nodes g in
+  let covered =
+    List.fold_left
+      (fun s (_, eid) -> Element.Id_set.add eid s)
+      Element.Id_set.empty config
+  in
+  (* Element ids of config nodes that still need a strong/weak verdict. *)
+  let candidate = Hashtbl.create 256 in
+  List.iter
+    (fun (nid, eid) ->
+      if not (Element.Id_set.mem eid pre_strong) then
+        Hashtbl.replace candidate nid eid)
+    config;
+  let strong = ref pre_strong in
+  let total_vars = ref 0 in
+  let bdd_nodes = ref 0 in
+  if Hashtbl.length candidate > 0 then begin
+    (* Forward closure of the candidate nodes: only tested facts inside
+       it have any variable in their cone; the rest are skipped without
+       traversal. *)
+    let tainted = Array.make (Ifg.n_nodes g) false in
+    let rec taint id =
+      if not tainted.(id) then begin
+        tainted.(id) <- true;
+        List.iter taint (Ifg.children g id)
+      end
+    in
+    Hashtbl.iter (fun nid _ -> taint nid) candidate;
+    (* Predicates are built per tested fact over its ancestor cone, with
+       BDD variables numbered in cone-discovery order so that each
+       contribution chain occupies adjacent levels — this keeps the
+       BDDs of OR-of-chain predicates (aggregates, ECMP) small. *)
+    List.iter
+      (fun t ->
+        if tainted.(t) then begin
+        let in_cone, order = cone g t in
+        ignore in_cone;
+        (* var assignment local to this cone *)
+        let var_of_node = Hashtbl.create 64 in
+        let eid_of_var = Hashtbl.create 64 in
+        let n_vars = ref 0 in
+        List.iter
+          (fun nid ->
+            match Hashtbl.find_opt candidate nid with
+            | Some eid when !n_vars < max_cone_vars ->
+                Hashtbl.replace var_of_node nid !n_vars;
+                Hashtbl.replace eid_of_var !n_vars eid;
+                incr n_vars
+            | Some _ ->
+                Log.warn (fun m ->
+                    m "cone of tested fact exceeds %d variables; leaving \
+                       remainder weak"
+                      max_cone_vars)
+            | None -> ())
+          order;
+        total_vars := max !total_vars !n_vars;
+        if !n_vars > 0 then begin
+          let m = Bdd.create () in
+          let gamma = Hashtbl.create 256 in
+          let rec compute id =
+            match Hashtbl.find_opt gamma id with
+            | Some b -> b
+            | None ->
+                (* mark before recursing: a back edge (impossible in a
+                   well-formed IFG) contributes true *)
+                Hashtbl.replace gamma id (Bdd.bdd_true m);
+                let b =
+                  match Ifg.kind g id with
+                  | Ifg.N_fact _ ->
+                      let self =
+                        match Hashtbl.find_opt var_of_node id with
+                        | Some v -> Bdd.var m v
+                        | None -> Bdd.bdd_true m
+                      in
+                      List.fold_left
+                        (fun acc p -> Bdd.bdd_and m acc (compute p))
+                        self (Ifg.parents g id)
+                  | Ifg.N_disj ->
+                      List.fold_left
+                        (fun acc p -> Bdd.bdd_or m acc (compute p))
+                        (Bdd.bdd_false m) (Ifg.parents g id)
+                in
+                Hashtbl.replace gamma id b;
+                b
+          in
+          let b = compute t in
+          List.iter
+            (fun v ->
+              if Bdd.is_necessary m b ~var:v then
+                match Hashtbl.find_opt eid_of_var v with
+                | Some eid -> strong := Element.Id_set.add eid !strong
+                | None -> ())
+            (Bdd.support m b);
+          bdd_nodes := max !bdd_nodes (Bdd.node_count m)
+        end
+        end)
+      tested
+  end;
+  let weak = Element.Id_set.diff covered !strong in
+  {
+    covered;
+    strong = Element.Id_set.inter !strong covered;
+    weak;
+    vars = !total_vars;
+    bdd_nodes = !bdd_nodes;
+    seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,30 @@
+(** Strong/weak coverage labeling (§4.3).
+
+    Each config element in the materialized IFG is covered. An element is
+    {e strongly} covered when some tested fact could not be derived
+    without it (necessity, [¬x ⇒ ¬Γ(t)]); otherwise it is {e weakly}
+    covered (its contribution routes only through disjunctive choices
+    with alternatives).
+
+    Implementation: Boolean predicates over config variables are built
+    bottom-up as BDDs — conjunction at normal nodes, disjunction at
+    disjunctive nodes — and necessity reduces to a cofactor constancy
+    check. Config facts with a disjunction-free path to a tested fact are
+    pre-classified strong and their variables replaced by constant true
+    (the paper's variable-reduction heuristic). *)
+
+open Netcov_config
+
+type result = {
+  covered : Element.Id_set.t;  (** all config elements in the IFG *)
+  strong : Element.Id_set.t;
+  weak : Element.Id_set.t;
+  vars : int;  (** BDD variables after the heuristic *)
+  bdd_nodes : int;
+  seconds : float;
+}
+
+(** [disjfree_heuristic] (default true) controls the paper's
+    variable-reduction heuristic; disabling it is exposed for the
+    ablation benchmark only — results are identical. *)
+val run : ?disjfree_heuristic:bool -> Ifg.t -> tested:Ifg.node_id list -> result

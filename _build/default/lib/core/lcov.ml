@@ -1,0 +1,83 @@
+open Netcov_config
+
+let src_path host = "configs/" ^ host ^ ".cfg"
+
+let report cov =
+  let reg = Coverage.registry cov in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (d : Device.t) ->
+      let host = d.hostname in
+      Buffer.add_string buf "TN:netcov\n";
+      Buffer.add_string buf ("SF:" ^ src_path host ^ "\n");
+      let total = Registry.device_total_lines reg host in
+      let found = ref 0 and hit = ref 0 in
+      for line = 1 to total do
+        match Coverage.line_status cov host line with
+        | None -> ()
+        | Some st ->
+            incr found;
+            let hits = match st with Coverage.Not_covered -> 0 | _ -> 1 in
+            if hits > 0 then incr hit;
+            Buffer.add_string buf (Printf.sprintf "DA:%d,%d\n" line hits)
+      done;
+      Buffer.add_string buf (Printf.sprintf "LF:%d\n" !found);
+      Buffer.add_string buf (Printf.sprintf "LH:%d\n" !hit);
+      Buffer.add_string buf "end_of_record\n")
+    (Registry.internal_devices reg);
+  Buffer.contents buf
+
+let write_tree cov dir =
+  let reg = Coverage.registry cov in
+  let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  mkdir dir;
+  mkdir (Filename.concat dir "configs");
+  List.iter
+    (fun (d : Device.t) ->
+      let oc = open_out (Filename.concat dir (src_path d.hostname)) in
+      Array.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (Registry.text reg d.hostname);
+      close_out oc)
+    (Registry.internal_devices reg);
+  let oc = open_out (Filename.concat dir "coverage.info") in
+  output_string oc (report cov);
+  close_out oc
+
+let file_table cov =
+  let buf = Buffer.create 1024 in
+  let overall = Coverage.line_stats cov in
+  Buffer.add_string buf
+    (Printf.sprintf "overall coverage: %.1f%% (%d of %d considered lines)\n"
+       (Coverage.pct overall)
+       (Coverage.covered_lines overall)
+       overall.Coverage.considered);
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %9s %9s %9s %8s\n" "device" "covered" "considered"
+       "total" "percent");
+  List.iter
+    (fun (host, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %9d %9d %9d %7.1f%%\n" host
+           (Coverage.covered_lines s) s.Coverage.considered s.Coverage.total
+           (Coverage.pct s)))
+    (Coverage.device_stats cov);
+  Buffer.contents buf
+
+let annotate cov host =
+  let reg = Coverage.registry cov in
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i line ->
+      let marker =
+        match Coverage.line_status cov host (i + 1) with
+        | None -> ' '
+        | Some Coverage.Strong -> '+'
+        | Some Coverage.Weak -> '~'
+        | Some Coverage.Not_covered -> '-'
+      in
+      Buffer.add_string buf (Printf.sprintf "%c %5d  %s\n" marker (i + 1) line))
+    (Registry.text reg host);
+  Buffer.contents buf

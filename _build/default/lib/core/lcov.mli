@@ -1,0 +1,18 @@
+(** lcov-format coverage reports (§5): one record per device
+    configuration file, [DA:] lines for every considered line, so the
+    output loads into standard code-coverage viewers. Also renders the
+    paper's file-level aggregate table (Figure 6(b)). *)
+
+val report : Coverage.t -> string
+
+(** [write_tree cov dir] writes [dir/configs/<host>.cfg] (rendered
+    configurations) and [dir/coverage.info] (the lcov report). *)
+val write_tree : Coverage.t -> string -> unit
+
+(** Figure 6(b)-style aggregate table as text. *)
+val file_table : Coverage.t -> string
+
+(** Annotated source of one device: each considered line prefixed with
+    its status marker ([+] strong, [~] weak, [-] uncovered, [ ]
+    unconsidered). *)
+val annotate : Coverage.t -> string -> string

@@ -1,0 +1,72 @@
+type stats = {
+  nodes : int;
+  edges : int;
+  rule_seconds : float;
+  sim_count : int;
+  sim_seconds : float;
+  iterations : int;
+}
+
+let expandable ctx fact =
+  match fact with
+  | Fact.F_config _ -> false
+  | _ -> (
+      match Fact.host_of fact with
+      | Some h -> not (Netcov_sim.Stable_state.is_external (Rules.state ctx) h)
+      | None -> true)
+
+let run ctx ~tested =
+  let g = Ifg.create () in
+  let queue = Queue.create () in
+  let enqueue_fact f =
+    let id, is_new = Ifg.add_fact g f in
+    if is_new then Queue.add id queue;
+    id
+  in
+  let tested_ids = List.map enqueue_fact tested in
+  let t0 = Unix.gettimeofday () in
+  let iterations = ref 0 in
+  let apply_inference (inf : Rules.inference) =
+    let target_id = enqueue_fact inf.target in
+    List.iter
+      (fun spec ->
+        match (spec : Rules.parent_spec) with
+        | Rules.P f ->
+            let pid = enqueue_fact f in
+            Ifg.add_edge g ~parent:pid ~child:target_id
+        | Rules.P_disj [] -> ()
+        | Rules.P_disj [ f ] ->
+            let pid = enqueue_fact f in
+            Ifg.add_edge g ~parent:pid ~child:target_id
+        | Rules.P_disj fs ->
+            (* Materialize members first so new ones enter the
+               worklist. *)
+            List.iter (fun f -> ignore (enqueue_fact f)) fs;
+            ignore (Ifg.add_disj g ~target:target_id fs))
+      inf.parents
+  in
+  while not (Queue.is_empty queue) do
+    incr iterations;
+    let id = Queue.pop queue in
+    if not (Ifg.is_expanded g id) then begin
+      Ifg.mark_expanded g id;
+      match Ifg.kind g id with
+      | Ifg.N_disj -> ()
+      | Ifg.N_fact f ->
+          if expandable ctx f then
+            List.iter
+              (fun rule -> List.iter apply_inference (rule ctx f))
+              Rules.all_rules
+    end
+  done;
+  let rule_seconds = Unix.gettimeofday () -. t0 in
+  ( g,
+    tested_ids,
+    {
+      nodes = Ifg.n_nodes g;
+      edges = Ifg.n_edges g;
+      rule_seconds;
+      sim_count = Rules.sim_count ctx;
+      sim_seconds = Rules.sim_seconds ctx;
+      iterations = !iterations;
+    } )

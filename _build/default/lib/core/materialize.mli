@@ -1,0 +1,18 @@
+(** Lazy IFG materialization — Algorithm 1. Starting from the tested
+    facts, repeatedly applies every inference rule to dirty nodes until
+    no new facts are derived. Expansion stops at facts on external
+    (environment) devices, which become leaves. *)
+
+type stats = {
+  nodes : int;
+  edges : int;
+  rule_seconds : float;  (** total time in rule application *)
+  sim_count : int;
+  sim_seconds : float;
+  iterations : int;  (** worklist passes *)
+}
+
+(** [run ctx ~tested] materializes the IFG reachable (backwards) from
+    the tested facts and returns the node ids of the tested facts. *)
+val run :
+  Rules.ctx -> tested:Fact.t list -> Ifg.t * Ifg.node_id list * stats

@@ -1,0 +1,205 @@
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+let remove_named name_of name lst =
+  let removed = List.filter (fun x -> name_of x <> name) lst in
+  if List.length removed = List.length lst then None else Some removed
+
+let delete_element (d : Device.t) (key : Element.key) =
+  let with_bgp f =
+    match d.bgp with
+    | None -> None
+    | Some b -> Option.map (fun b -> { d with Device.bgp = Some b }) (f b)
+  in
+  match key.etype with
+  | Element.Interface ->
+      Option.map
+        (fun interfaces -> { d with Device.interfaces })
+        (remove_named (fun (i : Device.interface) -> i.if_name) key.name
+           d.interfaces)
+  | Element.Bgp_peer ->
+      with_bgp (fun b ->
+          Option.map
+            (fun neighbors -> { b with Device.neighbors })
+            (remove_named
+               (fun (n : Device.neighbor) -> Ipv4.to_string n.nb_ip)
+               key.name b.neighbors))
+  | Element.Bgp_peer_group ->
+      (* JunOS semantics: neighbors are defined inside their group, so
+         deleting the group deletes its members too. *)
+      with_bgp (fun b ->
+          Option.map
+            (fun groups ->
+              {
+                b with
+                Device.groups;
+                neighbors =
+                  List.filter
+                    (fun (n : Device.neighbor) -> n.nb_group <> Some key.name)
+                    b.neighbors;
+              })
+            (remove_named (fun (g : Device.peer_group) -> g.pg_name) key.name
+               b.groups))
+  | Element.Route_policy_clause -> (
+      (* key name is "POLICY/term" *)
+      match String.index_opt key.name '/' with
+      | None -> None
+      | Some i ->
+          let pol = String.sub key.name 0 i in
+          let term = String.sub key.name (i + 1) (String.length key.name - i - 1) in
+          let changed = ref false in
+          let policies =
+            List.map
+              (fun (p : Policy_ast.policy) ->
+                if p.pol_name <> pol then p
+                else
+                  let terms =
+                    List.filter
+                      (fun (t : Policy_ast.term) ->
+                        if t.term_name = term then begin
+                          changed := true;
+                          false
+                        end
+                        else true)
+                      p.terms
+                  in
+                  { p with Policy_ast.terms })
+              d.policies
+          in
+          if !changed then Some { d with Device.policies } else None)
+  | Element.Prefix_list ->
+      Option.map
+        (fun prefix_lists -> { d with Device.prefix_lists })
+        (remove_named (fun (p : Device.prefix_list) -> p.pl_name) key.name
+           d.prefix_lists)
+  | Element.Community_list ->
+      Option.map
+        (fun community_lists -> { d with Device.community_lists })
+        (remove_named (fun (c : Device.community_list) -> c.cl_name) key.name
+           d.community_lists)
+  | Element.As_path_list ->
+      Option.map
+        (fun as_path_lists -> { d with Device.as_path_lists })
+        (remove_named (fun (a : Device.as_path_list) -> a.al_name) key.name
+           d.as_path_lists)
+  | Element.Static_route ->
+      Option.map
+        (fun static_routes -> { d with Device.static_routes })
+        (remove_named
+           (fun (s : Device.static_route) -> Prefix.to_string s.st_prefix)
+           key.name d.static_routes)
+  | Element.Bgp_network ->
+      with_bgp (fun b ->
+          Option.map
+            (fun networks -> { b with Device.networks })
+            (remove_named Prefix.to_string key.name b.networks))
+  | Element.Bgp_aggregate ->
+      with_bgp (fun b ->
+          Option.map
+            (fun aggregates -> { b with Device.aggregates })
+            (remove_named
+               (fun (a : Device.aggregate) -> Prefix.to_string a.ag_prefix)
+               key.name b.aggregates))
+  | Element.Bgp_redistribute ->
+      with_bgp (fun b ->
+          Option.map
+            (fun redistributes -> { b with Device.redistributes })
+            (remove_named
+               (fun (r : Device.redistribute) ->
+                 Route.protocol_to_string r.rd_from)
+               key.name b.redistributes))
+  | Element.Acl_def ->
+      Option.map
+        (fun acls -> { d with Device.acls })
+        (remove_named (fun (a : Device.acl) -> a.acl_name) key.name d.acls)
+
+let fact_holds state (f : Fact.t) =
+  match f with
+  | Fact.F_main_rib { host; entry } ->
+      List.exists
+        (fun e -> Rib.compare_main e entry = 0)
+        (Stable_state.main_lookup state host entry.me_prefix)
+  | Fact.F_bgp_rib { host; route; source } ->
+      List.exists
+        (fun (e : Rib.bgp_entry) ->
+          Route.equal_bgp e.be_route route
+          &&
+          match (e.be_source, source) with
+          | Rib.Learned a, Rib.Learned b -> Ipv4.equal a b
+          | a, b -> a = b)
+        (Stable_state.bgp_lookup state host route.Route.prefix)
+  | Fact.F_path { src; dst; _ } -> Stable_state.reachable state ~src ~dst
+  | Fact.F_igp_rib { host; entry } ->
+      List.exists
+        (fun e -> Rib.compare_igp e entry = 0)
+        (Stable_state.igp_lookup state host entry.ie_prefix)
+  | Fact.F_connected_rib { host; prefix; ifname } -> (
+      match Stable_state.main_lookup state host prefix with
+      | entries ->
+          List.exists
+            (fun (e : Rib.main_entry) ->
+              e.me_nexthop = Rib.Nh_connected ifname)
+            entries)
+  | Fact.F_config _ | Fact.F_acl _ | Fact.F_msg _ | Fact.F_edge _
+  | Fact.F_redist_edge _ ->
+      true
+
+let facts_oracle facts state = List.for_all (fact_holds state) facts
+
+type result = {
+  killed : Element.Id_set.t;
+  survived : Element.Id_set.t;
+  skipped : Element.Id_set.t;
+  mutants_run : int;
+  seconds : float;
+}
+
+let run reg ~oracle ?elements () =
+  let t0 = Unix.gettimeofday () in
+  let devices = Registry.devices reg in
+  let baseline = oracle (Stable_state.compute reg) in
+  let element_ids =
+    match elements with
+    | Some ids -> ids
+    | None -> Registry.fold_elements reg (fun acc e -> e.Element.id :: acc) []
+  in
+  let killed = ref Element.Id_set.empty in
+  let survived = ref Element.Id_set.empty in
+  let skipped = ref Element.Id_set.empty in
+  let mutants = ref 0 in
+  List.iter
+    (fun id ->
+      let e = Registry.element reg id in
+      let mutant_devices =
+        List.filter_map
+          (fun (d : Device.t) ->
+            if d.hostname <> e.Element.device then Some (Some d)
+            else
+              match delete_element d e.Element.ekey with
+              | Some d' -> Some (Some d')
+              | None -> None)
+          devices
+      in
+      (* a [None] marker means the element could not be removed *)
+      if List.length mutant_devices <> List.length devices then
+        skipped := Element.Id_set.add id !skipped
+      else begin
+        incr mutants;
+        let mutant = List.filter_map Fun.id mutant_devices in
+        let verdict =
+          match Stable_state.compute (Registry.build mutant) with
+          | state -> ( try oracle state with _ -> not baseline)
+          | exception _ -> not baseline
+        in
+        if verdict = baseline then survived := Element.Id_set.add id !survived
+        else killed := Element.Id_set.add id !killed
+      end)
+    element_ids;
+  {
+    killed = !killed;
+    survived = !survived;
+    skipped = !skipped;
+    mutants_run = !mutants;
+    seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,50 @@
+(** Mutation-based coverage — the alternative definition the paper
+    discusses in §3.1 and leaves to future work: an element is covered
+    by a test suite iff deleting it changes the suite's outcome.
+
+    This is far more expensive than IFG coverage (one full control-plane
+    computation per element) and is provided for comparison and for the
+    ablation benchmark. It also surfaces the class of elements IFG
+    coverage deliberately excludes: elements whose only effect is to
+    de-prioritize or reject the {e competitors} of tested facts. *)
+
+open Netcov_config
+open Netcov_sim
+
+(** [delete_element device key] removes the element from the device
+    configuration; [None] when the key does not name a removable element
+    of this device. *)
+val delete_element : Device.t -> Element.key -> Device.t option
+
+(** [fact_holds state fact] checks whether a tested data plane fact is
+    (still) derivable from a stable state: the RIB entry exists, or some
+    forwarding path between the endpoints still reaches. *)
+val fact_holds : Stable_state.t -> Fact.t -> bool
+
+type result = {
+  killed : Element.Id_set.t;
+      (** elements whose deletion changes the suite outcome *)
+  survived : Element.Id_set.t;
+  skipped : Element.Id_set.t;  (** elements that could not be mutated *)
+  mutants_run : int;
+  seconds : float;
+}
+
+(** [run reg ~oracle ?elements ()] deletes each element in turn (by
+    default every element of every internal device; ids refer to [reg]),
+    recomputes the stable state of the mutant network, and asks the
+    oracle whether the test suite still passes. [oracle baseline] is
+    evaluated once on the unmutated network; a mutant kills its element
+    iff the oracle answer differs.
+
+    The default oracle for data plane facts is
+    [fun st -> List.for_all (fact_holds st) tested.dp_facts]. *)
+val run :
+  Registry.t ->
+  oracle:(Stable_state.t -> bool) ->
+  ?elements:Element.id list ->
+  unit ->
+  result
+
+(** Convenience oracle: all the given facts still hold. *)
+val facts_oracle : Fact.t list -> Stable_state.t -> bool

@@ -1,0 +1,77 @@
+open Netcov_config
+open Netcov_sim
+
+type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
+
+let no_tests = { dp_facts = []; cp_elements = [] }
+
+let merge_tested a b =
+  (* Deduplicate data plane facts by key. *)
+  let seen = Hashtbl.create 256 in
+  let dp_facts =
+    List.filter
+      (fun f ->
+        let k = Fact.key f in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      (a.dp_facts @ b.dp_facts)
+  in
+  let cp_elements = List.sort_uniq Int.compare (a.cp_elements @ b.cp_elements) in
+  { dp_facts; cp_elements }
+
+type timing = {
+  total_s : float;
+  materialize_s : float;
+  sim_s : float;
+  label_s : float;
+  sim_count : int;
+  ifg_nodes : int;
+  ifg_edges : int;
+  bdd_vars : int;
+}
+
+type report = {
+  coverage : Coverage.t;
+  timing : timing;
+  dead : Deadcode.report;
+}
+
+let analyze state tested =
+  let t0 = Unix.gettimeofday () in
+  let reg = Stable_state.registry state in
+  let ctx = Rules.make_ctx state in
+  let g, tested_ids, mstats = Materialize.run ctx ~tested:tested.dp_facts in
+  let label = Label.run g ~tested:tested_ids in
+  let coverage =
+    Coverage.of_sets reg ~strong:label.Label.strong ~weak:label.Label.weak
+    |> fun cov -> Coverage.with_strong cov tested.cp_elements
+  in
+  let dead = Deadcode.analyze reg in
+  let total_s = Unix.gettimeofday () -. t0 in
+  {
+    coverage;
+    timing =
+      {
+        total_s;
+        materialize_s = mstats.Materialize.rule_seconds;
+        sim_s = mstats.Materialize.sim_seconds;
+        label_s = label.Label.seconds;
+        sim_count = mstats.Materialize.sim_count;
+        ifg_nodes = mstats.Materialize.nodes;
+        ifg_edges = mstats.Materialize.edges;
+        bdd_vars = label.Label.vars;
+      };
+    dead;
+  }
+
+let dead_line_pct report =
+  let reg = Coverage.registry report.coverage in
+  let considered = Registry.considered_lines reg in
+  if considered = 0 then 0.
+  else
+    100.
+    *. float_of_int (Deadcode.dead_lines reg report.dead)
+    /. float_of_int considered

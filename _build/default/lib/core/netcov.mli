@@ -1,0 +1,37 @@
+(** NetCov public entry point: given a stable network state and what a
+    test suite tested, compute configuration coverage. *)
+
+open Netcov_config
+
+(** What the test suite tested: data plane facts (RIB entries inspected
+    by data plane tests) and configuration elements exercised directly
+    by control plane tests. *)
+type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
+
+val no_tests : tested
+val merge_tested : tested -> tested -> tested
+
+type timing = {
+  total_s : float;
+  materialize_s : float;  (** IFG walk + stable-state lookups *)
+  sim_s : float;  (** targeted simulations (subset of materialize) *)
+  label_s : float;  (** BDD strong/weak labeling *)
+  sim_count : int;
+  ifg_nodes : int;
+  ifg_edges : int;
+  bdd_vars : int;
+}
+
+type report = {
+  coverage : Coverage.t;
+  timing : timing;
+  dead : Deadcode.report;
+}
+
+(** [analyze state tested] runs the full pipeline: lazy IFG
+    materialization from the tested data plane facts, strong/weak
+    labeling, and direct marking of control-plane-tested elements. *)
+val analyze : Netcov_sim.Stable_state.t -> tested -> report
+
+(** Dead-code line share over considered lines, percent. *)
+val dead_line_pct : report -> float

@@ -1,0 +1,505 @@
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+type ctx = {
+  state : Stable_state.t;
+  edge_of_key : (string, Session.edge) Hashtbl.t;
+  trace_cache : (string, Forward.path list) Hashtbl.t;
+  mutable sims : int;
+  mutable sim_time : float;
+}
+
+let make_ctx state =
+  let edge_of_key = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Session.edge) -> Hashtbl.replace edge_of_key (Session.edge_key e) e)
+    (Stable_state.edges state);
+  { state; edge_of_key; trace_cache = Hashtbl.create 256; sims = 0; sim_time = 0. }
+
+let state ctx = ctx.state
+let sim_count ctx = ctx.sims
+let sim_seconds ctx = ctx.sim_time
+
+type parent_spec = P of Fact.t | P_disj of Fact.t list
+type inference = { target : Fact.t; parents : parent_spec list }
+type rule = ctx -> Fact.t -> inference list
+
+let config_fact ctx ~host key =
+  let reg = Stable_state.registry ctx.state in
+  match Registry.find reg ~device:host key with
+  | Some id -> Some (Fact.F_config id)
+  | None -> None
+
+let config_parents ctx ~host keys =
+  List.filter_map
+    (fun k -> Option.map (fun f -> P f) (config_fact ctx ~host k))
+    keys
+
+(* Wrap a targeted simulation with accounting. *)
+let timed_sim ctx f =
+  let t0 = Unix.gettimeofday () in
+  ctx.sims <- ctx.sims + 1;
+  let r = f () in
+  ctx.sim_time <- ctx.sim_time +. (Unix.gettimeofday () -. t0);
+  r
+
+let find_device_fn ctx host = Stable_state.find_device ctx.state host
+
+let trace ctx ~src ~dst =
+  let key = src ^ "->" ^ Ipv4.to_string dst in
+  match Hashtbl.find_opt ctx.trace_cache key with
+  | Some paths -> paths
+  | None ->
+      let paths = Stable_state.trace ctx.state ~src ~dst in
+      Hashtbl.replace ctx.trace_cache key paths;
+      paths
+
+(* Collapse degenerate disjunctions. *)
+let disj_of = function [] -> None | [ f ] -> Some (P f) | fs -> Some (P_disj fs)
+
+(* Resolution of an indirect next hop: the main-RIB entries consulted to
+   reach [nh] ([f_i <- r_j, f_k] in Table 1). *)
+let resolution_parents ctx ~host nh =
+  if Ipv4.equal nh Ipv4.zero then []
+  else
+    match Topology.on_shared_subnet (Stable_state.topology ctx.state) host nh with
+    | Some _ -> []
+    | None -> (
+        match Rib.table_longest_match nh (Stable_state.main_rib ctx.state host) with
+        | None -> []
+        | Some (_, entries) ->
+            Option.to_list
+              (disj_of
+                 (List.map (fun e -> Fact.F_main_rib { host; entry = e }) entries)))
+
+(* ------------------------------------------------------------------ *)
+(* Main RIB rules                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rule_main_rib_bgp ctx fact =
+  match fact with
+  | Fact.F_main_rib { host; entry } when entry.me_protocol = Route.Bgp ->
+      let best = Stable_state.bgp_lookup_best ctx.state host entry.me_prefix in
+      let matching =
+        match entry.me_nexthop with
+        | Rib.Nh_discard ->
+            List.filter
+              (fun (b : Rib.bgp_entry) -> b.be_source = Rib.From_aggregate)
+              best
+        | Rib.Nh_ip nh ->
+            List.filter
+              (fun (b : Rib.bgp_entry) ->
+                Ipv4.equal b.be_route.Route.next_hop nh
+                &&
+                match b.be_source with Rib.Learned _ -> true | _ -> false)
+              best
+        | Rib.Nh_connected _ -> []
+      in
+      let proto_parent =
+        match matching with
+        | [] -> []
+        | b :: _ ->
+            [
+              P
+                (Fact.F_bgp_rib
+                   { host; route = b.be_route; source = b.be_source });
+            ]
+      in
+      let resolution =
+        match entry.me_nexthop with
+        | Rib.Nh_ip nh -> resolution_parents ctx ~host nh
+        | Rib.Nh_connected _ | Rib.Nh_discard -> []
+      in
+      [ { target = fact; parents = proto_parent @ resolution } ]
+  | _ -> []
+
+let rule_main_rib_connected ctx fact =
+  ignore ctx;
+  match fact with
+  | Fact.F_main_rib { host; entry } when entry.me_protocol = Route.Connected -> (
+      match entry.me_nexthop with
+      | Rib.Nh_connected ifname ->
+          [
+            {
+              target = fact;
+              parents =
+                [
+                  P
+                    (Fact.F_connected_rib
+                       { host; prefix = entry.me_prefix; ifname });
+                ];
+            };
+          ]
+      | Rib.Nh_ip _ | Rib.Nh_discard -> [])
+  | _ -> []
+
+let rule_main_rib_static ctx fact =
+  match fact with
+  | Fact.F_main_rib { host; entry } when entry.me_protocol = Route.Static ->
+      let cfg =
+        config_parents ctx ~host
+          [ Element.key Static_route (Prefix.to_string entry.me_prefix) ]
+      in
+      let resolution =
+        match entry.me_nexthop with
+        | Rib.Nh_ip nh -> resolution_parents ctx ~host nh
+        | Rib.Nh_connected _ | Rib.Nh_discard -> []
+      in
+      [ { target = fact; parents = cfg @ resolution } ]
+  | _ -> []
+
+let rule_main_rib_igp ctx fact =
+  match fact with
+  | Fact.F_main_rib { host; entry } when entry.me_protocol = Route.Igp ->
+      let igp_entries = Stable_state.igp_lookup ctx.state host entry.me_prefix in
+      let matching =
+        List.filter
+          (fun (ie : Rib.igp_entry) ->
+            match entry.me_nexthop with
+            | Rib.Nh_ip nh -> Ipv4.equal ie.ie_nexthop nh
+            | Rib.Nh_connected _ | Rib.Nh_discard -> false)
+          igp_entries
+      in
+      let parents =
+        match matching with
+        | [] -> []
+        | ie :: _ -> [ P (Fact.F_igp_rib { host; entry = ie }) ]
+      in
+      [ { target = fact; parents } ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Protocol RIB rules                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rule_connected_rib ctx fact =
+  match fact with
+  | Fact.F_connected_rib { host; ifname; _ } ->
+      [
+        {
+          target = fact;
+          parents = config_parents ctx ~host [ Element.key Interface ifname ];
+        };
+      ]
+  | _ -> []
+
+let rule_igp_rib ctx fact =
+  match fact with
+  | Fact.F_igp_rib { host; entry } ->
+      let local = config_parents ctx ~host [ Element.key Interface entry.ie_out_if ] in
+      let dest =
+        config_parents ctx ~host:entry.ie_dest_host
+          [ Element.key Interface entry.ie_dest_if ]
+      in
+      [ { target = fact; parents = local @ dest } ]
+  | _ -> []
+
+(* The combined Figure-4 rule: a learned BGP RIB entry pulls in the
+   post-import message, the pre-import message, the routing edge, the
+   exercised import and export clauses, and the origin entry at the
+   sender. *)
+let rule_bgp_rib_learned ctx fact =
+  match fact with
+  | Fact.F_bgp_rib { host; route; source = Rib.Learned send_ip } -> (
+      match Stable_state.edge_from ctx.state ~recv_host:host ~send_ip with
+      | None -> []
+      | Some edge ->
+          let ekey = Session.edge_key edge in
+          let edge_fact = Fact.F_edge ekey in
+          let sender_internal = not (Stable_state.is_external ctx.state edge.send_host) in
+          let find_device = find_device_fn ctx in
+          let candidates =
+            Stable_state.bgp_lookup_best ctx.state edge.send_host
+              route.Route.prefix
+          in
+          let simulate (origin : Rib.bgp_entry) =
+            timed_sim ctx (fun () ->
+                match Bgp.export_route find_device edge origin with
+                | None, _ -> None
+                | Some msg, export_keys ->
+                    let imported, import_keys =
+                      Bgp.import_route find_device edge msg
+                    in
+                    Some (origin, msg, export_keys, imported, import_keys))
+          in
+          let matches =
+            List.filter_map
+              (fun origin ->
+                match simulate origin with
+                | Some (o, msg, ek, Some r, ik) when Route.equal_bgp r route ->
+                    Some (o, msg, ek, ik)
+                | Some _ | None -> None)
+              candidates
+          in
+          let chosen =
+            match matches with
+            | m :: _ -> Some m
+            | [] -> (
+                (* Fall back to any accepted candidate; policies are
+                   deterministic so this is defensive. *)
+                match List.filter_map simulate candidates with
+                | (o, msg, ek, Some _, ik) :: _ -> Some (o, msg, ek, ik)
+                | _ -> None)
+          in
+          let post_msg = Fact.F_msg { kind = Post_import; edge = ekey; route } in
+          let base = [ { target = fact; parents = [ P post_msg ] } ] in
+          (match chosen with
+          | None ->
+              (* No reproducible origin (e.g. sender withdrew): tie the
+                 entry to the edge alone. *)
+              base
+              @ [ { target = post_msg; parents = [ P edge_fact ] } ]
+          | Some (origin, pre_route, export_keys, import_keys) ->
+              let pre_msg =
+                Fact.F_msg { kind = Pre_import; edge = ekey; route = pre_route }
+              in
+              let import_clauses = config_parents ctx ~host import_keys in
+              let post_inf =
+                {
+                  target = post_msg;
+                  parents = (P pre_msg :: P edge_fact :: import_clauses);
+                }
+              in
+              let pre_parents =
+                if sender_internal then
+                  let export_clauses =
+                    config_parents ctx ~host:edge.send_host export_keys
+                  in
+                  P
+                    (Fact.F_bgp_rib
+                       {
+                         host = edge.send_host;
+                         route = origin.be_route;
+                         source = origin.be_source;
+                       })
+                  :: P edge_fact :: export_clauses
+                else [ P edge_fact ]
+              in
+              base @ [ post_inf; { target = pre_msg; parents = pre_parents } ]))
+  | _ -> []
+
+let rule_bgp_rib_network ctx fact =
+  match fact with
+  | Fact.F_bgp_rib { host; route; source = Rib.From_network } ->
+      let cfg =
+        config_parents ctx ~host
+          [ Element.key Bgp_network (Prefix.to_string route.Route.prefix) ]
+      in
+      let mains =
+        Stable_state.main_lookup ctx.state host route.Route.prefix
+        |> List.filter (fun (e : Rib.main_entry) -> e.me_protocol <> Route.Bgp)
+        |> List.map (fun e -> Fact.F_main_rib { host; entry = e })
+      in
+      [ { target = fact; parents = cfg @ Option.to_list (disj_of mains) } ]
+  | _ -> []
+
+let rule_bgp_rib_redistribute ctx fact =
+  match fact with
+  | Fact.F_bgp_rib { host; route; source = Rib.From_redistribute proto } ->
+      let d = Stable_state.find_device ctx.state host in
+      let rd_cfg =
+        match d.bgp with
+        | None -> None
+        | Some b ->
+            List.find_opt
+              (fun (r : Device.redistribute) -> r.rd_from = proto)
+              b.redistributes
+      in
+      let mains =
+        Stable_state.main_lookup ctx.state host route.Route.prefix
+        |> List.filter (fun (e : Rib.main_entry) -> e.me_protocol = proto)
+      in
+      let clause_parents =
+        match (rd_cfg, mains) with
+        | Some rd, me :: _ ->
+            let _, keys =
+              timed_sim ctx (fun () ->
+                  Bgp.redistribute_route (find_device_fn ctx) host rd me)
+            in
+            config_parents ctx ~host keys
+        | _, _ -> []
+      in
+      let main_parents =
+        Option.to_list
+          (disj_of (List.map (fun e -> Fact.F_main_rib { host; entry = e }) mains))
+      in
+      [
+        {
+          target = fact;
+          parents =
+            (P (Fact.F_redist_edge { host; proto }) :: main_parents)
+            @ clause_parents;
+        };
+      ]
+  | _ -> []
+
+let rule_redist_edge ctx fact =
+  match fact with
+  | Fact.F_redist_edge { host; proto } ->
+      [
+        {
+          target = fact;
+          parents =
+            config_parents ctx ~host
+              [ Element.key Bgp_redistribute (Route.protocol_to_string proto) ];
+        };
+      ]
+  | _ -> []
+
+let rule_bgp_rib_aggregate ctx fact =
+  match fact with
+  | Fact.F_bgp_rib { host; route; source = Rib.From_aggregate } ->
+      let cfg =
+        config_parents ctx ~host
+          [ Element.key Bgp_aggregate (Prefix.to_string route.Route.prefix) ]
+      in
+      let contributors =
+        Prefix_trie.subsumed route.Route.prefix
+          (Stable_state.bgp_rib ctx.state host)
+        |> List.concat_map (fun (p, entries) ->
+               if Prefix.len p > Prefix.len route.Route.prefix then
+                 List.filter_map
+                   (fun (b : Rib.bgp_entry) ->
+                     if b.be_best && b.be_source <> Rib.From_aggregate then
+                       Some
+                         (Fact.F_bgp_rib
+                            { host; route = b.be_route; source = b.be_source })
+                     else None)
+                   entries
+               else [])
+      in
+      [ { target = fact; parents = cfg @ Option.to_list (disj_of contributors) } ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Edge, path and ACL rules                                            *)
+(* ------------------------------------------------------------------ *)
+
+let peering_config_parents ctx ~host ~peer_ip =
+  let reg = Stable_state.registry ctx.state in
+  match Registry.device_opt reg host with
+  | None -> []
+  | Some d when d.is_external -> []
+  | Some d -> (
+      match d.bgp with
+      | None -> []
+      | Some b -> (
+          match
+            List.find_opt
+              (fun (n : Device.neighbor) -> Ipv4.equal n.nb_ip peer_ip)
+              b.neighbors
+          with
+          | None -> []
+          | Some nb ->
+              let peer =
+                config_parents ctx ~host
+                  [ Element.key Bgp_peer (Ipv4.to_string nb.nb_ip) ]
+              in
+              let group =
+                match nb.nb_group with
+                | Some g -> config_parents ctx ~host [ Element.key Bgp_peer_group g ]
+                | None -> []
+              in
+              peer @ group))
+
+let rule_edge ctx fact =
+  match fact with
+  | Fact.F_edge key -> (
+      match Hashtbl.find_opt ctx.edge_of_key key with
+      | None -> []
+      | Some edge ->
+          let topo = Stable_state.topology ctx.state in
+          let recv_side =
+            peering_config_parents ctx ~host:edge.recv_host ~peer_ip:edge.send_ip
+          in
+          let send_side =
+            peering_config_parents ctx ~host:edge.send_host ~peer_ip:edge.recv_ip
+          in
+          let interface_parents =
+            if edge.multihop then []
+            else
+              let local_if host ip =
+                match Topology.on_shared_subnet topo host ip with
+                | Some ep ->
+                    config_parents ctx ~host [ Element.key Interface ep.ifname ]
+                | None -> []
+              in
+              local_if edge.recv_host edge.send_ip
+              @ local_if edge.send_host edge.recv_ip
+          in
+          let path_parents =
+            if not edge.multihop then []
+            else
+              let direction src dst =
+                let paths = trace ctx ~src ~dst in
+                let facts =
+                  List.mapi (fun i p -> (i, p)) paths
+                  |> List.filter (fun (_, (p : Forward.path)) -> p.reached)
+                  |> List.map (fun (idx, _) -> Fact.F_path { src; dst; idx })
+                in
+                Option.to_list (disj_of facts)
+              in
+              direction edge.send_host edge.recv_ip
+              @ direction edge.recv_host edge.send_ip
+          in
+          [
+            {
+              target = fact;
+              parents = recv_side @ send_side @ interface_parents @ path_parents;
+            };
+          ])
+  | _ -> []
+
+let rule_path ctx fact =
+  match fact with
+  | Fact.F_path { src; dst; idx } -> (
+      let paths = trace ctx ~src ~dst in
+      match List.nth_opt paths idx with
+      | None -> []
+      | Some path ->
+          let hop_parents =
+            List.concat_map
+              (fun (h : Forward.hop) ->
+                List.map
+                  (fun entry -> P (Fact.F_main_rib { host = h.hop_host; entry }))
+                  h.hop_entries
+                @ List.map
+                    (fun (a : Forward.acl_use) ->
+                      P
+                        (Fact.F_acl
+                           { host = a.au_host; acl = a.au_acl; rule = a.au_rule }))
+                    h.hop_acls)
+              path.hops
+          in
+          [ { target = fact; parents = hop_parents } ])
+  | _ -> []
+
+let rule_acl ctx fact =
+  match fact with
+  | Fact.F_acl { host; acl; _ } ->
+      [
+        {
+          target = fact;
+          parents = config_parents ctx ~host [ Element.key Acl_def acl ];
+        };
+      ]
+  | _ -> []
+
+let all_rules : rule list =
+  [
+    rule_main_rib_bgp;
+    rule_main_rib_connected;
+    rule_main_rib_static;
+    rule_main_rib_igp;
+    rule_connected_rib;
+    rule_igp_rib;
+    rule_bgp_rib_learned;
+    rule_bgp_rib_network;
+    rule_bgp_rib_redistribute;
+    rule_redist_edge;
+    rule_bgp_rib_aggregate;
+    rule_edge;
+    rule_path;
+    rule_acl;
+  ]

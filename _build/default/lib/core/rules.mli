@@ -1,0 +1,38 @@
+(** Inference rules: each maps a materialized IFG fact to the parent
+    facts that contribute to it (Table 1), using stable-state lookups
+    backward and targeted policy simulations forward (§4.2). *)
+
+open Netcov_config
+open Netcov_sim
+
+(** Shared context: the stable state plus memo caches and counters for
+    the targeted simulations (reported by Figure 10(a)'s breakdown). *)
+type ctx
+
+val make_ctx : Stable_state.t -> ctx
+val state : ctx -> Stable_state.t
+
+(** Number of targeted policy simulations run so far. *)
+val sim_count : ctx -> int
+
+(** Wall-clock seconds spent inside targeted simulations. *)
+val sim_seconds : ctx -> float
+
+(** A parent contribution: conjunctive, or a disjunctive group of
+    alternatives (any one of which suffices, §4.3). *)
+type parent_spec = P of Fact.t | P_disj of Fact.t list
+
+(** Parents inferred for one target fact. A rule may emit inferences for
+    intermediate facts it materialized on the fly (e.g. the pre-import
+    message in Figure 4). *)
+type inference = { target : Fact.t; parents : parent_spec list }
+
+type rule = ctx -> Fact.t -> inference list
+
+(** The rule set; applied exhaustively to each dirty node by
+    {!Materialize}. *)
+val all_rules : rule list
+
+(** [config_fact ctx ~host key] resolves an element key to a config fact,
+    [None] when the device is external or the key unknown. *)
+val config_fact : ctx -> host:string -> Element.key -> Fact.t option

@@ -1,0 +1,1 @@
+lib/dpcov/dpcov.ml: Fact Forward Hashtbl List Netcov Netcov_core Netcov_sim Rib Stable_state

@@ -1,0 +1,1 @@
+lib/dpcov/dpcov.mli: Netcov Netcov_core Netcov_sim Stable_state

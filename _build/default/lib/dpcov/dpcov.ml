@@ -1,0 +1,53 @@
+open Netcov_sim
+open Netcov_core
+
+type t = { tested_entries : int; total_entries : int }
+
+let pct t =
+  if t.total_entries = 0 then 0.
+  else 100. *. float_of_int t.tested_entries /. float_of_int t.total_entries
+
+let of_tested state (tested : Netcov.tested) =
+  let seen = Hashtbl.create 1024 in
+  let count_fact f =
+    match f with
+    | Fact.F_main_rib { host; _ } when not (Stable_state.is_external state host)
+      ->
+        Hashtbl.replace seen (Fact.key f) ()
+    | Fact.F_path { src; dst; idx } -> (
+        (* a tested path exercises the forwarding entries along it *)
+        match List.nth_opt (Stable_state.trace state ~src ~dst) idx with
+        | None -> ()
+        | Some path ->
+            List.iter
+              (fun (h : Forward.hop) ->
+                if not (Stable_state.is_external state h.hop_host) then
+                  List.iter
+                    (fun entry ->
+                      Hashtbl.replace seen
+                        (Fact.key
+                           (Fact.F_main_rib { host = h.hop_host; entry }))
+                        ())
+                    h.hop_entries)
+              path.hops)
+    | _ -> ()
+  in
+  List.iter count_fact tested.dp_facts;
+  let total =
+    List.fold_left
+      (fun acc host -> acc + Rib.table_count (Stable_state.main_rib state host))
+      0
+      (Stable_state.internal_hosts state)
+  in
+  { tested_entries = Hashtbl.length seen; total_entries = total }
+
+let all_data_plane_tested state =
+  let dp_facts =
+    List.concat_map
+      (fun host ->
+        List.map
+          (fun (_, entry) -> Fact.F_main_rib { host; entry })
+          (Rib.table_entries (Stable_state.main_rib state host)))
+      (Stable_state.internal_hosts state)
+  in
+  { Netcov.dp_facts; cp_elements = [] }

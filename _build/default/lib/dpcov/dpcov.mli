@@ -1,0 +1,22 @@
+(** Data plane coverage in the style of Yardstick (§8): the proportion of
+    main-RIB (forwarding) rules exercised by a test suite. Control plane
+    tests exercise none. *)
+
+open Netcov_sim
+open Netcov_core
+
+type t = {
+  tested_entries : int;
+  total_entries : int;  (** main-RIB entries across internal devices *)
+}
+
+val pct : t -> float
+
+(** [of_tested state tested] counts the distinct main-RIB facts among
+    the tested data plane facts (path facts contribute the entries along
+    their hops). *)
+val of_tested : Stable_state.t -> Netcov.tested -> t
+
+(** The hypothetical test that inspects every forwarding rule
+    (Figure 11(a)'s "All data plane" row). *)
+val all_data_plane_tested : Stable_state.t -> Netcov.tested

@@ -1,0 +1,1 @@
+lib/nettest/bagpipe.mli: Netcov_workloads Nettest

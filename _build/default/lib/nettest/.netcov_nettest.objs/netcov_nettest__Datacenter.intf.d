@@ -1,0 +1,1 @@
+lib/nettest/datacenter.mli: Netcov_workloads Nettest

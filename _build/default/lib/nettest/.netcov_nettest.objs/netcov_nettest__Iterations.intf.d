@@ -1,0 +1,1 @@
+lib/nettest/iterations.mli: Netcov_workloads Nettest

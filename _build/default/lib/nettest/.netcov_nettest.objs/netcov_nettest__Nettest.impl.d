@@ -1,0 +1,1 @@
+lib/nettest/nettest.ml: Fact Forward List Netcov Netcov_core Netcov_sim Stable_state

@@ -1,0 +1,1 @@
+lib/nettest/nettest.mli: Fact Netcov Netcov_core Netcov_sim Netcov_types Stable_state

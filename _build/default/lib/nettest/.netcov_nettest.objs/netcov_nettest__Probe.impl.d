@@ -1,0 +1,1 @@
+lib/nettest/probe.ml: Device Element Eval Fact Forward Hashtbl Int Ipv4 List Netcov Netcov_config Netcov_core Netcov_policy Netcov_sim Netcov_types Nettest Option Registry Rib Stable_state

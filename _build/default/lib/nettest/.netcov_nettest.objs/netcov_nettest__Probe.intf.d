@@ -1,0 +1,1 @@
+lib/nettest/probe.mli: Ipv4 Netcov Netcov_core Netcov_sim Netcov_types Nettest Prefix Rib Route Stable_state

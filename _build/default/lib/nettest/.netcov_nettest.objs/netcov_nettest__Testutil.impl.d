@@ -1,0 +1,1 @@
+lib/nettest/testutil.ml: As_path Community Device Int Ipv4 List Netcov_config Netcov_sim Netcov_types Registry Route Session Stable_state

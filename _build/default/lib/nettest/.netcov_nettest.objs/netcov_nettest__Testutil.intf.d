@@ -1,0 +1,1 @@
+lib/nettest/testutil.mli: Community Device Element Ipv4 Netcov_config Netcov_sim Netcov_types Prefix Route Session Stable_state

@@ -1,0 +1,1 @@
+lib/nettest/whatif.ml: Coverage Hashtbl List Netcov Netcov_config Netcov_core Netcov_sim Nettest Stable_state Topology

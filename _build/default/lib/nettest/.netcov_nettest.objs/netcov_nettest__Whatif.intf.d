@@ -1,0 +1,1 @@
+lib/nettest/whatif.mli: Coverage Netcov_config Netcov_core Netcov_sim Nettest Stable_state

@@ -1,0 +1,187 @@
+open Netcov_types
+open Netcov_config
+open Netcov_policy
+open Netcov_sim
+open Netcov_core
+open Netcov_workloads
+
+(* BlockToExternal: sample BGP routes from the stable state, attach the
+   BTE community, and assert every eBGP export policy rejects them. *)
+let block_to_external ?(samples = 16) (net : Internet2.t) : Nettest.t =
+  let run state =
+    let failures = ref [] in
+    let checks = ref 0 in
+    let cp_elements = ref [] in
+    List.iter
+      (fun host ->
+        let d = Stable_state.find_device state host in
+        (* sample best routes present in this router's BGP RIB *)
+        let sampled =
+          Rib.table_entries (Stable_state.bgp_rib state host)
+          |> List.filter_map (fun (_, (e : Rib.bgp_entry)) ->
+                 if e.be_best then Some e.be_route else None)
+          |> List.filteri (fun i _ -> i mod 7 = 0)
+          |> List.filteri (fun i _ -> i < samples)
+        in
+        let bte_routes =
+          List.map (fun r -> Route.add_community r net.bte_community) sampled
+        in
+        List.iter
+          (fun ((nb : Device.neighbor), _) ->
+            let chain = Device.neighbor_export d nb in
+            List.iter
+              (fun route ->
+                incr checks;
+                let { Eval.verdict; exercised; _ } =
+                  Eval.run_chain d ~chain ~default:Eval.Accepted route
+                in
+                cp_elements :=
+                  Testutil.ids_of_keys state ~host exercised @ !cp_elements;
+                if verdict = Eval.Accepted then
+                  failures :=
+                    Printf.sprintf "%s exports BTE route %s to %s" host
+                      (Prefix.to_string route.Route.prefix)
+                      (Ipv4.to_string nb.nb_ip)
+                    :: !failures)
+              bte_routes)
+          (Testutil.external_neighbors state host))
+      net.routers;
+    {
+      Nettest.outcome = { checks = !checks; failures = List.rev !failures };
+      tested =
+        {
+          Netcov.dp_facts = [];
+          cp_elements = List.sort_uniq Int.compare !cp_elements;
+        };
+    }
+  in
+  { Nettest.name = "BlockToExternal"; kind = Nettest.Control_plane; run }
+
+(* NoMartian: incoming announcements for private address space must be
+   rejected by every external import policy. *)
+let no_martian (net : Internet2.t) : Nettest.t =
+  let run state =
+    let failures = ref [] in
+    let checks = ref 0 in
+    let cp_elements = ref [] in
+    let martian_routes nb_asn =
+      List.map
+        (fun m ->
+          (* a /24 inside the martian block, plain AS path *)
+          let sub =
+            if Prefix.len m >= 24 then m
+            else Prefix.nth_subnet m ~len:24 ~n:1
+          in
+          Testutil.test_route ~as_path:[ nb_asn ] sub)
+        net.martian_prefixes
+    in
+    List.iter
+      (fun host ->
+        let d = Stable_state.find_device state host in
+        List.iter
+          (fun ((nb : Device.neighbor), _) ->
+            let chain = Device.neighbor_import d nb in
+            List.iter
+              (fun route ->
+                incr checks;
+                let { Eval.verdict; exercised; _ } =
+                  Eval.run_chain d ~chain ~default:Eval.Accepted route
+                in
+                cp_elements :=
+                  Testutil.ids_of_keys state ~host exercised @ !cp_elements;
+                if verdict = Eval.Accepted then
+                  failures :=
+                    Printf.sprintf "%s accepts martian %s from %s" host
+                      (Prefix.to_string route.Route.prefix)
+                      (Ipv4.to_string nb.nb_ip)
+                    :: !failures)
+              (martian_routes nb.nb_remote_as))
+          (Testutil.external_neighbors state host))
+      net.routers;
+    {
+      Nettest.outcome = { checks = !checks; failures = List.rev !failures };
+      tested =
+        {
+          Netcov.dp_facts = [];
+          cp_elements = List.sort_uniq Int.compare !cp_elements;
+        };
+    }
+  in
+  { Nettest.name = "NoMartian"; kind = Nettest.Control_plane; run }
+
+(* RoutePreference: for destinations available via multiple external
+   neighbors, the selected route must come from the most preferred
+   relationship class. The test reads the competing BGP RIB entries and
+   the resulting main RIB entries, which is exactly what it "tests". *)
+let route_preference (net : Internet2.t) : Nettest.t =
+  let run state =
+    let failures = ref [] in
+    let checks = ref 0 in
+    let dp_facts = ref [] in
+    (* destination -> announcing peers *)
+    let announcers p =
+      List.filter
+        (fun (pi : Internet2.peer_info) ->
+          List.exists (Prefix.equal p) pi.allowed)
+        net.peers
+    in
+    List.iter
+      (fun p ->
+        let peers = announcers p in
+        if List.length peers >= 2 then begin
+          (* Candidate BGP entries actually present at attach routers. *)
+          let candidates =
+            List.concat_map
+              (fun (pi : Internet2.peer_info) ->
+                Stable_state.bgp_lookup state pi.router p
+                |> List.filter_map (fun (e : Rib.bgp_entry) ->
+                       match e.be_source with
+                       | Rib.Learned ip when Ipv4.equal ip pi.peer_ip ->
+                           Some (pi, e)
+                       | _ -> None))
+              peers
+          in
+          if List.length candidates >= 2 then begin
+            let best_lp =
+              List.fold_left
+                (fun acc (_, (e : Rib.bgp_entry)) ->
+                  max acc e.be_route.Route.local_pref)
+                0 candidates
+            in
+            (* The selected (best) candidate must carry the top class. *)
+            List.iter
+              (fun ((pi : Internet2.peer_info), (e : Rib.bgp_entry)) ->
+                dp_facts :=
+                  Fact.F_bgp_rib
+                    { host = pi.router; route = e.be_route; source = e.be_source }
+                  :: !dp_facts;
+                if e.be_best then begin
+                  incr checks;
+                  if e.be_route.Route.local_pref < best_lp then
+                    failures :=
+                      Printf.sprintf
+                        "%s: selected route for %s from %s (lp %d < %d)"
+                        pi.router (Prefix.to_string p) pi.stub_host
+                        e.be_route.Route.local_pref best_lp
+                      :: !failures
+                end)
+              candidates;
+            (* The test also inspects the resulting forwarding entries at
+               the attachment routers of the candidates. *)
+            List.iter
+              (fun host -> dp_facts := Nettest.main_facts state host p @ !dp_facts)
+              (List.sort_uniq String.compare
+                 (List.map
+                    (fun ((pi : Internet2.peer_info), _) -> pi.router)
+                    candidates))
+          end
+        end)
+      net.feed.Routeviews.shared_pool;
+    {
+      Nettest.outcome = { checks = !checks; failures = List.rev !failures };
+      tested = { Netcov.dp_facts = List.rev !dp_facts; cp_elements = [] };
+    }
+  in
+  { Nettest.name = "RoutePreference"; kind = Nettest.Data_plane; run }
+
+let suite net = [ block_to_external net; no_martian net; route_preference net ]

@@ -1,0 +1,13 @@
+(** The Bagpipe test suite for Internet2 (§6.1.1): BlockToExternal and
+    NoMartian are control plane tests over export/import policies;
+    RoutePreference is a data plane test checking that best-path
+    selection honours commercial relationships. *)
+
+val block_to_external :
+  ?samples:int -> Netcov_workloads.Internet2.t -> Nettest.t
+
+val no_martian : Netcov_workloads.Internet2.t -> Nettest.t
+val route_preference : Netcov_workloads.Internet2.t -> Nettest.t
+
+(** The three tests, in the paper's order. *)
+val suite : Netcov_workloads.Internet2.t -> Nettest.t list

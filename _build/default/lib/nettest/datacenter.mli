@@ -1,0 +1,7 @@
+(** Datacenter test suite (§6.2), inspired by prior validation work:
+    DefaultRouteCheck, ToRPingmesh and ExportAggregate. *)
+
+val default_route_check : Netcov_workloads.Fattree.t -> Nettest.t
+val tor_pingmesh : Netcov_workloads.Fattree.t -> Nettest.t
+val export_aggregate : Netcov_workloads.Fattree.t -> Nettest.t
+val suite : Netcov_workloads.Fattree.t -> Nettest.t list

@@ -1,0 +1,18 @@
+(** Coverage-guided test development for Internet2 (§6.1.2): the three
+    tests added in the paper's improvement iterations. *)
+
+(** Iteration 1: the four SANITY-IN classes NoMartian misses (private
+    ASNs, commercial transit ASNs, the default route, internal space)
+    must be rejected by every external import policy. *)
+val sanity_in : Netcov_workloads.Internet2.t -> Nettest.t
+
+(** Iteration 2: announcements inside each peer's permit list must be
+    accepted. *)
+val peer_specific_route : Netcov_workloads.Internet2.t -> Nettest.t
+
+(** Iteration 3: PingMesh-style reachability of interface addresses from
+    every router. *)
+val interface_reachability : Netcov_workloads.Internet2.t -> Nettest.t
+
+(** The improved suite: Bagpipe plus the three iterations, in order. *)
+val improved_suite : Netcov_workloads.Internet2.t -> Nettest.t list

@@ -1,0 +1,59 @@
+(** Test-author API: queries over the stable state that automatically
+    record {e what was tested}, so a custom network test gets NetCov
+    coverage for free.
+
+    A probe wraps a stable state; every query records the data plane
+    facts it inspected (or, for control-plane queries, the configuration
+    elements it evaluated) plus any assertion failures. Build a
+    {!Nettest.t} from a probe function with {!to_test}. *)
+
+open Netcov_types
+open Netcov_sim
+open Netcov_core
+
+type t
+
+val create : Stable_state.t -> t
+val state : t -> Stable_state.t
+
+(** Record an assertion outcome; [msg] is kept on failure. *)
+val check : t -> bool -> string -> unit
+
+(** {1 Data plane queries} — results are recorded as tested facts. *)
+
+(** [route_present p ~host prefix] is true iff the main RIB of [host]
+    holds an exact entry for [prefix]; all matching entries become
+    tested facts. *)
+val route_present : t -> host:string -> Prefix.t -> bool
+
+(** Best BGP paths for a prefix (tested facts: those entries). *)
+val best_routes : t -> host:string -> Prefix.t -> Rib.bgp_entry list
+
+(** All BGP paths, e.g. to compare candidates (tested facts). *)
+val all_routes : t -> host:string -> Prefix.t -> Rib.bgp_entry list
+
+(** [reachable p ~src ~dst] traces forwarding; every reached path and
+    the entries along it become tested facts. *)
+val reachable : t -> src:string -> dst:Ipv4.t -> bool
+
+(** {1 Control plane queries} — exercised elements are recorded. *)
+
+(** [import_verdict p ~host ~neighbor route] evaluates the import chain
+    the device applies to [neighbor]. *)
+val import_verdict :
+  t -> host:string -> neighbor:Ipv4.t -> Route.bgp -> [ `Accepted | `Rejected ]
+
+(** [export_verdict p ~host ~neighbor route] likewise for the export
+    chain. *)
+val export_verdict :
+  t -> host:string -> neighbor:Ipv4.t -> Route.bgp -> [ `Accepted | `Rejected ]
+
+(** {1 Results} *)
+
+val tested : t -> Netcov.tested
+val checks : t -> int
+val failures : t -> string list
+
+(** [to_test ~name ~kind run] packages a probe function as a network
+    test. *)
+val to_test : name:string -> kind:Nettest.kind -> (t -> unit) -> Nettest.t

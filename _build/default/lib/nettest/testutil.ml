@@ -1,0 +1,48 @@
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+let ids_of_keys state ~host keys =
+  let reg = Stable_state.registry state in
+  List.filter_map (fun k -> Registry.find reg ~device:host k) keys
+  |> List.sort_uniq Int.compare
+
+let test_route ?(as_path = []) ?(communities = []) ?(local_pref = 100)
+    ?(next_hop = Ipv4.zero) prefix =
+  {
+    Route.prefix;
+    next_hop;
+    as_path = As_path.of_list as_path;
+    local_pref;
+    med = 0;
+    communities = Community.Set.of_list communities;
+    origin = Route.Origin_igp;
+    cluster_len = 0;
+  }
+
+let external_neighbors state host =
+  let d = Stable_state.find_device state host in
+  match d.Device.bgp with
+  | None -> []
+  | Some b ->
+      List.filter_map
+        (fun (nb : Device.neighbor) ->
+          if nb.nb_remote_as = b.local_as then None
+          else
+            let edge =
+              List.find_opt
+                (fun (e : Session.edge) ->
+                  e.recv_host = host && Ipv4.equal e.send_ip nb.nb_ip)
+                (Stable_state.edges_in state host)
+            in
+            let is_ext =
+              match edge with
+              | Some e -> Stable_state.is_external state e.send_host
+              | None -> (
+                  (* Session down: classify by the owner of the address. *)
+                  match Stable_state.owner_of_ip state nb.nb_ip with
+                  | Some (h, _) -> Stable_state.is_external state h
+                  | None -> false)
+            in
+            if is_ext then Some (nb, edge) else None)
+        b.neighbors

@@ -1,0 +1,24 @@
+(** Shared helpers for concrete test implementations. *)
+
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+
+(** Resolve exercised element keys on a device to element ids (keys on
+    external devices resolve to nothing). *)
+val ids_of_keys :
+  Stable_state.t -> host:string -> Element.key list -> Element.id list
+
+(** A synthetic BGP announcement for control-plane test inputs. *)
+val test_route :
+  ?as_path:int list ->
+  ?communities:Community.t list ->
+  ?local_pref:int ->
+  ?next_hop:Ipv4.t ->
+  Prefix.t ->
+  Route.bgp
+
+(** External (eBGP, environment-side) neighbors of an internal device,
+    with their import/export chains. *)
+val external_neighbors :
+  Stable_state.t -> string -> (Device.neighbor * Session.edge option) list

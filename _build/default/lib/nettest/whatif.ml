@@ -1,0 +1,73 @@
+open Netcov_sim
+open Netcov_core
+
+let internal_links state =
+  let seen = Hashtbl.create 64 in
+  let links = ref [] in
+  List.iter
+    (fun host ->
+      List.iter
+        (fun (adj : Topology.adjacency) ->
+          if not (Stable_state.is_external state adj.remote.host) then begin
+            let a = (adj.local.host, adj.local.ifname) in
+            let b = (adj.remote.host, adj.remote.ifname) in
+            let key = if a < b then (a, b) else (b, a) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              links := key :: !links
+            end
+          end)
+        (Topology.adjacencies_of (Stable_state.topology state) host))
+    (Stable_state.internal_hosts state);
+  List.rev !links
+
+type scenario = {
+  failed : (string * string) list;
+  coverage : Coverage.t;
+  tests_passed : bool;
+}
+
+type result = {
+  baseline : Coverage.t;
+  scenarios : scenario list;
+  union : Coverage.t;
+}
+
+let suite_coverage state tests =
+  let results = Nettest.run_suite state tests in
+  let tested = Nettest.suite_tested results in
+  let report = Netcov.analyze state tested in
+  let passed =
+    List.for_all (fun (_, (r : Nettest.result)) -> Nettest.passed r.outcome) results
+  in
+  (report.Netcov.coverage, passed)
+
+let run ?max_scenarios state tests =
+  let reg = Stable_state.registry state in
+  let baseline, _ = suite_coverage state tests in
+  let links = internal_links state in
+  let links =
+    match max_scenarios with
+    | None -> links
+    | Some n -> List.filteri (fun i _ -> i < n) links
+  in
+  let scenarios =
+    List.map
+      (fun (a, b) ->
+        let failed = [ a; b ] in
+        let state' = Stable_state.compute ~down:failed reg in
+        let coverage, tests_passed = suite_coverage state' tests in
+        { failed; coverage; tests_passed })
+      links
+  in
+  let union =
+    List.fold_left
+      (fun acc s -> Coverage.merge acc s.coverage)
+      baseline scenarios
+  in
+  { baseline; scenarios; union }
+
+let failure_only result =
+  Netcov_config.Element.Id_set.diff
+    (Coverage.covered_elements result.union)
+    (Coverage.covered_elements result.baseline)

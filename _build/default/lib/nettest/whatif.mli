@@ -1,0 +1,40 @@
+(** Coverage under environmental failures.
+
+    §8 observes that some configuration lines are only exercised under
+    specific environments (e.g. failures shift traffic onto backup
+    paths and policies). This module re-runs a test suite under
+    single-link-failure scenarios and unions the coverage, revealing
+    elements the fault-free run can never touch. The configurations —
+    and hence the coverage domain — are unchanged; only the simulated
+    environment differs. *)
+
+open Netcov_sim
+open Netcov_core
+
+(** Physical links between internal devices, as pairs of
+    [(host, ifname)] endpoints, deduplicated. *)
+val internal_links :
+  Stable_state.t -> ((string * string) * (string * string)) list
+
+type scenario = {
+  failed : (string * string) list;  (** downed interfaces *)
+  coverage : Coverage.t;
+  tests_passed : bool;  (** the suite verdict under this failure *)
+}
+
+type result = {
+  baseline : Coverage.t;
+  scenarios : scenario list;
+  union : Coverage.t;  (** baseline plus every scenario *)
+}
+
+(** [run state tests] computes baseline coverage of the suite, then for
+    each single-link failure recomputes the stable state, re-runs the
+    suite, and computes coverage. [max_scenarios] caps the number of
+    failure cases (default: all). *)
+val run :
+  ?max_scenarios:int -> Stable_state.t -> Nettest.t list -> result
+
+(** Elements covered only under some failure — the environmental
+    coverage gap of the fault-free run. *)
+val failure_only : result -> Netcov_config.Element.Id_set.t

@@ -1,0 +1,1 @@
+lib/nettypes/as_path.mli: Format

@@ -1,0 +1,1 @@
+lib/nettypes/as_regex.ml: Array As_path Format Printf String

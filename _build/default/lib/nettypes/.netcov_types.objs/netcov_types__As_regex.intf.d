@@ -1,0 +1,1 @@
+lib/nettypes/as_regex.mli: As_path Format

@@ -1,0 +1,1 @@
+lib/nettypes/community.ml: Format Int Printf Set String

@@ -1,0 +1,1 @@
+lib/nettypes/community.mli: Format Set

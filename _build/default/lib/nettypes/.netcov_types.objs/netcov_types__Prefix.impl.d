@@ -1,0 +1,1 @@
+lib/nettypes/prefix.ml: Format Int Ipv4 Printf String

@@ -1,0 +1,1 @@
+lib/nettypes/prefix.mli: Format Ipv4

@@ -1,0 +1,1 @@
+lib/nettypes/prefix_trie.ml: Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/nettypes/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/nettypes/route.ml: As_path Community Format Int Ipv4 List Prefix Printf String

@@ -1,0 +1,31 @@
+type asn = int
+type t = asn list
+
+let empty = []
+let of_list l = l
+let to_list p = p
+let length = List.length
+
+let prepend asn ?(times = 1) p =
+  let rec go n acc = if n <= 0 then acc else go (n - 1) (asn :: acc) in
+  go times p
+
+let mem asn p = List.exists (Int.equal asn) p
+let head = function [] -> None | a :: _ -> Some a
+
+let rec origin = function
+  | [] -> None
+  | [ a ] -> Some a
+  | _ :: rest -> origin rest
+
+let to_string p = String.concat " " (List.map string_of_int p)
+
+let of_string s =
+  s
+  |> String.split_on_char ' '
+  |> List.filter (fun x -> x <> "")
+  |> List.map int_of_string
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+let compare = List.compare Int.compare
+let equal a b = compare a b = 0

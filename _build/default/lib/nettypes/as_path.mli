@@ -1,0 +1,27 @@
+(** BGP AS paths: sequences of AS numbers, most recent hop first. *)
+
+type asn = int
+type t
+
+val empty : t
+val of_list : asn list -> t
+val to_list : t -> asn list
+val length : t -> int
+
+(** [prepend asn ~times path] prepends [asn] [times] times. *)
+val prepend : asn -> ?times:int -> t -> t
+
+(** [mem asn path] is true iff [asn] occurs anywhere in the path. *)
+val mem : asn -> t -> bool
+
+(** First (most recent) ASN, if any. *)
+val head : t -> asn option
+
+(** Last ASN, i.e. the origin AS, if any. *)
+val origin : t -> asn option
+
+val to_string : t -> string
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,143 @@
+type re =
+  | Eps
+  | Asn of int
+  | Any
+  | Boundary
+  | Start
+  | End
+  | Seq of re * re
+  | Alt of re * re
+  | Star of re
+  | Plus of re
+  | Opt of re
+
+type t = { source : string; re : re }
+
+exception Syntax of string
+
+(* Recursive-descent parser over the pattern characters. *)
+let parse (s : string) : re =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Syntax (Printf.sprintf "%s at offset %d in %S" msg !pos s)) in
+  let rec alt () =
+    let lhs = concat () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (lhs, alt ())
+    | Some _ | None -> lhs
+  and concat () =
+    let rec go consumed acc =
+      match peek () with
+      | None | Some ')' | Some '|' ->
+          if consumed then acc else fail "empty pattern branch"
+      | Some _ ->
+          let a = postfix () in
+          go true (if acc = Eps then a else Seq (acc, a))
+    in
+    go false Eps
+  and postfix () =
+    let a = atom () in
+    let rec reps a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          reps (Star a)
+      | Some '+' ->
+          advance ();
+          reps (Plus a)
+      | Some '?' ->
+          advance ();
+          reps (Opt a)
+      | Some _ | None -> a
+    in
+    reps a
+  and atom () =
+    match peek () with
+    | None -> fail "unexpected end of pattern"
+    | Some '^' ->
+        advance ();
+        Start
+    | Some '$' ->
+        advance ();
+        End
+    | Some '_' ->
+        advance ();
+        Boundary
+    | Some '.' ->
+        advance ();
+        Any
+    | Some '(' ->
+        advance ();
+        let inner = alt () in
+        (match peek () with
+        | Some ')' -> advance ()
+        | Some _ | None -> fail "expected ')'");
+        inner
+    | Some c when c >= '0' && c <= '9' ->
+        let start = !pos in
+        while
+          match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false
+        do
+          advance ()
+        done;
+        Asn (int_of_string (String.sub s start (!pos - start)))
+    | Some ' ' ->
+        advance ();
+        Eps
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let r = alt () in
+  if !pos <> n then fail "trailing input";
+  r
+
+let compile_opt s =
+  match parse s with
+  | re -> Some { source = s; re }
+  | exception Syntax _ -> None
+
+let compile s =
+  match parse s with
+  | re -> { source = s; re }
+  | exception Syntax msg -> invalid_arg ("As_regex.compile: " ^ msg)
+
+let source t = t.source
+
+(* Backtracking matcher over the ASN token array. [k] is the continuation
+   receiving the position after the sub-match. *)
+let rec mtch (re : re) (toks : int array) (i : int) (k : int -> bool) : bool =
+  let n = Array.length toks in
+  match re with
+  | Eps | Boundary -> k i
+  | Start -> i = 0 && k i
+  | End -> i = n && k i
+  | Asn a -> i < n && toks.(i) = a && k (i + 1)
+  | Any -> i < n && k (i + 1)
+  | Seq (a, b) -> mtch a toks i (fun j -> mtch b toks j k)
+  | Alt (a, b) -> mtch a toks i k || mtch b toks i k
+  | Opt a -> k i || mtch a toks i k
+  | Plus a -> mtch a toks i (fun j -> star_from a toks j i k)
+  | Star a -> k i || mtch a toks i (fun j -> star_from a toks j i k)
+
+(* Continue matching [Star a] from position [j]; [prev] guards against
+   zero-width loops. *)
+and star_from a toks j prev k =
+  if j = prev then k j
+  else k j || mtch a toks j (fun j' -> star_from a toks j' j k)
+
+let matches t path =
+  let toks = Array.of_list (As_path.to_list path) in
+  let n = Array.length toks in
+  let rec search i =
+    if i > n then false
+    else if mtch t.re toks i (fun _ -> true) then true
+    else search (i + 1)
+  in
+  search 0
+
+let pp fmt t = Format.fprintf fmt "/%s/" t.source
+let equal a b = String.equal a.source b.source
+let compare a b = String.compare a.source b.source

@@ -1,0 +1,26 @@
+(** AS-path regular expressions, Cisco-style, matched at the granularity
+    of whole AS numbers.
+
+    Supported syntax: ASN literals, [.] (any single ASN), [_] (token
+    boundary), [^] (path start), [$] (path end), [( )] grouping, [|]
+    alternation, [*], [+], [?] postfix repetition. Matching is a search:
+    the pattern may match any contiguous part of the path unless
+    anchored. *)
+
+type t
+
+(** [compile s] parses the pattern. Raises [Invalid_argument] on syntax
+    errors. *)
+val compile : string -> t
+
+val compile_opt : string -> t option
+
+(** The source text of the pattern. *)
+val source : t -> string
+
+(** [matches re path] tests the compiled pattern against an AS path. *)
+val matches : t -> As_path.t -> bool
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

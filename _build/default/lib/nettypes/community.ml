@@ -1,0 +1,41 @@
+type t = { high : int; low : int }
+
+let make high low =
+  if high < 0 || high > 0xFFFF || low < 0 || low > 0xFFFF then
+    invalid_arg "Community.make: field out of range";
+  { high; low }
+
+let no_export = make 0xFFFF 0xFF01
+let no_advertise = make 0xFFFF 0xFF02
+
+let of_string_opt s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let h = String.sub s 0 i in
+      let l = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt h, int_of_string_opt l) with
+      | Some h, Some l when h >= 0 && h <= 0xFFFF && l >= 0 && l <= 0xFFFF ->
+          Some { high = h; low = l }
+      | _, _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Community.of_string: %S" s)
+
+let to_string c = Printf.sprintf "%d:%d" c.high c.low
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let compare a b =
+  match Int.compare a.high b.high with
+  | 0 -> Int.compare a.low b.low
+  | c -> c
+
+let equal a b = compare a b = 0
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,21 @@
+(** BGP standard communities, [asn:value] pairs of 16-bit fields. *)
+
+type t = private { high : int; low : int }
+
+val make : int -> int -> t
+
+(** Well-known communities. *)
+val no_export : t
+
+val no_advertise : t
+
+(** [of_string "65535:666"] parses colon notation. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,49 @@
+type t = int
+
+let mask32 = 0xFFFFFFFF
+let zero = 0
+let broadcast = mask32
+let of_int n = n land mask32
+let to_int a = a
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24)
+  lor ((b land 0xFF) lsl 16)
+  lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let to_octets a =
+  ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF, (a lsr 8) land 0xFF, a land 0xFF)
+
+let of_string_opt s =
+  let ok_octet n = n >= 0 && n <= 255 in
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when ok_octet a && ok_octet b && ok_octet c && ok_octet d ->
+          Some (of_octets a b c d)
+      | _, _, _, _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let to_string a =
+  let x, y, z, w = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" x y z w
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+let compare = Int.compare
+let equal = Int.equal
+let hash a = a land max_int
+let succ a = (a + 1) land mask32
+let add a n = (a + n) land mask32
+let bit a i = (a lsr (31 - i)) land 1 = 1
+let logand a b = a land b
+let logor a b = a lor b
+let lognot a = lnot a land mask32

@@ -1,0 +1,40 @@
+(** IPv4 addresses represented as non-negative integers in [0, 2^32). *)
+
+type t = private int
+
+val zero : t
+val broadcast : t
+
+(** [of_int n] masks [n] to 32 bits. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+(** [of_octets a b c d] builds the address [a.b.c.d]. Octets are masked to
+    8 bits. *)
+val of_octets : int -> int -> int -> int -> t
+
+val to_octets : t -> int * int * int * int
+
+(** [of_string s] parses dotted-quad notation. Raises [Invalid_argument]
+    on malformed input. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [succ a] is the next address; wraps at the top of the space. *)
+val succ : t -> t
+
+val add : t -> int -> t
+
+(** [bit a i] is bit [i] of [a], where bit 0 is the most significant. *)
+val bit : t -> int -> bool
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val lognot : t -> t

@@ -1,0 +1,67 @@
+type t = { addr : Ipv4.t; len : int }
+
+let mask_of_len len =
+  if len = 0 then Ipv4.zero
+  else Ipv4.of_int (0xFFFFFFFF lsl (32 - len))
+
+let make addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Prefix.make: bad length %d" len);
+  { addr = Ipv4.logand addr (mask_of_len len); len }
+
+let addr p = p.addr
+let len p = p.len
+let default = make Ipv4.zero 0
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr_s = String.sub s 0 i in
+      let len_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string_opt addr_s, int_of_string_opt len_s) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _, _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.addr) p.len
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let compare p q =
+  match Ipv4.compare p.addr q.addr with
+  | 0 -> Int.compare p.len q.len
+  | c -> c
+
+let equal p q = compare p q = 0
+let hash p = (Ipv4.hash p.addr * 33) + p.len
+let mask p = mask_of_len p.len
+let contains p a = Ipv4.equal (Ipv4.logand a (mask p)) p.addr
+let subsumes p q = p.len <= q.len && contains p q.addr
+
+let overlaps p q = subsumes p q || subsumes q p
+
+let halves p =
+  if p.len >= 32 then invalid_arg "Prefix.halves: /32 has no halves";
+  let lo = make p.addr (p.len + 1) in
+  let hi_addr = Ipv4.add p.addr (1 lsl (32 - p.len - 1)) in
+  (lo, make hi_addr (p.len + 1))
+
+let subnet_count p ~len =
+  if len < p.len then 0
+  else if len - p.len >= 62 then max_int
+  else 1 lsl (len - p.len)
+
+let nth_subnet p ~len ~n =
+  if len < p.len then invalid_arg "Prefix.nth_subnet: target less specific";
+  if n < 0 || n >= subnet_count p ~len then
+    invalid_arg "Prefix.nth_subnet: index out of range";
+  make (Ipv4.add p.addr (n lsl (32 - len))) len
+
+let first_host p =
+  if p.len >= 31 then p.addr else Ipv4.succ p.addr
+
+let interface_prefix addr len = make addr len

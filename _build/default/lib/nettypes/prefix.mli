@@ -1,0 +1,55 @@
+(** IPv4 CIDR prefixes, kept in canonical form: host bits are zero. *)
+
+type t = private { addr : Ipv4.t; len : int }
+
+(** [make addr len] canonicalizes by zeroing host bits. Raises
+    [Invalid_argument] if [len] is outside [0, 32]. *)
+val make : Ipv4.t -> int -> t
+
+val addr : t -> Ipv4.t
+val len : t -> int
+
+(** The default route 0.0.0.0/0. *)
+val default : t
+
+(** [of_string "10.0.0.0/8"] parses CIDR notation. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [mask p] is the netmask of [p] as an address. *)
+val mask : t -> Ipv4.t
+
+(** [contains p a] is true iff address [a] falls inside [p]. *)
+val contains : t -> Ipv4.t -> bool
+
+(** [subsumes p q] is true iff every address of [q] is in [p]
+    (i.e. [p] is equal or less specific). *)
+val subsumes : t -> t -> bool
+
+(** [overlaps p q] is true iff the prefixes share any address. *)
+val overlaps : t -> t -> bool
+
+(** The two /[len+1] halves of a prefix; raises [Invalid_argument] on a
+    /32. *)
+val halves : t -> t * t
+
+(** [nth_subnet p ~len ~n] is the [n]-th /[len] subnet of [p].
+    Raises [Invalid_argument] if [len < len p] or [n] out of range. *)
+val nth_subnet : t -> len:int -> n:int -> t
+
+(** Number of /[len] subnets inside [p]. *)
+val subnet_count : t -> len:int -> int
+
+(** [first_host p] is the first usable address (network address + 1 for
+    prefixes shorter than /31, the network address itself otherwise). *)
+val first_host : t -> Ipv4.t
+
+(** [interface_prefix addr len] is the prefix containing [addr], i.e. the
+    connected route announced by an interface with that address. *)
+val interface_prefix : Ipv4.t -> int -> t

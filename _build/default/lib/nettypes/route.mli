@@ -1,0 +1,49 @@
+(** Routes and BGP path attributes shared by the simulator, the policy
+    engine and the coverage core. *)
+
+(** Source protocol of a main-RIB entry. *)
+type protocol = Connected | Static | Igp | Bgp
+
+val protocol_to_string : protocol -> string
+val protocol_of_string : string -> protocol option
+val pp_protocol : Format.formatter -> protocol -> unit
+val compare_protocol : protocol -> protocol -> int
+
+(** BGP origin attribute. *)
+type origin_kind = Origin_igp | Origin_egp | Origin_incomplete
+
+val origin_to_string : origin_kind -> string
+val compare_origin : origin_kind -> origin_kind -> int
+
+(** Preference order used in best-path selection: IGP < EGP < Incomplete
+    (lower is better). *)
+val origin_rank : origin_kind -> int
+
+(** A BGP route / announcement with its path attributes. *)
+type bgp = {
+  prefix : Prefix.t;
+  next_hop : Ipv4.t;
+  as_path : As_path.t;
+  local_pref : int;
+  med : int;
+  communities : Community.Set.t;
+  origin : origin_kind;
+  cluster_len : int;
+      (** length of the route-reflection CLUSTER_LIST; 0 when never
+          reflected. Lower is preferred, breaking reflection
+          oscillations. *)
+}
+
+val default_local_pref : int
+
+(** [originate prefix ~next_hop] makes a locally originated route with
+    default attributes. *)
+val originate : Prefix.t -> next_hop:Ipv4.t -> bgp
+
+val with_prefix : bgp -> Prefix.t -> bgp
+val add_community : bgp -> Community.t -> bgp
+val has_community : bgp -> Community.t -> bool
+val compare_bgp : bgp -> bgp -> int
+val equal_bgp : bgp -> bgp -> bool
+val pp_bgp : Format.formatter -> bgp -> unit
+val bgp_to_string : bgp -> string

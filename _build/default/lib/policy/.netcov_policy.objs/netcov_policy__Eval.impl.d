@@ -1,0 +1,1 @@
+lib/policy/eval.ml: As_path As_regex Community Device Element Hashtbl Ipv4 List Netcov_config Netcov_types Policy_ast Prefix Route

@@ -1,0 +1,1 @@
+lib/policy/eval.mli: Device Element Netcov_config Netcov_types Policy_ast Route

@@ -1,0 +1,138 @@
+open Netcov_types
+open Netcov_config
+
+type verdict = Accepted | Rejected
+
+type result = {
+  verdict : verdict;
+  route : Route.bgp option;
+  exercised : Element.key list;
+}
+
+let match_prefix (p : Prefix.t) (mode : Policy_ast.mode) (target : Prefix.t) =
+  match mode with
+  | Policy_ast.Exact -> Prefix.equal p target
+  | Policy_ast.Orlonger -> Prefix.subsumes p target
+  | Policy_ast.Upto n -> Prefix.subsumes p target && Prefix.len target <= n
+
+(* Evaluates one condition. Returns [None] when it does not hold, and
+   the consulted list keys when it does. *)
+let eval_cond (d : Device.t) ~(protocol : Route.protocol) (r : Route.bgp)
+    (c : Policy_ast.match_cond) : Element.key list option =
+  match c with
+  | Policy_ast.Match_prefix_list name -> (
+      match Device.find_prefix_list d name with
+      | Some pl when Device.prefix_list_matches pl r.prefix ->
+          Some [ Element.key Prefix_list name ]
+      | Some _ | None -> None)
+  | Policy_ast.Match_prefix (p, mode) ->
+      if match_prefix p mode r.prefix then Some [] else None
+  | Policy_ast.Match_community_list name -> (
+      match Device.find_community_list d name with
+      | Some cl
+        when List.exists (fun c -> Route.has_community r c) cl.cl_members ->
+          Some [ Element.key Community_list name ]
+      | Some _ | None -> None)
+  | Policy_ast.Match_community c ->
+      if Route.has_community r c then Some [] else None
+  | Policy_ast.Match_as_path_list name -> (
+      match Device.find_as_path_list d name with
+      | Some al when List.exists (fun re -> As_regex.matches re r.as_path) al.al_patterns
+        ->
+          Some [ Element.key As_path_list name ]
+      | Some _ | None -> None)
+  | Policy_ast.Match_protocol p -> if p = protocol then Some [] else None
+  | Policy_ast.Match_next_hop nh ->
+      if Ipv4.equal nh r.next_hop then Some [] else None
+
+let matches_term d ~protocol r (t : Policy_ast.term) =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+        match eval_cond d ~protocol r c with
+        | None -> None
+        | Some keys -> go (List.rev_append keys acc) rest)
+  in
+  go [] t.matches
+
+let apply_actions d r actions =
+  let rec go r keys = function
+    | [] -> (`Fallthrough, r, List.rev keys)
+    | a :: rest -> (
+        match (a : Policy_ast.action) with
+        | Accept -> (`Accept, r, List.rev keys)
+        | Reject -> (`Reject, r, List.rev keys)
+        | Next_term -> go r keys rest
+        | Set_local_pref n -> go { r with Route.local_pref = n } keys rest
+        | Set_med n -> go { r with Route.med = n } keys rest
+        | Add_community c -> go (Route.add_community r c) keys rest
+        | Remove_community c ->
+            go
+              { r with Route.communities = Community.Set.remove c r.communities }
+              keys rest
+        | Delete_community_in name -> (
+            match Device.find_community_list d name with
+            | None -> go r keys rest
+            | Some cl ->
+                let communities =
+                  List.fold_left
+                    (fun s c -> Community.Set.remove c s)
+                    r.Route.communities cl.cl_members
+                in
+                go { r with Route.communities } (Element.key Community_list name :: keys)
+                  rest)
+        | Prepend_as (asn, times) ->
+            go { r with Route.as_path = As_path.prepend asn ~times r.as_path } keys
+              rest)
+  in
+  go r [] actions
+
+(* Deduplicate keys preserving first occurrence. *)
+let dedup keys =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun k ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    keys
+
+let run_chain (d : Device.t) ~chain ~default ?(protocol = Route.Bgp) route =
+  let finish verdict route exercised =
+    {
+      verdict;
+      route = (match verdict with Accepted -> Some route | Rejected -> None);
+      exercised = dedup (List.rev exercised);
+    }
+  in
+  let rec eval_terms pol_name r exercised terms rest_policies =
+    match terms with
+    | [] -> eval_policies r exercised rest_policies
+    | (t : Policy_ast.term) :: more -> (
+        match matches_term d ~protocol r t with
+        | None -> eval_terms pol_name r exercised more rest_policies
+        | Some consulted ->
+            let term_key =
+              Element.key Route_policy_clause
+                (Policy_ast.term_element_name ~policy_name:pol_name
+                   ~term_name:t.term_name)
+            in
+            let outcome, r', act_keys = apply_actions d r t.actions in
+            let exercised =
+              List.rev_append act_keys
+                (List.rev_append consulted (term_key :: exercised))
+            in
+            (match outcome with
+            | `Accept -> finish Accepted r' exercised
+            | `Reject -> finish Rejected r' exercised
+            | `Fallthrough -> eval_terms pol_name r' exercised more rest_policies))
+  and eval_policies r exercised = function
+    | [] -> finish default r exercised
+    | name :: rest -> (
+        match Device.find_policy d name with
+        | None -> eval_policies r exercised rest
+        | Some p -> eval_terms p.pol_name r exercised p.terms rest)
+  in
+  eval_policies route [] chain

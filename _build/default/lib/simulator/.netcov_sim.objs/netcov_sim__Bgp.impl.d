@@ -1,0 +1,1 @@
+lib/simulator/bgp.ml: As_path Bool Community Device Eval Hashtbl Igp Int Ipv4 List Logs Netcov_config Netcov_policy Netcov_types Option Prefix Prefix_trie Rib Route Session

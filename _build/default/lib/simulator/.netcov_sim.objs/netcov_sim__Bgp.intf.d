@@ -1,0 +1,1 @@
+lib/simulator/bgp.mli: Device Element Hashtbl Netcov_config Netcov_types Rib Route Session Topology

@@ -1,0 +1,1 @@
+lib/simulator/forward.ml: Device Ipv4 List Netcov_config Netcov_types Option Prefix Rib Route Topology

@@ -1,0 +1,1 @@
+lib/simulator/forward.mli: Device Ipv4 Netcov_config Netcov_types Rib Topology

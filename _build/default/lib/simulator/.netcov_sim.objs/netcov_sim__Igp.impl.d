@@ -1,0 +1,1 @@
+lib/simulator/igp.ml: Device Hashtbl Int List Netcov_config Netcov_types Option Prefix Prefix_trie Rib Set String Topology

@@ -1,0 +1,1 @@
+lib/simulator/igp.mli: Device Hashtbl Netcov_config Rib Topology

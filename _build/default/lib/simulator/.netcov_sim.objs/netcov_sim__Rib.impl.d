@@ -1,0 +1,1 @@
+lib/simulator/rib.ml: Bool Format Int Ipv4 List Netcov_types Option Prefix Prefix_trie Route String

@@ -1,0 +1,1 @@
+lib/simulator/rib.mli: Format Ipv4 Netcov_types Prefix Prefix_trie Route

@@ -1,0 +1,1 @@
+lib/simulator/session.ml: Device Format Hashtbl Ipv4 List Netcov_config Netcov_types Option Printf String Topology

@@ -1,0 +1,1 @@
+lib/simulator/session.mli: Device Format Ipv4 Netcov_config Netcov_types Topology

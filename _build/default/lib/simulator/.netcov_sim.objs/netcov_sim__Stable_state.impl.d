@@ -1,0 +1,1 @@
+lib/simulator/stable_state.ml: Bgp Device Forward Hashtbl Ipv4 List Netcov_config Netcov_types Option Prefix_trie Registry Rib Session Topology

@@ -1,0 +1,1 @@
+lib/simulator/stable_state.mli: Device Forward Ipv4 Netcov_config Netcov_types Prefix Registry Rib Session Topology

@@ -1,0 +1,1 @@
+lib/simulator/topology.ml: Device Hashtbl Ipv4 List Netcov_config Netcov_types Option Prefix

@@ -1,0 +1,1 @@
+lib/simulator/topology.mli: Device Ipv4 Netcov_config Netcov_types Prefix

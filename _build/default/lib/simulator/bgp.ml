@@ -1,0 +1,542 @@
+open Netcov_types
+open Netcov_config
+open Netcov_policy
+
+let src = Logs.Src.create "netcov.sim.bgp" ~doc:"BGP fixed point"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type find_device = string -> Device.t
+
+let self_next_hop = Ipv4.zero
+
+(* ------------------------------------------------------------------ *)
+(* Targeted simulations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_local_source (s : Rib.bgp_source) =
+  match s with
+  | Rib.Learned _ -> false
+  | Rib.From_network | Rib.From_aggregate | Rib.From_redistribute _ -> true
+
+(* Was the entry learned from a neighbor the sender treats as a
+   route-reflector client? *)
+let learned_from_client (sd : Device.t) (entry : Rib.bgp_entry) =
+  match (entry.be_source, sd.bgp) with
+  | Rib.Learned ip, Some b ->
+      List.exists
+        (fun (n : Device.neighbor) -> Ipv4.equal n.nb_ip ip && n.nb_rr_client)
+        b.neighbors
+  | _, _ -> false
+
+let exportable (sd : Device.t) (nb : Device.neighbor) (e : Session.edge)
+    (entry : Rib.bgp_entry) =
+  (* iBGP rule: routes learned from an iBGP peer are not re-advertised
+     to iBGP peers (full mesh), unless the sender is a route reflector:
+     anything may be reflected to a client, and client routes may be
+     reflected to every iBGP peer. *)
+  let ibgp_learned =
+    (not entry.be_from_ebgp)
+    && match entry.be_source with Rib.Learned _ -> true | _ -> false
+  in
+  let ibgp_rule =
+    e.ebgp || (not ibgp_learned) || nb.nb_rr_client
+    || learned_from_client sd entry
+  in
+  let no_export_rule =
+    not (e.ebgp && Route.has_community entry.be_route Community.no_export)
+  in
+  ibgp_rule && no_export_rule
+
+(* summary-only aggregation suppresses the advertisement of strictly
+   more specific prefixes (the aggregate itself is advertised). *)
+let suppressed_by_summary (b : Device.bgp_config) (entry : Rib.bgp_entry) =
+  entry.be_source <> Rib.From_aggregate
+  && List.exists
+       (fun (a : Device.aggregate) ->
+         a.ag_summary_only
+         && Prefix.subsumes a.ag_prefix entry.be_route.Route.prefix
+         && Prefix.len entry.be_route.Route.prefix > Prefix.len a.ag_prefix)
+       b.aggregates
+
+let export_route (find_device : find_device) (e : Session.edge)
+    (entry : Rib.bgp_entry) =
+  let sd = find_device e.send_host in
+  match (Session.send_neighbor sd e, sd.bgp) with
+  | None, _ | _, None -> (None, [])
+  | Some nb, _ when not (exportable sd nb e entry) -> (None, [])
+  | Some _, Some b when suppressed_by_summary b entry -> (None, [])
+  | Some nb, Some b -> (
+        let chain = Device.neighbor_export sd nb in
+        let { Eval.verdict; route; exercised } =
+          Eval.run_chain sd ~chain ~default:Eval.Accepted entry.be_route
+        in
+        match (verdict, route) with
+        | Eval.Rejected, _ | _, None -> (None, exercised)
+        | Eval.Accepted, Some r ->
+            let r =
+              if e.ebgp then
+                {
+                  r with
+                  Route.as_path = As_path.prepend b.local_as r.as_path;
+                  next_hop = e.send_ip;
+                  cluster_len = 0;
+                }
+              else
+                (* reflecting an iBGP-learned route grows CLUSTER_LIST *)
+                let reflected =
+                  (not entry.be_from_ebgp)
+                  &&
+                  match entry.be_source with
+                  | Rib.Learned _ -> true
+                  | _ -> false
+                in
+                let r =
+                  if reflected then
+                    { r with Route.cluster_len = r.Route.cluster_len + 1 }
+                  else r
+                in
+                if nb.nb_next_hop_self || Ipv4.equal r.Route.next_hop self_next_hop
+                then { r with Route.next_hop = e.send_ip }
+                else r
+            in
+            (Some r, exercised))
+
+let import_route (find_device : find_device) (e : Session.edge) (msg : Route.bgp)
+    =
+  let rd = find_device e.recv_host in
+  match (Session.recv_neighbor rd e, rd.bgp) with
+  | None, _ | _, None -> (None, [])
+  | Some nb, Some b -> (
+      if e.ebgp && As_path.mem b.local_as msg.Route.as_path then (None, [])
+      else
+        let msg =
+          if e.ebgp then
+            let lp =
+              match Device.neighbor_group rd nb with
+              | Some g -> Option.value g.pg_local_pref ~default:Route.default_local_pref
+              | None -> Route.default_local_pref
+            in
+            { msg with Route.local_pref = lp }
+          else msg
+        in
+        let chain = Device.neighbor_import rd nb in
+        let { Eval.verdict; route; exercised } =
+          Eval.run_chain rd ~chain ~default:Eval.Accepted msg
+        in
+        match (verdict, route) with
+        | Eval.Rejected, _ | _, None -> (None, exercised)
+        | Eval.Accepted, Some r -> (Some r, exercised))
+
+let redistribute_route (find_device : find_device) host
+    (rd : Device.redistribute) (me : Rib.main_entry) =
+  let d = find_device host in
+  let base =
+    {
+      (Route.originate me.Rib.me_prefix ~next_hop:self_next_hop) with
+      Route.origin = Route.Origin_incomplete;
+    }
+  in
+  match rd.rd_policy with
+  | None -> (Some base, [])
+  | Some pol -> (
+      let { Eval.verdict; route; exercised } =
+        Eval.run_chain d ~chain:[ pol ] ~default:Eval.Rejected
+          ~protocol:me.Rib.me_protocol base
+      in
+      match (verdict, route) with
+      | Eval.Rejected, _ | _, None -> (None, exercised)
+      | Eval.Accepted, Some r -> (Some r, exercised))
+
+(* ------------------------------------------------------------------ *)
+(* Best-path selection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let preference_compare (a : Rib.bgp_entry) (b : Rib.bgp_entry) =
+  let local e = if is_local_source e.Rib.be_source then 0 else 1 in
+  let cmps =
+    [
+      (fun () -> Int.compare (local a) (local b));
+      (fun () ->
+        Int.compare b.be_route.Route.local_pref a.be_route.Route.local_pref);
+      (fun () ->
+        Int.compare
+          (As_path.length a.be_route.Route.as_path)
+          (As_path.length b.be_route.Route.as_path));
+      (fun () ->
+        Int.compare
+          (Route.origin_rank a.be_route.Route.origin)
+          (Route.origin_rank b.be_route.Route.origin));
+      (fun () -> Int.compare a.be_route.Route.med b.be_route.Route.med);
+      (fun () ->
+        Bool.compare (not a.be_from_ebgp) (not b.be_from_ebgp));
+      (fun () ->
+        Int.compare a.be_route.Route.cluster_len b.be_route.Route.cluster_len);
+      (fun () -> Int.compare a.be_igp_cost b.be_igp_cost);
+      (fun () -> Ipv4.compare a.be_peer_id b.be_peer_id);
+    ]
+  in
+  let rec go = function
+    | [] -> 0
+    | f :: rest -> ( match f () with 0 -> go rest | c -> c)
+  in
+  go cmps
+
+(* Multipath-eligible with the winner: equal through the IGP-cost step
+   (everything except the final peer-id tie break). *)
+let multipath_equal (a : Rib.bgp_entry) (b : Rib.bgp_entry) =
+  is_local_source a.Rib.be_source = is_local_source b.Rib.be_source
+  && a.be_route.Route.local_pref = b.be_route.Route.local_pref
+  && As_path.length a.be_route.Route.as_path
+     = As_path.length b.be_route.Route.as_path
+  && Route.origin_rank a.be_route.Route.origin
+     = Route.origin_rank b.be_route.Route.origin
+  && a.be_route.Route.med = b.be_route.Route.med
+  && a.be_from_ebgp = b.be_from_ebgp
+  && a.be_route.Route.cluster_len = b.be_route.Route.cluster_len
+  && a.be_igp_cost = b.be_igp_cost
+
+let select_best ~multipath entries =
+  match List.sort preference_compare entries with
+  | [] -> []
+  | winner :: _ as sorted ->
+      let n_best = ref 0 in
+      List.map
+        (fun e ->
+          let best =
+            !n_best < max 1 multipath && multipath_equal winner e
+          in
+          if best then incr n_best;
+          { e with Rib.be_best = best })
+        sorted
+
+(* ------------------------------------------------------------------ *)
+(* Fixed point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  bgp_ribs : (string, Rib.bgp_entry Rib.table) Hashtbl.t;
+  main_ribs : (string, Rib.main_entry Rib.table) Hashtbl.t;
+  igp_ribs : (string, Rib.igp_entry Rib.table) Hashtbl.t;
+  edges : Session.edge list;
+  rounds : int;
+}
+
+let connected_entries (d : Device.t) =
+  List.map
+    (fun ((i : Device.interface), p) ->
+      {
+        Rib.me_prefix = p;
+        me_nexthop = Rib.Nh_connected i.if_name;
+        me_protocol = Route.Connected;
+        me_metric = 0;
+      })
+    (Device.connected_prefixes d)
+
+let static_entries (d : Device.t) =
+  List.map
+    (fun (s : Device.static_route) ->
+      {
+        Rib.me_prefix = s.st_prefix;
+        me_nexthop = Rib.Nh_ip s.st_next_hop;
+        me_protocol = Route.Static;
+        me_metric = 0;
+      })
+    d.static_routes
+
+let igp_entries table =
+  List.map
+    (fun (_, (e : Rib.igp_entry)) ->
+      {
+        Rib.me_prefix = e.ie_prefix;
+        me_nexthop = Rib.Nh_ip e.ie_nexthop;
+        me_protocol = Route.Igp;
+        me_metric = e.ie_cost;
+      })
+    (Rib.table_entries table)
+
+(* Keep only the best-protocol entries per prefix, deduplicated. *)
+let normalize_main table =
+  Prefix_trie.map
+    (fun entries ->
+      match List.sort_uniq Rib.compare_main entries with
+      | [] -> []
+      | sorted ->
+          let best_proto =
+            List.fold_left
+              (fun acc (e : Rib.main_entry) ->
+                if Route.compare_protocol e.me_protocol acc < 0 then e.me_protocol
+                else acc)
+              Route.Bgp sorted
+          in
+          List.filter
+            (fun (e : Rib.main_entry) -> e.me_protocol = best_proto)
+            sorted)
+    table
+
+(* Pre-BGP main RIB: connected beats static beats IGP per prefix. *)
+let pre_bgp_main (d : Device.t) igp_table =
+  let all = connected_entries d @ static_entries d @ igp_entries igp_table in
+  List.fold_left
+    (fun t (e : Rib.main_entry) -> Rib.table_add e.me_prefix e t)
+    Prefix_trie.empty all
+  |> normalize_main
+
+let igp_cost_to main_rib ip =
+  if Ipv4.equal ip self_next_hop then 0
+  else
+    match Rib.table_longest_match ip main_rib with
+    | Some (_, e :: _) -> e.Rib.me_metric
+    | Some (_, []) | None -> 0
+
+(* One synchronous round for one host: local origination + imports from
+   the previous round's sender states. *)
+let host_round (find_device : find_device) (d : Device.t) ~edges_in
+    ~(prev_bgp : string -> Rib.bgp_entry Rib.table) ~pre_main =
+  match d.bgp with
+  | None -> Prefix_trie.empty
+  | Some b ->
+      let entries = ref [] in
+      let push e = entries := e :: !entries in
+      (* network statements: pull exact main-RIB entries into BGP *)
+      List.iter
+        (fun p ->
+          match Rib.table_find p pre_main with
+          | [] -> ()
+          | me :: _ ->
+              if me.Rib.me_protocol <> Route.Bgp then
+                push
+                  {
+                    Rib.be_route = Route.originate p ~next_hop:self_next_hop;
+                    be_source = Rib.From_network;
+                    be_from_ebgp = false;
+                    be_igp_cost = 0;
+                    be_peer_id = b.router_id;
+                    be_best = false;
+                  })
+        b.networks;
+      (* redistribution *)
+      List.iter
+        (fun (rd : Device.redistribute) ->
+          List.iter
+            (fun (_, (me : Rib.main_entry)) ->
+              if me.me_protocol = rd.rd_from then
+                match redistribute_route find_device d.hostname rd me with
+                | Some r, _ ->
+                    push
+                      {
+                        Rib.be_route = r;
+                        be_source = Rib.From_redistribute rd.rd_from;
+                        be_from_ebgp = false;
+                        be_igp_cost = 0;
+                        be_peer_id = b.router_id;
+                        be_best = false;
+                      }
+                | None, _ -> ())
+            (Rib.table_entries pre_main))
+        b.redistributes;
+      (* imports over established edges (sender state from previous round) *)
+      List.iter
+        (fun (e : Session.edge) ->
+          let sender_table = prev_bgp e.send_host in
+          (* All the sender's current best routes, filtered and
+             transformed by the export simulation. *)
+          Prefix_trie.iter
+            (fun _ sender_entries ->
+              List.iter
+                (fun (se : Rib.bgp_entry) ->
+                  if se.be_best then
+                    match export_route find_device e se with
+                    | None, _ -> ()
+                    | Some msg, _ -> (
+                        match import_route find_device e msg with
+                        | None, _ -> ()
+                        | Some r, _ ->
+                            push
+                              {
+                                Rib.be_route = r;
+                                be_source = Rib.Learned e.send_ip;
+                                be_from_ebgp = e.ebgp;
+                                be_igp_cost =
+                                  igp_cost_to pre_main r.Route.next_hop;
+                                be_peer_id = e.send_ip;
+                                be_best = false;
+                              }))
+                sender_entries)
+            sender_table)
+        edges_in;
+      (* aggregates: active iff a strictly more specific BGP entry
+         exists among what we have so far *)
+      let base = !entries in
+      List.iter
+        (fun (a : Device.aggregate) ->
+          let has_contributor =
+            List.exists
+              (fun (e : Rib.bgp_entry) ->
+                Prefix.subsumes a.ag_prefix e.be_route.Route.prefix
+                && Prefix.len e.be_route.Route.prefix > Prefix.len a.ag_prefix)
+              base
+          in
+          if has_contributor then
+            push
+              {
+                Rib.be_route =
+                  {
+                    (Route.originate a.ag_prefix ~next_hop:self_next_hop) with
+                    Route.origin = Route.Origin_incomplete;
+                  };
+                be_source = Rib.From_aggregate;
+                be_from_ebgp = false;
+                be_igp_cost = 0;
+                be_peer_id = b.router_id;
+                be_best = false;
+              })
+        b.aggregates;
+      (* group by prefix, select best *)
+      let by_prefix = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Rib.bgp_entry) ->
+          let k = Prefix.to_string e.be_route.Route.prefix in
+          let cur = Option.value (Hashtbl.find_opt by_prefix k) ~default:[] in
+          Hashtbl.replace by_prefix k (e :: cur))
+        !entries;
+      Hashtbl.fold
+        (fun _ es table ->
+          match es with
+          | [] -> table
+          | first :: _ ->
+              (* a sender's several ECMP best paths export as identical
+                 messages: deduplicate before selection so duplicates do
+                 not consume the multipath budget *)
+              let selected =
+                select_best ~multipath:b.multipath
+                  (List.sort_uniq Rib.compare_bgp_entry es)
+                |> List.sort_uniq Rib.compare_bgp_entry
+              in
+              Prefix_trie.add first.Rib.be_route.Route.prefix selected table)
+        by_prefix Prefix_trie.empty
+
+(* Install BGP best routes into the pre-BGP main RIB. Locally originated
+   network/redistributed entries do not re-install (their source routes
+   are already present); aggregates install as discard routes. *)
+let build_main (d : Device.t) pre_main bgp_table =
+  let multipath = match d.bgp with Some b -> b.multipath | None -> 1 in
+  Prefix_trie.fold
+    (fun p entries table ->
+      let existing = Rib.table_find p table in
+      let has_better =
+        List.exists
+          (fun (e : Rib.main_entry) -> e.me_protocol <> Route.Bgp)
+          existing
+      in
+      if has_better then table
+      else
+        let best = List.filter (fun (e : Rib.bgp_entry) -> e.be_best) entries in
+        let installs =
+          List.filter_map
+            (fun (e : Rib.bgp_entry) ->
+              match e.be_source with
+              | Rib.Learned _ ->
+                  Some
+                    {
+                      Rib.me_prefix = p;
+                      me_nexthop = Rib.Nh_ip e.be_route.Route.next_hop;
+                      me_protocol = Route.Bgp;
+                      me_metric = 0;
+                    }
+              | Rib.From_aggregate ->
+                  Some
+                    {
+                      Rib.me_prefix = p;
+                      me_nexthop = Rib.Nh_discard;
+                      me_protocol = Route.Bgp;
+                      me_metric = 0;
+                    }
+              | Rib.From_network | Rib.From_redistribute _ -> None)
+            best
+        in
+        let installs =
+          let rec take n = function
+            | [] -> []
+            | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+          in
+          take (max 1 multipath) (List.sort_uniq Rib.compare_main installs)
+        in
+        if installs = [] then table else Prefix_trie.add p installs table)
+    bgp_table pre_main
+
+let bgp_tables_equal (a : Rib.bgp_entry Rib.table)
+    (b : Rib.bgp_entry Rib.table) =
+  Prefix_trie.equal
+    (fun xs ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun x y -> Rib.compare_bgp_entry x y = 0) xs ys)
+    a b
+
+let run ?(max_rounds = 64) devices topo =
+  let dev_tbl = Hashtbl.create 64 in
+  List.iter (fun (d : Device.t) -> Hashtbl.replace dev_tbl d.hostname d) devices;
+  let find_device h =
+    match Hashtbl.find_opt dev_tbl h with
+    | Some d -> d
+    | None -> invalid_arg ("Bgp.run: unknown device " ^ h)
+  in
+  let igp_ribs = Igp.compute devices topo in
+  let igp_of h =
+    Option.value (Hashtbl.find_opt igp_ribs h) ~default:Prefix_trie.empty
+  in
+  let pre_mains = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) ->
+      Hashtbl.replace pre_mains d.hostname (pre_bgp_main d (igp_of d.hostname)))
+    devices;
+  let reach host ip =
+    match Hashtbl.find_opt pre_mains host with
+    | None -> false
+    | Some t -> Rib.table_longest_match ip t <> None
+  in
+  let edges = Session.establish devices topo ~reach in
+  let edges_in_of = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Session.edge) ->
+      let cur = Option.value (Hashtbl.find_opt edges_in_of e.recv_host) ~default:[] in
+      Hashtbl.replace edges_in_of e.recv_host (cur @ [ e ]))
+    edges;
+  let bgp_state = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) -> Hashtbl.replace bgp_state d.hostname Prefix_trie.empty)
+    devices;
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    let prev_bgp h =
+      Option.value (Hashtbl.find_opt bgp_state h) ~default:Prefix_trie.empty
+    in
+    let next =
+      List.map
+        (fun (d : Device.t) ->
+          let edges_in =
+            Option.value (Hashtbl.find_opt edges_in_of d.hostname) ~default:[]
+          in
+          let pre_main = Hashtbl.find pre_mains d.hostname in
+          (d.hostname, host_round find_device d ~edges_in ~prev_bgp ~pre_main))
+        devices
+    in
+    List.iter
+      (fun (h, table) ->
+        if not (bgp_tables_equal table (prev_bgp h)) then changed := true)
+      next;
+    List.iter (fun (h, table) -> Hashtbl.replace bgp_state h table) next
+  done;
+  if !changed then
+    Log.warn (fun m -> m "BGP did not converge after %d rounds" max_rounds);
+  let main_ribs = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) ->
+      let pre_main = normalize_main (Hashtbl.find pre_mains d.hostname) in
+      let bgp_table = Hashtbl.find bgp_state d.hostname in
+      Hashtbl.replace main_ribs d.hostname (build_main d pre_main bgp_table))
+    devices;
+  { bgp_ribs = bgp_state; main_ribs; igp_ribs; edges; rounds = !rounds }

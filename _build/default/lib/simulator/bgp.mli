@@ -1,0 +1,63 @@
+(** BGP control-plane computation to a stable state, plus the targeted
+    per-route simulations that NetCov's inference rules re-run (§4.2).
+
+    The propagation is a synchronous fixed point: each round every
+    device re-originates local routes, exports its current best routes
+    over every established edge, imports what its neighbors exported in
+    the previous round, and re-selects best paths. No provenance is
+    recorded — the coverage core re-derives contributions afterwards
+    from the stable state alone (paper §3.2, observation 2). *)
+
+open Netcov_types
+open Netcov_config
+
+type find_device = string -> Device.t
+
+(** [export_route find_device edge entry] simulates the sender-side
+    processing of [entry] over [edge]: exportability (iBGP full-mesh
+    rule, no-export community), the export policy chain, eBGP AS
+    prepending and next-hop rewriting. Returns the wire message and the
+    policy elements exercised on the sender. *)
+val export_route :
+  find_device ->
+  Session.edge ->
+  Rib.bgp_entry ->
+  Route.bgp option * Element.key list
+
+(** [import_route find_device edge msg] simulates receiver-side
+    processing: AS-loop rejection, eBGP local-pref reset, peer-group
+    preference, the import policy chain. Returns the accepted route and
+    the policy elements exercised on the receiver. *)
+val import_route :
+  find_device ->
+  Session.edge ->
+  Route.bgp ->
+  Route.bgp option * Element.key list
+
+(** [redistribute_route find_device host r main_entry] simulates a
+    redistribution config pulling a main-RIB entry into BGP. *)
+val redistribute_route :
+  find_device ->
+  string ->
+  Device.redistribute ->
+  Rib.main_entry ->
+  Route.bgp option * Element.key list
+
+(** Result of the fixed-point computation. *)
+type result = {
+  bgp_ribs : (string, Rib.bgp_entry Rib.table) Hashtbl.t;
+  main_ribs : (string, Rib.main_entry Rib.table) Hashtbl.t;
+  igp_ribs : (string, Rib.igp_entry Rib.table) Hashtbl.t;
+  edges : Session.edge list;
+  rounds : int;  (** rounds to converge *)
+}
+
+(** [run devices topo] computes the stable state. [max_rounds] caps the
+    iteration (default 64); non-convergence logs a warning and returns
+    the last state. *)
+val run : ?max_rounds:int -> Device.t list -> Topology.t -> result
+
+(** Best-path comparison used by selection (smaller is better); exposed
+    for tests. Ranks: local origination, local-pref, AS-path length,
+    origin, MED, eBGP-over-iBGP, IGP cost, peer id. *)
+val preference_compare : Rib.bgp_entry -> Rib.bgp_entry -> int

@@ -1,0 +1,145 @@
+open Netcov_types
+open Netcov_config
+
+module Pq = Set.Make (struct
+  type t = int * string
+
+  let compare (c1, h1) (c2, h2) =
+    match Int.compare c1 c2 with 0 -> String.compare h1 h2 | c -> c
+end)
+
+type link = {
+  cost : int;
+  remote_host : string;
+  local_ep : Topology.endpoint;
+  remote_ep : Topology.endpoint;
+}
+
+let igp_if (d : Device.t) name =
+  match Device.find_interface d name with
+  | Some i when i.igp_enabled -> Some i
+  | Some _ | None -> None
+
+let build_graph devices topo =
+  let dev_tbl = Hashtbl.create 64 in
+  List.iter (fun (d : Device.t) -> Hashtbl.replace dev_tbl d.hostname d) devices;
+  let graph = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) ->
+      let links =
+        List.filter_map
+          (fun (adj : Topology.adjacency) ->
+            match
+              ( igp_if d adj.local.ifname,
+                Option.bind
+                  (Hashtbl.find_opt dev_tbl adj.remote.host)
+                  (fun rd -> igp_if rd adj.remote.ifname) )
+            with
+            | Some li, Some _ ->
+                Some
+                  {
+                    cost = li.igp_metric;
+                    remote_host = adj.remote.host;
+                    local_ep = adj.local;
+                    remote_ep = adj.remote;
+                  }
+            | _, _ -> None)
+          (Topology.adjacencies_of topo d.hostname)
+      in
+      Hashtbl.replace graph d.hostname links)
+    devices;
+  (dev_tbl, graph)
+
+(* Dijkstra from [src], also collecting the set of ECMP first-hop links
+   toward every reachable host. *)
+let dijkstra graph src =
+  let dist = Hashtbl.create 64 in
+  let first_hops : (string, link list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace dist src 0;
+  let pq = ref (Pq.singleton (0, src)) in
+  while not (Pq.is_empty !pq) do
+    let ((d, u) as min_elt) = Pq.min_elt !pq in
+    pq := Pq.remove min_elt !pq;
+    let current = Option.value (Hashtbl.find_opt dist u) ~default:max_int in
+    if d = current then
+      List.iter
+        (fun l ->
+          let nd = d + l.cost in
+          let v = l.remote_host in
+          let old = Option.value (Hashtbl.find_opt dist v) ~default:max_int in
+          let hops_via_u =
+            if u = src then [ l ]
+            else Option.value (Hashtbl.find_opt first_hops u) ~default:[]
+          in
+          if nd < old then begin
+            Hashtbl.replace dist v nd;
+            Hashtbl.replace first_hops v hops_via_u;
+            pq := Pq.add (nd, v) !pq
+          end
+          else if nd = old && nd < max_int then begin
+            let cur = Option.value (Hashtbl.find_opt first_hops v) ~default:[] in
+            let merged =
+              List.fold_left
+                (fun acc h -> if List.memq h acc then acc else acc @ [ h ])
+                cur hops_via_u
+            in
+            Hashtbl.replace first_hops v merged
+          end)
+        (Option.value (Hashtbl.find_opt graph u) ~default:[])
+  done;
+  (dist, first_hops)
+
+let compute devices topo =
+  let dev_tbl, graph = build_graph devices topo in
+  (* Destinations: prefixes of IGP-enabled interfaces, keyed by owner. *)
+  let destinations =
+    List.concat_map
+      (fun (d : Device.t) ->
+        List.filter_map
+          (fun (i : Device.interface) ->
+            match i.address with
+            | Some (ip, plen) when i.igp_enabled ->
+                Some
+                  ( d.hostname,
+                    i.if_name,
+                    Prefix.interface_prefix ip plen,
+                    i.igp_metric )
+            | Some _ | None -> None)
+          d.interfaces)
+      devices
+  in
+  let result = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) ->
+      if Hashtbl.mem dev_tbl d.hostname then begin
+        let dist, first_hops = dijkstra graph d.hostname in
+        let table =
+          List.fold_left
+            (fun table (owner, dest_if, prefix, stub_cost) ->
+              if owner = d.hostname then table
+              else
+                match Hashtbl.find_opt dist owner with
+                | None -> table
+                | Some c ->
+                    let hops =
+                      Option.value (Hashtbl.find_opt first_hops owner) ~default:[]
+                    in
+                    List.fold_left
+                      (fun table (l : link) ->
+                        Rib.table_add prefix
+                          {
+                            Rib.ie_prefix = prefix;
+                            ie_nexthop = l.remote_ep.ip;
+                            ie_out_if = l.local_ep.ifname;
+                            ie_cost = c + stub_cost;
+                            ie_dest_host = owner;
+                            ie_dest_if = dest_if;
+                          }
+                          table)
+                      table hops)
+            Prefix_trie.empty destinations
+        in
+        Hashtbl.replace result d.hostname table
+      end)
+    devices;
+  result

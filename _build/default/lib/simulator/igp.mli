@@ -1,0 +1,11 @@
+(** Link-state IGP (IS-IS/OSPF stand-in): shortest paths over
+    IGP-enabled interfaces, with equal-cost multipath. Provides internal
+    reachability underneath iBGP, as in the Internet2 design (§6.1). *)
+
+open Netcov_config
+
+(** [compute devices topo] returns the IGP RIB of every host. A link
+    participates iff both endpoint interfaces are IGP-enabled; an
+    IGP-enabled interface's prefix is advertised network-wide. *)
+val compute :
+  Device.t list -> Topology.t -> (string, Rib.igp_entry Rib.table) Hashtbl.t

@@ -1,0 +1,92 @@
+open Netcov_types
+open Netcov_config
+
+type edge = {
+  send_host : string;
+  send_ip : Ipv4.t;
+  recv_host : string;
+  recv_ip : Ipv4.t;
+  ebgp : bool;
+  multihop : bool;
+}
+
+let edge_key e =
+  Printf.sprintf "%s/%s->%s/%s" e.send_host (Ipv4.to_string e.send_ip)
+    e.recv_host (Ipv4.to_string e.recv_ip)
+
+let pp_edge fmt e = Format.pp_print_string fmt (edge_key e)
+
+let compare_edge a b = String.compare (edge_key a) (edge_key b)
+
+let find_neighbor (d : Device.t) ip =
+  match d.bgp with
+  | None -> None
+  | Some b ->
+      List.find_opt (fun (n : Device.neighbor) -> Ipv4.equal n.nb_ip ip) b.neighbors
+
+(* The local address a device uses toward neighbor [nb]: the configured
+   local address, or the local interface on the subnet shared with the
+   neighbor's address. *)
+let local_session_addr (topo : Topology.t) (d : Device.t) (nb : Device.neighbor) =
+  match nb.nb_local_addr with
+  | Some a -> Some a
+  | None ->
+      Option.map
+        (fun (e : Topology.endpoint) -> e.ip)
+        (Topology.on_shared_subnet topo d.hostname nb.nb_ip)
+
+let establish devices topo ~reach =
+  let dev_tbl = Hashtbl.create 64 in
+  List.iter (fun (d : Device.t) -> Hashtbl.replace dev_tbl d.hostname d) devices;
+  let owner_of_ip ip =
+    Option.bind (Topology.endpoint_of_ip topo ip) (fun (e : Topology.endpoint) ->
+        Hashtbl.find_opt dev_tbl e.host)
+  in
+  let edges = ref [] in
+  List.iter
+    (fun (d : Device.t) ->
+      match d.bgp with
+      | None -> ()
+      | Some b ->
+          List.iter
+            (fun (nb : Device.neighbor) ->
+              match (owner_of_ip nb.nb_ip, local_session_addr topo d nb) with
+              | None, _ | _, None -> ()
+              | Some remote_dev, Some local_ip -> (
+                  (* The remote side must configure a neighbor at our
+                     session address, with consistent AS numbers. *)
+                  match (find_neighbor remote_dev local_ip, remote_dev.bgp) with
+                  | None, _ | _, None -> ()
+                  | Some remote_nb, Some remote_bgp ->
+                      let as_ok =
+                        nb.nb_remote_as = remote_bgp.local_as
+                        && remote_nb.nb_remote_as = b.local_as
+                      in
+                      let direct =
+                        Topology.on_shared_subnet topo d.hostname nb.nb_ip <> None
+                      in
+                      let reachable =
+                        direct
+                        || (reach d.hostname nb.nb_ip
+                           && reach remote_dev.hostname local_ip)
+                      in
+                      if as_ok && reachable then
+                        (* Record the edge from remote -> local; the
+                           symmetric direction is found when iterating the
+                           remote device. *)
+                        edges :=
+                          {
+                            send_host = remote_dev.hostname;
+                            send_ip = nb.nb_ip;
+                            recv_host = d.hostname;
+                            recv_ip = local_ip;
+                            ebgp = nb.nb_remote_as <> b.local_as;
+                            multihop = not direct;
+                          }
+                          :: !edges))
+            b.neighbors)
+    devices;
+  List.sort_uniq compare_edge !edges
+
+let recv_neighbor (d : Device.t) (e : edge) = find_neighbor d e.send_ip
+let send_neighbor (d : Device.t) (e : edge) = find_neighbor d e.recv_ip

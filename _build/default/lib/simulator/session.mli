@@ -1,0 +1,39 @@
+(** BGP session establishment. A session comes up when both sides
+    configure each other consistently and each side can reach the other's
+    session address — directly for single-hop eBGP, via
+    connected/static/IGP routes for multihop iBGP (§4.1's routing-edge
+    facts; paths enabling a session are themselves IFG facts). *)
+
+open Netcov_types
+open Netcov_config
+
+(** One directed routing edge: messages flow send → recv. *)
+type edge = {
+  send_host : string;
+  send_ip : Ipv4.t;  (** session address on the sender *)
+  recv_host : string;
+  recv_ip : Ipv4.t;
+  ebgp : bool;
+  multihop : bool;  (** session addresses not on a shared subnet *)
+}
+
+val edge_key : edge -> string
+val pp_edge : Format.formatter -> edge -> unit
+val compare_edge : edge -> edge -> int
+
+(** [establish devices topo pre_bgp_ribs] computes all directed edges.
+    [reach host ip] must report whether [host] can reach [ip] using
+    pre-BGP routes (connected / static / IGP). *)
+val establish :
+  Device.t list ->
+  Topology.t ->
+  reach:(string -> Ipv4.t -> bool) ->
+  edge list
+
+(** Config lookups for an edge. *)
+
+(** The receiver-side neighbor statement matching the sender's address. *)
+val recv_neighbor : Device.t -> edge -> Device.neighbor option
+
+(** The sender-side neighbor statement matching the receiver's address. *)
+val send_neighbor : Device.t -> edge -> Device.neighbor option

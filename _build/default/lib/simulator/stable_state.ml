@@ -1,0 +1,111 @@
+open Netcov_types
+open Netcov_config
+
+type t = {
+  reg : Registry.t;
+  topo : Topology.t;
+  sim : Bgp.result;
+  edge_index : (string, Session.edge) Hashtbl.t;
+  (* devices as simulated: interface failures applied (the registry keeps
+     the unmodified configurations for coverage) *)
+  sim_devices : (string, Device.t) Hashtbl.t;
+}
+
+let edge_index_key ~recv_host ~send_ip =
+  recv_host ^ "<-" ^ Ipv4.to_string send_ip
+
+let apply_down down devices =
+  if down = [] then devices
+  else
+    List.map
+      (fun (d : Device.t) ->
+        let failed ifname = List.mem (d.hostname, ifname) down in
+        {
+          d with
+          Device.interfaces =
+            List.map
+              (fun (i : Device.interface) ->
+                if failed i.if_name then
+                  { i with Device.address = None; igp_enabled = false }
+                else i)
+              d.interfaces;
+        })
+      devices
+
+let compute ?max_rounds ?(down = []) reg =
+  let devices = apply_down down (Registry.devices reg) in
+  let topo = Topology.build devices in
+  let sim = Bgp.run ?max_rounds devices topo in
+  let edge_index = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Session.edge) ->
+      Hashtbl.replace edge_index
+        (edge_index_key ~recv_host:e.recv_host ~send_ip:e.send_ip)
+        e)
+    sim.edges;
+  let sim_devices = Hashtbl.create 64 in
+  List.iter (fun (d : Device.t) -> Hashtbl.replace sim_devices d.hostname d) devices;
+  { reg; topo; sim; edge_index; sim_devices }
+
+let registry t = t.reg
+let topology t = t.topo
+let rounds t = t.sim.rounds
+let find_device t host =
+  match Hashtbl.find_opt t.sim_devices host with
+  | Some d -> d
+  | None -> Registry.device t.reg host
+let is_external t host = Registry.is_external t.reg host
+
+let table_of tbl host =
+  Option.value (Hashtbl.find_opt tbl host) ~default:Prefix_trie.empty
+
+let main_rib t host = table_of t.sim.main_ribs host
+let bgp_rib t host = table_of t.sim.bgp_ribs host
+let igp_rib t host = table_of t.sim.igp_ribs host
+let edges t = t.sim.edges
+
+let edge_from t ~recv_host ~send_ip =
+  Hashtbl.find_opt t.edge_index (edge_index_key ~recv_host ~send_ip)
+
+let edges_in t host =
+  List.filter (fun (e : Session.edge) -> e.recv_host = host) t.sim.edges
+
+let edges_out t host =
+  List.filter (fun (e : Session.edge) -> e.send_host = host) t.sim.edges
+
+let main_lookup t host p = Rib.table_find p (main_rib t host)
+let bgp_lookup t host p = Rib.table_find p (bgp_rib t host)
+
+let bgp_lookup_best t host p =
+  List.filter (fun (e : Rib.bgp_entry) -> e.be_best) (bgp_lookup t host p)
+
+let igp_lookup t host p = Rib.table_find p (igp_rib t host)
+
+let forward_env t =
+  {
+    Forward.find_device = (fun h -> Hashtbl.find_opt t.sim_devices h);
+    main_rib = (fun h -> main_rib t h);
+    topo = t.topo;
+  }
+
+let trace ?max_paths t ~src ~dst = Forward.trace ?max_paths (forward_env t) ~src ~dst
+
+let reachable ?max_paths t ~src ~dst =
+  Forward.reachable ?max_paths (forward_env t) ~src ~dst
+
+let owner_of_ip t ip =
+  Option.map
+    (fun (e : Topology.endpoint) -> (e.host, e.ifname))
+    (Topology.endpoint_of_ip t.topo ip)
+
+let total_main_entries t =
+  Hashtbl.fold (fun _ table acc -> acc + Rib.table_count table) t.sim.main_ribs 0
+
+let total_bgp_entries t =
+  Hashtbl.fold (fun _ table acc -> acc + Rib.table_count table) t.sim.bgp_ribs 0
+
+let internal_hosts t =
+  List.map (fun (d : Device.t) -> d.hostname) (Registry.internal_devices t.reg)
+
+let all_hosts t =
+  List.map (fun (d : Device.t) -> d.hostname) (Registry.devices t.reg)

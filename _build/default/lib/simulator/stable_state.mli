@@ -1,0 +1,70 @@
+(** The stable network state consumed by NetCov: configurations, main
+    and protocol RIBs, active routing edges, and data-plane forwarding —
+    everything §4's inference rules look up. *)
+
+open Netcov_types
+open Netcov_config
+
+type t
+
+(** [compute registry] builds the topology from interface addressing and
+    runs the control plane to a fixed point.
+
+    [down] lists failed interfaces as [(host, ifname)] pairs: they lose
+    their addresses for the purposes of topology, connected routes, IGP
+    and sessions, while the registry (the coverage domain) is untouched —
+    this models an environmental failure, not a configuration change. *)
+val compute :
+  ?max_rounds:int -> ?down:(string * string) list -> Registry.t -> t
+
+val registry : t -> Registry.t
+val topology : t -> Topology.t
+val rounds : t -> int
+
+val find_device : t -> string -> Device.t
+val is_external : t -> string -> bool
+
+val main_rib : t -> string -> Rib.main_entry Rib.table
+val bgp_rib : t -> string -> Rib.bgp_entry Rib.table
+val igp_rib : t -> string -> Rib.igp_entry Rib.table
+
+(** All established directed routing edges. *)
+val edges : t -> Session.edge list
+
+(** [edge_from t ~recv_host ~send_ip] resolves the unique edge whose
+    receiver is [recv_host] and whose sender session address is
+    [send_ip] — the lookup in Figure 4. *)
+val edge_from : t -> recv_host:string -> send_ip:Ipv4.t -> Session.edge option
+
+val edges_in : t -> string -> Session.edge list
+val edges_out : t -> string -> Session.edge list
+
+(** Exact-prefix lookups. *)
+val main_lookup : t -> string -> Prefix.t -> Rib.main_entry list
+
+val bgp_lookup : t -> string -> Prefix.t -> Rib.bgp_entry list
+
+(** Best entries only, Figure 3's [status='BEST'] filter. *)
+val bgp_lookup_best : t -> string -> Prefix.t -> Rib.bgp_entry list
+
+val igp_lookup : t -> string -> Prefix.t -> Rib.igp_entry list
+
+(** Data-plane forwarding. *)
+val forward_env : t -> Forward.env
+
+val trace : ?max_paths:int -> t -> src:string -> dst:Ipv4.t -> Forward.path list
+val reachable : ?max_paths:int -> t -> src:string -> dst:Ipv4.t -> bool
+
+(** [owner_of_ip t ip] is the device/interface carrying [ip]. *)
+val owner_of_ip : t -> Ipv4.t -> (string * string) option
+
+(** Total entries across main RIBs of all devices (scale metric used by
+    Figure 10(b)). *)
+val total_main_entries : t -> int
+
+val total_bgp_entries : t -> int
+
+(** Hosts in the coverage domain (internal devices). *)
+val internal_hosts : t -> string list
+
+val all_hosts : t -> string list

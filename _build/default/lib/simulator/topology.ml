@@ -1,0 +1,78 @@
+open Netcov_types
+open Netcov_config
+
+type endpoint = { host : string; ifname : string; ip : Ipv4.t; plen : int }
+
+let endpoint_prefix e = Prefix.interface_prefix e.ip e.plen
+
+type adjacency = { local : endpoint; remote : endpoint }
+
+type t = {
+  by_host : (string, adjacency list) Hashtbl.t;
+  by_ip : (int, endpoint) Hashtbl.t;
+  endpoints : (string, endpoint list) Hashtbl.t;
+  host_list : string list;
+}
+
+let build devices =
+  let endpoints_all =
+    List.concat_map
+      (fun (d : Device.t) ->
+        List.filter_map
+          (fun (i : Device.interface) ->
+            match i.address with
+            | Some (ip, plen) ->
+                Some { host = d.hostname; ifname = i.if_name; ip; plen }
+            | None -> None)
+          d.interfaces)
+      devices
+  in
+  let by_ip = Hashtbl.create 256 in
+  List.iter (fun e -> Hashtbl.replace by_ip (Ipv4.to_int e.ip) e) endpoints_all;
+  let endpoints = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = Option.value (Hashtbl.find_opt endpoints e.host) ~default:[] in
+      Hashtbl.replace endpoints e.host (cur @ [ e ]))
+    endpoints_all;
+  (* Group endpoints by subnet; all pairs on different hosts in the same
+     subnet are adjacent. *)
+  let by_subnet = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let key = Prefix.to_string (endpoint_prefix e) in
+      let cur = Option.value (Hashtbl.find_opt by_subnet key) ~default:[] in
+      Hashtbl.replace by_subnet key (e :: cur))
+    endpoints_all;
+  let by_host = Hashtbl.create 64 in
+  let add_adj local remote =
+    let cur = Option.value (Hashtbl.find_opt by_host local.host) ~default:[] in
+    Hashtbl.replace by_host local.host (cur @ [ { local; remote } ])
+  in
+  Hashtbl.iter
+    (fun _ members ->
+      let members = List.rev members in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b -> if a.host <> b.host then add_adj a b)
+            members)
+        members)
+    by_subnet;
+  let host_list = List.map (fun (d : Device.t) -> d.hostname) devices in
+  { by_host; by_ip; endpoints; host_list }
+
+let adjacencies_of t host =
+  Option.value (Hashtbl.find_opt t.by_host host) ~default:[]
+
+let endpoint_of_ip t ip = Hashtbl.find_opt t.by_ip (Ipv4.to_int ip)
+
+let endpoints_of t host =
+  Option.value (Hashtbl.find_opt t.endpoints host) ~default:[]
+
+let on_shared_subnet t host ip =
+  List.find_opt
+    (fun e -> Prefix.contains (endpoint_prefix e) ip)
+    (endpoints_of t host)
+
+let hosts t = t.host_list

@@ -1,0 +1,37 @@
+(** Physical topology derived from interface addressing: two interfaces
+    are adjacent iff their connected prefixes are the same subnet. *)
+
+open Netcov_types
+open Netcov_config
+
+type endpoint = {
+  host : string;
+  ifname : string;
+  ip : Ipv4.t;
+  plen : int;
+}
+
+val endpoint_prefix : endpoint -> Prefix.t
+
+(** A directed adjacency: [local] and [remote] share a subnet. *)
+type adjacency = { local : endpoint; remote : endpoint }
+
+type t
+
+val build : Device.t list -> t
+
+(** All adjacencies with [host] on the local side. *)
+val adjacencies_of : t -> string -> adjacency list
+
+(** [endpoint_of_ip t ip] finds the unique interface carrying [ip]. *)
+val endpoint_of_ip : t -> Ipv4.t -> endpoint option
+
+(** [on_shared_subnet t host ip] is the local endpoint of [host] whose
+    subnet contains [ip], if any — the egress interface toward a
+    directly-connected address. *)
+val on_shared_subnet : t -> string -> Ipv4.t -> endpoint option
+
+(** All endpoints (addressed interfaces) of a host. *)
+val endpoints_of : t -> string -> endpoint list
+
+val hosts : t -> string list

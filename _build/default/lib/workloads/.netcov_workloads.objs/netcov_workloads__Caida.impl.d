@@ -1,0 +1,1 @@
+lib/workloads/caida.ml: Array Community Int Netcov_types Rng

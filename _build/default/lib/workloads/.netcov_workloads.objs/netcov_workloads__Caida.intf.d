@@ -1,0 +1,1 @@
+lib/workloads/caida.mli: Community Netcov_types Rng

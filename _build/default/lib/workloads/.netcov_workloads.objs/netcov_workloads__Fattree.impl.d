@@ -1,0 +1,1 @@
+lib/workloads/fattree.ml: Device Hashtbl Ipv4 List Netcov_config Netcov_types Policy_ast Prefix Printf

@@ -1,0 +1,1 @@
+lib/workloads/fattree.mli: Device Netcov_config Netcov_types Prefix

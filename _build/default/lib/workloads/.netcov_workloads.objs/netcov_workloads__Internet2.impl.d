@@ -1,0 +1,1 @@
+lib/workloads/internet2.ml: Array As_regex Caida Community Device Ipv4 List Netcov_config Netcov_types Policy_ast Prefix Printf Rng Route Routeviews

@@ -1,0 +1,1 @@
+lib/workloads/internet2.mli: Caida Community Device Ipv4 Netcov_config Netcov_types Prefix Routeviews

@@ -1,0 +1,1 @@
+lib/workloads/routeviews.ml: Array Ipv4 List Netcov_types Prefix Rng

@@ -1,0 +1,1 @@
+lib/workloads/routeviews.mli: Netcov_types Prefix Rng

@@ -1,0 +1,25 @@
+open Netcov_types
+
+type relationship = Customer | Peer | Provider
+
+let to_string = function
+  | Customer -> "customer"
+  | Peer -> "peer"
+  | Provider -> "provider"
+
+let rank = function Customer -> 0 | Peer -> 1 | Provider -> 2
+let compare a b = Int.compare (rank a) (rank b)
+
+let local_pref = function Customer -> 120 | Peer -> 100 | Provider -> 80
+
+let tag ~local_as = function
+  | Customer -> Community.make local_as 100
+  | Peer -> Community.make local_as 200
+  | Provider -> Community.make local_as 300
+
+let assign rng n =
+  Array.init n (fun _ ->
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> Customer
+      | 5 | 6 | 7 -> Peer
+      | _ -> Provider)

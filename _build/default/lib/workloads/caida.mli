@@ -1,0 +1,24 @@
+(** Synthetic AS commercial relationships (CAIDA stand-in, §6.1): a
+    deterministic customer/peer/provider assignment used by the
+    RoutePreference test and the Internet2 generator. *)
+
+open Netcov_types
+
+type relationship = Customer | Peer | Provider
+
+val to_string : relationship -> string
+val compare : relationship -> relationship -> int
+
+(** Gao–Rexford preference: customers most preferred. *)
+val rank : relationship -> int
+
+(** Local preference implementing the ranking (120 / 100 / 80). *)
+val local_pref : relationship -> int
+
+(** Community tagging routes learned from this class of neighbor,
+    in the Internet2 AS. *)
+val tag : local_as:int -> relationship -> Community.t
+
+(** [assign rng n] draws a relationship for each of [n] peers with the
+    paper-realistic mix (half customers, fewer providers). *)
+val assign : Rng.t -> int -> relationship array

@@ -1,0 +1,351 @@
+open Netcov_types
+open Netcov_config
+
+type t = {
+  devices : Device.t list;
+  k : int;
+  leaves : string list;
+  aggs : string list;
+  spines : string list;
+  wans : string list;
+  leaf_subnets : (string * Prefix.t) list;
+  aggregate_prefix : Prefix.t;
+  wan_import_policy : string;
+}
+
+let router_count k = (k * k) + (k / 2 * (k / 2))
+
+let aggregate_prefix = Prefix.of_string "10.0.0.0/8"
+let default_route = Prefix.default
+
+let leaf_name p l = Printf.sprintf "leaf-%d-%d" p l
+let agg_name p a = Printf.sprintf "agg-%d-%d" p a
+let spine_name s = Printf.sprintf "spine-%d" s
+let wan_name s = Printf.sprintf "wan-%d" s
+
+let leaf_asn k p l = 65000 + (p * (k / 2)) + l
+let agg_asn p = 64800 + p
+let spine_asn = 64700
+let wan_asn s = 64600 + s
+
+let leaf_subnet p l = Prefix.make (Ipv4.of_octets 10 p l 0) 24
+
+(* /31 infrastructure links under 10.240.0.0/12, one per link id. *)
+let link_base = Ipv4.to_int (Ipv4.of_octets 10 240 0 0)
+
+let link_addrs link_id =
+  let lo = Ipv4.of_int (link_base + (2 * link_id)) in
+  (lo, Ipv4.succ lo)
+
+let wan_link_addrs s =
+  let lo = Ipv4.of_octets 172 31 (2 * s / 256) (2 * s mod 256) in
+  (lo, Ipv4.succ lo)
+
+let import_wan : Policy_ast.policy =
+  {
+    pol_name = "IMPORT-WAN";
+    terms =
+      [
+        {
+          term_name = "10";
+          matches = [ Policy_ast.Match_prefix (default_route, Policy_ast.Exact) ];
+          actions = [ Policy_ast.Accept ];
+        };
+        { term_name = "20"; matches = []; actions = [ Policy_ast.Reject ] };
+      ];
+  }
+
+let export_wan : Policy_ast.policy =
+  {
+    pol_name = "EXPORT-WAN";
+    terms =
+      [
+        {
+          term_name = "10";
+          matches = [ Policy_ast.Match_prefix (aggregate_prefix, Policy_ast.Exact) ];
+          actions = [ Policy_ast.Accept ];
+        };
+        { term_name = "20"; matches = []; actions = [ Policy_ast.Reject ] };
+      ];
+  }
+
+let announce_default : Policy_ast.policy =
+  {
+    pol_name = "ANNOUNCE-DEFAULT";
+    terms =
+      [
+        {
+          term_name = "10";
+          matches = [ Policy_ast.Match_prefix (default_route, Policy_ast.Exact) ];
+          actions = [ Policy_ast.Accept ];
+        };
+        { term_name = "20"; matches = []; actions = [ Policy_ast.Reject ] };
+      ];
+  }
+
+let fabric_acl =
+  {
+    Device.acl_name = "FABRIC-PROTECT";
+    rules =
+      [
+        { Device.permit = true; rule_prefix = aggregate_prefix };
+        {
+          Device.permit = false;
+          rule_prefix = Prefix.of_string "192.168.0.0/16";
+        };
+        { Device.permit = true; rule_prefix = default_route };
+      ];
+  }
+
+let neighbor ?(group = None) ?(import = []) ?(export = []) ip remote_as desc =
+  {
+    Device.nb_ip = ip;
+    nb_remote_as = remote_as;
+    nb_group = group;
+    nb_import = import;
+    nb_export = export;
+    nb_local_addr = None;
+    nb_next_hop_self = false;
+    nb_rr_client = false;
+    nb_description = Some desc;
+  }
+
+let group ?remote_as ?(import = []) ?(export = []) name desc =
+  {
+    Device.pg_name = name;
+    pg_remote_as = remote_as;
+    pg_import = import;
+    pg_export = export;
+    pg_local_pref = None;
+    pg_description = Some desc;
+  }
+
+let generate ?seed:(_ = 0) ?(multipath = 4) ~k () =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Fattree.generate: k must be even and >= 4";
+  let half = k / 2 in
+  let n_spines = half * half in
+  (* Pre-compute link ids. leaf(p,l)-agg(p,a) then agg(p,a)-spine(s). *)
+  let link_id = ref 0 in
+  let leaf_agg = Hashtbl.create 1024 in
+  for p = 0 to k - 1 do
+    for l = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        Hashtbl.replace leaf_agg (p, l, a) !link_id;
+        incr link_id
+      done
+    done
+  done;
+  let agg_spine = Hashtbl.create 1024 in
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        let s = (a * half) + j in
+        Hashtbl.replace agg_spine (p, a, s) !link_id;
+        incr link_id
+      done
+    done
+  done;
+  (* ---------------- leaves ---------------- *)
+  let make_leaf p l =
+    let name = leaf_name p l in
+    let fabric_ifaces =
+      List.init half (fun a ->
+          let id = Hashtbl.find leaf_agg (p, l, a) in
+          let lo, _hi = link_addrs id in
+          Device.interface ~address:(lo, 31)
+            ~description:(Printf.sprintf "to %s" (agg_name p a))
+            ~in_acl:"FABRIC-PROTECT"
+            (Printf.sprintf "Ethernet%d" (1 + a)))
+    in
+    let svi =
+      Device.interface
+        ~address:(Ipv4.of_octets 10 p l 1, 24)
+        ~description:"host subnet" "Vlan100"
+    in
+    let idx = (p * half) + l in
+    let host_ports =
+      List.init 2 (fun i ->
+          Device.interface
+            ~address:(Ipv4.of_octets 192 168 (idx mod 256) ((i * 64) + 1), 26)
+            ~description:"host port"
+            (Printf.sprintf "Ethernet%d" (1 + half + i)))
+    in
+    let neighbors =
+      List.init half (fun a ->
+          let id = Hashtbl.find leaf_agg (p, l, a) in
+          let _lo, hi = link_addrs id in
+          neighbor ~group:(Some "FABRIC") hi (agg_asn p)
+            (Printf.sprintf "uplink %s" (agg_name p a)))
+    in
+    let bgp =
+      {
+        Device.local_as = leaf_asn k p l;
+        router_id = Ipv4.of_octets 10 p l 1;
+        networks = [ leaf_subnet p l ];
+        aggregates = [];
+        redistributes = [];
+        groups = [ group ~remote_as:(agg_asn p) "FABRIC" "pod fabric" ];
+        neighbors;
+        multipath;
+      }
+    in
+    Device.make ~syntax:Device.Ios
+      ~interfaces:((svi :: fabric_ifaces) @ host_ports)
+      ~acls:[ fabric_acl ] ~bgp name
+  in
+  (* ---------------- aggregation ---------------- *)
+  let make_agg p a =
+    let name = agg_name p a in
+    let to_leaf_ifaces =
+      List.init half (fun l ->
+          let id = Hashtbl.find leaf_agg (p, l, a) in
+          let _lo, hi = link_addrs id in
+          Device.interface ~address:(hi, 31)
+            ~description:(Printf.sprintf "to %s" (leaf_name p l))
+            (Printf.sprintf "Ethernet%d" (1 + l)))
+    in
+    let to_spine_ifaces =
+      List.init half (fun j ->
+          let s = (a * half) + j in
+          let id = Hashtbl.find agg_spine (p, a, s) in
+          let lo, _hi = link_addrs id in
+          Device.interface ~address:(lo, 31)
+            ~description:(Printf.sprintf "to %s" (spine_name s))
+            (Printf.sprintf "Ethernet%d" (1 + half + j)))
+    in
+    let leaf_neighbors =
+      List.init half (fun l ->
+          let id = Hashtbl.find leaf_agg (p, l, a) in
+          let lo, _hi = link_addrs id in
+          neighbor ~group:(Some "TO-LEAF") lo (leaf_asn k p l)
+            (Printf.sprintf "downlink %s" (leaf_name p l)))
+    in
+    let spine_neighbors =
+      List.init half (fun j ->
+          let s = (a * half) + j in
+          let id = Hashtbl.find agg_spine (p, a, s) in
+          let _lo, hi = link_addrs id in
+          neighbor ~group:(Some "TO-SPINE") hi spine_asn
+            (Printf.sprintf "uplink %s" (spine_name s)))
+    in
+    let bgp =
+      {
+        Device.local_as = agg_asn p;
+        router_id = Ipv4.of_octets 10 250 p a;
+        networks = [];
+        aggregates = [];
+        redistributes = [];
+        groups =
+          [
+            group "TO-LEAF" "pod leaves";
+            group ~remote_as:spine_asn "TO-SPINE" "spine plane";
+          ];
+        neighbors = leaf_neighbors @ spine_neighbors;
+        multipath;
+      }
+    in
+    Device.make ~syntax:Device.Ios
+      ~interfaces:(to_leaf_ifaces @ to_spine_ifaces)
+      ~bgp name
+  in
+  (* ---------------- spines ---------------- *)
+  let make_spine s =
+    let name = spine_name s in
+    let a = s / half in
+    let pod_ifaces =
+      List.init k (fun p ->
+          let id = Hashtbl.find agg_spine (p, a, s) in
+          let _lo, hi = link_addrs id in
+          Device.interface ~address:(hi, 31)
+            ~description:(Printf.sprintf "to %s" (agg_name p a))
+            (Printf.sprintf "Ethernet%d" (1 + p)))
+    in
+    let wan_lo, wan_hi = wan_link_addrs s in
+    let wan_iface =
+      Device.interface ~address:(wan_lo, 31) ~description:"WAN uplink"
+        (Printf.sprintf "Ethernet%d" (1 + k))
+    in
+    let pod_neighbors =
+      List.init k (fun p ->
+          let id = Hashtbl.find agg_spine (p, a, s) in
+          let lo, _hi = link_addrs id in
+          neighbor ~group:(Some "TO-POD") lo (agg_asn p)
+            (Printf.sprintf "downlink %s" (agg_name p a)))
+    in
+    let wan_neighbor =
+      neighbor ~group:(Some "TO-WAN") ~import:[ "IMPORT-WAN" ]
+        ~export:[ "EXPORT-WAN" ] wan_hi (wan_asn s)
+        (Printf.sprintf "uplink %s" (wan_name s))
+    in
+    let bgp =
+      {
+        Device.local_as = spine_asn;
+        router_id = Ipv4.of_octets 10 251 (s / 256) (s mod 256);
+        networks = [];
+        aggregates = [ { Device.ag_prefix = aggregate_prefix; ag_summary_only = false } ];
+        redistributes = [];
+        groups = [ group "TO-POD" "pod planes"; group "TO-WAN" "WAN peers" ];
+        neighbors = pod_neighbors @ [ wan_neighbor ];
+        multipath;
+      }
+    in
+    Device.make ~syntax:Device.Ios
+      ~interfaces:(pod_ifaces @ [ wan_iface ])
+      ~policies:[ import_wan; export_wan ]
+      ~bgp name
+  in
+  (* ---------------- WAN stubs ---------------- *)
+  let make_wan s =
+    let name = wan_name s in
+    let wan_lo, wan_hi = wan_link_addrs s in
+    let bgp =
+      {
+        Device.local_as = wan_asn s;
+        router_id = wan_hi;
+        networks = [ default_route ];
+        aggregates = [];
+        redistributes = [];
+        groups = [];
+        neighbors =
+          [
+            neighbor ~export:[ "ANNOUNCE-DEFAULT" ] wan_lo spine_asn
+              (Printf.sprintf "downlink %s" (spine_name s));
+          ];
+        multipath = 1;
+      }
+    in
+    Device.make ~syntax:Device.Ios ~is_external:true
+      ~interfaces:[ Device.interface ~address:(wan_hi, 31) "Ethernet1" ]
+      ~static_routes:[ { Device.st_prefix = default_route; st_next_hop = wan_lo } ]
+      ~policies:[ announce_default ]
+      ~bgp name
+  in
+  let leaves = ref [] and aggs = ref [] and leaf_subnets = ref [] in
+  let leaf_devs = ref [] and agg_devs = ref [] in
+  for p = k - 1 downto 0 do
+    for l = half - 1 downto 0 do
+      leaves := leaf_name p l :: !leaves;
+      leaf_subnets := (leaf_name p l, leaf_subnet p l) :: !leaf_subnets;
+      leaf_devs := make_leaf p l :: !leaf_devs
+    done;
+    for a = half - 1 downto 0 do
+      aggs := agg_name p a :: !aggs;
+      agg_devs := make_agg p a :: !agg_devs
+    done
+  done;
+  let spines = List.init n_spines spine_name in
+  let spine_devs = List.init n_spines make_spine in
+  let wans = List.init n_spines wan_name in
+  let wan_devs = List.init n_spines make_wan in
+  {
+    devices = !leaf_devs @ !agg_devs @ spine_devs @ wan_devs;
+    k;
+    leaves = !leaves;
+    aggs = !aggs;
+    spines;
+    wans;
+    leaf_subnets = !leaf_subnets;
+    aggregate_prefix;
+    wan_import_policy = "IMPORT-WAN";
+  }

@@ -1,0 +1,31 @@
+(** Synthetic fat-tree datacenter (§6.2): k pods of k/2 leaf and k/2
+    aggregation routers plus (k/2)² spines, eBGP throughout with
+    private ASNs, ECMP-4, /24 host subnet per leaf announced via a
+    network statement, default route injected by WAN stubs at every
+    spine (white-listed by import policy), and the whole 10/8 space
+    aggregated at spines and exported to the WAN. Cisco-IOS-style
+    configurations. *)
+
+open Netcov_types
+open Netcov_config
+
+type t = {
+  devices : Device.t list;
+  k : int;
+  leaves : string list;
+  aggs : string list;
+  spines : string list;
+  wans : string list;  (** external stubs *)
+  leaf_subnets : (string * Prefix.t) list;
+  aggregate_prefix : Prefix.t;  (** 10.0.0.0/8 *)
+  wan_import_policy : string;  (** the white-list on spines *)
+}
+
+(** Total router count (excluding WAN stubs): k·k + (k/2)². *)
+val router_count : int -> int
+
+(** [generate ~k ()] builds the network; [k] must be even and ≥ 4.
+    [multipath] sets maximum-paths on every router (default 4; 1
+    disables ECMP, which makes backup links visible only under
+    failures). *)
+val generate : ?seed:int -> ?multipath:int -> k:int -> unit -> t

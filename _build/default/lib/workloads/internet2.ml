@@ -1,0 +1,758 @@
+open Netcov_types
+open Netcov_config
+
+type peer_info = {
+  idx : int;
+  asn : int;
+  router : string;
+  router_ip : Ipv4.t;
+  peer_ip : Ipv4.t;
+  stub_host : string;
+  relationship : Caida.relationship;
+  allowed : Prefix.t list;
+}
+
+type t = {
+  devices : Device.t list;
+  routers : string list;
+  peers : peer_info list;
+  local_as : int;
+  bte_community : Community.t;
+  martian_prefixes : Prefix.t list;
+  private_asns : int list;
+  transit_asns : int list;
+  internal_prefixes : Prefix.t list;
+  sanity_policy : string;
+  feed : Routeviews.feed;
+}
+
+type ibgp_design = Full_mesh | Route_reflectors of int
+
+type params = {
+  seed : int;
+  ibgp : ibgp_design;
+  n_peers : int;
+  shared_prefixes : int;
+  unique_per_peer : int;
+  dead_policies_per_router : int;
+  dead_peer_fraction : float;
+      (** share of decommissioned peers whose policies/lists linger *)
+  spare_interfaces : int;  (** unaddressed ports per router *)
+}
+
+let default_params =
+  {
+    ibgp = Full_mesh;
+    seed = 42;
+    n_peers = 60;
+    shared_prefixes = 80;
+    unique_per_peer = 3;
+    dead_policies_per_router = 3;
+    dead_peer_fraction = 0.55;
+    spare_interfaces = 8;
+  }
+
+let paper_params =
+  {
+    ibgp = Full_mesh;
+    seed = 42;
+    n_peers = 279;
+    shared_prefixes = 400;
+    unique_per_peer = 3;
+    dead_policies_per_router = 3;
+    dead_peer_fraction = 0.55;
+    spare_interfaces = 8;
+  }
+
+let test_params =
+  {
+    ibgp = Full_mesh;
+    seed = 7;
+    n_peers = 12;
+    shared_prefixes = 10;
+    unique_per_peer = 2;
+    dead_policies_per_router = 2;
+    dead_peer_fraction = 0.4;
+    spare_interfaces = 3;
+  }
+
+let local_as = 11537
+let router_names = [ "seat"; "losa"; "salt"; "hous"; "kans"; "chic"; "atla"; "wash"; "newy"; "clev" ]
+
+let backbone_links =
+  [
+    ("seat", "losa");
+    ("seat", "salt");
+    ("losa", "salt");
+    ("losa", "hous");
+    ("salt", "kans");
+    ("hous", "kans");
+    ("hous", "atla");
+    ("kans", "chic");
+    ("chic", "clev");
+    ("clev", "newy");
+    ("chic", "atla");
+    ("atla", "wash");
+    ("wash", "newy");
+  ]
+
+let loopback_of idx = Ipv4.of_octets 10 0 0 (idx + 1)
+
+let martian_prefixes =
+  List.map Prefix.of_string
+    [
+      "10.0.0.0/8";
+      "172.16.0.0/12";
+      "192.168.0.0/16";
+      "127.0.0.0/8";
+      "169.254.0.0/16";
+      "0.0.0.0/8";
+    ]
+
+let private_asns = [ 64512; 65000; 65534; 65535 ]
+let transit_asns = [ 174; 701; 1239; 3356; 7018 ]
+let internal_supernet = Prefix.of_string "198.32.0.0/16"
+let bte_community = Community.make local_as 888
+
+let cust_tag = Caida.tag ~local_as Caida.Customer
+
+let relationship_group = function
+  | Caida.Customer -> "CUST"
+  | Caida.Peer -> "PEER"
+  | Caida.Provider -> "PROV"
+
+(* Shared policies present on every router. *)
+let sanity_in : Policy_ast.policy =
+  {
+    pol_name = "SANITY-IN";
+    terms =
+      [
+        {
+          term_name = "block-private-asn";
+          matches = [ Policy_ast.Match_as_path_list "PRIVATE-ASN" ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "block-nlr-transit";
+          matches = [ Policy_ast.Match_as_path_list "TRANSIT-ASN" ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "block-martians";
+          matches = [ Policy_ast.Match_prefix_list "MARTIANS" ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "block-default";
+          matches = [ Policy_ast.Match_prefix (Prefix.default, Policy_ast.Exact) ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "block-internal";
+          matches = [ Policy_ast.Match_prefix_list "INTERNAL" ];
+          actions = [ Policy_ast.Reject ];
+        };
+      ];
+  }
+
+let block_bte : Policy_ast.policy =
+  {
+    pol_name = "BLOCK-BTE";
+    terms =
+      [
+        {
+          term_name = "block-to-external";
+          matches = [ Policy_ast.Match_community_list "BTE" ];
+          actions = [ Policy_ast.Reject ];
+        };
+      ];
+  }
+
+let export_cust : Policy_ast.policy =
+  {
+    pol_name = "EXPORT-CUST";
+    terms =
+      [
+        { term_name = "to-customer"; matches = []; actions = [ Policy_ast.Accept ] };
+      ];
+  }
+
+let export_restricted name : Policy_ast.policy =
+  {
+    pol_name = name;
+    terms =
+      [
+        {
+          term_name = "own-prefixes";
+          matches = [ Policy_ast.Match_prefix_list "INTERNAL" ];
+          actions = [ Policy_ast.Accept ];
+        };
+        {
+          term_name = "customer-routes";
+          matches = [ Policy_ast.Match_community_list "CUST-TAG" ];
+          actions = [ Policy_ast.Accept ];
+        };
+        { term_name = "deny-rest"; matches = []; actions = [ Policy_ast.Reject ] };
+      ];
+  }
+
+let tag_static : Policy_ast.policy =
+  {
+    pol_name = "TAG-STATIC";
+    terms =
+      [
+        {
+          term_name = "tag-bte";
+          matches = [ Policy_ast.Match_protocol Route.Static ];
+          actions = [ Policy_ast.Add_community bte_community; Policy_ast.Accept ];
+        };
+      ];
+  }
+
+let le32 p = { Device.ple_prefix = p; ple_ge = None; ple_le = Some 32 }
+let exact p = { Device.ple_prefix = p; ple_ge = None; ple_le = None }
+
+(* Dead configuration: realistic leftovers that no peer references. *)
+let dead_policies n : Policy_ast.policy list =
+  let sanity_v1 : Policy_ast.policy =
+    {
+      pol_name = "SANITY-IN-V1";
+      terms =
+        [
+          {
+            term_name = "old-block-private";
+            matches = [ Policy_ast.Match_as_path_list "DEPRECATED-ASNS" ];
+            actions = [ Policy_ast.Reject ];
+          };
+          {
+            term_name = "old-block-martians";
+            matches = [ Policy_ast.Match_prefix_list "PFX-OLD" ];
+            actions = [ Policy_ast.Reject ];
+          };
+          {
+            term_name = "old-block-default";
+            matches = [ Policy_ast.Match_prefix (Prefix.default, Policy_ast.Exact) ];
+            actions = [ Policy_ast.Reject ];
+          };
+          {
+            term_name = "old-prefer";
+            matches = [ Policy_ast.Match_community_list "OLD-TAGS" ];
+            actions = [ Policy_ast.Set_local_pref 90; Policy_ast.Accept ];
+          };
+          { term_name = "old-accept"; matches = []; actions = [ Policy_ast.Accept ] };
+        ];
+    }
+  in
+  let te_shift : Policy_ast.policy =
+    {
+      pol_name = "TE-SHIFT";
+      terms =
+        [
+          {
+            term_name = "shift-east";
+            matches = [ Policy_ast.Match_prefix_list "PFX-OLD" ];
+            actions = [ Policy_ast.Set_med 50; Policy_ast.Accept ];
+          };
+          {
+            term_name = "prepend-west";
+            matches = [ Policy_ast.Match_as_path_list "DEPRECATED-ASNS" ];
+            actions = [ Policy_ast.Prepend_as (local_as, 2); Policy_ast.Accept ];
+          };
+          {
+            term_name = "depref-backup";
+            matches = [ Policy_ast.Match_community_list "OLD-TAGS" ];
+            actions = [ Policy_ast.Set_local_pref 70; Policy_ast.Accept ];
+          };
+        ];
+    }
+  in
+  let monitor_in : Policy_ast.policy =
+    {
+      pol_name = "MONITOR-IN";
+      terms =
+        [
+          {
+            term_name = "tag-monitor";
+            matches = [ Policy_ast.Match_prefix_list "PFX-OLD" ];
+            actions =
+              [
+                Policy_ast.Add_community (Community.make local_as 911);
+                Policy_ast.Next_term;
+              ];
+          };
+          {
+            term_name = "monitor-only";
+            matches = [];
+            actions = [ Policy_ast.Reject ];
+          };
+        ];
+    }
+  in
+  let pool = [ sanity_v1; te_shift; monitor_in ] in
+  List.filteri (fun i _ -> i < n) pool
+
+(* Decommissioned-peer leftovers: an allow policy and its permit list,
+   no longer attached to any neighbor. *)
+let dead_peer_leftovers ~router_idx count =
+  let policies =
+    List.init count (fun i : Policy_ast.policy ->
+        {
+          pol_name = Printf.sprintf "ALLOW-PEER-OLD-%d-%d" router_idx i;
+          terms =
+            [
+              {
+                term_name = "allow";
+                matches =
+                  [
+                    Policy_ast.Match_prefix_list
+                      (Printf.sprintf "PFX-PEER-OLD-%d-%d" router_idx i);
+                  ];
+                actions = [ Policy_ast.Add_community cust_tag; Policy_ast.Accept ];
+              };
+              {
+                term_name = "deny-rest";
+                matches = [];
+                actions = [ Policy_ast.Reject ];
+              };
+            ];
+        })
+  in
+  let prefix_lists =
+    List.init count (fun i ->
+        {
+          Device.pl_name = Printf.sprintf "PFX-PEER-OLD-%d-%d" router_idx i;
+          pl_entries =
+            List.init 3 (fun j ->
+                exact
+                  (Prefix.make
+                     (Ipv4.of_octets 143 ((router_idx * 16) + i) j 0)
+                     24));
+        })
+  in
+  (policies, prefix_lists)
+
+let peer_subnet idx =
+  (* one /30 per peer under 172.16/12 *)
+  let base = idx * 4 in
+  Prefix.make (Ipv4.of_octets 172 16 (base / 256) (base mod 256)) 30
+
+let generate params =
+  let rng = Rng.make params.seed in
+  let feed =
+    Routeviews.generate (Rng.split rng) ~n_peers:params.n_peers
+      ~shared:params.shared_prefixes ~unique_per_peer:params.unique_per_peer
+  in
+  let relationships = Caida.assign (Rng.split rng) params.n_peers in
+  let n_routers = List.length router_names in
+  let router_arr = Array.of_list router_names in
+  let peers =
+    List.init params.n_peers (fun idx ->
+        let subnet = Prefix.addr (peer_subnet idx) in
+        {
+          idx;
+          asn = 20000 + idx;
+          router = router_arr.(idx mod n_routers);
+          router_ip = Ipv4.add subnet 1;
+          peer_ip = Ipv4.add subnet 2;
+          stub_host = Printf.sprintf "peer%03d" idx;
+          relationship = relationships.(idx);
+          allowed = Routeviews.allowed_prefixes feed idx;
+        })
+  in
+  let peers_of_router r = List.filter (fun p -> p.router = r) peers in
+  (* ---------------- backbone routers ---------------- *)
+  let make_router ridx name =
+    let lo = loopback_of ridx in
+    (* backbone interfaces *)
+    let counter = ref 0 in
+    let backbone_ifaces =
+      List.concat
+        (List.mapi
+           (fun li (a, b) ->
+             let subnet = Ipv4.of_octets 10 1 li 0 in
+             let mine =
+               if a = name then Some (Ipv4.add subnet 1)
+               else if b = name then Some (Ipv4.add subnet 2)
+               else None
+             in
+             match mine with
+             | None -> []
+             | Some ip ->
+                 let n = !counter in
+                 incr counter;
+                 [
+                   Device.interface
+                     ~address:(ip, 30)
+                     ~description:(Printf.sprintf "backbone %s--%s" a b)
+                     ~igp_enabled:true ~igp_metric:10
+                     (Printf.sprintf "xe-0/0/%d" n);
+                 ])
+           backbone_links)
+    in
+    let loopback =
+      Device.interface ~address:(lo, 32) ~description:"loopback"
+        ~igp_enabled:true ~igp_metric:0 "lo0"
+    in
+    let service_iface =
+      Device.interface
+        ~address:(Ipv4.of_octets 198 32 (8 + ridx) 1, 24)
+        ~description:"service LAN" "ge-0/3/0"
+    in
+    let my_peers = peers_of_router name in
+    let peer_ifaces =
+      List.mapi
+        (fun n p ->
+          Device.interface
+            ~address:(p.router_ip, 30)
+            ~description:(Printf.sprintf "to AS%d (%s)" p.asn
+                            (Caida.to_string p.relationship))
+            (Printf.sprintf "xe-1/0/%d" n))
+        my_peers
+    in
+    (* spare ports: provisioned but unaddressed, hence untestable by
+       data plane tests (§6.1.2 iteration 3) *)
+    let spare_ifaces =
+      List.init params.spare_interfaces (fun n ->
+          Device.interface ~description:"spare capacity"
+            (Printf.sprintf "ge-0/2/%d" n))
+    in
+    let n_dead_peers =
+      int_of_float
+        (ceil (float_of_int (List.length my_peers) *. params.dead_peer_fraction))
+    in
+    let dead_allow_policies, dead_prefix_lists =
+      dead_peer_leftovers ~router_idx:ridx n_dead_peers
+    in
+    (* static internal prefix, tagged BTE via redistribution *)
+    let static_nh =
+      (* next hop: the far end of our first backbone link *)
+      match backbone_ifaces with
+      | i :: _ -> (
+          match i.Device.address with
+          | Some (ip, _) ->
+              let subnet_base = Ipv4.logand ip (Ipv4.of_int 0xFFFFFFFC) in
+              let low = Ipv4.to_int ip land 3 in
+              if low = 1 then Ipv4.add subnet_base 2 else Ipv4.add subnet_base 1
+          | None -> lo)
+      | [] -> lo
+    in
+    let statics =
+      [
+        {
+          Device.st_prefix =
+            Prefix.make (Ipv4.of_octets 198 32 (100 + ridx) 0) 24;
+          st_next_hop = static_nh;
+        };
+      ]
+    in
+    (* prefix lists *)
+    let prefix_lists =
+      [
+        { Device.pl_name = "MARTIANS"; pl_entries = List.map le32 martian_prefixes };
+        { Device.pl_name = "INTERNAL"; pl_entries = [ le32 internal_supernet ] };
+        {
+          Device.pl_name = "PFX-OLD";
+          pl_entries = [ le32 (Prefix.of_string "192.0.2.0/24") ];
+        };
+      ]
+      @ List.map
+          (fun p ->
+            {
+              Device.pl_name = Printf.sprintf "PFX-PEER-%d" p.idx;
+              pl_entries = List.map exact p.allowed;
+            })
+          my_peers
+      @ dead_prefix_lists
+    in
+    let community_lists =
+      [
+        { Device.cl_name = "BTE"; cl_members = [ bte_community ] };
+        { Device.cl_name = "CUST-TAG"; cl_members = [ cust_tag ] };
+        {
+          Device.cl_name = "PEER-TAG";
+          cl_members = [ Caida.tag ~local_as Caida.Peer ];
+        };
+        {
+          Device.cl_name = "PROV-TAG";
+          cl_members = [ Caida.tag ~local_as Caida.Provider ];
+        };
+        {
+          Device.cl_name = "OLD-TAGS";
+          cl_members = [ Community.make local_as 666 ];
+        };
+      ]
+    in
+    let as_path_lists =
+      [
+        {
+          Device.al_name = "PRIVATE-ASN";
+          al_patterns =
+            List.map
+              (fun a -> As_regex.compile (Printf.sprintf "_%d_" a))
+              private_asns;
+        };
+        {
+          Device.al_name = "TRANSIT-ASN";
+          al_patterns =
+            List.map
+              (fun a -> As_regex.compile (Printf.sprintf "_%d_" a))
+              transit_asns;
+        };
+        {
+          Device.al_name = "DEPRECATED-ASNS";
+          al_patterns = [ As_regex.compile "_11536_" ];
+        };
+      ]
+    in
+    (* peer-specific allow policies *)
+    let allow_policies =
+      List.map
+        (fun p : Policy_ast.policy ->
+          {
+            pol_name = Printf.sprintf "ALLOW-PEER-%d" p.idx;
+            terms =
+              [
+                {
+                  term_name = "allow";
+                  matches =
+                    [ Policy_ast.Match_prefix_list (Printf.sprintf "PFX-PEER-%d" p.idx) ];
+                  actions =
+                    [
+                      Policy_ast.Add_community (Caida.tag ~local_as p.relationship);
+                      Policy_ast.Accept;
+                    ];
+                };
+                {
+                  term_name = "deny-rest";
+                  matches = [];
+                  actions = [ Policy_ast.Reject ];
+                };
+              ];
+          })
+        my_peers
+    in
+    let policies =
+      [
+        sanity_in;
+        block_bte;
+        export_cust;
+        export_restricted "EXPORT-PEER";
+        export_restricted "EXPORT-PROV";
+        tag_static;
+      ]
+      @ allow_policies
+      @ dead_policies params.dead_policies_per_router
+      @ dead_allow_policies
+    in
+    (* BGP groups *)
+    let groups =
+      [
+        {
+          Device.pg_name = "IBGP";
+          pg_remote_as = Some local_as;
+          pg_import = [];
+          pg_export = [];
+          pg_local_pref = None;
+          pg_description = Some "internal full mesh";
+        };
+        {
+          Device.pg_name = "CUST";
+          pg_remote_as = None;
+          pg_import = [];
+          pg_export = [ "BLOCK-BTE"; "EXPORT-CUST" ];
+          pg_local_pref = Some (Caida.local_pref Caida.Customer);
+          pg_description = Some "customers";
+        };
+        {
+          Device.pg_name = "PEER";
+          pg_remote_as = None;
+          pg_import = [];
+          pg_export = [ "BLOCK-BTE"; "EXPORT-PEER" ];
+          pg_local_pref = Some (Caida.local_pref Caida.Peer);
+          pg_description = Some "settlement-free peers";
+        };
+        {
+          Device.pg_name = "PROV";
+          pg_remote_as = None;
+          pg_import = [];
+          pg_export = [ "BLOCK-BTE"; "EXPORT-PROV" ];
+          pg_local_pref = Some (Caida.local_pref Caida.Provider);
+          pg_description = Some "transit providers";
+        };
+        {
+          Device.pg_name = "DECOM";
+          pg_remote_as = None;
+          pg_import = [];
+          pg_export = [];
+          pg_local_pref = None;
+          pg_description = Some "decommissioned peers";
+        };
+        {
+          Device.pg_name = "MONITORING";
+          pg_remote_as = Some local_as;
+          pg_import = [ "MONITOR-IN" ];
+          pg_export = [];
+          pg_local_pref = None;
+          pg_description = Some "route monitors";
+        };
+      ]
+    in
+    let ibgp_neighbor ?(client = false) j other =
+      {
+        Device.nb_ip = loopback_of j;
+        nb_remote_as = local_as;
+        nb_group = Some "IBGP";
+        nb_import = [];
+        nb_export = [];
+        nb_local_addr = Some lo;
+        nb_next_hop_self = true;
+        nb_rr_client = client;
+        nb_description =
+          Some ((if client then "iBGP client " else "iBGP to ") ^ other);
+      }
+    in
+    let ibgp_neighbors =
+      match params.ibgp with
+      | Full_mesh ->
+          List.concat
+            (List.mapi
+               (fun j other ->
+                 if other = name then [] else [ ibgp_neighbor j other ])
+               router_names)
+      | Route_reflectors n_rr ->
+          let is_rr = ridx < n_rr in
+          List.concat
+            (List.mapi
+               (fun j other ->
+                 if other = name then []
+                 else if is_rr then
+                   (* reflectors mesh among themselves and serve all
+                      other routers as clients *)
+                   [ ibgp_neighbor ~client:(j >= n_rr) j other ]
+                 else if j < n_rr then [ ibgp_neighbor j other ]
+                 else [])
+               router_names)
+    in
+    let ext_neighbors =
+      List.map
+        (fun p ->
+          {
+            Device.nb_ip = p.peer_ip;
+            nb_remote_as = p.asn;
+            nb_group = Some (relationship_group p.relationship);
+            nb_import = [ "SANITY-IN"; Printf.sprintf "ALLOW-PEER-%d" p.idx ];
+            nb_export = [];
+            nb_local_addr = None;
+            nb_next_hop_self = false;
+            nb_rr_client = false;
+            nb_description = Some p.stub_host;
+          })
+        my_peers
+    in
+    let bgp =
+      {
+        Device.local_as;
+        router_id = lo;
+        networks = [ Prefix.make (Ipv4.of_octets 198 32 (8 + ridx) 0) 24 ];
+        aggregates = [];
+        redistributes = [ { Device.rd_from = Route.Static; rd_policy = Some "TAG-STATIC" } ];
+        groups;
+        neighbors = ibgp_neighbors @ ext_neighbors;
+        multipath = 1;
+      }
+    in
+    Device.make ~syntax:Device.Junos
+      ~interfaces:
+        ((loopback :: backbone_ifaces)
+        @ (service_iface :: peer_ifaces)
+        @ spare_ifaces)
+      ~static_routes:statics ~prefix_lists ~community_lists ~as_path_lists
+      ~policies ~bgp name
+  in
+  let routers = List.mapi make_router router_names in
+  (* ---------------- external stubs ---------------- *)
+  let make_stub p =
+    let anns = feed.Routeviews.per_peer.(p.idx) in
+    let announce : Policy_ast.policy =
+      {
+        pol_name = "ANNOUNCE";
+        terms =
+          List.mapi
+            (fun j (a : Routeviews.announcement) : Policy_ast.term ->
+              {
+                term_name = Printf.sprintf "a%d" j;
+                matches = [ Policy_ast.Match_prefix (a.ann_prefix, Policy_ast.Exact) ];
+                actions =
+                  List.rev_map
+                    (fun asn -> Policy_ast.Prepend_as (asn, 1))
+                    a.ann_tail
+                  @ [ Policy_ast.Accept ];
+              })
+            anns
+          @ [
+              {
+                term_name = "deny-rest";
+                matches = [];
+                actions = [ Policy_ast.Reject ];
+              };
+            ];
+      }
+    in
+    let deny_all : Policy_ast.policy =
+      {
+        pol_name = "DENY-ALL";
+        terms =
+          [ { term_name = "deny"; matches = []; actions = [ Policy_ast.Reject ] } ];
+      }
+    in
+    let prefixes =
+      List.map (fun (a : Routeviews.announcement) -> a.ann_prefix) anns
+      |> List.sort_uniq Prefix.compare
+    in
+    let bgp =
+      {
+        Device.local_as = p.asn;
+        router_id = p.peer_ip;
+        networks = prefixes;
+        aggregates = [];
+        redistributes = [];
+        groups = [];
+        neighbors =
+          [
+            {
+              Device.nb_ip = p.router_ip;
+              nb_remote_as = local_as;
+              nb_group = None;
+              nb_import = [ "DENY-ALL" ];
+              nb_export = [ "ANNOUNCE" ];
+              nb_local_addr = None;
+              nb_next_hop_self = false;
+              nb_rr_client = false;
+              nb_description = Some ("uplink to Internet2 " ^ p.router);
+            };
+          ];
+        multipath = 1;
+      }
+    in
+    Device.make ~syntax:Device.Junos ~is_external:true
+      ~interfaces:[ Device.interface ~address:(p.peer_ip, 30) "eth0" ]
+      ~static_routes:
+        (List.map
+           (fun pfx -> { Device.st_prefix = pfx; st_next_hop = p.router_ip })
+           prefixes)
+      ~policies:[ announce; deny_all ] ~bgp p.stub_host
+  in
+  let stubs = List.map make_stub peers in
+  {
+    devices = routers @ stubs;
+    routers = router_names;
+    peers;
+    local_as;
+    bte_community;
+    martian_prefixes;
+    private_asns;
+    transit_asns;
+    internal_prefixes = [ internal_supernet ];
+    sanity_policy = "SANITY-IN";
+    feed;
+  }

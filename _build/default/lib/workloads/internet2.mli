@@ -1,0 +1,64 @@
+(** Synthetic Internet2-style national backbone (§6.1): 10 JunOS routers
+    in one AS, iBGP full mesh over an IGP, external eBGP peers with
+    peer-specific permit lists, a shared SANITY-IN import policy (five
+    reject terms), class-based export policies with a BlockToExternal
+    community, plus realistic dead configuration (unused policies, match
+    lists and empty peer groups). External peers are environment stub
+    devices fed by the synthetic RouteViews feed. *)
+
+open Netcov_types
+open Netcov_config
+
+type peer_info = {
+  idx : int;
+  asn : int;
+  router : string;  (** Internet2 router it attaches to *)
+  router_ip : Ipv4.t;  (** session address on the Internet2 side *)
+  peer_ip : Ipv4.t;  (** session address on the stub *)
+  stub_host : string;
+  relationship : Caida.relationship;
+  allowed : Prefix.t list;  (** its permit list *)
+}
+
+type t = {
+  devices : Device.t list;
+  routers : string list;  (** the ten backbone routers *)
+  peers : peer_info list;
+  local_as : int;
+  bte_community : Community.t;
+  martian_prefixes : Prefix.t list;  (** test inputs for NoMartian *)
+  private_asns : int list;  (** for SanityIn *)
+  transit_asns : int list;
+  internal_prefixes : Prefix.t list;
+  sanity_policy : string;  (** "SANITY-IN" *)
+  feed : Routeviews.feed;
+}
+
+(** iBGP design of the backbone: the paper's Internet2 uses a full
+    mesh; the route-reflector variant (first [n] routers are reflectors,
+    the rest are their clients) is provided to study how the iBGP design
+    changes coverage. *)
+type ibgp_design = Full_mesh | Route_reflectors of int
+
+type params = {
+  seed : int;
+  ibgp : ibgp_design;
+  n_peers : int;
+  shared_prefixes : int;
+  unique_per_peer : int;
+  dead_policies_per_router : int;
+  dead_peer_fraction : float;
+      (** share of decommissioned peers whose policies/lists linger as
+          dead configuration *)
+  spare_interfaces : int;  (** unaddressed ports per router *)
+}
+
+val default_params : params
+
+(** Paper-scale instance: 279 peers. *)
+val paper_params : params
+
+(** Small instance for unit tests. *)
+val test_params : params
+
+val generate : params -> t

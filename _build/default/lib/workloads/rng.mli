@@ -1,0 +1,21 @@
+(** Small deterministic PRNG (splitmix-style) so workloads are exactly
+    reproducible across runs and platforms. *)
+
+type t
+
+val make : int -> t
+
+(** [int t bound] is uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** [pick t list] chooses one element; raises on empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [sample t n list] draws [n] distinct elements (or all, when the list
+    is shorter). *)
+val sample : t -> int -> 'a list -> 'a list
+
+val bool : t -> bool
+
+(** [split t] derives an independent child generator. *)
+val split : t -> t

@@ -1,0 +1,84 @@
+open Netcov_types
+
+type announcement = {
+  ann_prefix : Prefix.t;
+  ann_tail : int list;
+  ann_in_allowed_list : bool;
+}
+
+type feed = {
+  per_peer : announcement list array;
+  shared_pool : Prefix.t list;
+}
+
+let shared_prefix i =
+  Prefix.make (Ipv4.of_octets 100 (i / 256) (i mod 256) 0) 24
+
+let unique_prefix ~peer ~j =
+  Prefix.make (Ipv4.of_octets 104 (peer mod 256) j 0) 24
+
+let bogus_prefix ~peer =
+  Prefix.make (Ipv4.of_octets 150 (peer / 256) (peer mod 256) 0) 24
+
+let generate rng ~n_peers ~shared ~unique_per_peer =
+  let per_peer = Array.make n_peers [] in
+  let push peer ann = per_peer.(peer) <- ann :: per_peer.(peer) in
+  let shared_pool = List.init shared shared_prefix in
+  (* Only a minority of peers are multihomed destinations' transit —
+     most peers announce peer-unique space only (this is what leaves
+     them untested by RoutePreference, §6.1.2 iteration 2). *)
+  let n_multihomed = max 2 (n_peers * 2 / 5) in
+  let multihomed = List.init n_multihomed (fun i -> i * n_peers / n_multihomed) in
+  (* Shared prefixes: a common origin AS announced through 2-4 peers,
+     sometimes with an intermediate hop so paths differ in length. *)
+  List.iteri
+    (fun i p ->
+      let origin = 30000 + i in
+      let announcers = Rng.sample rng (2 + Rng.int rng 3) multihomed in
+      List.iter
+        (fun peer ->
+          let tail =
+            if Rng.int rng 3 = 0 then [ 40000 + Rng.int rng 1000; origin ]
+            else [ origin ]
+          in
+          push peer
+            { ann_prefix = p; ann_tail = tail; ann_in_allowed_list = true })
+        announcers)
+    shared_pool;
+  (* Peer-unique prefixes, originated by the peer itself. *)
+  for peer = 0 to n_peers - 1 do
+    for j = 0 to unique_per_peer - 1 do
+      push peer
+        {
+          ann_prefix = unique_prefix ~peer ~j;
+          ann_tail = [];
+          ann_in_allowed_list = true;
+        }
+    done;
+    (* One bogus announcement outside the permit list: real feeds carry
+       leaks that import filters must drop. *)
+    push peer
+      {
+        ann_prefix = bogus_prefix ~peer;
+        ann_tail = [];
+        ann_in_allowed_list = false;
+      };
+    (* A few peers also leak a private ASN in the path; the shared
+       sanity policy must reject these even though the prefix is
+       permitted. *)
+    if peer mod 23 = 0 then
+      push peer
+        {
+          ann_prefix = unique_prefix ~peer ~j:250;
+          ann_tail = [ 65000 ];
+          ann_in_allowed_list = true;
+        }
+  done;
+  Array.iteri (fun i l -> per_peer.(i) <- List.rev l) per_peer;
+  { per_peer; shared_pool }
+
+let allowed_prefixes feed peer =
+  List.filter_map
+    (fun a -> if a.ann_in_allowed_list then Some a.ann_prefix else None)
+    feed.per_peer.(peer)
+  |> List.sort_uniq Prefix.compare

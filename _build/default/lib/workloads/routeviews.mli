@@ -1,0 +1,32 @@
+(** Synthetic BGP announcement feed (Route Views stand-in, §6.1).
+
+    The paper approximates the messages Internet2's external peers send
+    by mining RouteViews AS paths; we generate an equivalent
+    deterministic feed: a pool of shared destination prefixes announced
+    by several peers (with distinct AS paths to a common origin) plus
+    peer-unique prefixes, a filtered bogus announcement per peer, and a
+    few announcements tainted with private ASNs that import sanity
+    policies must reject. *)
+
+open Netcov_types
+
+type announcement = {
+  ann_prefix : Prefix.t;
+  ann_tail : int list;
+      (** AS path after the peer's own ASN (origin last) *)
+  ann_in_allowed_list : bool;
+      (** belongs in the peer's permitted prefix list *)
+}
+
+type feed = {
+  per_peer : announcement list array;  (** indexed by peer *)
+  shared_pool : Prefix.t list;
+}
+
+(** [generate rng ~n_peers ~shared ~unique_per_peer] builds the feed.
+    Each shared prefix is announced by 2–4 peers. *)
+val generate :
+  Rng.t -> n_peers:int -> shared:int -> unique_per_peer:int -> feed
+
+(** Prefixes a peer is allowed to announce (its permit list). *)
+val allowed_prefixes : feed -> int -> Prefix.t list

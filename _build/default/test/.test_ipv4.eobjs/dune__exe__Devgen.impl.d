@@ -1,0 +1,1 @@
+test/devgen.ml: As_regex Community Device Emit_junos Ipv4 List Netcov_config Netcov_types Policy_ast Prefix Printf QCheck Route

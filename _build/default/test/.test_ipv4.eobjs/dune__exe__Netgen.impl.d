@@ -1,0 +1,1 @@
+test/netgen.ml: Array Device Fun Ipv4 List Netcov_config Netcov_types Prefix Printf QCheck String

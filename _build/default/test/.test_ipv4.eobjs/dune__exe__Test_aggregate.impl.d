@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Coverage Device Element Fact List Mutation Netcov Netcov_config Netcov_core Netcov_sim Netcov_types Option Prefix Registry Rib Route Stable_state Testnet

@@ -1,0 +1,1 @@
+test/test_asregex.ml: Alcotest As_path As_regex List Netcov_types Printf QCheck QCheck_alcotest String

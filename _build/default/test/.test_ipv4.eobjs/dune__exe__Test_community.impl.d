@@ -1,0 +1,1 @@
+test/test_community.ml: Alcotest Community Ipv4 List Netcov_types Prefix Route

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array As_regex Community Deadcode Device Element Emit_ios Emit_junos Fun Ipv4 List Masks Netcov_config Netcov_types Option Policy_ast Prefix Printf Registry Route

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Coverage Element Lazy List Netcov_config Netcov_core Registry Testnet

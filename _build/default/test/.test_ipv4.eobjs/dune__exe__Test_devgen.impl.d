@@ -1,0 +1,1 @@
+test/test_devgen.ml: Alcotest Deadcode Devgen Device Element Emit_ios Emit_junos List Netcov_config Netcov_sim Netcov_types Option Parse_ios Parse_junos QCheck QCheck_alcotest Registry

@@ -1,0 +1,1 @@
+test/test_dpcov.ml: Alcotest Dpcov Fact Ipv4 Lazy List Netcov Netcov_config Netcov_core Netcov_dpcov Netcov_sim Netcov_types Netcov_workloads Prefix Stable_state Testnet

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Astring_like Coverage_diff Fact Json_export Lazy List Netcov Netcov_config Netcov_core Netcov_sim Netcov_types Prefix Stable_state String Testnet

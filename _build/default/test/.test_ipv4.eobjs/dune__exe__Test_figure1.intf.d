@@ -1,0 +1,1 @@
+test/test_figure1.mli:

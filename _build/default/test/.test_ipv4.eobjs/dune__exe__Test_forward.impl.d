@@ -1,0 +1,1 @@
+test/test_forward.ml: Alcotest Device Forward Ipv4 List Netcov_config Netcov_sim Netcov_types Prefix Rib Route Stable_state String Testnet

@@ -1,0 +1,1 @@
+test/test_ifg.ml: Alcotest Coverage Element Fact Ifg Ipv4 List Netcov Netcov_config Netcov_core Netcov_sim Netcov_types Option Prefix Registry Rib Route Stable_state String Testnet

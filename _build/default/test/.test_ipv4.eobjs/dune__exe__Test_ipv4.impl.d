@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest Ipv4 List Netcov_types QCheck QCheck_alcotest

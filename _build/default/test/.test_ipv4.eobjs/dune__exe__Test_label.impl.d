@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Element Fact Format Ifg Label List Netcov_config Netcov_core String

@@ -1,0 +1,1 @@
+test/test_nettest.ml: Alcotest Coverage Datacenter Fattree Internet2 Iterations Lazy List Netcov Netcov_config Netcov_core Netcov_nettest Netcov_sim Netcov_workloads Nettest Stable_state String

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Device Element Emit_ios Emit_junos List Netcov_config Netcov_sim Netcov_types Netcov_workloads Option Parse_ios Parse_junos Registry Result Stable_state String Testnet

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest As_path As_regex Community Device Element Eval Ipv4 List Netcov_config Netcov_policy Netcov_types Policy_ast Prefix Route

@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Ipv4 List Netcov_types Prefix QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Coverage Fact Ipv4 Lazy List Netcov Netcov_config Netcov_core Netcov_nettest Netcov_types Nettest Option Prefix Probe String Testnet Testutil

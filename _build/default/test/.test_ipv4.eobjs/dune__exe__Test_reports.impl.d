@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Astring_like Fact Filename Html_report Lazy Lcov List Netcov Netcov_core Netcov_sim Netcov_types Prefix Stable_state String Sys Testnet

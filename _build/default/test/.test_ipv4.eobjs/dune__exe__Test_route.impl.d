@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest As_path Community Ipv4 List Netcov_types Prefix Route

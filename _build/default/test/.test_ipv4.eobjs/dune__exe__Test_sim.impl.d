@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest As_path Bgp Community Device Hashtbl Igp Ipv4 List Netcov_config Netcov_sim Netcov_types Option Prefix Rib Route Session Stable_state Testnet Topology

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Ipv4 List Netcov_types Option Prefix Prefix_trie Printf QCheck QCheck_alcotest String

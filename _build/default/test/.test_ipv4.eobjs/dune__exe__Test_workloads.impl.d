@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Caida Device Emit_junos Fattree Fun Int Internet2 List Netcov_config Netcov_sim Netcov_types Netcov_workloads Option Printf Registry Rng Routeviews String

@@ -1,0 +1,1 @@
+test/testnet.ml: Device Ipv4 List Netcov_config Netcov_sim Netcov_types Option Prefix Printf Registry

@@ -1,0 +1,263 @@
+(* QCheck generator for random (but well-formed, round-trippable) device
+   configurations, used by the parser and registry property tests. *)
+open Netcov_types
+open Netcov_config
+module Gen = QCheck.Gen
+
+let name_gen prefix = Gen.map (fun n -> Printf.sprintf "%s%d" prefix n) (Gen.int_bound 999)
+
+let distinct_names prefix n =
+  List.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let ip_gen =
+  Gen.map
+    (fun n -> Ipv4.of_int (0x0A000000 lor (n land 0xFFFFFF)))
+    (Gen.int_bound 0xFFFFFF)
+
+let prefix_gen =
+  Gen.map2 (fun a len -> Prefix.make (Ipv4.of_int a) len)
+    (Gen.int_bound 0xFFFFFFF)
+    (Gen.int_range 8 32)
+
+let community_gen =
+  Gen.map2 Community.make (Gen.int_bound 65535) (Gen.int_bound 65535)
+
+let regex_gen =
+  Gen.oneof
+    [
+      Gen.map (fun n -> As_regex.compile (Printf.sprintf "_%d_" n)) (Gen.int_bound 65535);
+      Gen.map (fun n -> As_regex.compile (Printf.sprintf "^%d" n)) (Gen.int_bound 65535);
+      Gen.map2
+        (fun a b -> As_regex.compile (Printf.sprintf "(%d|%d)$" a b))
+        (Gen.int_bound 65535) (Gen.int_bound 65535);
+    ]
+
+let interface_gen idx =
+  let open Gen in
+  let* has_addr = bool in
+  let* addr = ip_gen in
+  let* len = int_range 8 32 in
+  let* described = bool in
+  let* igp = bool in
+  let* metric = int_range 1 100 in
+  return
+    {
+      Device.if_name = Printf.sprintf "eth%d" idx;
+      address = (if has_addr then Some (addr, len) else None);
+      description = (if described then Some (Printf.sprintf "link-%d" idx) else None);
+      in_acl = None;
+      out_acl = None;
+      igp_enabled = igp && has_addr;
+      igp_metric = (if igp && has_addr then metric else 10);
+    }
+
+let prefix_list_entry_gen =
+  let open Gen in
+  let* p = prefix_gen in
+  let* ge = opt (int_range (Prefix.len p) 32) in
+  let* le = opt (int_range (Prefix.len p) 32) in
+  return { Device.ple_prefix = p; ple_ge = ge; ple_le = le }
+
+let match_gen =
+  let open Gen in
+  oneof
+    [
+      map (fun n -> Policy_ast.Match_prefix_list ("PL" ^ string_of_int n)) (int_bound 4);
+      map2
+        (fun p mode -> Policy_ast.Match_prefix (p, mode))
+        prefix_gen
+        (oneof
+           [
+             return Policy_ast.Exact;
+             return Policy_ast.Orlonger;
+             map (fun n -> Policy_ast.Upto n) (int_range 0 32);
+           ]);
+      map (fun n -> Policy_ast.Match_community_list ("CL" ^ string_of_int n)) (int_bound 3);
+      map (fun c -> Policy_ast.Match_community c) community_gen;
+      map (fun n -> Policy_ast.Match_as_path_list ("AL" ^ string_of_int n)) (int_bound 3);
+      oneofl
+        [
+          Policy_ast.Match_protocol Route.Connected;
+          Policy_ast.Match_protocol Route.Static;
+          Policy_ast.Match_protocol Route.Bgp;
+        ];
+      map (fun ip -> Policy_ast.Match_next_hop ip) ip_gen;
+    ]
+
+let modifier_gen =
+  let open Gen in
+  oneof
+    [
+      map (fun n -> Policy_ast.Set_local_pref n) (int_bound 400);
+      map (fun n -> Policy_ast.Set_med n) (int_bound 1000);
+      map (fun c -> Policy_ast.Add_community c) community_gen;
+      map (fun c -> Policy_ast.Remove_community c) community_gen;
+      map (fun n -> Policy_ast.Delete_community_in ("CL" ^ string_of_int n)) (int_bound 3);
+      map2
+        (fun asn times -> Policy_ast.Prepend_as (asn, times))
+        (int_range 1 65535) (int_range 1 4);
+    ]
+
+(* IOS-normal-form term: modifiers then exactly one terminator. *)
+let term_gen idx =
+  let open Gen in
+  let* matches = list_size (int_bound 3) match_gen in
+  let* mods = list_size (int_bound 3) modifier_gen in
+  let* terminator =
+    oneofl [ Policy_ast.Accept; Policy_ast.Reject; Policy_ast.Next_term ]
+  in
+  return
+    {
+      Policy_ast.term_name = string_of_int ((idx + 1) * 10);
+      matches;
+      actions = mods @ [ terminator ];
+    }
+
+let policy_gen name =
+  let open Gen in
+  let* n_terms = int_range 1 4 in
+  let* terms = flatten_l (List.init n_terms term_gen) in
+  return { Policy_ast.pol_name = name; terms }
+
+let neighbor_gen ~groups idx =
+  let open Gen in
+  let* group = if groups = [] then return None else opt (oneofl groups) in
+  let* remote_as = int_range 1 65535 in
+  let* import = list_size (int_bound 2) (name_gen "POLIN") in
+  let* export = list_size (int_bound 2) (name_gen "POLOUT") in
+  let* local = opt ip_gen in
+  let* nhs = bool in
+  let* described = bool in
+  return
+    {
+      (* distinct, deterministic neighbor addresses *)
+      Device.nb_ip = Ipv4.of_octets 172 20 (idx / 250) (idx mod 250);
+      nb_remote_as = remote_as;
+      nb_group = group;
+      nb_import = import;
+      nb_export = export;
+      nb_local_addr = local;
+      nb_next_hop_self = nhs;
+      nb_rr_client = false;
+      nb_description = (if described then Some (Printf.sprintf "peer-%d" idx) else None);
+    }
+
+let group_gen name =
+  let open Gen in
+  let* remote_as = opt (int_range 1 65535) in
+  let* import = list_size (int_bound 2) (name_gen "GIN") in
+  let* export = list_size (int_bound 2) (name_gen "GOUT") in
+  let* lp = opt (int_bound 400) in
+  return
+    {
+      Device.pg_name = name;
+      pg_remote_as = remote_as;
+      pg_import = import;
+      pg_export = export;
+      pg_local_pref = lp;
+      pg_description = None;
+    }
+
+let bgp_gen =
+  let open Gen in
+  let* local_as = int_range 1 65535 in
+  let* router_id = ip_gen in
+  let* n_nets = int_bound 3 in
+  let* nets = list_repeat n_nets prefix_gen in
+  let networks = List.sort_uniq Prefix.compare nets in
+  let* n_aggs = int_bound 2 in
+  let* aggs = list_repeat n_aggs prefix_gen in
+  let* summary = bool in
+  let aggregates =
+    List.sort_uniq Prefix.compare aggs
+    |> List.map (fun p -> { Device.ag_prefix = p; ag_summary_only = summary })
+  in
+  let* redistribute_static = bool in
+  let* rd_policy = opt (name_gen "RD") in
+  let redistributes =
+    if redistribute_static then [ { Device.rd_from = Route.Static; rd_policy } ]
+    else []
+  in
+  let* n_groups = int_bound 2 in
+  let group_names = distinct_names "PG" n_groups in
+  let* groups = flatten_l (List.map group_gen group_names) in
+  let* n_neighbors = int_bound 4 in
+  let* neighbors = flatten_l (List.init n_neighbors (neighbor_gen ~groups:group_names)) in
+  let* multipath = int_range 1 8 in
+  return
+    {
+      Device.local_as;
+      router_id;
+      networks;
+      aggregates;
+      redistributes;
+      groups;
+      neighbors;
+      multipath;
+    }
+
+let device_gen =
+  let open Gen in
+  let* host = name_gen "dev" in
+  let* n_ifaces = int_bound 5 in
+  let* interfaces = flatten_l (List.init n_ifaces interface_gen) in
+  let* n_statics = int_bound 3 in
+  let* static_prefixes = list_repeat n_statics prefix_gen in
+  let* static_nh = ip_gen in
+  let static_routes =
+    List.sort_uniq Prefix.compare static_prefixes
+    |> List.map (fun p -> { Device.st_prefix = p; st_next_hop = static_nh })
+  in
+  let* n_acls = int_bound 2 in
+  let* acls =
+    flatten_l
+      (List.init n_acls (fun i ->
+           let* n_rules = int_range 1 3 in
+           let* rules =
+             list_repeat n_rules
+               (let* permit = bool in
+                let* p = prefix_gen in
+                return { Device.permit; rule_prefix = p })
+           in
+           return { Device.acl_name = Printf.sprintf "ACL%d" i; rules }))
+  in
+  let* n_pls = int_bound 3 in
+  let* prefix_lists =
+    flatten_l
+      (List.init n_pls (fun i ->
+           let* n = int_range 1 4 in
+           let* entries = list_repeat n prefix_list_entry_gen in
+           return { Device.pl_name = Printf.sprintf "PL%d" i; pl_entries = entries }))
+  in
+  let* n_cls = int_bound 2 in
+  let* community_lists =
+    flatten_l
+      (List.init n_cls (fun i ->
+           let* n = int_range 1 3 in
+           let* members = list_repeat n community_gen in
+           return
+             {
+               Device.cl_name = Printf.sprintf "CL%d" i;
+               cl_members = List.sort_uniq Community.compare members;
+             }))
+  in
+  let* n_als = int_bound 2 in
+  let* as_path_lists =
+    flatten_l
+      (List.init n_als (fun i ->
+           let* n = int_range 1 3 in
+           let* patterns = list_repeat n regex_gen in
+           return { Device.al_name = Printf.sprintf "AL%d" i; al_patterns = patterns }))
+  in
+  let* n_policies = int_bound 3 in
+  let* policies =
+    flatten_l
+      (List.map policy_gen (distinct_names "RM" n_policies))
+  in
+  let* bgp = opt bgp_gen in
+  let* syntax = oneofl [ Device.Junos; Device.Ios ] in
+  return
+    (Device.make ~syntax ~interfaces ~static_routes ~acls ~prefix_lists
+       ~community_lists ~as_path_lists ~policies ?bgp host)
+
+let arbitrary_device = QCheck.make ~print:(fun d -> Emit_junos.to_string d) device_gen

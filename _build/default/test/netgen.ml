@@ -1,0 +1,104 @@
+(* Random eBGP tree networks for simulator invariant properties.
+
+   A tree topology guarantees BGP convergence, so every generated
+   network has a well-defined stable state; the properties then check
+   global invariants of that state. *)
+open Netcov_types
+open Netcov_config
+module Gen = QCheck.Gen
+
+type spec = {
+  n_routers : int;
+  parent : int array;  (** parent.(i) for i >= 1; tree rooted at 0 *)
+  lans : (int * Prefix.t) list;  (** router -> originated subnet *)
+  multipath : int;
+}
+
+let spec_gen =
+  let open Gen in
+  let* n_routers = int_range 2 10 in
+  let* parents =
+    flatten_l (List.init (n_routers - 1) (fun i -> int_bound i))
+  in
+  let parent = Array.of_list (0 :: parents) in
+  (* each router originates its own /24 under 10.64.0.0/16-ish space *)
+  let lans =
+    List.init n_routers (fun i -> (i, Prefix.make (Ipv4.of_octets 10 64 i 0) 24))
+  in
+  let* multipath = oneofl [ 1; 2; 4 ] in
+  return { n_routers; parent; lans; multipath }
+
+let host i = Printf.sprintf "r%d" i
+
+let devices_of (s : spec) =
+  (* link i<->parent(i) gets subnet 192.168.(i).(0)/30 *)
+  let link_subnet i = Ipv4.of_octets 192 168 i 0 in
+  let asn i = 65001 + i in
+  List.init s.n_routers (fun i ->
+      let up_iface =
+        if i = 0 then []
+        else
+          [
+            Device.interface
+              ~address:(Ipv4.succ (link_subnet i), 30)
+              (Printf.sprintf "up%d" i);
+          ]
+      in
+      let children =
+        List.filter (fun j -> j > 0 && s.parent.(j) = i)
+          (List.init s.n_routers Fun.id)
+      in
+      let down_ifaces =
+        List.map
+          (fun j ->
+            Device.interface
+              ~address:(Ipv4.add (link_subnet j) 2, 30)
+              (Printf.sprintf "down%d" j))
+          children
+      in
+      let lan = List.assoc i s.lans in
+      let lan_iface =
+        Device.interface ~address:(Prefix.first_host lan, 24) "lan0"
+      in
+      let neighbor ip remote_as =
+        {
+          Device.nb_ip = ip;
+          nb_remote_as = remote_as;
+          nb_group = None;
+          nb_import = [];
+          nb_export = [];
+          nb_local_addr = None;
+          nb_next_hop_self = false;
+          nb_rr_client = false;
+          nb_description = None;
+        }
+      in
+      let up_nb =
+        if i = 0 then []
+        else [ neighbor (Ipv4.add (link_subnet i) 2) (asn s.parent.(i)) ]
+      in
+      let down_nbs =
+        List.map (fun j -> neighbor (Ipv4.succ (link_subnet j)) (asn j)) children
+      in
+      Device.make
+        ~interfaces:((lan_iface :: up_iface) @ down_ifaces)
+        ~bgp:
+          {
+            Device.local_as = asn i;
+            router_id = Prefix.first_host lan;
+            networks = [ lan ];
+            aggregates = [];
+            redistributes = [];
+            groups = [];
+            neighbors = up_nb @ down_nbs;
+            multipath = s.multipath;
+          }
+        (host i))
+
+let arbitrary_spec =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "n=%d parents=[%s] multipath=%d" s.n_routers
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.parent)))
+        s.multipath)
+    spec_gen

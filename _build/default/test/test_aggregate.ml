@@ -1,0 +1,206 @@
+(* BGP aggregation semantics: activation, attribute shape, summary-only
+   suppression, and the aggregate's IFG derivation. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+(* a (AS 65001, two LANs 10.20.{0,1}.0/24, aggregate 10.20.0.0/16
+   optionally summary-only) --- b (AS 65002) --- c (AS 65003) *)
+let network ~summary_only =
+  let open Testnet in
+  let a =
+    Device.make
+      ~interfaces:
+        [
+          Device.interface ~address:(ip "192.168.0.1", 30) "eth0";
+          Device.interface ~address:(ip "10.20.0.1", 24) "lan0";
+          Device.interface ~address:(ip "10.20.1.1", 24) "lan1";
+        ]
+      ~bgp:
+        (bgp ~local_as:65001 ~router_id:"1.1.1.1"
+           ~networks:[ "10.20.0.0/24"; "10.20.1.0/24" ]
+           ~aggregates:[ { Device.ag_prefix = p "10.20.0.0/16"; ag_summary_only = summary_only } ]
+           [ neighbor ~remote_as:65002 "192.168.0.2" ])
+      "a"
+  in
+  let b =
+    Device.make
+      ~interfaces:
+        [
+          Device.interface ~address:(ip "192.168.0.2", 30) "eth0";
+          Device.interface ~address:(ip "192.168.0.5", 30) "eth1";
+        ]
+      ~bgp:
+        (bgp ~local_as:65002 ~router_id:"2.2.2.2"
+           [
+             neighbor ~remote_as:65001 "192.168.0.1";
+             neighbor ~remote_as:65003 "192.168.0.6";
+           ])
+      "b"
+  in
+  let c =
+    Device.make
+      ~interfaces:[ Device.interface ~address:(ip "192.168.0.6", 30) "eth0" ]
+      ~bgp:
+        (bgp ~local_as:65003 ~router_id:"3.3.3.3"
+           [ neighbor ~remote_as:65002 "192.168.0.5" ])
+      "c"
+  in
+  Testnet.state_of [ a; b; c ]
+
+let test_aggregate_active () =
+  let state = network ~summary_only:false in
+  let agg = Stable_state.bgp_lookup_best state "a" (p "10.20.0.0/16") in
+  check_int "aggregate present" 1 (List.length agg);
+  let e = List.hd agg in
+  check_bool "from aggregate" true (e.Rib.be_source = Rib.From_aggregate);
+  check_bool "origin incomplete" true
+    (e.Rib.be_route.Route.origin = Route.Origin_incomplete)
+
+let test_aggregate_inactive_without_contributor () =
+  (* no network statements: the aggregate must not activate *)
+  let open Testnet in
+  let a =
+    Device.make
+      ~interfaces:[ Device.interface ~address:(ip "192.168.0.1", 30) "eth0" ]
+      ~bgp:
+        (bgp ~local_as:65001 ~router_id:"1.1.1.1"
+           ~aggregates:[ { Device.ag_prefix = p "10.20.0.0/16"; ag_summary_only = false } ]
+           [ neighbor ~remote_as:65002 "192.168.0.2" ])
+      "a"
+  in
+  let b =
+    Device.make
+      ~interfaces:[ Device.interface ~address:(ip "192.168.0.2", 30) "eth0" ]
+      ~bgp:
+        (bgp ~local_as:65002 ~router_id:"2.2.2.2"
+           [ neighbor ~remote_as:65001 "192.168.0.1" ])
+      "b"
+  in
+  let state = Testnet.state_of [ a; b ] in
+  check_int "inactive" 0
+    (List.length (Stable_state.bgp_lookup state "a" (p "10.20.0.0/16")))
+
+let test_no_summary_exports_specifics () =
+  let state = network ~summary_only:false in
+  check_bool "aggregate at c" true
+    (Stable_state.main_lookup state "c" (p "10.20.0.0/16") <> []);
+  check_bool "specific at c" true
+    (Stable_state.main_lookup state "c" (p "10.20.0.0/24") <> [])
+
+let test_summary_only_suppresses_specifics () =
+  let state = network ~summary_only:true in
+  check_bool "aggregate at c" true
+    (Stable_state.main_lookup state "c" (p "10.20.0.0/16") <> []);
+  check_bool "specific suppressed at b" true
+    (Stable_state.main_lookup state "b" (p "10.20.0.0/24") = []);
+  check_bool "specific suppressed at c" true
+    (Stable_state.main_lookup state "c" (p "10.20.0.0/24") = [])
+
+let test_aggregate_coverage_disjunction () =
+  (* Testing the aggregate at c: the two contributing /24s are
+     alternatives, so each contributor's private elements are weak; the
+     aggregate statement and the transport chain are strong. *)
+  let state = network ~summary_only:true in
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "c"; entry })
+      (Stable_state.main_lookup state "c" (p "10.20.0.0/16"))
+  in
+  check_bool "tested nonempty" true (tested <> []);
+  let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+  let reg = Stable_state.registry state in
+  let status host key =
+    Coverage.element_status report.Netcov.coverage
+      (Option.get (Registry.find reg ~device:host key))
+  in
+  check_bool "aggregate statement strong" true
+    (status "a" (Element.key Element.Bgp_aggregate "10.20.0.0/16") = Coverage.Strong);
+  check_bool "lan0 weak" true
+    (status "a" (Element.key Element.Interface "lan0") = Coverage.Weak);
+  check_bool "lan1 weak" true
+    (status "a" (Element.key Element.Interface "lan1") = Coverage.Weak);
+  check_bool "network stmt weak" true
+    (status "a" (Element.key Element.Bgp_network "10.20.0.0/24") = Coverage.Weak);
+  check_bool "transport peering strong" true
+    (status "b" (Element.key Element.Bgp_peer "192.168.0.1") = Coverage.Strong)
+
+let test_aggregate_mutation_agrees () =
+  (* deleting one contributor keeps the aggregate alive (weak); deleting
+     the aggregate statement kills it (strong) *)
+  let open Testnet in
+  let devices =
+    [
+      Device.make
+        ~interfaces:
+          [
+            Device.interface ~address:(ip "192.168.0.1", 30) "eth0";
+            Device.interface ~address:(ip "10.20.0.1", 24) "lan0";
+            Device.interface ~address:(ip "10.20.1.1", 24) "lan1";
+          ]
+        ~bgp:
+          (bgp ~local_as:65001 ~router_id:"1.1.1.1"
+             ~networks:[ "10.20.0.0/24"; "10.20.1.0/24" ]
+             ~aggregates:
+               [ { Device.ag_prefix = p "10.20.0.0/16"; ag_summary_only = true } ]
+             [ neighbor ~remote_as:65002 "192.168.0.2" ])
+        "a";
+      Device.make
+        ~interfaces:[ Device.interface ~address:(ip "192.168.0.2", 30) "eth0" ]
+        ~bgp:
+          (bgp ~local_as:65002 ~router_id:"2.2.2.2"
+             [ neighbor ~remote_as:65001 "192.168.0.1" ])
+        "b";
+    ]
+  in
+  let reg = Registry.build devices in
+  let state = Stable_state.compute reg in
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "b"; entry })
+      (Stable_state.main_lookup state "b" (p "10.20.0.0/16"))
+  in
+  let find key = Option.get (Registry.find reg ~device:"a" key) in
+  let r =
+    Mutation.run reg ~oracle:(Mutation.facts_oracle tested)
+      ~elements:
+        [
+          find (Element.key Element.Bgp_aggregate "10.20.0.0/16");
+          find (Element.key Element.Bgp_network "10.20.0.0/24");
+        ]
+      ()
+  in
+  check_bool "aggregate statement killed" true
+    (Element.Id_set.mem
+       (find (Element.key Element.Bgp_aggregate "10.20.0.0/16"))
+       r.Mutation.killed);
+  check_bool "single contributor survives" true
+    (Element.Id_set.mem
+       (find (Element.key Element.Bgp_network "10.20.0.0/24"))
+       r.Mutation.survived)
+
+let () =
+  Alcotest.run "aggregate"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "activation" `Quick test_aggregate_active;
+          Alcotest.test_case "inactive without contributor" `Quick
+            test_aggregate_inactive_without_contributor;
+          Alcotest.test_case "specifics exported by default" `Quick
+            test_no_summary_exports_specifics;
+          Alcotest.test_case "summary-only suppression" `Quick
+            test_summary_only_suppresses_specifics;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "disjunctive contributors" `Quick
+            test_aggregate_coverage_disjunction;
+          Alcotest.test_case "mutation agrees" `Quick test_aggregate_mutation_agrees;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+open Netcov_types
+
+let check_bool = Alcotest.(check bool)
+
+let m pat path = As_regex.matches (As_regex.compile pat) (As_path.of_list path)
+
+let test_literal () =
+  check_bool "mid" true (m "174" [ 100; 174; 200 ]);
+  check_bool "absent" false (m "174" [ 100; 200 ]);
+  check_bool "no substring match on numbers" false (m "17" [ 174 ])
+
+let test_anchors () =
+  check_bool "start hit" true (m "^100" [ 100; 200 ]);
+  check_bool "start miss" false (m "^200" [ 100; 200 ]);
+  check_bool "end hit" true (m "200$" [ 100; 200 ]);
+  check_bool "end miss" false (m "100$" [ 100; 200 ]);
+  check_bool "exact" true (m "^100 200$" [ 100; 200 ]);
+  check_bool "exact miss" false (m "^100 200$" [ 100; 200; 300 ])
+
+let test_boundary () =
+  check_bool "_174_" true (m "_174_" [ 1; 174; 2 ]);
+  check_bool "_174_ at start" true (m "_174_" [ 174; 2 ]);
+  check_bool "_174_ at end" true (m "_174_" [ 1; 174 ]);
+  check_bool "_174_ absent" false (m "_174_" [ 1744; 17 ])
+
+let test_any_star () =
+  check_bool "dot" true (m "^." [ 42 ]);
+  check_bool "dot empty" false (m "^.$" []);
+  check_bool ".* everything" true (m ".*" [ 1; 2; 3 ]);
+  check_bool ".* empty" true (m ".*" []);
+  check_bool "trailing" true (m "^100 .* 300$" [ 100; 250; 260; 300 ]);
+  check_bool "trailing zero" true (m "^100 .* 300$" [ 100; 300 ])
+
+let test_alt_opt_plus () =
+  check_bool "alt left" true (m "^(100|200)$" [ 100 ]);
+  check_bool "alt right" true (m "^(100|200)$" [ 200 ]);
+  check_bool "alt miss" false (m "^(100|200)$" [ 300 ]);
+  check_bool "opt present" true (m "^100 200?$" [ 100; 200 ]);
+  check_bool "opt absent" true (m "^100 200?$" [ 100 ]);
+  check_bool "plus one" true (m "^100+$" [ 100 ]);
+  check_bool "plus many" true (m "^100+$" [ 100; 100; 100 ]);
+  check_bool "plus zero" false (m "^100+$" [])
+
+let test_prepend_detection () =
+  (* typical policy pattern: detect AS prepending *)
+  check_bool "prepended" true (m "_65000 65000_" [ 1; 65000; 65000; 9 ]);
+  check_bool "single" false (m "_65000 65000_" [ 1; 65000; 9 ])
+
+let test_syntax_errors () =
+  List.iter
+    (fun pat -> check_bool pat true (As_regex.compile_opt pat = None))
+    [ "("; ")"; "(100"; "100)"; "abc"; "1|"; "*" ]
+
+let test_source_preserved () =
+  Alcotest.(check string) "source" "_174_" (As_regex.source (As_regex.compile "_174_"))
+
+let gen_path = QCheck.(small_list (int_bound 70000))
+
+let prop_literal_mem =
+  QCheck.Test.make ~name:"_N_ matches iff N in path" ~count:300
+    QCheck.(pair (int_bound 70000) gen_path)
+    (fun (n, path) ->
+      m (Printf.sprintf "_%d_" n) path = List.mem n path)
+
+let prop_exact_self =
+  QCheck.Test.make ~name:"^path$ matches itself" ~count:300 gen_path (fun path ->
+      let pat =
+        "^" ^ String.concat " " (List.map string_of_int path) ^ "$"
+      in
+      m pat path)
+
+let () =
+  Alcotest.run "as_regex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "literal" `Quick test_literal;
+          Alcotest.test_case "anchors" `Quick test_anchors;
+          Alcotest.test_case "boundary" `Quick test_boundary;
+          Alcotest.test_case "any and star" `Quick test_any_star;
+          Alcotest.test_case "alt opt plus" `Quick test_alt_opt_plus;
+          Alcotest.test_case "prepend detection" `Quick test_prepend_detection;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+          Alcotest.test_case "source preserved" `Quick test_source_preserved;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_literal_mem; prop_exact_self ]
+      );
+    ]

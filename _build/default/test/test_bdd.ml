@@ -1,0 +1,150 @@
+open Netcov_bdd
+
+let check_bool = Alcotest.(check bool)
+
+let test_terminals () =
+  let m = Bdd.create () in
+  check_bool "true" true (Bdd.is_true (Bdd.bdd_true m));
+  check_bool "false" true (Bdd.is_false (Bdd.bdd_false m));
+  check_bool "not true = false" true (Bdd.is_false (Bdd.bdd_not m (Bdd.bdd_true m)))
+
+let test_hash_consing () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  check_bool "same structure same node" true
+    (Bdd.equal (Bdd.bdd_and m a b) (Bdd.bdd_and m b a));
+  check_bool "idempotent" true (Bdd.equal (Bdd.bdd_and m a a) a);
+  check_bool "double negation" true (Bdd.equal (Bdd.bdd_not m (Bdd.bdd_not m a)) a)
+
+let test_boolean_laws () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let ( &&& ) = Bdd.bdd_and m and ( ||| ) = Bdd.bdd_or m in
+  check_bool "distributivity" true
+    (Bdd.equal (a &&& (b ||| c)) ((a &&& b) ||| (a &&& c)));
+  check_bool "de morgan" true
+    (Bdd.equal (Bdd.bdd_not m (a &&& b)) (Bdd.bdd_not m a ||| Bdd.bdd_not m b));
+  check_bool "excluded middle" true (Bdd.is_true (a ||| Bdd.bdd_not m a));
+  check_bool "contradiction" true (Bdd.is_false (a &&& Bdd.bdd_not m a))
+
+let test_restrict () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.bdd_and m a b in
+  check_bool "f|a=1 is b" true (Bdd.equal (Bdd.restrict m f ~var:0 ~value:true) b);
+  check_bool "f|a=0 is false" true (Bdd.is_false (Bdd.restrict m f ~var:0 ~value:false));
+  check_bool "restrict absent var" true
+    (Bdd.equal (Bdd.restrict m f ~var:7 ~value:true) f)
+
+let test_necessity () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  (* f = a and (b or c): a necessary, b and c are not *)
+  let f = Bdd.bdd_and m a (Bdd.bdd_or m b c) in
+  check_bool "a necessary" true (Bdd.is_necessary m f ~var:0);
+  check_bool "b not necessary" false (Bdd.is_necessary m f ~var:1);
+  check_bool "c not necessary" false (Bdd.is_necessary m f ~var:2)
+
+let test_support () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 3 and b = Bdd.var m 1 in
+  Alcotest.(check (list int)) "sorted support" [ 1; 3 ]
+    (Bdd.support m (Bdd.bdd_or m a b));
+  Alcotest.(check (list int)) "terminal support" [] (Bdd.support m (Bdd.bdd_true m))
+
+let test_any_sat () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  check_bool "unsat" true (Bdd.any_sat m (Bdd.bdd_false m) = None);
+  let f = Bdd.bdd_and m a (Bdd.bdd_not m b) in
+  match Bdd.any_sat m f with
+  | None -> Alcotest.fail "expected sat"
+  | Some assignment ->
+      let lookup v = List.assoc_opt v assignment |> Option.value ~default:false in
+      check_bool "assignment satisfies" true (Bdd.eval m f lookup)
+
+(* Property: BDD operations agree with direct boolean evaluation over
+   random 4-variable formulas. *)
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Xor of formula * formula
+
+let rec gen_formula size =
+  let open QCheck.Gen in
+  if size <= 1 then map (fun i -> Var i) (int_bound 3)
+  else
+    frequency
+      [
+        (1, map (fun i -> Var i) (int_bound 3));
+        (2, map (fun f -> Not f) (gen_formula (size / 2)));
+        (3, map2 (fun a b -> And (a, b)) (gen_formula (size / 2)) (gen_formula (size / 2)));
+        (3, map2 (fun a b -> Or (a, b)) (gen_formula (size / 2)) (gen_formula (size / 2)));
+        (2, map2 (fun a b -> Xor (a, b)) (gen_formula (size / 2)) (gen_formula (size / 2)));
+      ]
+
+let rec build m = function
+  | Var i -> Bdd.var m i
+  | Not f -> Bdd.bdd_not m (build m f)
+  | And (a, b) -> Bdd.bdd_and m (build m a) (build m b)
+  | Or (a, b) -> Bdd.bdd_or m (build m a) (build m b)
+  | Xor (a, b) -> Bdd.bdd_xor m (build m a) (build m b)
+
+let rec interp env = function
+  | Var i -> env i
+  | Not f -> not (interp env f)
+  | And (a, b) -> interp env a && interp env b
+  | Or (a, b) -> interp env a || interp env b
+  | Xor (a, b) -> interp env a <> interp env b
+
+let all_envs =
+  List.init 16 (fun bits -> fun i -> (bits lsr i) land 1 = 1)
+
+let prop_semantics =
+  QCheck.Test.make ~name:"BDD agrees with truth table" ~count:200
+    (QCheck.make (gen_formula 16))
+    (fun f ->
+      let m = Bdd.create () in
+      let b = build m f in
+      List.for_all (fun env -> Bdd.eval m b env = interp env f) all_envs)
+
+let prop_canonical =
+  QCheck.Test.make ~name:"equivalent formulas share a node" ~count:200
+    (QCheck.make (QCheck.Gen.pair (gen_formula 12) (gen_formula 12)))
+    (fun (f, g) ->
+      let m = Bdd.create () in
+      let bf = build m f and bg = build m g in
+      let equivalent = List.for_all (fun env -> interp env f = interp env g) all_envs in
+      Bdd.equal bf bg = equivalent)
+
+let prop_necessity_semantics =
+  QCheck.Test.make ~name:"is_necessary matches semantic necessity" ~count:200
+    (QCheck.make (QCheck.Gen.pair (gen_formula 12) (QCheck.Gen.int_bound 3)))
+    (fun (f, v) ->
+      let m = Bdd.create () in
+      let b = build m f in
+      (* necessity: no satisfying assignment has v = false *)
+      let semantic =
+        List.for_all (fun env -> env v || not (interp env f)) all_envs
+      in
+      Bdd.is_necessary m b ~var:v = semantic)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "boolean laws" `Quick test_boolean_laws;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "necessity" `Quick test_necessity;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "any_sat" `Quick test_any_sat;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_semantics; prop_canonical; prop_necessity_semantics ] );
+    ]

@@ -1,0 +1,53 @@
+open Netcov_types
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Community.to_string (Community.of_string s)))
+    [ "0:0"; "65535:65535"; "11537:888"; "1:2" ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> check_bool s true (Community.of_string_opt s = None))
+    [ ""; "1"; "1:"; ":2"; "65536:0"; "0:65536"; "-1:2"; "a:b" ]
+
+let test_well_known () =
+  check_str "no-export" "65535:65281" (Community.to_string Community.no_export);
+  check_str "no-advertise" "65535:65282" (Community.to_string Community.no_advertise)
+
+let test_ordering () =
+  check_bool "high first" true
+    (Community.compare (Community.make 1 9) (Community.make 2 0) < 0);
+  check_bool "low second" true
+    (Community.compare (Community.make 1 1) (Community.make 1 2) < 0)
+
+let test_set () =
+  let s =
+    Community.Set.of_list [ Community.make 1 1; Community.make 1 1; Community.make 2 2 ]
+  in
+  Alcotest.(check int) "dedup" 2 (Community.Set.cardinal s)
+
+let test_route_communities () =
+  let r = Route.originate (Prefix.of_string "10.0.0.0/8") ~next_hop:Ipv4.zero in
+  let c = Community.make 11537 888 in
+  check_bool "absent" false (Route.has_community r c);
+  let r = Route.add_community r c in
+  check_bool "present" true (Route.has_community r c);
+  let r2 = Route.add_community r c in
+  check_bool "idempotent" true (Route.equal_bgp r r2)
+
+let () =
+  Alcotest.run "community"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "well-known" `Quick test_well_known;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "set dedup" `Quick test_set;
+          Alcotest.test_case "route communities" `Quick test_route_communities;
+        ] );
+    ]

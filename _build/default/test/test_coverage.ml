@@ -1,0 +1,119 @@
+(* Coverage accounting unit tests: status lattice, merge, line and
+   bucket aggregation on a controlled fixture. *)
+open Netcov_config
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let reg = lazy (Registry.build (Testnet.chain ()))
+
+let ids_of_type et =
+  Registry.fold_elements (Lazy.force reg)
+    (fun acc e -> if Element.etype_of e = et then e.Element.id :: acc else acc)
+    []
+
+let set = Element.Id_set.of_list
+
+let test_of_sets_strong_wins () =
+  let reg = Lazy.force reg in
+  let ids = ids_of_type Element.Interface in
+  match ids with
+  | a :: b :: _ ->
+      let cov =
+        Coverage.of_sets reg ~strong:(set [ a ]) ~weak:(set [ a; b ])
+      in
+      check_bool "strong wins" true (Coverage.element_status cov a = Coverage.Strong);
+      check_bool "weak kept" true (Coverage.element_status cov b = Coverage.Weak)
+  | _ -> Alcotest.fail "need two interfaces"
+
+let test_merge_lattice () =
+  let reg = Lazy.force reg in
+  match ids_of_type Element.Interface with
+  | a :: b :: c :: _ ->
+      let c1 = Coverage.of_sets reg ~strong:(set [ a ]) ~weak:(set [ b ]) in
+      let c2 = Coverage.of_sets reg ~strong:(set [ b ]) ~weak:(set [ c ]) in
+      let m = Coverage.merge c1 c2 in
+      check_bool "a strong" true (Coverage.element_status m a = Coverage.Strong);
+      check_bool "b upgraded" true (Coverage.element_status m b = Coverage.Strong);
+      check_bool "c weak" true (Coverage.element_status m c = Coverage.Weak);
+      (* merge never downgrades: merging with empty is identity *)
+      let empty = Coverage.empty reg in
+      check_bool "identity" true
+        (Coverage.covered_elements (Coverage.merge c1 empty)
+        = Coverage.covered_elements c1)
+  | _ -> Alcotest.fail "need three interfaces"
+
+let test_line_stats_add_up () =
+  let reg = Lazy.force reg in
+  let all =
+    Registry.fold_elements reg (fun acc e -> e.Element.id :: acc) []
+  in
+  let cov = Coverage.of_sets reg ~strong:(set all) ~weak:Element.Id_set.empty in
+  let s = Coverage.line_stats cov in
+  check_int "all considered lines covered" s.Coverage.considered
+    (Coverage.covered_lines s);
+  check_int "considered matches registry" (Registry.considered_lines reg)
+    s.Coverage.considered;
+  check_int "total matches registry" (Registry.total_lines reg) s.Coverage.total;
+  check_bool "100 percent" true (Coverage.pct s > 99.9)
+
+let test_device_stats_partition () =
+  let reg = Lazy.force reg in
+  let cov = Coverage.empty reg in
+  let per_device = Coverage.device_stats cov in
+  check_int "three devices" 3 (List.length per_device);
+  let sum =
+    List.fold_left (fun acc (_, s) -> acc + s.Coverage.considered) 0 per_device
+  in
+  check_int "device considered sums to total" (Registry.considered_lines reg) sum
+
+let test_bucket_stats_partition () =
+  let reg = Lazy.force reg in
+  let cov = Coverage.empty reg in
+  let total_lines =
+    List.fold_left
+      (fun acc (_, (s : Coverage.type_stats)) -> acc + s.lines_total)
+      0 (Coverage.bucket_stats cov)
+  in
+  (* every element-owned line belongs to exactly one bucket *)
+  check_int "buckets partition considered lines" (Registry.considered_lines reg)
+    total_lines;
+  let total_elems =
+    List.fold_left
+      (fun acc (_, (s : Coverage.type_stats)) -> acc + s.elems_total)
+      0 (Coverage.bucket_stats cov)
+  in
+  check_int "buckets partition elements" (Registry.n_elements reg) total_elems
+
+let test_with_strong () =
+  let reg = Lazy.force reg in
+  let id = List.hd (ids_of_type Element.Bgp_peer) in
+  let cov = Coverage.with_strong (Coverage.empty reg) [ id ] in
+  check_bool "marked" true (Coverage.element_status cov id = Coverage.Strong);
+  (* out-of-range ids are ignored, not fatal *)
+  let cov2 = Coverage.with_strong cov [ max_int; -1 ] in
+  check_bool "robust" true (Coverage.element_status cov2 id = Coverage.Strong)
+
+let test_line_status_unconsidered () =
+  let reg = Lazy.force reg in
+  let cov = Coverage.empty reg in
+  (* line 1 of the junos emit is the hostname comment: unconsidered *)
+  check_bool "line 1 unconsidered" true (Coverage.line_status cov "a" 1 = None);
+  check_bool "line 0 out of range" true (Coverage.line_status cov "a" 0 = None);
+  check_bool "line beyond end" true (Coverage.line_status cov "a" 100000 = None)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "of_sets strong wins" `Quick test_of_sets_strong_wins;
+          Alcotest.test_case "merge lattice" `Quick test_merge_lattice;
+          Alcotest.test_case "line stats add up" `Quick test_line_stats_add_up;
+          Alcotest.test_case "device partition" `Quick test_device_stats_partition;
+          Alcotest.test_case "bucket partition" `Quick test_bucket_stats_partition;
+          Alcotest.test_case "with_strong" `Quick test_with_strong;
+          Alcotest.test_case "line status bounds" `Quick test_line_status_unconsidered;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+open Netcov_types
+open Netcov_sim
+open Netcov_core
+open Netcov_dpcov
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let p = Prefix.of_string
+
+let state = lazy (Testnet.state_of (Testnet.chain ()))
+
+let test_empty () =
+  let state = Lazy.force state in
+  let d = Dpcov.of_tested state Netcov.no_tests in
+  check_int "nothing tested" 0 d.Dpcov.tested_entries;
+  check_bool "total positive" true (d.Dpcov.total_entries > 0);
+  check_bool "pct zero" true (Dpcov.pct d = 0.)
+
+let test_single_fact () =
+  let state = Lazy.force state in
+  let tested =
+    {
+      Netcov.dp_facts =
+        List.map
+          (fun entry -> Fact.F_main_rib { host = "c"; entry })
+          (Stable_state.main_lookup state "c" (p "10.10.0.0/24"));
+      cp_elements = [];
+    }
+  in
+  let d = Dpcov.of_tested state tested in
+  check_int "one entry" 1 d.Dpcov.tested_entries
+
+let test_duplicates_counted_once () =
+  let state = Lazy.force state in
+  let facts =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "c"; entry })
+      (Stable_state.main_lookup state "c" (p "10.10.0.0/24"))
+  in
+  let d =
+    Dpcov.of_tested state { Netcov.dp_facts = facts @ facts; cp_elements = [] }
+  in
+  check_int "dedup" 1 d.Dpcov.tested_entries
+
+let test_path_facts_count_hops () =
+  let state = Lazy.force state in
+  let dst = Ipv4.of_string "10.10.0.1" in
+  let paths = Stable_state.trace state ~src:"c" ~dst in
+  let facts =
+    List.mapi (fun idx _ -> Fact.F_path { src = "c"; dst; idx }) paths
+  in
+  let d = Dpcov.of_tested state { Netcov.dp_facts = facts; cp_elements = [] } in
+  (* the c->b->a path uses forwarding entries at c and b *)
+  check_bool "hops counted" true (d.Dpcov.tested_entries >= 2)
+
+let test_all_data_plane () =
+  let state = Lazy.force state in
+  let d = Dpcov.of_tested state (Dpcov.all_data_plane_tested state) in
+  check_int "full coverage" d.Dpcov.total_entries d.Dpcov.tested_entries;
+  check_bool "100%" true (Dpcov.pct d > 99.9)
+
+let test_external_hosts_excluded () =
+  (* externals' RIB entries count toward neither numerator nor denominator *)
+  let net = Netcov_workloads.Internet2.generate Netcov_workloads.Internet2.test_params in
+  let state = Stable_state.compute (Netcov_config.Registry.build net.devices) in
+  let d = Dpcov.of_tested state (Dpcov.all_data_plane_tested state) in
+  let internal_total =
+    List.fold_left
+      (fun acc h -> acc + Netcov_sim.Rib.table_count (Stable_state.main_rib state h))
+      0 (Stable_state.internal_hosts state)
+  in
+  check_int "denominator internal only" internal_total d.Dpcov.total_entries
+
+let () =
+  Alcotest.run "dpcov"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single fact" `Quick test_single_fact;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_counted_once;
+          Alcotest.test_case "path hops" `Quick test_path_facts_count_hops;
+          Alcotest.test_case "all data plane" `Quick test_all_data_plane;
+          Alcotest.test_case "externals excluded" `Slow test_external_hosts_excluded;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* JSON export and coverage diffing. *)
+open Netcov_types
+open Netcov_sim
+open Netcov_core
+
+module Element = Netcov_config.Element
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let contains = Astring_like.contains
+let p = Prefix.of_string
+
+let state = lazy (Testnet.state_of (Testnet.chain ()))
+
+let report_of tested =
+  Netcov.analyze (Lazy.force state) { Netcov.dp_facts = tested; cp_elements = [] }
+
+let tested_c =
+  lazy
+    (List.map
+       (fun entry -> Fact.F_main_rib { host = "c"; entry })
+       (Stable_state.main_lookup (Lazy.force state) "c" (p "10.10.0.0/24")))
+
+(* ---------------- JSON ---------------- *)
+
+let test_escape () =
+  Alcotest.(check string) "quotes" "a\\\"b" (Json_export.escape_string "a\"b");
+  Alcotest.(check string) "backslash" "a\\\\b" (Json_export.escape_string "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Json_export.escape_string "a\nb");
+  Alcotest.(check string) "control" "\\u0001" (Json_export.escape_string "\x01")
+
+(* A tiny structural validator: balanced braces/brackets outside
+   strings, no trailing garbage. *)
+let well_formed json =
+  let depth = ref 0 and in_str = ref false and escaped = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_str then begin
+        if c = '\\' then escaped := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    json;
+  !ok && !depth = 0 && not !in_str
+
+let test_coverage_json () =
+  let report = report_of (Lazy.force tested_c) in
+  let json = Json_export.coverage report.Netcov.coverage in
+  check_bool "well formed" true (well_formed json);
+  check_bool "has overall" true (contains json "\"overall\"");
+  check_bool "has devices" true (contains json "\"device\":\"a\"");
+  check_bool "has element status" true (contains json "\"status\":\"strong\"");
+  check_bool "has types" true (contains json "\"type\":\"interface\"")
+
+let test_report_json () =
+  let report = report_of (Lazy.force tested_c) in
+  let json = Json_export.report report in
+  check_bool "well formed" true (well_formed json);
+  check_bool "has timing" true (contains json "\"ifg_nodes\"");
+  check_bool "has dead" true (contains json "\"dead\"")
+
+let test_json_deterministic () =
+  let r1 = report_of (Lazy.force tested_c) in
+  let r2 = report_of (Lazy.force tested_c) in
+  Alcotest.(check string)
+    "same json"
+    (Json_export.coverage r1.Netcov.coverage)
+    (Json_export.coverage r2.Netcov.coverage)
+
+(* ---------------- diff ---------------- *)
+
+let test_diff_empty () =
+  let r = report_of (Lazy.force tested_c) in
+  let d = Coverage_diff.diff ~baseline:r.Netcov.coverage r.Netcov.coverage in
+  check_bool "empty" true (Coverage_diff.is_empty d);
+  check_bool "no regression" true (Coverage_diff.no_regression d);
+  check_bool "summary says unchanged" true
+    (contains
+       (Coverage_diff.summary (Stable_state.registry (Lazy.force state)) d)
+       "unchanged")
+
+let test_diff_gain () =
+  let baseline = report_of [] in
+  let current = report_of (Lazy.force tested_c) in
+  let d = Coverage_diff.diff ~baseline:baseline.Netcov.coverage current.Netcov.coverage in
+  check_bool "gained" true (not (Element.Id_set.is_empty d.Coverage_diff.gained));
+  check_int "nothing lost" 0 (Element.Id_set.cardinal d.Coverage_diff.lost);
+  check_bool "no regression" true (Coverage_diff.no_regression d)
+
+
+let test_diff_regression () =
+  let baseline = report_of (Lazy.force tested_c) in
+  let current = report_of [] in
+  let d = Coverage_diff.diff ~baseline:baseline.Netcov.coverage current.Netcov.coverage in
+  check_bool "lost" true (not (Element.Id_set.is_empty d.Coverage_diff.lost));
+  check_bool "regression detected" false (Coverage_diff.no_regression d);
+  check_bool "summary lists elements" true
+    (contains
+       (Coverage_diff.summary (Stable_state.registry (Lazy.force state)) d)
+       "coverage lost")
+
+let test_diff_mismatched_registries () =
+  let other = Testnet.state_of (Testnet.diamond ()) in
+  let r1 = report_of [] in
+  let r2 = Netcov.analyze other Netcov.no_tests in
+  check_bool "raises" true
+    (match Coverage_diff.diff ~baseline:r1.Netcov.coverage r2.Netcov.coverage with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_escape;
+          Alcotest.test_case "coverage json" `Quick test_coverage_json;
+          Alcotest.test_case "report json" `Quick test_report_json;
+          Alcotest.test_case "deterministic" `Quick test_json_deterministic;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identity" `Quick test_diff_empty;
+          Alcotest.test_case "gain" `Quick test_diff_gain;
+          Alcotest.test_case "regression" `Quick test_diff_regression;
+          Alcotest.test_case "mismatched registries" `Quick
+            test_diff_mismatched_registries;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Failure injection: interface/link failures and their effect on the
+   stable state, on test outcomes, and on coverage (what-if analysis). *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+open Netcov_nettest
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ip = Ipv4.of_string
+let p = Prefix.of_string
+
+let test_down_interface_kills_session () =
+  let reg = Registry.build (Testnet.chain ()) in
+  let baseline = Stable_state.compute reg in
+  check_int "baseline edges" 4 (List.length (Stable_state.edges baseline));
+  let state = Stable_state.compute ~down:[ ("b", "eth1") ] reg in
+  (* b-c session gone, a-b survives *)
+  check_int "edges after failure" 2 (List.length (Stable_state.edges state));
+  check_bool "c loses the route" true
+    (Stable_state.main_lookup state "c" (p "10.10.0.0/24") = []);
+  check_bool "b keeps the route" true
+    (Stable_state.main_lookup state "b" (p "10.10.0.0/24") <> [])
+
+let test_down_does_not_change_coverage_domain () =
+  let reg = Registry.build (Testnet.chain ()) in
+  let state = Stable_state.compute ~down:[ ("b", "eth1") ] reg in
+  (* the registry still contains the failed interface's element/lines *)
+  check_bool "element still registered" true
+    (Registry.find reg ~device:"b" (Element.key Element.Interface "eth1") <> None);
+  check_bool "considered lines unchanged" true
+    (Registry.considered_lines (Stable_state.registry state)
+    = Registry.considered_lines reg)
+
+let test_igp_reroute_on_failure () =
+  let reg = Registry.build (Testnet.diamond ()) in
+  let baseline = Stable_state.compute reg in
+  (* kill the a-b link: traffic a->d must go via c *)
+  let state = Stable_state.compute ~down:[ ("a", "eth0"); ("b", "eth0") ] reg in
+  check_bool "still reachable" true
+    (Stable_state.reachable state ~src:"a" ~dst:(ip "172.20.0.4"));
+  let mid paths =
+    List.concat_map
+      (fun (q : Forward.path) ->
+        if q.reached then
+          List.filteri (fun i _ -> i = 1) q.hops
+          |> List.map (fun (h : Forward.hop) -> h.hop_host)
+        else [])
+      paths
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "baseline uses b or c" [ "b"; "c" ]
+    (mid (Stable_state.trace baseline ~src:"a" ~dst:(ip "172.20.0.4")));
+  Alcotest.(check (list string)) "failure forces c" [ "c" ]
+    (mid (Stable_state.trace state ~src:"a" ~dst:(ip "172.20.0.4")))
+
+let test_failure_shifts_coverage () =
+  (* testing the same fact pre/post failure covers different interfaces *)
+  let reg = Registry.build (Testnet.diamond ()) in
+  let covered state =
+    let tested =
+      List.map
+        (fun entry -> Fact.F_main_rib { host = "d"; entry })
+        (Stable_state.main_lookup state "d" (p "10.50.0.0/24"))
+    in
+    let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+    Coverage.covered_elements report.Netcov.coverage
+  in
+  let baseline = covered (Stable_state.compute reg) in
+  let failed = covered (Stable_state.compute ~down:[ ("a", "eth0"); ("b", "eth0") ] reg) in
+  check_bool "coverage differs under failure" false
+    (Element.Id_set.equal baseline failed)
+
+let test_whatif_union () =
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let state = Stable_state.compute reg in
+  let suite = [ Datacenter.default_route_check ft ] in
+  let result = Whatif.run ~max_scenarios:6 state suite in
+  check_int "six scenarios" 6 (List.length result.Whatif.scenarios);
+  (* union coverage dominates the baseline *)
+  let b = Coverage.covered_elements result.Whatif.baseline in
+  let u = Coverage.covered_elements result.Whatif.union in
+  check_bool "union superset" true (Element.Id_set.subset b u);
+  (* the suite still passes under single link failures (ECMP redundancy) *)
+  List.iter
+    (fun (s : Whatif.scenario) ->
+      check_bool "default survives single failure" true s.tests_passed)
+    result.Whatif.scenarios
+
+let test_whatif_strict_gain_without_ecmp () =
+  (* with ECMP disabled, backup links are exercised only under failures *)
+  let ft = Netcov_workloads.Fattree.generate ~k:4 ~multipath:1 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let state = Stable_state.compute reg in
+  let suite = [ Datacenter.default_route_check ft; Datacenter.tor_pingmesh ft ] in
+  let result = Whatif.run state suite in
+  check_bool "failures reveal new coverage" true
+    (not (Element.Id_set.is_empty (Whatif.failure_only result)))
+
+let test_whatif_internal_links () =
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let state = Stable_state.compute reg in
+  (* k=4: 16 leaf-agg + 16 agg-spine internal links (WAN links touch
+     external stubs and are excluded) *)
+  check_int "internal links" 32 (List.length (Whatif.internal_links state))
+
+let test_total_partition_fails_tests () =
+  (* failing every uplink of one leaf makes DefaultRouteCheck fail there *)
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let leaf = List.hd ft.Netcov_workloads.Fattree.leaves in
+  let d = Registry.device reg leaf in
+  let downs =
+    List.filter_map
+      (fun (i : Device.interface) ->
+        if
+          i.address <> None
+          && String.length i.if_name >= 8
+          && String.sub i.if_name 0 8 = "Ethernet"
+        then Some (leaf, i.if_name)
+        else None)
+      d.Device.interfaces
+  in
+  let state = Stable_state.compute ~down:downs reg in
+  let t = Datacenter.default_route_check ft in
+  let r = t.Nettest.run state in
+  check_bool "check fails when partitioned" false (Nettest.passed r.Nettest.outcome)
+
+let () =
+  Alcotest.run "failure"
+    [
+      ( "injection",
+        [
+          Alcotest.test_case "down kills session" `Quick test_down_interface_kills_session;
+          Alcotest.test_case "coverage domain unchanged" `Quick
+            test_down_does_not_change_coverage_domain;
+          Alcotest.test_case "igp reroute" `Quick test_igp_reroute_on_failure;
+          Alcotest.test_case "coverage shifts" `Quick test_failure_shifts_coverage;
+        ] );
+      ( "whatif",
+        [
+          Alcotest.test_case "union dominates" `Slow test_whatif_union;
+          Alcotest.test_case "strict gain without ecmp" `Slow
+            test_whatif_strict_gain_without_ecmp;
+          Alcotest.test_case "internal links" `Quick test_whatif_internal_links;
+          Alcotest.test_case "partition fails tests" `Quick
+            test_total_partition_fails_tests;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Integration test reproducing the paper's Figure 1/2 example: two
+   routers, R2 originates its interface prefix via a BGP network
+   statement, R1 imports it through a policy that also contains an
+   unexercised deny clause. Testing R1's RIB entry for 10.10.1.0/24 must
+   cover exactly the elements the paper highlights, and leave the
+   export policy R1-to-R2 and the unexercised clause uncovered. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let ip = Ipv4.of_string
+let p = Prefix.of_string
+
+let r1 =
+  Device.make
+    ~interfaces:[ Device.interface ~address:(ip "192.168.1.1", 30) "eth0" ]
+    ~policies:
+      [
+        {
+          Policy_ast.pol_name = "R2-to-R1";
+          terms =
+            [
+              {
+                term_name = "block";
+                matches = [ Policy_ast.Match_prefix (p "10.10.2.0/24", Policy_ast.Exact) ];
+                actions = [ Policy_ast.Reject ];
+              };
+              {
+                term_name = "prefer";
+                matches = [ Policy_ast.Match_prefix (p "10.10.1.0/24", Policy_ast.Exact) ];
+                actions = [ Policy_ast.Set_local_pref 120; Policy_ast.Accept ];
+              };
+            ];
+        };
+        {
+          Policy_ast.pol_name = "R1-to-R2";
+          terms =
+            [
+              {
+                term_name = "export-nothing";
+                matches = [];
+                actions = [ Policy_ast.Reject ];
+              };
+            ];
+        };
+      ]
+    ~bgp:
+      {
+        Device.local_as = 65001;
+        router_id = ip "192.168.1.1";
+        networks = [];
+        aggregates = [];
+        redistributes = [];
+        groups = [];
+        neighbors =
+          [
+            {
+              Device.nb_ip = ip "192.168.1.2";
+              nb_remote_as = 65002;
+              nb_group = None;
+              nb_import = [ "R2-to-R1" ];
+              nb_export = [ "R1-to-R2" ];
+              nb_local_addr = None;
+              nb_next_hop_self = false;
+              nb_rr_client = false;
+              nb_description = None;
+            };
+          ];
+        multipath = 1;
+      }
+    "r1"
+
+let r2 =
+  Device.make
+    ~interfaces:
+      [
+        Device.interface ~address:(ip "192.168.1.2", 30) "eth0";
+        Device.interface ~address:(ip "10.10.1.1", 24) "eth1";
+      ]
+    ~bgp:
+      {
+        Device.local_as = 65002;
+        router_id = ip "192.168.1.2";
+        networks = [ p "10.10.1.0/24" ];
+        aggregates = [];
+        redistributes = [];
+        groups = [];
+        neighbors =
+          [
+            {
+              Device.nb_ip = ip "192.168.1.1";
+              nb_remote_as = 65001;
+              nb_group = None;
+              nb_import = [];
+              nb_export = [];
+              nb_local_addr = None;
+              nb_next_hop_self = false;
+              nb_rr_client = false;
+              nb_description = None;
+            };
+          ];
+        multipath = 1;
+      }
+    "r2"
+
+let state = lazy (Testnet.state_of [ r1; r2 ])
+
+let analyze () =
+  let state = Lazy.force state in
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "r1"; entry })
+      (Stable_state.main_lookup state "r1" (p "10.10.1.0/24"))
+  in
+  check_bool "route present at r1" true (tested <> []);
+  (state, Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] })
+
+let status state cov host key =
+  let reg = Stable_state.registry state in
+  match Registry.find reg ~device:host key with
+  | None -> Alcotest.failf "missing element %s" host
+  | Some id -> Coverage.element_status cov id
+
+let test_route_arrives () =
+  let state = Lazy.force state in
+  let entries = Stable_state.bgp_lookup_best state "r1" (p "10.10.1.0/24") in
+  check_bool "learned" true (entries <> []);
+  Alcotest.(check int) "import policy applied" 120
+    (List.hd entries).Rib.be_route.Route.local_pref
+
+let test_covered_elements () =
+  let state, report = analyze () in
+  let cov = report.Netcov.coverage in
+  let strong host key =
+    check_bool
+      (Format.asprintf "%s %a strong" host Element.pp_key key)
+      true
+      (status state cov host key = Coverage.Strong)
+  in
+  (* R1 side: interface, peering, the exercised import clause *)
+  strong "r1" (Element.key Element.Interface "eth0");
+  strong "r1" (Element.key Element.Bgp_peer "192.168.1.2");
+  strong "r1" (Element.key Element.Route_policy_clause "R2-to-R1/prefer");
+  (* R2 side: both interfaces, peering, network statement *)
+  strong "r2" (Element.key Element.Interface "eth0");
+  strong "r2" (Element.key Element.Interface "eth1");
+  strong "r2" (Element.key Element.Bgp_peer "192.168.1.1");
+  strong "r2" (Element.key Element.Bgp_network "10.10.1.0/24")
+
+let test_uncovered_elements () =
+  let state, report = analyze () in
+  let cov = report.Netcov.coverage in
+  let uncovered host key =
+    check_bool
+      (Format.asprintf "%s %a uncovered" host Element.pp_key key)
+      true
+      (status state cov host key = Coverage.Not_covered)
+  in
+  (* the unexercised deny clause and the whole export policy *)
+  uncovered "r1" (Element.key Element.Route_policy_clause "R2-to-R1/block");
+  uncovered "r1" (Element.key Element.Route_policy_clause "R1-to-R2/export-nothing")
+
+let test_line_coverage_sane () =
+  let _, report = analyze () in
+  let s = Coverage.line_stats report.Netcov.coverage in
+  check_bool "partial coverage" true
+    (Coverage.covered_lines s > 0 && Coverage.covered_lines s < s.Coverage.considered)
+
+let test_lcov_output () =
+  let _, report = analyze () in
+  let text = Lcov.report report.Netcov.coverage in
+  check_bool "has r1 record" true
+    (Astring_like.contains text "SF:configs/r1.cfg");
+  check_bool "has DA lines" true (Astring_like.contains text "DA:");
+  check_bool "has end marker" true (Astring_like.contains text "end_of_record");
+  let table = Lcov.file_table report.Netcov.coverage in
+  check_bool "table mentions both" true
+    (Astring_like.contains table "r1" && Astring_like.contains table "r2");
+  let annotated = Lcov.annotate report.Netcov.coverage "r1" in
+  check_bool "annotation markers" true
+    (Astring_like.contains annotated "+" && Astring_like.contains annotated "-")
+
+let () =
+  Alcotest.run "figure1"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "route arrives with policy applied" `Quick test_route_arrives;
+          Alcotest.test_case "covered elements" `Quick test_covered_elements;
+          Alcotest.test_case "uncovered elements" `Quick test_uncovered_elements;
+          Alcotest.test_case "line coverage sane" `Quick test_line_coverage_sane;
+          Alcotest.test_case "lcov output" `Quick test_lcov_output;
+        ] );
+    ]

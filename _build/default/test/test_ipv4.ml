@@ -1,0 +1,78 @@
+open Netcov_types
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_roundtrip_literals () =
+  List.iter
+    (fun s -> check_str s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.1.254"; "1.2.3.4" ]
+
+let test_of_octets () =
+  check_str "octets" "10.20.30.40" (Ipv4.to_string (Ipv4.of_octets 10 20 30 40));
+  let a, b, c, d = Ipv4.to_octets (Ipv4.of_string "172.16.5.9") in
+  check_int "a" 172 a;
+  check_int "b" 16 b;
+  check_int "c" 5 c;
+  check_int "d" 9 d
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> check_bool s true (Ipv4.of_string_opt s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "1.2.3.4 " ]
+
+let test_ordering () =
+  check_bool "lt" true (Ipv4.compare (Ipv4.of_string "1.0.0.0") (Ipv4.of_string "2.0.0.0") < 0);
+  check_bool "eq" true (Ipv4.equal (Ipv4.of_string "9.9.9.9") (Ipv4.of_string "9.9.9.9"));
+  check_bool "msb order" true
+    (Ipv4.compare (Ipv4.of_string "127.255.255.255") (Ipv4.of_string "128.0.0.0") < 0)
+
+let test_succ_wraps () =
+  check_str "succ" "10.0.0.2" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "10.0.0.1")));
+  check_str "carry" "10.0.1.0" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "10.0.0.255")));
+  check_str "wrap" "0.0.0.0" (Ipv4.to_string (Ipv4.succ Ipv4.broadcast))
+
+let test_bits () =
+  let a = Ipv4.of_string "128.0.0.1" in
+  check_bool "bit0" true (Ipv4.bit a 0);
+  check_bool "bit1" false (Ipv4.bit a 1);
+  check_bool "bit31" true (Ipv4.bit a 31)
+
+let test_logic () =
+  let a = Ipv4.of_string "255.255.0.0" in
+  check_str "not" "0.0.255.255" (Ipv4.to_string (Ipv4.lognot a));
+  check_str "and" "10.1.0.0"
+    (Ipv4.to_string (Ipv4.logand (Ipv4.of_string "10.1.2.3") a));
+  check_str "or" "255.255.2.3"
+    (Ipv4.to_string (Ipv4.logor (Ipv4.of_string "10.1.2.3") a))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id" ~count:500
+    QCheck.(map Ipv4.of_int (int_bound 0xFFFFFFF))
+    (fun a -> Ipv4.equal a (Ipv4.of_string (Ipv4.to_string a)))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add a (m+n) = add (add a m) n" ~count:500
+    QCheck.(triple (int_bound 0xFFFFFF) (int_bound 1000) (int_bound 1000))
+    (fun (a, m, n) ->
+      let a = Ipv4.of_int a in
+      Ipv4.equal (Ipv4.add a (m + n)) (Ipv4.add (Ipv4.add a m) n))
+
+let () =
+  Alcotest.run "ipv4"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip literals" `Quick test_roundtrip_literals;
+          Alcotest.test_case "of_octets" `Quick test_of_octets;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "succ wraps" `Quick test_succ_wraps;
+          Alcotest.test_case "bit access" `Quick test_bits;
+          Alcotest.test_case "bitwise ops" `Quick test_logic;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_add_assoc ]
+      );
+    ]

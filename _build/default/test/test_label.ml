@@ -1,0 +1,143 @@
+open Netcov_config
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let f name = Fact.F_edge name
+let cfg id = Fact.F_config id
+
+let set_of ids = Element.Id_set.of_list ids
+let eq_set = Alcotest.testable
+    (fun fmt s ->
+      Format.fprintf fmt "{%s}"
+        (String.concat "," (List.map string_of_int (Element.Id_set.elements s))))
+    Element.Id_set.equal
+
+(* Figure 5(b): F1 tested; F1 <- disj(F2,F3) and F1 <- F4;
+   F2 <- c5, c6; F3 <- c6; F4 <- c7.
+   Expected: c5 weak; c6, c7 strong. *)
+let figure5 () =
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let f1 = add (f "F1") and f2 = add (f "F2") and f3 = add (f "F3") in
+  let f4 = add (f "F4") in
+  let c5 = add (cfg 5) and c6 = add (cfg 6) and c7 = add (cfg 7) in
+  ignore (Ifg.add_disj g ~target:f1 [ f "F2"; f "F3" ]);
+  Ifg.add_edge g ~parent:f4 ~child:f1;
+  Ifg.add_edge g ~parent:c5 ~child:f2;
+  Ifg.add_edge g ~parent:c6 ~child:f2;
+  Ifg.add_edge g ~parent:c6 ~child:f3;
+  Ifg.add_edge g ~parent:c7 ~child:f4;
+  (g, f1)
+
+let test_figure5 () =
+  let g, f1 = figure5 () in
+  let r = Label.run g ~tested:[ f1 ] in
+  Alcotest.check eq_set "covered" (set_of [ 5; 6; 7 ]) r.Label.covered;
+  Alcotest.check eq_set "strong" (set_of [ 6; 7 ]) r.Label.strong;
+  Alcotest.check eq_set "weak" (set_of [ 5 ]) r.Label.weak
+
+let test_heuristic_reduces_vars () =
+  let g, f1 = figure5 () in
+  let r = Label.run g ~tested:[ f1 ] in
+  (* c7 has a disjunction-free path: it must not get a variable *)
+  check_bool "vars at most 2" true (r.Label.vars <= 2)
+
+(* Pure conjunction: every config strong. *)
+let test_all_conjunctive () =
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t = add (f "t") and m = add (f "m") in
+  let c1 = add (cfg 1) and c2 = add (cfg 2) in
+  Ifg.add_edge g ~parent:m ~child:t;
+  Ifg.add_edge g ~parent:c1 ~child:m;
+  Ifg.add_edge g ~parent:c2 ~child:t;
+  let r = Label.run g ~tested:[ t ] in
+  Alcotest.check eq_set "all strong" (set_of [ 1; 2 ]) r.Label.strong;
+  check_int "no vars needed" 0 r.Label.vars
+
+(* A disjunction where one branch is empty of configs: everything under
+   the other branch is weak (the empty branch derives the fact alone). *)
+let test_environment_alternative () =
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t = add (f "t") in
+  let via_cfg = add (f "via-cfg") and via_env = add (f "via-env") in
+  ignore via_env;
+  let c1 = add (cfg 1) in
+  ignore (Ifg.add_disj g ~target:t [ f "via-cfg"; f "via-env" ]);
+  Ifg.add_edge g ~parent:c1 ~child:via_cfg;
+  let r = Label.run g ~tested:[ t ] in
+  Alcotest.check eq_set "c1 weak" (set_of [ 1 ]) r.Label.weak
+
+(* Shared disjunction members: c appears in every alternative, so it is
+   strong even through the disjunction. *)
+let test_common_member_strong () =
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t = add (f "t") in
+  let alt1 = add (f "alt1") and alt2 = add (f "alt2") in
+  let shared = add (cfg 1) and only1 = add (cfg 2) in
+  ignore (Ifg.add_disj g ~target:t [ f "alt1"; f "alt2" ]);
+  Ifg.add_edge g ~parent:shared ~child:alt1;
+  Ifg.add_edge g ~parent:shared ~child:alt2;
+  Ifg.add_edge g ~parent:only1 ~child:alt1;
+  let r = Label.run g ~tested:[ t ] in
+  check_bool "shared strong" true (Element.Id_set.mem 1 r.Label.strong);
+  check_bool "only1 weak" true (Element.Id_set.mem 2 r.Label.weak)
+
+(* Multiple tested facts: strong for any one of them suffices. *)
+let test_multiple_tested () =
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t1 = add (f "t1") and t2 = add (f "t2") in
+  let alt1 = add (f "alt1") and alt2 = add (f "alt2") in
+  let c1 = add (cfg 1) in
+  (* weak for t1 (alternative exists), strong for t2 (direct) *)
+  ignore (Ifg.add_disj g ~target:t1 [ f "alt1"; f "alt2" ]);
+  Ifg.add_edge g ~parent:c1 ~child:alt1;
+  ignore alt2;
+  Ifg.add_edge g ~parent:c1 ~child:t2;
+  let r = Label.run g ~tested:[ t1; t2 ] in
+  Alcotest.check eq_set "strong overall" (set_of [ 1 ]) r.Label.strong
+
+let test_empty_graph () =
+  let g = Ifg.create () in
+  let r = Label.run g ~tested:[] in
+  check_bool "nothing" true (Element.Id_set.is_empty r.Label.covered)
+
+let test_nested_disjunctions () =
+  (* t <- disj(a, b); a <- disj(c1-fact, c2-fact); b <- c3.
+     c3 strong? No: b is one alternative. c1/c2 weak; c3 weak too.
+     But removing all three kills t, so no single one is necessary. *)
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t = add (f "t") in
+  let a = add (f "a") and b = add (f "b") in
+  let x1 = add (f "x1") and x2 = add (f "x2") in
+  let c1 = add (cfg 1) and c2 = add (cfg 2) and c3 = add (cfg 3) in
+  ignore (Ifg.add_disj g ~target:t [ f "a"; f "b" ]);
+  ignore (Ifg.add_disj g ~target:a [ f "x1"; f "x2" ]);
+  Ifg.add_edge g ~parent:c1 ~child:x1;
+  Ifg.add_edge g ~parent:c2 ~child:x2;
+  Ifg.add_edge g ~parent:c3 ~child:b;
+  let r = Label.run g ~tested:[ t ] in
+  Alcotest.check eq_set "all weak" (set_of [ 1; 2; 3 ]) r.Label.weak;
+  Alcotest.check eq_set "none strong" Element.Id_set.empty r.Label.strong
+
+let () =
+  Alcotest.run "label"
+    [
+      ( "strong-weak",
+        [
+          Alcotest.test_case "figure 5 scenario" `Quick test_figure5;
+          Alcotest.test_case "variable heuristic" `Quick test_heuristic_reduces_vars;
+          Alcotest.test_case "all conjunctive" `Quick test_all_conjunctive;
+          Alcotest.test_case "environment alternative" `Quick test_environment_alternative;
+          Alcotest.test_case "common member strong" `Quick test_common_member_strong;
+          Alcotest.test_case "multiple tested" `Quick test_multiple_tested;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "nested disjunctions" `Quick test_nested_disjunctions;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Mutation-based coverage (paper §3.1's alternative definition) and its
+   relationship to IFG coverage on the chain fixture. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let p = Prefix.of_string
+
+let devices = Testnet.chain ()
+let reg = lazy (Registry.build devices)
+let state = lazy (Stable_state.compute (Lazy.force reg))
+
+let tested_facts =
+  lazy
+    (List.map
+       (fun entry -> Fact.F_main_rib { host = "c"; entry })
+       (Stable_state.main_lookup (Lazy.force state) "c" (p "10.10.0.0/24")))
+
+let mutation_result =
+  lazy
+    (let reg = Lazy.force reg in
+     Mutation.run reg
+       ~oracle:(Mutation.facts_oracle (Lazy.force tested_facts))
+       ())
+
+(* ---------------- delete_element ---------------- *)
+
+let test_delete_interface () =
+  let a = List.hd devices in
+  match Mutation.delete_element a (Element.key Element.Interface "lan0") with
+  | None -> Alcotest.fail "expected deletion"
+  | Some a' ->
+      check_bool "interface gone" true (Device.find_interface a' "lan0" = None);
+      check_bool "others kept" true (Device.find_interface a' "eth0" <> None)
+
+let test_delete_missing () =
+  let a = List.hd devices in
+  check_bool "missing iface" true
+    (Mutation.delete_element a (Element.key Element.Interface "nope") = None);
+  check_bool "missing peer" true
+    (Mutation.delete_element a (Element.key Element.Bgp_peer "9.9.9.9") = None)
+
+let test_delete_network_statement () =
+  let a = List.hd devices in
+  match
+    Mutation.delete_element a (Element.key Element.Bgp_network "10.10.0.0/24")
+  with
+  | None -> Alcotest.fail "expected deletion"
+  | Some a' ->
+      check_bool "network gone" true ((Option.get a'.Device.bgp).networks = [])
+
+let test_delete_policy_clause () =
+  let d =
+    Device.make
+      ~policies:
+        [
+          {
+            Policy_ast.pol_name = "P";
+            terms =
+              [
+                { term_name = "t1"; matches = []; actions = [ Policy_ast.Accept ] };
+                { term_name = "t2"; matches = []; actions = [ Policy_ast.Reject ] };
+              ];
+          };
+        ]
+      "d"
+  in
+  match
+    Mutation.delete_element d (Element.key Element.Route_policy_clause "P/t1")
+  with
+  | None -> Alcotest.fail "expected deletion"
+  | Some d' ->
+      let pol = Option.get (Device.find_policy d' "P") in
+      check_bool "one term left" true
+        (List.map (fun (t : Policy_ast.term) -> t.term_name) pol.terms = [ "t2" ])
+
+(* ---------------- fact_holds ---------------- *)
+
+let test_fact_holds () =
+  let state = Lazy.force state in
+  List.iter
+    (fun f -> check_bool "baseline holds" true (Mutation.fact_holds state f))
+    (Lazy.force tested_facts);
+  let bogus =
+    Fact.F_main_rib
+      {
+        host = "c";
+        entry =
+          {
+            Rib.me_prefix = p "203.0.113.0/24";
+            me_nexthop = Rib.Nh_discard;
+            me_protocol = Route.Bgp;
+            me_metric = 0;
+          };
+      }
+  in
+  check_bool "bogus does not hold" false (Mutation.fact_holds state bogus)
+
+(* ---------------- end-to-end mutation analysis ---------------- *)
+
+let killed_names () =
+  let reg = Lazy.force reg in
+  let r = Lazy.force mutation_result in
+  Element.Id_set.fold
+    (fun id acc ->
+      let e = Registry.element reg id in
+      (e.Element.device ^ ":" ^ Element.name_of e) :: acc)
+    r.Mutation.killed []
+  |> List.sort String.compare
+
+let test_mutation_kills_derivation_chain () =
+  let killed = killed_names () in
+  List.iter
+    (fun name -> check_bool (name ^ " killed") true (List.mem name killed))
+    [
+      "a:10.10.0.0/24" (* network statement *);
+      "a:lan0";
+      "a:192.168.0.2" (* a's peering *);
+      "b:192.168.0.1";
+      "b:192.168.0.6";
+      "c:192.168.0.5";
+    ]
+
+let test_mutation_agrees_with_ifg_on_chain () =
+  (* On a purely conjunctive derivation, IFG coverage and mutation
+     coverage agree on every mutable element. *)
+  let reg = Lazy.force reg in
+  let state = Lazy.force state in
+  let report =
+    Netcov.analyze state
+      { Netcov.dp_facts = Lazy.force tested_facts; cp_elements = [] }
+  in
+  let r = Lazy.force mutation_result in
+  Registry.iter_elements reg (fun e ->
+      let ifg_covered =
+        Coverage.element_status report.Netcov.coverage e.Element.id
+        <> Coverage.Not_covered
+      in
+      let mut_covered = Element.Id_set.mem e.Element.id r.Mutation.killed in
+      check_bool
+        (Printf.sprintf "%s:%s agreement" e.Element.device (Element.name_of e))
+        ifg_covered mut_covered)
+
+let test_mutation_sees_competitor_suppression () =
+  (* The class of elements only mutation coverage reports (§3.1): an
+     import clause that *rejects a competitor* of the tested route. IFG
+     coverage does not cover it; deleting it changes best-path selection
+     and kills the tested fact. *)
+  let ip = Ipv4.of_string in
+  (* b hears 10.10.0.0/24 from a (good) and from c (a worse decoy that b
+     would prefer on local-pref if its import filter did not reject it). *)
+  let deny_decoy : Policy_ast.policy =
+    {
+      pol_name = "DENY-DECOY";
+      terms =
+        [
+          {
+            term_name = "block";
+            matches = [ Policy_ast.Match_as_path_list "DECOY" ];
+            actions = [ Policy_ast.Reject ];
+          };
+          {
+            term_name = "boost";
+            matches = [];
+            actions = [ Policy_ast.Set_local_pref 200; Policy_ast.Accept ];
+          };
+        ];
+    }
+  in
+  let devices =
+    List.map
+      (fun (d : Device.t) ->
+        match d.hostname with
+        | "b" ->
+            {
+              d with
+              Device.policies = [ deny_decoy ];
+              as_path_lists =
+                [
+                  {
+                    Device.al_name = "DECOY";
+                    al_patterns = [ As_regex.compile "_65003_" ];
+                  };
+                ];
+              bgp =
+                Option.map
+                  (fun (bgp : Device.bgp_config) ->
+                    {
+                      bgp with
+                      Device.neighbors =
+                        List.map
+                          (fun (n : Device.neighbor) ->
+                            if Ipv4.equal n.nb_ip (ip "192.168.0.6") then
+                              { n with Device.nb_import = [ "DENY-DECOY" ] }
+                            else n)
+                          bgp.neighbors;
+                    })
+                  d.bgp;
+            }
+        | "c" ->
+            (* c originates a decoy for the same prefix *)
+            {
+              d with
+              Device.interfaces =
+                d.interfaces
+                @ [ Device.interface ~address:(ip "10.10.0.222", 24) "decoy0" ];
+              bgp =
+                Option.map
+                  (fun (bgp : Device.bgp_config) ->
+                    { bgp with Device.networks = [ p "10.10.0.0/24" ] })
+                  d.bgp;
+            }
+        | _ -> d)
+      devices
+  in
+  let reg = Registry.build devices in
+  let state = Stable_state.compute reg in
+  (* the tested fact: b forwards 10.10.0.0/24 toward a *)
+  let tested =
+    List.filter_map
+      (fun (e : Rib.main_entry) ->
+        if e.me_nexthop = Rib.Nh_ip (ip "192.168.0.1") then
+          Some (Fact.F_main_rib { host = "b"; entry = e })
+        else None)
+      (Stable_state.main_lookup state "b" (p "10.10.0.0/24"))
+  in
+  check_bool "baseline: b routes via a" true (tested <> []);
+  let block_id =
+    Option.get
+      (Registry.find reg ~device:"b"
+         (Element.key Element.Route_policy_clause "DENY-DECOY/block"))
+  in
+  (* IFG coverage: the blocking clause does NOT contribute to the fact *)
+  let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+  check_bool "IFG: block clause uncovered" true
+    (Coverage.element_status report.Netcov.coverage block_id = Coverage.Not_covered);
+  (* mutation coverage: deleting the clause flips best-path selection *)
+  let r =
+    Mutation.run reg ~oracle:(Mutation.facts_oracle tested)
+      ~elements:[ block_id ] ()
+  in
+  check_bool "mutation: block clause killed" true
+    (Element.Id_set.mem block_id r.Mutation.killed)
+
+let test_strong_weak_vs_mutation_on_fattree () =
+  (* Cross-validation of the two coverage definitions on ECMP-heavy
+     state: strongly covered elements are exactly the ones whose
+     deletion kills a tested fact; weakly covered elements survive
+     deletion (their disjunctive alternatives take over). *)
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let state = Stable_state.compute reg in
+  let tested =
+    List.concat_map
+      (fun host ->
+        List.map
+          (fun entry -> Fact.F_main_rib { host; entry })
+          (Stable_state.main_lookup state host Prefix.default))
+      (ft.Netcov_workloads.Fattree.leaves @ ft.Netcov_workloads.Fattree.aggs
+     @ ft.Netcov_workloads.Fattree.spines)
+  in
+  let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+  let mut = Mutation.run reg ~oracle:(Mutation.facts_oracle tested) () in
+  Registry.iter_elements reg (fun e ->
+      let id = e.Element.id in
+      if not (Element.Id_set.mem id mut.Mutation.skipped) then begin
+        let name = e.Element.device ^ ":" ^ Element.name_of e in
+        match Coverage.element_status report.Netcov.coverage id with
+        | Coverage.Strong ->
+            check_bool (name ^ ": strong is killed") true
+              (Element.Id_set.mem id mut.Mutation.killed)
+        | Coverage.Weak ->
+            check_bool (name ^ ": weak survives") true
+              (Element.Id_set.mem id mut.Mutation.survived)
+        | Coverage.Not_covered -> ()
+      end)
+
+let test_skipped_accounting () =
+  let r = Lazy.force mutation_result in
+  let reg = Lazy.force reg in
+  Alcotest.(check int)
+    "every element classified"
+    (Registry.n_elements reg)
+    (Element.Id_set.cardinal r.Mutation.killed
+    + Element.Id_set.cardinal r.Mutation.survived
+    + Element.Id_set.cardinal r.Mutation.skipped)
+
+let () =
+  Alcotest.run "mutation"
+    [
+      ( "delete",
+        [
+          Alcotest.test_case "interface" `Quick test_delete_interface;
+          Alcotest.test_case "missing" `Quick test_delete_missing;
+          Alcotest.test_case "network statement" `Quick test_delete_network_statement;
+          Alcotest.test_case "policy clause" `Quick test_delete_policy_clause;
+        ] );
+      ("facts", [ Alcotest.test_case "fact_holds" `Quick test_fact_holds ]);
+      ( "analysis",
+        [
+          Alcotest.test_case "kills derivation chain" `Slow
+            test_mutation_kills_derivation_chain;
+          Alcotest.test_case "agrees with IFG (conjunctive)" `Slow
+            test_mutation_agrees_with_ifg_on_chain;
+          Alcotest.test_case "sees competitor suppression" `Slow
+            test_mutation_sees_competitor_suppression;
+          Alcotest.test_case "strong/weak vs mutation (fat-tree)" `Slow
+            test_strong_weak_vs_mutation_on_fattree;
+          Alcotest.test_case "accounting" `Slow test_skipped_accounting;
+        ] );
+    ]

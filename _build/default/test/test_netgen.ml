@@ -1,0 +1,149 @@
+(* Global invariants of the stable state on random eBGP tree networks:
+   full propagation, loop-free forwarding, AS-path sanity, best-path
+   uniqueness, and end-to-end coverage totality. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+let state_of spec = Stable_state.compute (Registry.build (Netgen.devices_of spec))
+
+let routers (s : Netgen.spec) = List.init s.n_routers Netgen.host
+
+let prop_full_propagation =
+  QCheck.Test.make ~name:"every router learns every LAN" ~count:60
+    Netgen.arbitrary_spec (fun spec ->
+      let state = state_of spec in
+      List.for_all
+        (fun r ->
+          List.for_all
+            (fun (_, lan) -> Stable_state.main_lookup state r lan <> [])
+            spec.Netgen.lans)
+        (routers spec))
+
+let prop_forwarding_reaches =
+  QCheck.Test.make ~name:"forwarding is loop-free and delivers" ~count:40
+    Netgen.arbitrary_spec (fun spec ->
+      let state = state_of spec in
+      List.for_all
+        (fun r ->
+          List.for_all
+            (fun (_, lan) ->
+              let dst = Prefix.first_host lan in
+              let paths = Stable_state.trace state ~src:r ~dst in
+              paths <> []
+              && List.for_all
+                   (fun (q : Forward.path) ->
+                     (* reached, and no host repeats on the path *)
+                     q.reached
+                     &&
+                     let hosts =
+                       List.map (fun (h : Forward.hop) -> h.hop_host) q.hops
+                     in
+                     List.length hosts
+                     = List.length (List.sort_uniq String.compare hosts))
+                   paths)
+            spec.Netgen.lans)
+        (routers spec))
+
+let prop_as_path_tree_distance =
+  QCheck.Test.make ~name:"AS-path length equals tree distance" ~count:60
+    Netgen.arbitrary_spec (fun spec ->
+      let state = state_of spec in
+      (* distance in the tree between routers i and j *)
+      let rec ancestors i = if i = 0 then [ 0 ] else i :: ancestors spec.Netgen.parent.(i) in
+      let distance i j =
+        let ai = ancestors i and aj = ancestors j in
+        let common = List.find (fun a -> List.mem a aj) ai in
+        let depth_to l target =
+          let rec go n = function
+            | x :: rest -> if x = target then n else go (n + 1) rest
+            | [] -> assert false
+          in
+          go 0 l
+        in
+        depth_to ai common + depth_to aj common
+      in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun (j, lan) ->
+              if i = j then true
+              else
+                match
+                  Stable_state.bgp_lookup_best state (Netgen.host i) lan
+                with
+                | [] -> false
+                | e :: _ ->
+                    As_path.length e.Rib.be_route.Route.as_path = distance i j)
+            spec.Netgen.lans)
+        (List.init spec.Netgen.n_routers Fun.id))
+
+let prop_single_best_without_multipath =
+  QCheck.Test.make ~name:"unique best path on trees" ~count:60
+    Netgen.arbitrary_spec (fun spec ->
+      let state = state_of spec in
+      (* a tree has a unique route between any two nodes, so even with
+         multipath enabled there is exactly one best entry *)
+      List.for_all
+        (fun r ->
+          List.for_all
+            (fun (j, lan) ->
+              if Netgen.host j = r then true
+              else
+                List.length (Stable_state.bgp_lookup_best state r lan) = 1)
+            spec.Netgen.lans)
+        (routers spec))
+
+let prop_coverage_total =
+  QCheck.Test.make ~name:"coverage of all LANs covers all live BGP config"
+    ~count:25 Netgen.arbitrary_spec (fun spec ->
+      let state = state_of spec in
+      (* test every LAN everywhere: all peers, interfaces and network
+         statements must be covered (the tree uses all of them) *)
+      let tested =
+        List.concat_map
+          (fun r ->
+            List.concat_map
+              (fun (_, lan) ->
+                List.map
+                  (fun entry -> Fact.F_main_rib { host = r; entry })
+                  (Stable_state.main_lookup state r lan))
+              spec.Netgen.lans)
+          (routers spec)
+      in
+      let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+      let reg = Stable_state.registry state in
+      let all_covered = ref true in
+      Registry.iter_elements reg (fun e ->
+          match Element.etype_of e with
+          | Element.Interface | Element.Bgp_peer | Element.Bgp_network ->
+              if
+                Coverage.element_status report.Netcov.coverage e.Element.id
+                = Coverage.Not_covered
+              then all_covered := false
+          | _ -> ());
+      !all_covered)
+
+let prop_deterministic_state =
+  QCheck.Test.make ~name:"simulation is deterministic" ~count:30
+    Netgen.arbitrary_spec (fun spec ->
+      let s1 = state_of spec and s2 = state_of spec in
+      Stable_state.total_main_entries s1 = Stable_state.total_main_entries s2
+      && Stable_state.total_bgp_entries s1 = Stable_state.total_bgp_entries s2
+      && Stable_state.rounds s1 = Stable_state.rounds s2)
+
+let () =
+  Alcotest.run "netgen"
+    [
+      ( "invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_full_propagation;
+            prop_forwarding_reaches;
+            prop_as_path_tree_distance;
+            prop_single_best_without_multipath;
+            prop_coverage_total;
+            prop_deterministic_state;
+          ] );
+    ]

@@ -1,0 +1,150 @@
+(* Parser round-trip tests: emit(AST) then parse(text) must reproduce
+   the AST, for both concrete syntaxes and for every workload device. *)
+open Netcov_config
+
+let check_bool = Alcotest.(check bool)
+
+(* Field-by-field comparison with a readable message; [is_external] is
+   not representable in the text, so it is excluded. *)
+let same_device (a : Device.t) (b : Device.t) =
+  (* neighbor order is semantically irrelevant (grouped neighbors emit
+     inside their group blocks), so compare it as a set *)
+  let canon_bgp (bgp : Device.bgp_config option) =
+    Option.map
+      (fun (c : Device.bgp_config) ->
+        {
+          c with
+          Device.neighbors =
+            List.sort
+              (fun (x : Device.neighbor) (y : Device.neighbor) ->
+                Netcov_types.Ipv4.compare x.nb_ip y.nb_ip)
+              c.neighbors;
+        })
+      bgp
+  in
+  let checks =
+    [
+      ("hostname", a.hostname = b.hostname);
+      ("interfaces", a.interfaces = b.interfaces);
+      ("static_routes", a.static_routes = b.static_routes);
+      ("acls", a.acls = b.acls);
+      ("prefix_lists", a.prefix_lists = b.prefix_lists);
+      ("community_lists", a.community_lists = b.community_lists);
+      ("as_path_lists", a.as_path_lists = b.as_path_lists);
+      ("policies", a.policies = b.policies);
+      ("bgp", canon_bgp a.bgp = canon_bgp b.bgp);
+    ]
+  in
+  List.filter_map (fun (n, ok) -> if ok then None else Some n) checks
+
+let roundtrip (d : Device.t) =
+  let text, parsed =
+    match d.syntax with
+    | Device.Junos ->
+        let text = Emit_junos.to_string d in
+        ( text,
+          Result.map_error Parse_junos.error_to_string (Parse_junos.parse text) )
+    | Device.Ios ->
+        let text = Emit_ios.to_string d in
+        (text, Result.map_error Parse_ios.error_to_string (Parse_ios.parse text))
+  in
+  match parsed with
+  | Error msg ->
+      Alcotest.failf "%s: parse error %s\n%s" d.hostname msg
+        (String.concat "\n"
+           (List.filteri (fun i _ -> i < 30) (String.split_on_char '\n' text)))
+  | Ok d' -> (
+      match same_device d d' with
+      | [] -> ()
+      | bad ->
+          Alcotest.failf "%s: fields differ after round-trip: %s" d.hostname
+            (String.concat ", " bad))
+
+let test_chain_roundtrip () =
+  List.iter
+    (fun syntax ->
+      List.iter
+        (fun (d : Device.t) -> roundtrip { d with syntax })
+        (Testnet.chain ()))
+    [ Device.Junos; Device.Ios ]
+
+let test_diamond_roundtrip () =
+  List.iter (fun (d : Device.t) -> roundtrip d) (Testnet.diamond ())
+
+let test_internet2_roundtrip () =
+  let net =
+    Netcov_workloads.Internet2.generate Netcov_workloads.Internet2.test_params
+  in
+  List.iter
+    (fun (d : Device.t) -> if not d.is_external then roundtrip d)
+    net.devices
+
+let test_fattree_roundtrip () =
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  List.iter
+    (fun (d : Device.t) -> if not d.is_external then roundtrip d)
+    ft.devices
+
+let test_registry_from_parsed_text () =
+  (* building the registry from parsed text yields the same elements and
+     the same coverage-relevant structure as from the original ASTs *)
+  let devices = Testnet.chain () in
+  let reparsed =
+    List.map (fun d -> Parse_junos.parse_exn (Emit_junos.to_string d)) devices
+  in
+  let r1 = Registry.build devices and r2 = Registry.build reparsed in
+  check_bool "same element count" true (Registry.n_elements r1 = Registry.n_elements r2);
+  Registry.iter_elements r1 (fun e ->
+      check_bool "same key exists" true
+        (Registry.find r2 ~device:e.Element.device e.Element.ekey <> None))
+
+let test_junos_errors () =
+  let bad = [ "interfaces {"; "interfaces {\n  eth0 {\n  }\n}\npolicy-options {" ] in
+  List.iter
+    (fun text ->
+      check_bool "rejected" true
+        (match Parse_junos.parse text with Error _ -> true | Ok _ -> false))
+    bad
+
+let test_ios_errors () =
+  List.iter
+    (fun text ->
+      check_bool "rejected" true
+        (match Parse_ios.parse text with Error _ -> true | Ok _ -> false))
+    [
+      "interface Ethernet1\n ip address 1.2.3.4 255.255.0.1";  (* bad mask *)
+      "router bgp 65001\n neighbor 10.0.0.1 remote-as x";
+      "garbage line here";
+    ]
+
+let test_parse_semantics_preserved () =
+  (* the parsed network must simulate identically *)
+  let devices = Testnet.chain () in
+  let reparsed =
+    List.map (fun d -> Parse_junos.parse_exn (Emit_junos.to_string d)) devices
+  in
+  let s1 = Testnet.state_of devices and s2 = Testnet.state_of reparsed in
+  let open Netcov_sim in
+  check_bool "same edge count" true
+    (List.length (Stable_state.edges s1) = List.length (Stable_state.edges s2));
+  check_bool "same rib size" true
+    (Stable_state.total_main_entries s1 = Stable_state.total_main_entries s2)
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "chain both syntaxes" `Quick test_chain_roundtrip;
+          Alcotest.test_case "diamond (junos)" `Quick test_diamond_roundtrip;
+          Alcotest.test_case "internet2 routers" `Slow test_internet2_roundtrip;
+          Alcotest.test_case "fattree devices" `Slow test_fattree_roundtrip;
+          Alcotest.test_case "registry from text" `Quick test_registry_from_parsed_text;
+          Alcotest.test_case "semantics preserved" `Quick test_parse_semantics_preserved;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "junos" `Quick test_junos_errors;
+          Alcotest.test_case "ios" `Quick test_ios_errors;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+open Netcov_types
+open Netcov_config
+open Netcov_policy
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+let term name matches actions = { Policy_ast.term_name = name; matches; actions }
+
+let device =
+  Device.make
+    ~prefix_lists:
+      [
+        { Device.pl_name = "TEN"; pl_entries = [ { ple_prefix = p "10.0.0.0/8"; ple_ge = None; ple_le = Some 32 } ] };
+      ]
+    ~community_lists:
+      [ { Device.cl_name = "TAGS"; cl_members = [ Community.make 1 1; Community.make 1 2 ] } ]
+    ~as_path_lists:
+      [ { Device.al_name = "BAD"; al_patterns = [ As_regex.compile "_666_" ] } ]
+    ~policies:
+      [
+        {
+          Policy_ast.pol_name = "MAIN";
+          terms =
+            [
+              term "reject-bad" [ Policy_ast.Match_as_path_list "BAD" ] [ Policy_ast.Reject ];
+              term "pref-ten"
+                [ Policy_ast.Match_prefix_list "TEN" ]
+                [ Policy_ast.Set_local_pref 200; Policy_ast.Accept ];
+              term "tag-rest" []
+                [ Policy_ast.Add_community (Community.make 9 9); Policy_ast.Next_term ];
+              term "final" [] [ Policy_ast.Accept ];
+            ];
+        };
+        {
+          Policy_ast.pol_name = "SECOND";
+          terms = [ term "deny" [] [ Policy_ast.Reject ] ];
+        };
+        {
+          Policy_ast.pol_name = "MODIFIERS";
+          terms =
+            [
+              term "mods" []
+                [
+                  Policy_ast.Set_med 42;
+                  Policy_ast.Prepend_as (65000, 2);
+                  Policy_ast.Remove_community (Community.make 1 1);
+                  Policy_ast.Delete_community_in "TAGS";
+                ];
+            ];
+        };
+      ]
+    "pol-dev"
+
+let route ?(as_path = []) ?(communities = []) prefix =
+  {
+    Route.prefix = p prefix;
+    next_hop = Ipv4.zero;
+    as_path = As_path.of_list as_path;
+    local_pref = 100;
+    med = 0;
+    communities = Community.Set.of_list communities;
+    origin = Route.Origin_igp;
+    cluster_len = 0;
+  }
+
+let run ?(chain = [ "MAIN" ]) ?(default = Eval.Rejected) r =
+  Eval.run_chain device ~chain ~default r
+
+let names result =
+  List.map
+    (fun (k : Element.key) -> k.name)
+    result.Eval.exercised
+
+let test_reject_term () =
+  let r = run (route ~as_path:[ 1; 666; 2 ] "10.0.0.0/8") in
+  check_bool "rejected" true (r.Eval.verdict = Eval.Rejected);
+  check_bool "no route" true (r.Eval.route = None);
+  Alcotest.(check (list string)) "exercised" [ "MAIN/reject-bad"; "BAD" ] (names r)
+
+let test_accept_with_modifier () =
+  let r = run (route "10.1.0.0/16") in
+  check_bool "accepted" true (r.Eval.verdict = Eval.Accepted);
+  (match r.Eval.route with
+  | Some rt -> check_int "lp set" 200 rt.Route.local_pref
+  | None -> Alcotest.fail "expected route");
+  Alcotest.(check (list string)) "exercised" [ "MAIN/pref-ten"; "TEN" ] (names r)
+
+let test_fallthrough_modifies () =
+  (* a route outside TEN with a clean path falls to tag-rest, then final *)
+  let r = run (route "11.0.0.0/8") in
+  check_bool "accepted" true (r.Eval.verdict = Eval.Accepted);
+  (match r.Eval.route with
+  | Some rt -> check_bool "tag added" true (Route.has_community rt (Community.make 9 9))
+  | None -> Alcotest.fail "expected route");
+  Alcotest.(check (list string))
+    "both terms exercised" [ "MAIN/tag-rest"; "MAIN/final" ] (names r)
+
+let test_chain_order () =
+  (* SECOND rejects everything; MAIN's final accept shadows it *)
+  let r = run ~chain:[ "MAIN"; "SECOND" ] (route "11.0.0.0/8") in
+  check_bool "main wins" true (r.Eval.verdict = Eval.Accepted);
+  let r2 = run ~chain:[ "SECOND"; "MAIN" ] (route "11.0.0.0/8") in
+  check_bool "second wins" true (r2.Eval.verdict = Eval.Rejected)
+
+let test_default_applies () =
+  let r = run ~chain:[] ~default:Eval.Accepted (route "9.9.9.0/24") in
+  check_bool "default accept" true (r.Eval.verdict = Eval.Accepted);
+  let r2 = run ~chain:[] ~default:Eval.Rejected (route "9.9.9.0/24") in
+  check_bool "default reject" true (r2.Eval.verdict = Eval.Rejected)
+
+let test_missing_policy_skipped () =
+  let r = run ~chain:[ "NOPE"; "MAIN" ] (route "10.1.0.0/16") in
+  check_bool "skipped missing" true (r.Eval.verdict = Eval.Accepted)
+
+let test_modifier_actions () =
+  let r =
+    run ~chain:[ "MODIFIERS" ] ~default:Eval.Accepted
+      (route ~communities:[ Community.make 1 1; Community.make 1 2; Community.make 3 3 ]
+         "9.0.0.0/8")
+  in
+  match r.Eval.route with
+  | None -> Alcotest.fail "expected route"
+  | Some rt ->
+      check_int "med" 42 rt.Route.med;
+      Alcotest.(check (list int)) "prepended" [ 65000; 65000 ] (As_path.to_list rt.Route.as_path);
+      check_bool "1:1 removed" false (Route.has_community rt (Community.make 1 1));
+      check_bool "1:2 deleted via list" false (Route.has_community rt (Community.make 1 2));
+      check_bool "3:3 kept" true (Route.has_community rt (Community.make 3 3));
+      check_bool "TAGS exercised by delete" true (List.mem "TAGS" (names r))
+
+let test_protocol_match () =
+  let pol : Policy_ast.policy =
+    {
+      pol_name = "REDIST";
+      terms =
+        [
+          term "static-only" [ Policy_ast.Match_protocol Route.Static ] [ Policy_ast.Accept ];
+          term "deny" [] [ Policy_ast.Reject ];
+        ];
+    }
+  in
+  let d = Device.make ~policies:[ pol ] "d" in
+  let r =
+    Eval.run_chain d ~chain:[ "REDIST" ] ~default:Eval.Rejected ~protocol:Route.Static
+      (route "9.0.0.0/8")
+  in
+  check_bool "static accepted" true (r.Eval.verdict = Eval.Accepted);
+  let r2 =
+    Eval.run_chain d ~chain:[ "REDIST" ] ~default:Eval.Rejected ~protocol:Route.Connected
+      (route "9.0.0.0/8")
+  in
+  check_bool "connected rejected" true (r2.Eval.verdict = Eval.Rejected)
+
+let test_match_conditions_conjunctive () =
+  let pol : Policy_ast.policy =
+    {
+      pol_name = "BOTH";
+      terms =
+        [
+          term "both"
+            [ Policy_ast.Match_prefix_list "TEN"; Policy_ast.Match_community_list "TAGS" ]
+            [ Policy_ast.Accept ];
+          term "deny" [] [ Policy_ast.Reject ];
+        ];
+    }
+  in
+  let d = { device with Device.policies = pol :: device.Device.policies } in
+  let hit =
+    Eval.run_chain d ~chain:[ "BOTH" ] ~default:Eval.Rejected
+      (route ~communities:[ Community.make 1 1 ] "10.0.0.0/8")
+  in
+  check_bool "both hold" true (hit.Eval.verdict = Eval.Accepted);
+  let miss =
+    Eval.run_chain d ~chain:[ "BOTH" ] ~default:Eval.Rejected (route "10.0.0.0/8")
+  in
+  check_bool "one fails" true (miss.Eval.verdict = Eval.Rejected)
+
+let test_inline_prefix_modes () =
+  let mk mode = term "t" [ Policy_ast.Match_prefix (p "10.0.0.0/8", mode) ] [ Policy_ast.Accept ] in
+  let check mode prefix expect =
+    let d = Device.make ~policies:[ { Policy_ast.pol_name = "P"; terms = [ mk mode ] } ] "d" in
+    let r = Eval.run_chain d ~chain:[ "P" ] ~default:Eval.Rejected (route prefix) in
+    check_bool (prefix ^ " mode") expect (r.Eval.verdict = Eval.Accepted)
+  in
+  check Policy_ast.Exact "10.0.0.0/8" true;
+  check Policy_ast.Exact "10.1.0.0/16" false;
+  check Policy_ast.Orlonger "10.1.0.0/16" true;
+  check Policy_ast.Orlonger "11.0.0.0/8" false;
+  check (Policy_ast.Upto 16) "10.1.0.0/16" true;
+  check (Policy_ast.Upto 16) "10.1.1.0/24" false
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "reject term traced" `Quick test_reject_term;
+          Alcotest.test_case "accept with modifier" `Quick test_accept_with_modifier;
+          Alcotest.test_case "fallthrough modifies" `Quick test_fallthrough_modifies;
+          Alcotest.test_case "chain order" `Quick test_chain_order;
+          Alcotest.test_case "default applies" `Quick test_default_applies;
+          Alcotest.test_case "missing policy skipped" `Quick test_missing_policy_skipped;
+          Alcotest.test_case "modifier actions" `Quick test_modifier_actions;
+          Alcotest.test_case "protocol match" `Quick test_protocol_match;
+          Alcotest.test_case "conjunctive matches" `Quick test_match_conditions_conjunctive;
+          Alcotest.test_case "inline prefix modes" `Quick test_inline_prefix_modes;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+open Netcov_types
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+let test_canonical () =
+  (* host bits are zeroed *)
+  check_str "canon" "10.1.2.0/24"
+    (Prefix.to_string (Prefix.make (Ipv4.of_string "10.1.2.99") 24));
+  check_str "canon /30" "10.0.0.4/30"
+    (Prefix.to_string (Prefix.make (Ipv4.of_string "10.0.0.7") 30));
+  check_str "zero len" "0.0.0.0/0"
+    (Prefix.to_string (Prefix.make (Ipv4.of_string "255.1.2.3") 0))
+
+let test_parse () =
+  check_bool "bad len" true (Prefix.of_string_opt "1.2.3.0/33" = None);
+  check_bool "no slash" true (Prefix.of_string_opt "1.2.3.0" = None);
+  check_bool "neg" true (Prefix.of_string_opt "1.2.3.0/-1" = None);
+  check_str "ok" "128.0.0.0/1" (Prefix.to_string (p "128.0.0.0/1"))
+
+let test_contains () =
+  check_bool "in" true (Prefix.contains (p "10.0.0.0/8") (Ipv4.of_string "10.255.0.1"));
+  check_bool "out" false (Prefix.contains (p "10.0.0.0/8") (Ipv4.of_string "11.0.0.1"));
+  check_bool "all" true (Prefix.contains Prefix.default (Ipv4.of_string "8.8.8.8"));
+  check_bool "/32 self" true
+    (Prefix.contains (p "1.2.3.4/32") (Ipv4.of_string "1.2.3.4"));
+  check_bool "/32 other" false
+    (Prefix.contains (p "1.2.3.4/32") (Ipv4.of_string "1.2.3.5"))
+
+let test_subsumes () =
+  check_bool "wider subsumes" true (Prefix.subsumes (p "10.0.0.0/8") (p "10.1.0.0/16"));
+  check_bool "not reverse" false (Prefix.subsumes (p "10.1.0.0/16") (p "10.0.0.0/8"));
+  check_bool "self" true (Prefix.subsumes (p "10.0.0.0/8") (p "10.0.0.0/8"));
+  check_bool "disjoint" false (Prefix.subsumes (p "10.0.0.0/8") (p "11.0.0.0/16"))
+
+let test_overlaps () =
+  check_bool "nested" true (Prefix.overlaps (p "10.0.0.0/8") (p "10.2.3.0/24"));
+  check_bool "nested rev" true (Prefix.overlaps (p "10.2.3.0/24") (p "10.0.0.0/8"));
+  check_bool "disjoint" false (Prefix.overlaps (p "10.0.0.0/24") (p "10.0.1.0/24"))
+
+let test_halves () =
+  let lo, hi = Prefix.halves (p "10.0.0.0/8") in
+  check_str "lo" "10.0.0.0/9" (Prefix.to_string lo);
+  check_str "hi" "10.128.0.0/9" (Prefix.to_string hi);
+  Alcotest.check_raises "no /32 halves" (Invalid_argument "Prefix.halves: /32 has no halves")
+    (fun () -> ignore (Prefix.halves (p "1.2.3.4/32")))
+
+let test_subnets () =
+  check_int "count" 256 (Prefix.subnet_count (p "10.0.0.0/16") ~len:24);
+  check_str "first" "10.0.0.0/24"
+    (Prefix.to_string (Prefix.nth_subnet (p "10.0.0.0/16") ~len:24 ~n:0));
+  check_str "nth" "10.0.37.0/24"
+    (Prefix.to_string (Prefix.nth_subnet (p "10.0.0.0/16") ~len:24 ~n:37))
+
+let test_mask_first_host () =
+  check_str "mask" "255.255.255.252" (Ipv4.to_string (Prefix.mask (p "10.0.0.0/30")));
+  check_str "first host" "10.0.0.1" (Ipv4.to_string (Prefix.first_host (p "10.0.0.0/30")));
+  check_str "/31 first" "10.0.0.0" (Ipv4.to_string (Prefix.first_host (p "10.0.0.0/31")))
+
+let gen_prefix =
+  QCheck.map
+    (fun (a, l) -> Prefix.make (Ipv4.of_int a) l)
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 32))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse . print = id" ~count:500 gen_prefix (fun q ->
+      Prefix.equal q (Prefix.of_string (Prefix.to_string q)))
+
+let prop_contains_addr =
+  QCheck.Test.make ~name:"prefix contains its base address" ~count:500 gen_prefix
+    (fun q -> Prefix.contains q (Prefix.addr q))
+
+let prop_subsume_trans =
+  QCheck.Test.make ~name:"halves are subsumed" ~count:500
+    (QCheck.map
+       (fun (a, l) -> Prefix.make (Ipv4.of_int a) l)
+       QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 31)))
+    (fun q ->
+      let lo, hi = Prefix.halves q in
+      Prefix.subsumes q lo && Prefix.subsumes q hi && not (Prefix.overlaps lo hi))
+
+let () =
+  Alcotest.run "prefix"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "canonicalization" `Quick test_canonical;
+          Alcotest.test_case "parsing" `Quick test_parse;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "subsumes" `Quick test_subsumes;
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+          Alcotest.test_case "halves" `Quick test_halves;
+          Alcotest.test_case "subnets" `Quick test_subnets;
+          Alcotest.test_case "mask and first host" `Quick test_mask_first_host;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_contains_addr; prop_subsume_trans ] );
+    ]

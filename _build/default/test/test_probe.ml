@@ -1,0 +1,138 @@
+(* The Probe test-author API: queries record exactly what they touch. *)
+open Netcov_types
+open Netcov_core
+open Netcov_nettest
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+let ip = Ipv4.of_string
+
+let state = lazy (Testnet.state_of (Testnet.chain ()))
+
+let test_route_present_records () =
+  let pr = Probe.create (Lazy.force state) in
+  check_bool "present" true (Probe.route_present pr ~host:"c" (p "10.10.0.0/24"));
+  check_bool "absent" false (Probe.route_present pr ~host:"c" (p "203.0.113.0/24"));
+  let tested = Probe.tested pr in
+  check_int "one fact recorded" 1 (List.length tested.Netcov.dp_facts)
+
+let test_reachable_records_paths () =
+  let pr = Probe.create (Lazy.force state) in
+  check_bool "reachable" true (Probe.reachable pr ~src:"c" ~dst:(ip "10.10.0.1"));
+  let tested = Probe.tested pr in
+  let kinds =
+    List.map
+      (fun f -> match f with Fact.F_path _ -> "path" | Fact.F_main_rib _ -> "main" | _ -> "other")
+      tested.Netcov.dp_facts
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "paths and entries" [ "main"; "path" ] kinds
+
+let test_dedup () =
+  let pr = Probe.create (Lazy.force state) in
+  ignore (Probe.route_present pr ~host:"c" (p "10.10.0.0/24"));
+  ignore (Probe.route_present pr ~host:"c" (p "10.10.0.0/24"));
+  check_int "no duplicates" 1 (List.length (Probe.tested pr).Netcov.dp_facts)
+
+let test_import_verdict_records_elements () =
+  (* use the figure-1 style network with a real import policy *)
+  let open Testnet in
+  let devices = chain () in
+  let devices =
+    List.map
+      (fun (d : Netcov_config.Device.t) ->
+        if d.hostname <> "b" then d
+        else
+          {
+            d with
+            policies =
+              [
+                {
+                  Netcov_config.Policy_ast.pol_name = "IMP";
+                  terms =
+                    [
+                      {
+                        term_name = "deny-ten";
+                        matches =
+                          [
+                            Netcov_config.Policy_ast.Match_prefix
+                              (p "10.99.0.0/16", Netcov_config.Policy_ast.Orlonger);
+                          ];
+                        actions = [ Netcov_config.Policy_ast.Reject ];
+                      };
+                    ];
+                };
+              ];
+            bgp =
+              Option.map
+                (fun (bgp : Netcov_config.Device.bgp_config) ->
+                  {
+                    bgp with
+                    neighbors =
+                      List.map
+                        (fun (n : Netcov_config.Device.neighbor) ->
+                          if Ipv4.equal n.nb_ip (ip "192.168.0.1") then
+                            { n with nb_import = [ "IMP" ] }
+                          else n)
+                        bgp.neighbors;
+                  })
+                d.bgp;
+          })
+      devices
+  in
+  let state = state_of devices in
+  let pr = Probe.create state in
+  let bad = Testutil.test_route ~as_path:[ 65001 ] (p "10.99.1.0/24") in
+  let good = Testutil.test_route ~as_path:[ 65001 ] (p "100.0.0.0/24") in
+  check_bool "rejected" true
+    (Probe.import_verdict pr ~host:"b" ~neighbor:(ip "192.168.0.1") bad = `Rejected);
+  check_bool "accepted" true
+    (Probe.import_verdict pr ~host:"b" ~neighbor:(ip "192.168.0.1") good = `Accepted);
+  check_bool "cp elements recorded" true ((Probe.tested pr).Netcov.cp_elements <> []);
+  (* unknown neighbor rejects and records nothing new *)
+  check_bool "unknown neighbor" true
+    (Probe.import_verdict pr ~host:"b" ~neighbor:(ip "9.9.9.9") good = `Rejected)
+
+let test_to_test_packaging () =
+  let t =
+    Probe.to_test ~name:"Custom" ~kind:Nettest.Data_plane (fun pr ->
+        Probe.check pr
+          (Probe.route_present pr ~host:"c" (p "10.10.0.0/24"))
+          "route missing";
+        Probe.check pr false "deliberate failure")
+  in
+  let r = t.Nettest.run (Lazy.force state) in
+  check_int "checks" 2 r.Nettest.outcome.Nettest.checks;
+  check_int "failures" 1 (List.length r.Nettest.outcome.Nettest.failures);
+  check_bool "facts flow into tested" true (r.Nettest.tested.Netcov.dp_facts <> [])
+
+let test_probe_coverage_end_to_end () =
+  let t =
+    Probe.to_test ~name:"ReachLan" ~kind:Nettest.Data_plane (fun pr ->
+        Probe.check pr
+          (Probe.reachable pr ~src:"c" ~dst:(ip "10.10.0.1"))
+          "unreachable")
+  in
+  let state = Lazy.force state in
+  let r = t.Nettest.run state in
+  let report = Netcov.analyze state r.Nettest.tested in
+  let s = Coverage.line_stats report.Netcov.coverage in
+  check_bool "nontrivial coverage" true (Coverage.covered_lines s > 20)
+
+let () =
+  Alcotest.run "probe"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "route_present records" `Quick test_route_present_records;
+          Alcotest.test_case "reachable records paths" `Quick test_reachable_records_paths;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "import verdict" `Quick test_import_verdict_records_elements;
+        ] );
+      ( "packaging",
+        [
+          Alcotest.test_case "to_test" `Quick test_to_test_packaging;
+          Alcotest.test_case "coverage end-to-end" `Quick test_probe_coverage_end_to_end;
+        ] );
+    ]

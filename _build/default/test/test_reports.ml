@@ -1,0 +1,117 @@
+(* Output writers: lcov format conformance, HTML report structure, and
+   the on-disk trees. *)
+open Netcov_types
+open Netcov_sim
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let contains = Astring_like.contains
+
+let report =
+  lazy
+    (let state = Testnet.state_of (Testnet.chain ()) in
+     let tested =
+       List.map
+         (fun entry -> Fact.F_main_rib { host = "c"; entry })
+         (Stable_state.main_lookup state "c" (Prefix.of_string "10.10.0.0/24"))
+     in
+     Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] })
+
+let test_lcov_format () =
+  let text = Lcov.report (Lazy.force report).Netcov.coverage in
+  let lines = String.split_on_char '\n' text in
+  (* every DA record is well-formed and within the file's line count *)
+  let current_lf = ref 0 and das = ref 0 and records = ref 0 in
+  List.iter
+    (fun l ->
+      if String.length l > 3 && String.sub l 0 3 = "DA:" then begin
+        incr das;
+        match String.split_on_char ',' (String.sub l 3 (String.length l - 3)) with
+        | [ ln; hits ] ->
+            check_bool "line number positive" true (int_of_string ln > 0);
+            check_bool "hits 0/1" true (hits = "0" || hits = "1")
+        | _ -> Alcotest.fail ("bad DA record: " ^ l)
+      end
+      else if String.length l > 3 && String.sub l 0 3 = "LF:" then
+        current_lf := int_of_string (String.sub l 3 (String.length l - 3))
+      else if l = "end_of_record" then incr records)
+    lines;
+  check_int "three devices" 3 !records;
+  check_bool "has DA records" true (!das > 0);
+  check_bool "LF recorded" true (!current_lf > 0)
+
+let test_lcov_lf_lh_consistency () =
+  let cov = (Lazy.force report).Netcov.coverage in
+  let text = Lcov.report cov in
+  (* LH must equal the number of DA records with hits=1 per record *)
+  let records = String.split_on_char '\n' text in
+  let hits = ref 0 and found = ref 0 in
+  List.iter
+    (fun l ->
+      if String.length l > 3 && String.sub l 0 3 = "DA:" then begin
+        incr found;
+        if String.length l > 2 && String.sub l (String.length l - 2) 2 = ",1" then
+          incr hits
+      end
+      else if String.length l > 3 && String.sub l 0 3 = "LH:" then begin
+        check_int "LH matches" !hits (int_of_string (String.sub l 3 (String.length l - 3)));
+        hits := 0
+      end
+      else if String.length l > 3 && String.sub l 0 3 = "LF:" then begin
+        check_int "LF matches" !found (int_of_string (String.sub l 3 (String.length l - 3)));
+        found := 0
+      end)
+    records
+
+let test_html_index () =
+  let html = Html_report.index (Lazy.force report).Netcov.coverage in
+  check_bool "doctype" true (contains html "<!doctype html>");
+  List.iter
+    (fun host -> check_bool (host ^ " linked") true (contains html (host ^ ".html")))
+    [ "a"; "b"; "c" ];
+  check_bool "type table" true (contains html "By element type")
+
+let test_html_device_page () =
+  let html = Html_report.device_page (Lazy.force report).Netcov.coverage "a" in
+  check_bool "has covered spans" true (contains html "class=\"strong\"");
+  check_bool "has uncovered spans" true (contains html "class=\"uncov\"");
+  check_bool "escapes html" true (not (contains html "<eth0>"))
+
+let test_html_escaping () =
+  check_bool "escape works" true
+    (not
+       (contains
+          (Html_report.device_page (Lazy.force report).Netcov.coverage "a")
+          "encrypted-password \"<"))
+
+let test_write_trees () =
+  let dir = Filename.temp_file "netcov" "out" in
+  Sys.remove dir;
+  let cov = (Lazy.force report).Netcov.coverage in
+  Lcov.write_tree cov dir;
+  Html_report.write_tree cov (Filename.concat dir "html");
+  check_bool "coverage.info" true (Sys.file_exists (Filename.concat dir "coverage.info"));
+  check_bool "config text" true
+    (Sys.file_exists (Filename.concat dir "configs/a.cfg"));
+  check_bool "index.html" true
+    (Sys.file_exists (Filename.concat dir "html/index.html"));
+  check_bool "device html" true
+    (Sys.file_exists (Filename.concat dir "html/b.html"))
+
+let () =
+  Alcotest.run "reports"
+    [
+      ( "lcov",
+        [
+          Alcotest.test_case "format" `Quick test_lcov_format;
+          Alcotest.test_case "LF/LH consistency" `Quick test_lcov_lf_lh_consistency;
+        ] );
+      ( "html",
+        [
+          Alcotest.test_case "index" `Quick test_html_index;
+          Alcotest.test_case "device page" `Quick test_html_device_page;
+          Alcotest.test_case "escaping" `Quick test_html_escaping;
+        ] );
+      ("disk", [ Alcotest.test_case "write trees" `Quick test_write_trees ]);
+    ]

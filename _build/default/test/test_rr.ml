@@ -1,0 +1,209 @@
+(* Route-reflector iBGP design (extension): reflection semantics and
+   their effect on the IFG — routes now traverse two iBGP hops, so the
+   reflector's configuration becomes a non-local contributor. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+(* hub-and-spoke in one AS over an IGP star:
+     spoke1 -- hub -- spoke2
+   spoke1 originates 10.60.0.0/24; iBGP sessions exist only spoke-hub. *)
+let star ~reflector =
+  let open Testnet in
+  let lo = function
+    | "hub" -> "172.21.0.1"
+    | "spoke1" -> "172.21.0.2"
+    | "spoke2" -> "172.21.0.3"
+    | h -> invalid_arg h
+  in
+  let link _host _peer base ifidx =
+    Device.interface
+      ~address:(Ipv4.of_string base, 30)
+      ~igp_enabled:true ~igp_metric:10
+      (Printf.sprintf "eth%d" ifidx)
+  in
+  let mk host ~neighbors ~lan =
+    let loopback =
+      Device.interface ~address:(Ipv4.of_string (lo host), 32) ~igp_enabled:true
+        ~igp_metric:0 "lo0"
+    in
+    let ifaces =
+      match host with
+      | "hub" -> [ link "hub" "spoke1" "192.168.30.1" 0; link "hub" "spoke2" "192.168.30.5" 1 ]
+      | "spoke1" -> [ link "spoke1" "hub" "192.168.30.2" 0 ]
+      | "spoke2" -> [ link "spoke2" "hub" "192.168.30.6" 0 ]
+      | _ -> []
+    in
+    let networks = if lan then [ "10.60.0.0/24" ] else [] in
+    let lan_if =
+      if lan then [ Device.interface ~address:(Ipv4.of_string "10.60.0.1", 24) "lan0" ]
+      else []
+    in
+    let nbs =
+      List.map
+        (fun (peer, client) ->
+          {
+            (neighbor ~remote_as:65000 ~local_addr:(lo host) ~next_hop_self:true
+               (lo peer))
+            with
+            Device.nb_rr_client = client;
+          })
+        neighbors
+    in
+    Device.make
+      ~interfaces:((loopback :: ifaces) @ lan_if)
+      ~bgp:(bgp ~local_as:65000 ~router_id:(lo host) ~networks nbs)
+      host
+  in
+  (* without ~reflector the hub treats spokes as plain iBGP peers *)
+  let hub =
+    mk "hub"
+      ~neighbors:[ ("spoke1", reflector); ("spoke2", reflector) ]
+      ~lan:false
+  in
+  let spoke1 = mk "spoke1" ~neighbors:[ ("hub", false) ] ~lan:true in
+  let spoke2 = mk "spoke2" ~neighbors:[ ("hub", false) ] ~lan:false in
+  Testnet.state_of [ hub; spoke1; spoke2 ]
+
+let test_no_reflection_without_clients () =
+  let state = star ~reflector:false in
+  (* hub learns the route but must not pass it on (iBGP full-mesh rule) *)
+  check_bool "hub learns" true
+    (Stable_state.bgp_lookup state "hub" (p "10.60.0.0/24") <> []);
+  check_int "spoke2 isolated" 0
+    (List.length (Stable_state.bgp_lookup state "spoke2" (p "10.60.0.0/24")))
+
+let test_reflection_with_clients () =
+  let state = star ~reflector:true in
+  let entries = Stable_state.bgp_lookup_best state "spoke2" (p "10.60.0.0/24") in
+  check_int "spoke2 learns via reflection" 1 (List.length entries);
+  (* learned from the hub's session address *)
+  check_bool "learned from hub" true
+    (match (List.hd entries).Rib.be_source with
+    | Rib.Learned ip -> Ipv4.equal ip (Ipv4.of_string "172.21.0.1")
+    | _ -> false);
+  (* and it is usable *)
+  check_bool "reachable" true
+    (Stable_state.reachable state ~src:"spoke2" ~dst:(Ipv4.of_string "10.60.0.1"))
+
+let test_reflection_coverage_chain () =
+  (* testing spoke2's entry covers the reflector's configuration: the
+     contribution is non-local across two iBGP hops *)
+  let state = star ~reflector:true in
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "spoke2"; entry })
+      (Stable_state.main_lookup state "spoke2" (p "10.60.0.0/24"))
+  in
+  check_bool "tested nonempty" true (tested <> []);
+  let report = Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] } in
+  let reg = Stable_state.registry state in
+  let covered host key =
+    Coverage.element_status report.Netcov.coverage
+      (Option.get (Registry.find reg ~device:host key))
+    <> Coverage.Not_covered
+  in
+  check_bool "spoke2's peering toward hub" true
+    (covered "spoke2" (Element.key Element.Bgp_peer "172.21.0.1"));
+  check_bool "hub's peering toward spoke2 (client)" true
+    (covered "hub" (Element.key Element.Bgp_peer "172.21.0.3"));
+  check_bool "hub's peering toward spoke1 (client)" true
+    (covered "hub" (Element.key Element.Bgp_peer "172.21.0.2"));
+  check_bool "spoke1's peering toward hub" true
+    (covered "spoke1" (Element.key Element.Bgp_peer "172.21.0.1"));
+  check_bool "origin network statement" true
+    (covered "spoke1" (Element.key Element.Bgp_network "10.60.0.0/24"));
+  check_bool "origin LAN interface" true
+    (covered "spoke1" (Element.key Element.Interface "lan0"))
+
+let test_rr_roundtrip () =
+  (* the route-reflector-client knob survives emit/parse in both
+     syntaxes *)
+  let nb =
+    {
+      Device.nb_ip = Ipv4.of_string "10.0.0.9";
+      nb_remote_as = 65000;
+      nb_group = None;
+      nb_import = [];
+      nb_export = [];
+      nb_local_addr = None;
+      nb_next_hop_self = false;
+      nb_rr_client = true;
+      nb_description = None;
+    }
+  in
+  let d =
+    Device.make
+      ~bgp:
+        {
+          Device.local_as = 65000;
+          router_id = Ipv4.of_string "10.0.0.1";
+          networks = [];
+          aggregates = [];
+          redistributes = [];
+          groups = [];
+          neighbors = [ nb ];
+          multipath = 1;
+        }
+      "rr"
+  in
+  let check_parsed (d' : Device.t) =
+    match d'.Device.bgp with
+    | Some b -> check_bool "flag kept" true (List.hd b.neighbors).Device.nb_rr_client
+    | None -> Alcotest.fail "bgp lost"
+  in
+  check_parsed (Parse_junos.parse_exn (Emit_junos.to_string d));
+  check_parsed (Parse_ios.parse_exn (Emit_ios.to_string d))
+
+let test_internet2_rr_variant () =
+  let params =
+    {
+      Netcov_workloads.Internet2.test_params with
+      Netcov_workloads.Internet2.ibgp = Netcov_workloads.Internet2.Route_reflectors 2;
+    }
+  in
+  let net = Netcov_workloads.Internet2.generate params in
+  let state = Stable_state.compute (Registry.build net.devices) in
+  check_bool "converges" true (Stable_state.rounds state < 30);
+  (* clients learn remote external routes via the reflectors *)
+  let some_peer =
+    List.find
+      (fun (pi : Netcov_workloads.Internet2.peer_info) -> pi.allowed <> [])
+      net.peers
+  in
+  let prefix = List.hd some_peer.allowed in
+  let holders =
+    List.filter
+      (fun host -> Stable_state.main_lookup state host prefix <> [])
+      net.routers
+  in
+  (* the sanity-rejected tainted prefixes aside, the route should spread
+     to every router despite the sparse iBGP graph *)
+  check_bool "route spreads" true (List.length holders >= 9)
+
+let () =
+  Alcotest.run "route_reflector"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "no reflection without clients" `Quick
+            test_no_reflection_without_clients;
+          Alcotest.test_case "reflection with clients" `Quick
+            test_reflection_with_clients;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "non-local chain through RR" `Quick
+            test_reflection_coverage_chain;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "config round-trip" `Quick test_rr_roundtrip;
+          Alcotest.test_case "internet2 RR variant" `Slow test_internet2_rr_variant;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+open Netcov_types
+
+let p = Prefix.of_string
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let sample =
+  Prefix_trie.of_list
+    [
+      (p "0.0.0.0/0", "default");
+      (p "10.0.0.0/8", "ten");
+      (p "10.1.0.0/16", "ten-one");
+      (p "10.1.2.0/24", "ten-one-two");
+      (p "192.168.0.0/16", "rfc1918");
+    ]
+
+let test_cardinal () =
+  check_int "cardinal" 5 (Prefix_trie.cardinal sample);
+  check_int "empty" 0 (Prefix_trie.cardinal Prefix_trie.empty);
+  check_bool "is_empty" true (Prefix_trie.is_empty Prefix_trie.empty)
+
+let test_find_exact () =
+  check_bool "exact hit" true
+    (Prefix_trie.find_opt (p "10.1.0.0/16") sample = Some "ten-one");
+  check_bool "exact miss (different len)" true
+    (Prefix_trie.find_opt (p "10.1.0.0/17") sample = None);
+  check_bool "mem" true (Prefix_trie.mem (p "0.0.0.0/0") sample)
+
+let test_longest_match () =
+  let lm addr =
+    match Prefix_trie.longest_match (Ipv4.of_string addr) sample with
+    | Some (q, v) -> Printf.sprintf "%s=%s" (Prefix.to_string q) v
+    | None -> "none"
+  in
+  check_str "most specific" "10.1.2.0/24=ten-one-two" (lm "10.1.2.3");
+  check_str "mid" "10.1.0.0/16=ten-one" (lm "10.1.3.1");
+  check_str "top" "10.0.0.0/8=ten" (lm "10.9.9.9");
+  check_str "default" "0.0.0.0/0=default" (lm "8.8.8.8")
+
+let test_all_matches () =
+  let ms =
+    Prefix_trie.all_matches (Ipv4.of_string "10.1.2.3") sample
+    |> List.map (fun (q, _) -> Prefix.to_string q)
+  in
+  Alcotest.(check (list string))
+    "most specific first"
+    [ "10.1.2.0/24"; "10.1.0.0/16"; "10.0.0.0/8"; "0.0.0.0/0" ]
+    ms
+
+let test_subsumed () =
+  let under =
+    Prefix_trie.subsumed (p "10.0.0.0/8") sample
+    |> List.map (fun (q, _) -> Prefix.to_string q)
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "subtree" [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24" ] under
+
+let test_remove_update () =
+  let t = Prefix_trie.remove (p "10.1.0.0/16") sample in
+  check_int "removed" 4 (Prefix_trie.cardinal t);
+  check_bool "gone" true (Prefix_trie.find_opt (p "10.1.0.0/16") t = None);
+  let t2 =
+    Prefix_trie.update (p "10.0.0.0/8") (Option.map String.uppercase_ascii) t
+  in
+  check_bool "updated" true (Prefix_trie.find_opt (p "10.0.0.0/8") t2 = Some "TEN")
+
+let test_fold_order () =
+  let keys =
+    Prefix_trie.to_list sample |> List.map (fun (q, _) -> Prefix.to_string q)
+  in
+  check_int "all listed" 5 (List.length keys);
+  check_bool "default present" true (List.mem "0.0.0.0/0" keys)
+
+let gen_prefix =
+  QCheck.map
+    (fun (a, l) -> Prefix.make (Ipv4.of_int a) l)
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 32))
+
+let gen_bindings = QCheck.(small_list (pair gen_prefix small_int))
+
+let prop_model_find =
+  QCheck.Test.make ~name:"find agrees with assoc model" ~count:300 gen_bindings
+    (fun bindings ->
+      let t = Prefix_trie.of_list bindings in
+      List.for_all
+        (fun (q, _) ->
+          (* last binding for q wins *)
+          let expected =
+            List.fold_left
+              (fun acc (q', v) -> if Prefix.equal q q' then Some v else acc)
+              None bindings
+          in
+          Prefix_trie.find_opt q t = expected)
+        bindings)
+
+let prop_lpm_sound =
+  QCheck.Test.make ~name:"longest_match returns a containing, maximal prefix"
+    ~count:300
+    QCheck.(pair gen_bindings (int_bound 0xFFFFFFF))
+    (fun (bindings, a) ->
+      let t = Prefix_trie.of_list bindings in
+      let addr = Ipv4.of_int a in
+      match Prefix_trie.longest_match addr t with
+      | None ->
+          not (List.exists (fun (q, _) -> Prefix.contains q addr) bindings)
+      | Some (q, _) ->
+          Prefix.contains q addr
+          && List.for_all
+               (fun (q', _) ->
+                 (not (Prefix.contains q' addr)) || Prefix.len q' <= Prefix.len q)
+               bindings)
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal = distinct keys" ~count:300 gen_bindings
+    (fun bindings ->
+      let distinct =
+        List.sort_uniq Prefix.compare (List.map fst bindings) |> List.length
+      in
+      Prefix_trie.cardinal (Prefix_trie.of_list bindings) = distinct)
+
+let () =
+  Alcotest.run "prefix_trie"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cardinal" `Quick test_cardinal;
+          Alcotest.test_case "find exact" `Quick test_find_exact;
+          Alcotest.test_case "longest match" `Quick test_longest_match;
+          Alcotest.test_case "all matches" `Quick test_all_matches;
+          Alcotest.test_case "subsumed" `Quick test_subsumed;
+          Alcotest.test_case "remove and update" `Quick test_remove_update;
+          Alcotest.test_case "fold order" `Quick test_fold_order;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model_find; prop_lpm_sound; prop_cardinal ] );
+    ]

@@ -1,0 +1,185 @@
+open Netcov_config
+open Netcov_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rng_determinism () =
+  let a = Rng.make 1 and b = Rng.make 1 in
+  let xs g = List.init 20 (fun _ -> Rng.int g 1000) in
+  Alcotest.(check (list int)) "same stream" (xs a) (xs b);
+  let c = Rng.make 2 in
+  check_bool "different seed differs" true (xs (Rng.make 1) <> xs c)
+
+let test_rng_bounds () =
+  let g = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 7 in
+    check_bool "in range" true (x >= 0 && x < 7)
+  done;
+  let sampled = Rng.sample g 5 [ 1; 2; 3 ] in
+  check_int "sample caps" 3 (List.length sampled);
+  let s10 = Rng.sample g 4 (List.init 10 Fun.id) in
+  check_int "sample size" 4 (List.length s10);
+  check_int "distinct" 4 (List.length (List.sort_uniq Int.compare s10))
+
+let test_caida () =
+  check_bool "customer preferred" true
+    (Caida.local_pref Caida.Customer > Caida.local_pref Caida.Peer
+    && Caida.local_pref Caida.Peer > Caida.local_pref Caida.Provider);
+  let rels = Caida.assign (Rng.make 5) 200 in
+  let count r = Array.to_list rels |> List.filter (( = ) r) |> List.length in
+  check_bool "customers dominate" true (count Caida.Customer > count Caida.Provider)
+
+let test_routeviews_feed () =
+  let feed = Routeviews.generate (Rng.make 9) ~n_peers:20 ~shared:15 ~unique_per_peer:2 in
+  check_int "pool size" 15 (List.length feed.Routeviews.shared_pool);
+  check_int "per peer arrays" 20 (Array.length feed.Routeviews.per_peer);
+  (* every shared prefix is announced by at least 2 peers *)
+  List.iter
+    (fun p ->
+      let announcers =
+        Array.to_list feed.Routeviews.per_peer
+        |> List.filter (fun anns ->
+               List.exists
+                 (fun (a : Routeviews.announcement) ->
+                   Netcov_types.Prefix.equal a.ann_prefix p)
+                 anns)
+        |> List.length
+      in
+      check_bool "2-4 announcers" true (announcers >= 2 && announcers <= 4))
+    feed.Routeviews.shared_pool;
+  (* every peer has a bogus (non-permitted) announcement *)
+  Array.iter
+    (fun anns ->
+      check_bool "has bogus" true
+        (List.exists
+           (fun (a : Routeviews.announcement) -> not a.ann_in_allowed_list)
+           anns))
+    feed.Routeviews.per_peer;
+  (* allowed lists exclude bogus prefixes *)
+  check_bool "allowed excludes bogus" true
+    (List.length (Routeviews.allowed_prefixes feed 0)
+    < List.length feed.Routeviews.per_peer.(0))
+
+let test_internet2_structure () =
+  let net = Internet2.generate Internet2.test_params in
+  check_int "ten routers" 10 (List.length net.routers);
+  check_int "peers" Internet2.test_params.n_peers (List.length net.peers);
+  check_int "devices = routers + stubs" (10 + List.length net.peers)
+    (List.length net.devices);
+  (* stubs are external, routers are not *)
+  List.iter
+    (fun (d : Device.t) ->
+      let is_router = List.mem d.hostname net.routers in
+      check_bool (d.hostname ^ " externality") (not is_router) d.is_external)
+    net.devices;
+  (* every router runs BGP with an iBGP full mesh *)
+  List.iter
+    (fun r ->
+      let d = List.find (fun (d : Device.t) -> d.hostname = r) net.devices in
+      let b = Option.get d.Device.bgp in
+      let ibgp =
+        List.filter
+          (fun (n : Device.neighbor) -> n.nb_remote_as = net.local_as)
+          b.Device.neighbors
+      in
+      check_int (r ^ " ibgp neighbors") 9 (List.length ibgp))
+    net.routers
+
+let test_internet2_determinism () =
+  let n1 = Internet2.generate Internet2.test_params in
+  let n2 = Internet2.generate Internet2.test_params in
+  let text net =
+    String.concat "\n"
+      (List.map
+         (fun (d : Device.t) -> Emit_junos.to_string d)
+         net.Internet2.devices)
+  in
+  check_bool "same emit" true (String.equal (text n1) (text n2))
+
+let test_internet2_simulates () =
+  let net = Internet2.generate Internet2.test_params in
+  let state = Netcov_sim.Stable_state.compute (Registry.build net.devices) in
+  check_bool "converged" true (Netcov_sim.Stable_state.rounds state < 30);
+  check_bool "has edges" true (Netcov_sim.Stable_state.edges state <> []);
+  (* every peer's unique prefixes should be in its attach router's RIB *)
+  let missing = ref 0 in
+  List.iter
+    (fun (pi : Internet2.peer_info) ->
+      List.iter
+        (fun p ->
+          if Netcov_sim.Stable_state.main_lookup state pi.router p = [] then
+            incr missing)
+        pi.allowed)
+    net.peers;
+  (* the tainted private-ASN announcements are rejected, so a small
+     number of allowed prefixes never appear *)
+  check_bool "few missing (only sanity-rejected)" true (!missing <= 2)
+
+let test_fattree_structure () =
+  let ft = Fattree.generate ~k:4 () in
+  check_int "router_count formula" 20 (Fattree.router_count 4);
+  check_int "leaves" 8 (List.length ft.leaves);
+  check_int "aggs" 8 (List.length ft.aggs);
+  check_int "spines" 4 (List.length ft.spines);
+  check_int "wans" 4 (List.length ft.wans);
+  check_int "devices" 24 (List.length ft.devices);
+  check_int "leaf subnets" 8 (List.length ft.leaf_subnets);
+  Alcotest.check_raises "odd k rejected"
+    (Invalid_argument "Fattree.generate: k must be even and >= 4") (fun () ->
+      ignore (Fattree.generate ~k:5 ()))
+
+let test_fattree_simulates () =
+  let ft = Fattree.generate ~k:4 () in
+  let state = Netcov_sim.Stable_state.compute (Registry.build ft.devices) in
+  (* every leaf knows every other leaf's subnet *)
+  List.iter
+    (fun leaf ->
+      List.iter
+        (fun (_, subnet) ->
+          check_bool
+            (Printf.sprintf "%s knows %s" leaf
+               (Netcov_types.Prefix.to_string subnet))
+            true
+            (Netcov_sim.Stable_state.main_lookup state leaf subnet <> []))
+        ft.leaf_subnets)
+    ft.leaves;
+  (* spines hold the aggregate *)
+  List.iter
+    (fun s ->
+      check_bool (s ^ " aggregate") true
+        (Netcov_sim.Stable_state.bgp_lookup_best state s ft.aggregate_prefix <> []))
+    ft.spines
+
+let test_config_text_scale () =
+  let net = Internet2.generate Internet2.default_params in
+  let reg = Registry.build net.devices in
+  (* considered lines are a strict subset; unconsidered noise exists *)
+  let total = Registry.total_lines reg and considered = Registry.considered_lines reg in
+  check_bool "noise exists" true (considered < total);
+  check_bool "mostly considered" true (float_of_int considered > 0.5 *. float_of_int total)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        ] );
+      ("caida", [ Alcotest.test_case "relationships" `Quick test_caida ]);
+      ("routeviews", [ Alcotest.test_case "feed" `Quick test_routeviews_feed ]);
+      ( "internet2",
+        [
+          Alcotest.test_case "structure" `Quick test_internet2_structure;
+          Alcotest.test_case "determinism" `Quick test_internet2_determinism;
+          Alcotest.test_case "simulates" `Slow test_internet2_simulates;
+          Alcotest.test_case "text scale" `Slow test_config_text_scale;
+        ] );
+      ( "fattree",
+        [
+          Alcotest.test_case "structure" `Quick test_fattree_structure;
+          Alcotest.test_case "simulates" `Slow test_fattree_simulates;
+        ] );
+    ]
