@@ -12,14 +12,10 @@ open Netcov_sim
 open Netcov_core
 open Netcov_nettest
 open Netcov_workloads
+module Pool = Netcov_parallel.Pool
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
-
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
+let timed = Timing.time
 let pct = Printf.sprintf "%.1f%%"
 
 (* ------------------------------------------------------------------ *)
@@ -34,12 +30,16 @@ type tested_test = {
 }
 
 let run_tests state tests =
-  List.map
-    (fun (t : Nettest.t) ->
-      let result, exec_s = timed (fun () -> t.run state) in
-      let report = Netcov.analyze state result.Nettest.tested in
-      { test = t; result; exec_s; report })
-    tests
+  (* Fan the per-test execute+analyze pipelines out across a domain
+     pool; tests share only the immutable stable state, and results
+     come back in input order. *)
+  Pool.with_pool (fun pool ->
+      Pool.map pool
+        (fun (t : Nettest.t) ->
+          let result, exec_s = timed (fun () -> t.run state) in
+          let report = Netcov.analyze ~pool state result.Nettest.tested in
+          { test = t; result; exec_s; report })
+        tests)
 
 type i2_env = {
   net : Internet2.t;
@@ -212,6 +212,18 @@ let fig10a () =
   let tm = suite.Netcov.timing in
   Printf.printf "%-24s %10.3f %12.3f %10.3f %10.3f\n" "Full suite" exec_total
     cov_s tm.Netcov.sim_s tm.Netcov.label_s;
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) t ->
+        ( h + t.report.Netcov.timing.Netcov.sim_cache_hits,
+          m + t.report.Netcov.timing.Netcov.sim_cache_misses ))
+      (tm.Netcov.sim_cache_hits, tm.Netcov.sim_cache_misses)
+      bagpipe
+  in
+  Printf.printf
+    "targeted-simulation memo cache: %d hits / %d misses (%.1f%% hit rate)\n"
+    hits misses
+    (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
   Printf.printf
     "test execution including the control-plane computation the tests run \
      against: %.2fs (the paper's 2358s includes Batfish's data plane \
@@ -530,7 +542,112 @@ let kernels () =
         | Some [] | None -> "n/a"
       in
       Printf.printf "%-36s %s\n" name est)
-    results
+    results;
+  (* Apply-cache effectiveness on a representative predicate build:
+     cone predicates rebuild the same conjunction/disjunction shapes
+     repeatedly, so the second pass should be answered by the cache. *)
+  let m = Netcov_bdd.Bdd.create ~cache_size:(1 lsl 16) () in
+  let vars = List.init 64 (Netcov_bdd.Bdd.var m) in
+  for _ = 1 to 2 do
+    let c = Netcov_bdd.Bdd.conj m vars in
+    let d = Netcov_bdd.Bdd.disj m vars in
+    ignore (Netcov_bdd.Bdd.bdd_xor m c d);
+    List.iter
+      (fun v -> ignore (Netcov_bdd.Bdd.bdd_and m (Netcov_bdd.Bdd.bdd_not m v) d))
+      vars
+  done;
+  let st = Netcov_bdd.Bdd.cache_stats m in
+  Printf.printf
+    "bdd apply cache: %d hits / %d misses over %d slots (%.1f%% hit rate)\n"
+    st.Netcov_bdd.Bdd.hits st.Netcov_bdd.Bdd.misses st.Netcov_bdd.Bdd.slots
+    (100.
+    *. float_of_int st.Netcov_bdd.Bdd.hits
+    /. float_of_int (max 1 (st.Netcov_bdd.Bdd.hits + st.Netcov_bdd.Bdd.misses)))
+
+(* ------------------------------------------------------------------ *)
+(* Multicore scaling + simulation memo cache (BENCH_parallel.json)     *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section "Scaling: suite coverage across domain counts + sim memo cache";
+  let env = Lazy.force ft_env in
+  let testeds = List.map (fun t -> t.result.Nettest.tested) env.ft_tests in
+  let run_at domains =
+    Pool.with_pool ~domains (fun pool ->
+        timed (fun () -> Netcov.analyze_suite ~pool env.ft_state testeds))
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let runs = List.map (fun d -> (d, run_at d)) domain_counts in
+  let merged_cov (reports, _) =
+    Json_export.coverage (Netcov.merge_reports reports).Netcov.coverage
+  in
+  let reference = merged_cov (List.assoc 1 runs) in
+  let base_wall = snd (List.assoc 1 runs) in
+  Printf.printf "fat-tree k=8 suite (%d tests), %d hardware cores:\n"
+    (List.length testeds)
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.map
+      (fun (d, ((_, wall) as r)) ->
+        let speedup = base_wall /. max 1e-9 wall in
+        let identical = String.equal reference (merged_cov r) in
+        Printf.printf
+          "  domains=%d  wall %7.3fs  speedup %5.2fx  identical-report %b\n" d
+          wall speedup identical;
+        (d, wall, speedup, identical))
+      runs
+  in
+  (* Memo-cache effect, measured sequentially on the Internet2 suite
+     (its iBGP full mesh shares policy chains across sessions). *)
+  let i2 = Lazy.force i2_env in
+  let i2_testeds = List.map (fun t -> t.result.Nettest.tested) i2.tests in
+  let run_cache sim_cache =
+    timed (fun () ->
+        Netcov.analyze_suite ~pool:Pool.sequential ~sim_cache i2.state i2_testeds)
+  in
+  let on_reports, on_wall = run_cache true in
+  let off_reports, off_wall = run_cache false in
+  let on_merged = Netcov.merge_reports on_reports in
+  let tm = on_merged.Netcov.timing in
+  let hits = tm.Netcov.sim_cache_hits and misses = tm.Netcov.sim_cache_misses in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let cache_identical =
+    String.equal
+      (Json_export.coverage on_merged.Netcov.coverage)
+      (Json_export.coverage (Netcov.merge_reports off_reports).Netcov.coverage)
+  in
+  Printf.printf
+    "internet2 suite sim cache: %d hits / %d misses (%.1f%% hit rate), wall \
+     %.3fs on vs %.3fs off (%.2fx), identical-report %b\n"
+    hits misses (100. *. hit_rate) on_wall off_wall
+    (off_wall /. max 1e-9 on_wall)
+    cache_identical;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"workload\": \"fattree-k8-suite\",\n";
+  Printf.bprintf buf "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Buffer.add_string buf "  \"domain_runs\": [\n";
+  List.iteri
+    (fun i (d, wall, speedup, identical) ->
+      Printf.bprintf buf
+        "    {\"domains\": %d, \"wall_s\": %.4f, \"speedup\": %.3f, \
+         \"identical\": %b}%s\n"
+        d wall speedup identical
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"sim_cache\": {\"workload\": \"internet2-suite\", \"hits\": %d, \
+     \"misses\": %d, \"hit_rate\": %.4f, \"wall_on_s\": %.4f, \"wall_off_s\": \
+     %.4f, \"speedup\": %.3f, \"identical\": %b}\n"
+    hits misses hit_rate on_wall off_wall
+    (off_wall /. max 1e-9 on_wall)
+    cache_identical;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -551,6 +668,7 @@ let experiments =
     ("mutation", mutation);
     ("whatif", whatif);
     ("rr", rr);
+    ("scaling", scaling);
     ("kernels", kernels);
   ]
 

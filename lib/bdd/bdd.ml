@@ -1,6 +1,13 @@
 (* Nodes live in growable parallel arrays; ids 0 and 1 are the FALSE and
    TRUE terminals. Structural uniqueness is enforced through the unique
-   table, so equality of handles is integer equality. *)
+   table, so equality of handles is integer equality.
+
+   The apply cache is a direct-mapped array keyed by a single packed
+   int: 3 bits of op code, 29 bits per operand (node id or variable
+   index). A colliding insert overwrites its slot, so eviction is O(1)
+   and always discards the older of the two entries — unlike the
+   previous [Hashtbl.reset]-when-full scheme, which dropped the entire
+   cache mid-operation and forced repeated cold restarts. *)
 
 type node = int
 
@@ -10,14 +17,29 @@ type manager = {
   mutable hi : int array;
   mutable next : int;
   unique : (int * int * int, int) Hashtbl.t;
-  cache : (int * int * int, int) Hashtbl.t;
-  cache_size : int;
+  cache_key : int array;  (* packed key per slot; -1 = empty *)
+  cache_val : int array;
+  cache_mask : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let terminal_var = max_int
 
-let create ?(cache_size = 1 lsl 16) () =
+(* Operands must fit in 29 bits for the packed cache key. Node ids
+   reach this only past half a billion nodes (hundreds of GB of node
+   arrays); variable indices are validated in [var]. *)
+let max_operand = (1 lsl 29) - 1
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 256
+
+(* Default slot count keeps manager creation cheap (the labeler makes
+   one manager per tested-fact cone): 2^12 slots = two 32 KiB arrays. *)
+let create ?(cache_size = 1 lsl 12) () =
   let n = 1024 in
+  let csize = round_pow2 (max 256 cache_size) in
   let m =
     {
       var_ = Array.make n 0;
@@ -25,13 +47,21 @@ let create ?(cache_size = 1 lsl 16) () =
       hi = Array.make n 0;
       next = 2;
       unique = Hashtbl.create 4096;
-      cache = Hashtbl.create 4096;
-      cache_size;
+      cache_key = Array.make csize (-1);
+      cache_val = Array.make csize 0;
+      cache_mask = csize - 1;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   m.var_.(0) <- terminal_var;
   m.var_.(1) <- terminal_var;
   m
+
+type cache_stats = { hits : int; misses : int; slots : int }
+
+let cache_stats m =
+  { hits = m.cache_hits; misses = m.cache_misses; slots = m.cache_mask + 1 }
 
 let bdd_false (_ : manager) = 0
 let bdd_true (_ : manager) = 1
@@ -57,6 +87,7 @@ let mk m v lo hi =
     | None ->
         grow m;
         let id = m.next in
+        if id > max_operand then failwith "Bdd: node id space exhausted";
         m.next <- id + 1;
         m.var_.(id) <- v;
         m.lo.(id) <- lo;
@@ -66,13 +97,31 @@ let mk m v lo hi =
 
 let var m i =
   if i < 0 then invalid_arg "Bdd.var: negative index";
+  if i > max_operand then invalid_arg "Bdd.var: index too large";
   mk m i 0 1
 
-let cache_find m key = Hashtbl.find_opt m.cache key
+(* Single-int cache key: | b:29 | a:29 | op:3 |. *)
+let pack op a b = (b lsl 32) lor (a lsl 3) lor op
+
+let slot m key =
+  let h = (key * 0x9E3779B1) land max_int in
+  (h lxor (h lsr 17)) land m.cache_mask
+
+let cache_find m key =
+  let i = slot m key in
+  if m.cache_key.(i) = key then begin
+    m.cache_hits <- m.cache_hits + 1;
+    Some m.cache_val.(i)
+  end
+  else begin
+    m.cache_misses <- m.cache_misses + 1;
+    None
+  end
 
 let cache_add m key v =
-  if Hashtbl.length m.cache >= m.cache_size then Hashtbl.reset m.cache;
-  Hashtbl.replace m.cache key v;
+  let i = slot m key in
+  m.cache_key.(i) <- key;
+  m.cache_val.(i) <- v;
   v
 
 (* op codes for the apply cache *)
@@ -105,7 +154,7 @@ let rec apply m op a b =
   | None -> (
       (* commutative ops: canonicalize the key *)
       let a, b = if a <= b then (a, b) else (b, a) in
-      let key = (op, a, b) in
+      let key = pack op a b in
       match cache_find m key with
       | Some r -> r
       | None ->
@@ -124,7 +173,7 @@ let rec bdd_not m a =
   if a = 0 then 1
   else if a = 1 then 0
   else
-    let key = (op_not, a, -1) in
+    let key = pack op_not a 0 in
     match cache_find m key with
     | Some r -> r
     | None ->
@@ -144,17 +193,18 @@ let rec restrict m n ~var:v ~value =
     if nv > v then n
     else if nv = v then if value then m.hi.(n) else m.lo.(n)
     else
-      let op = if value then op_restrict1 else op_restrict0 in
-      let key = (op, n, v) in
-      match cache_find m key with
-      | Some r -> r
-      | None ->
-          let r =
-            mk m nv
-              (restrict m m.lo.(n) ~var:v ~value)
-              (restrict m m.hi.(n) ~var:v ~value)
-          in
-          cache_add m key r
+      let recompute () =
+        mk m nv
+          (restrict m m.lo.(n) ~var:v ~value)
+          (restrict m m.hi.(n) ~var:v ~value)
+      in
+      if v > max_operand then recompute ()
+      else
+        let op = if value then op_restrict1 else op_restrict0 in
+        let key = pack op n v in
+        match cache_find m key with
+        | Some r -> r
+        | None -> cache_add m key (recompute ())
 
 let is_necessary m n ~var:v = is_false (restrict m n ~var:v ~value:false)
 

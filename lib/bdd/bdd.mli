@@ -9,8 +9,17 @@ type manager
 type node
 
 (** [create ()] makes a fresh manager. [cache_size] tunes the apply
-    cache (default 1 shl 16 entries). *)
+    cache slot count (default 1 shl 12; rounded up to a power of two).
+    The cache is direct-mapped with single-int packed keys: a colliding
+    insert evicts only its own slot, keeping recent results warm
+    instead of flushing the whole cache when full. *)
 val create : ?cache_size:int -> unit -> manager
+
+(** Apply-cache effectiveness counters, cumulative for the manager's
+    lifetime. [slots] is the fixed slot count. *)
+type cache_stats = { hits : int; misses : int; slots : int }
+
+val cache_stats : manager -> cache_stats
 
 val bdd_true : manager -> node
 val bdd_false : manager -> node

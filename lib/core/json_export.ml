@@ -125,6 +125,8 @@ let timing_json (t : Netcov.timing) =
       ("sim_s", J_float t.Netcov.sim_s);
       ("label_s", J_float t.Netcov.label_s);
       ("sim_count", J_int t.Netcov.sim_count);
+      ("sim_cache_hits", J_int t.Netcov.sim_cache_hits);
+      ("sim_cache_misses", J_int t.Netcov.sim_cache_misses);
       ("ifg_nodes", J_int t.Netcov.ifg_nodes);
       ("ifg_edges", J_int t.Netcov.ifg_edges);
       ("bdd_vars", J_int t.Netcov.bdd_vars);

@@ -57,8 +57,20 @@ let src = Logs.Src.create "netcov.label" ~doc:"strong/weak labeling"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let run ?(disjfree_heuristic = true) g ~tested =
-  let t0 = Unix.gettimeofday () in
+(* Split [xs] into chunks of at most [size] elements, preserving
+   order. *)
+let chunks size xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k >= size then go (List.rev (x :: cur) :: acc) [] 0 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
+    g ~tested =
+  let t0 = Timing.now () in
   let pre_strong =
     if disjfree_heuristic then disjunction_free_strong g ~tested
     else Element.Id_set.empty
@@ -94,72 +106,93 @@ let run ?(disjfree_heuristic = true) g ~tested =
     (* Predicates are built per tested fact over its ancestor cone, with
        BDD variables numbered in cone-discovery order so that each
        contribution chain occupies adjacent levels — this keeps the
-       BDDs of OR-of-chain predicates (aggregates, ECMP) small. *)
-    List.iter
-      (fun t ->
-        if tainted.(t) then begin
-        let in_cone, order = cone g t in
-        ignore in_cone;
-        (* var assignment local to this cone *)
-        let var_of_node = Hashtbl.create 64 in
-        let eid_of_var = Hashtbl.create 64 in
-        let n_vars = ref 0 in
+       BDDs of OR-of-chain predicates (aggregates, ECMP) small.
+
+       Cones are mutually independent — each gets its own BDD manager
+       and variable numbering — so they fan out over the pool (the
+       graph, [candidate] and [tainted] are only read from here on).
+       The per-cone strong sets merge by set union, which is order
+       independent, so the merged result is identical at any domain
+       count. *)
+    let label_one t =
+      let in_cone, order = cone g t in
+      ignore in_cone;
+      (* var assignment local to this cone *)
+      let var_of_node = Hashtbl.create 64 in
+      let eid_of_var = Hashtbl.create 64 in
+      let n_vars = ref 0 in
+      List.iter
+        (fun nid ->
+          match Hashtbl.find_opt candidate nid with
+          | Some eid when !n_vars < max_cone_vars ->
+              Hashtbl.replace var_of_node nid !n_vars;
+              Hashtbl.replace eid_of_var !n_vars eid;
+              incr n_vars
+          | Some _ ->
+              Log.warn (fun m ->
+                  m "cone of tested fact exceeds %d variables; leaving \
+                     remainder weak"
+                    max_cone_vars)
+          | None -> ())
+        order;
+      if !n_vars = 0 then (Element.Id_set.empty, 0, 0)
+      else begin
+        let m = Bdd.create () in
+        let gamma = Hashtbl.create 256 in
+        let rec compute id =
+          match Hashtbl.find_opt gamma id with
+          | Some b -> b
+          | None ->
+              (* mark before recursing: a back edge (impossible in a
+                 well-formed IFG) contributes true *)
+              Hashtbl.replace gamma id (Bdd.bdd_true m);
+              let b =
+                match Ifg.kind g id with
+                | Ifg.N_fact _ ->
+                    let self =
+                      match Hashtbl.find_opt var_of_node id with
+                      | Some v -> Bdd.var m v
+                      | None -> Bdd.bdd_true m
+                    in
+                    List.fold_left
+                      (fun acc p -> Bdd.bdd_and m acc (compute p))
+                      self (Ifg.parents g id)
+                | Ifg.N_disj ->
+                    List.fold_left
+                      (fun acc p -> Bdd.bdd_or m acc (compute p))
+                      (Bdd.bdd_false m) (Ifg.parents g id)
+              in
+              Hashtbl.replace gamma id b;
+              b
+        in
+        let b = compute t in
+        let cone_strong = ref Element.Id_set.empty in
         List.iter
-          (fun nid ->
-            match Hashtbl.find_opt candidate nid with
-            | Some eid when !n_vars < max_cone_vars ->
-                Hashtbl.replace var_of_node nid !n_vars;
-                Hashtbl.replace eid_of_var !n_vars eid;
-                incr n_vars
-            | Some _ ->
-                Log.warn (fun m ->
-                    m "cone of tested fact exceeds %d variables; leaving \
-                       remainder weak"
-                      max_cone_vars)
-            | None -> ())
-          order;
-        total_vars := max !total_vars !n_vars;
-        if !n_vars > 0 then begin
-          let m = Bdd.create () in
-          let gamma = Hashtbl.create 256 in
-          let rec compute id =
-            match Hashtbl.find_opt gamma id with
-            | Some b -> b
-            | None ->
-                (* mark before recursing: a back edge (impossible in a
-                   well-formed IFG) contributes true *)
-                Hashtbl.replace gamma id (Bdd.bdd_true m);
-                let b =
-                  match Ifg.kind g id with
-                  | Ifg.N_fact _ ->
-                      let self =
-                        match Hashtbl.find_opt var_of_node id with
-                        | Some v -> Bdd.var m v
-                        | None -> Bdd.bdd_true m
-                      in
-                      List.fold_left
-                        (fun acc p -> Bdd.bdd_and m acc (compute p))
-                        self (Ifg.parents g id)
-                  | Ifg.N_disj ->
-                      List.fold_left
-                        (fun acc p -> Bdd.bdd_or m acc (compute p))
-                        (Bdd.bdd_false m) (Ifg.parents g id)
-                in
-                Hashtbl.replace gamma id b;
-                b
-          in
-          let b = compute t in
-          List.iter
-            (fun v ->
-              if Bdd.is_necessary m b ~var:v then
-                match Hashtbl.find_opt eid_of_var v with
-                | Some eid -> strong := Element.Id_set.add eid !strong
-                | None -> ())
-            (Bdd.support m b);
-          bdd_nodes := max !bdd_nodes (Bdd.node_count m)
-        end
-        end)
-      tested
+          (fun v ->
+            if Bdd.is_necessary m b ~var:v then
+              match Hashtbl.find_opt eid_of_var v with
+              | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
+              | None -> ())
+          (Bdd.support m b);
+        (!cone_strong, !n_vars, Bdd.node_count m)
+      end
+    in
+    let work = List.filter (fun t -> tainted.(t)) tested in
+    let n_chunks = 4 * Netcov_parallel.Pool.domains pool in
+    let chunk_size = max 1 ((List.length work + n_chunks - 1) / n_chunks) in
+    let label_chunk ts =
+      List.fold_left
+        (fun (s, v, n) t ->
+          let s', v', n' = label_one t in
+          (Element.Id_set.union s s', max v v', max n n'))
+        (Element.Id_set.empty, 0, 0)
+        ts
+    in
+    Netcov_parallel.Pool.map pool label_chunk (chunks chunk_size work)
+    |> List.iter (fun (s, v, n) ->
+           strong := Element.Id_set.union !strong s;
+           total_vars := max !total_vars v;
+           bdd_nodes := max !bdd_nodes n)
   end;
   let weak = Element.Id_set.diff covered !strong in
   {
@@ -168,5 +201,5 @@ let run ?(disjfree_heuristic = true) g ~tested =
     weak;
     vars = !total_vars;
     bdd_nodes = !bdd_nodes;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Timing.now () -. t0;
   }

@@ -26,5 +26,15 @@ type result = {
 
 (** [disjfree_heuristic] (default true) controls the paper's
     variable-reduction heuristic; disabling it is exposed for the
-    ablation benchmark only — results are identical. *)
-val run : ?disjfree_heuristic:bool -> Ifg.t -> tested:Ifg.node_id list -> result
+    ablation benchmark only — results are identical.
+
+    [pool] fans the per-tested-fact cone predicates out across domains
+    (each cone already owns a private BDD manager); results are
+    identical at any domain count because per-cone strong sets merge by
+    set union. Default: sequential. *)
+val run :
+  ?disjfree_heuristic:bool ->
+  ?pool:Netcov_parallel.Pool.t ->
+  Ifg.t ->
+  tested:Ifg.node_id list ->
+  result

@@ -4,6 +4,8 @@ type stats = {
   rule_seconds : float;
   sim_count : int;
   sim_seconds : float;
+  sim_cache_hits : int;
+  sim_cache_misses : int;
   iterations : int;
 }
 
@@ -24,7 +26,6 @@ let run ctx ~tested =
     id
   in
   let tested_ids = List.map enqueue_fact tested in
-  let t0 = Unix.gettimeofday () in
   let iterations = ref 0 in
   let apply_inference (inf : Rules.inference) =
     let target_id = enqueue_fact inf.target in
@@ -45,21 +46,23 @@ let run ctx ~tested =
             ignore (Ifg.add_disj g ~target:target_id fs))
       inf.parents
   in
-  while not (Queue.is_empty queue) do
-    incr iterations;
-    let id = Queue.pop queue in
-    if not (Ifg.is_expanded g id) then begin
-      Ifg.mark_expanded g id;
-      match Ifg.kind g id with
-      | Ifg.N_disj -> ()
-      | Ifg.N_fact f ->
-          if expandable ctx f then
-            List.iter
-              (fun rule -> List.iter apply_inference (rule ctx f))
-              Rules.all_rules
-    end
-  done;
-  let rule_seconds = Unix.gettimeofday () -. t0 in
+  let (), rule_seconds =
+    Timing.time (fun () ->
+        while not (Queue.is_empty queue) do
+          incr iterations;
+          let id = Queue.pop queue in
+          if not (Ifg.is_expanded g id) then begin
+            Ifg.mark_expanded g id;
+            match Ifg.kind g id with
+            | Ifg.N_disj -> ()
+            | Ifg.N_fact f ->
+                if expandable ctx f then
+                  List.iter
+                    (fun rule -> List.iter apply_inference (rule ctx f))
+                    Rules.all_rules
+          end
+        done)
+  in
   ( g,
     tested_ids,
     {
@@ -68,5 +71,7 @@ let run ctx ~tested =
       rule_seconds;
       sim_count = Rules.sim_count ctx;
       sim_seconds = Rules.sim_seconds ctx;
+      sim_cache_hits = Rules.cache_hits ctx;
+      sim_cache_misses = Rules.cache_misses ctx;
       iterations = !iterations;
     } )

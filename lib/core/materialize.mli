@@ -9,6 +9,10 @@ type stats = {
   rule_seconds : float;  (** total time in rule application *)
   sim_count : int;
   sim_seconds : float;
+  sim_cache_hits : int;
+      (** chain evaluations answered by the targeted-simulation memo
+          cache (0 when the ctx has no cache) *)
+  sim_cache_misses : int;
   iterations : int;  (** worklist passes *)
 }
 

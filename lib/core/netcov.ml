@@ -1,5 +1,6 @@
 open Netcov_config
 open Netcov_sim
+module Pool = Netcov_parallel.Pool
 
 type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
 
@@ -28,6 +29,8 @@ type timing = {
   sim_s : float;
   label_s : float;
   sim_count : int;
+  sim_cache_hits : int;
+  sim_cache_misses : int;
   ifg_nodes : int;
   ifg_edges : int;
   bdd_vars : int;
@@ -39,18 +42,20 @@ type report = {
   dead : Deadcode.report;
 }
 
-let analyze state tested =
-  let t0 = Unix.gettimeofday () in
+let analyze ?pool ?(sim_cache = true) state tested =
+  let pool = Option.value pool ~default:Pool.sequential in
+  let t0 = Timing.now () in
   let reg = Stable_state.registry state in
-  let ctx = Rules.make_ctx state in
+  let cache = if sim_cache then Some (Rules.create_sim_cache ()) else None in
+  let ctx = Rules.make_ctx ?cache state in
   let g, tested_ids, mstats = Materialize.run ctx ~tested:tested.dp_facts in
-  let label = Label.run g ~tested:tested_ids in
+  let label = Label.run ~pool g ~tested:tested_ids in
   let coverage =
     Coverage.of_sets reg ~strong:label.Label.strong ~weak:label.Label.weak
     |> fun cov -> Coverage.with_strong cov tested.cp_elements
   in
   let dead = Deadcode.analyze reg in
-  let total_s = Unix.gettimeofday () -. t0 in
+  let total_s = Timing.now () -. t0 in
   {
     coverage;
     timing =
@@ -60,12 +65,50 @@ let analyze state tested =
         sim_s = mstats.Materialize.sim_seconds;
         label_s = label.Label.seconds;
         sim_count = mstats.Materialize.sim_count;
+        sim_cache_hits = mstats.Materialize.sim_cache_hits;
+        sim_cache_misses = mstats.Materialize.sim_cache_misses;
         ifg_nodes = mstats.Materialize.nodes;
         ifg_edges = mstats.Materialize.edges;
         bdd_vars = label.Label.vars;
       };
     dead;
   }
+
+let merge_timing a b =
+  {
+    total_s = a.total_s +. b.total_s;
+    materialize_s = a.materialize_s +. b.materialize_s;
+    sim_s = a.sim_s +. b.sim_s;
+    label_s = a.label_s +. b.label_s;
+    sim_count = a.sim_count + b.sim_count;
+    sim_cache_hits = a.sim_cache_hits + b.sim_cache_hits;
+    sim_cache_misses = a.sim_cache_misses + b.sim_cache_misses;
+    ifg_nodes = a.ifg_nodes + b.ifg_nodes;
+    ifg_edges = a.ifg_edges + b.ifg_edges;
+    bdd_vars = max a.bdd_vars b.bdd_vars;
+  }
+
+let merge_reports = function
+  | [] -> invalid_arg "Netcov.merge_reports: empty list"
+  | r :: rest ->
+      List.fold_left
+        (fun acc r ->
+          {
+            coverage = Coverage.merge acc.coverage r.coverage;
+            timing = merge_timing acc.timing r.timing;
+            dead = acc.dead;
+          })
+        r rest
+
+let analyze_suite ?pool ?(sim_cache = true) state testeds =
+  let run pool =
+    (* The pool is also handed to each per-test labeling pass: nested
+       fan-out is safe (callers help drain the shared queue), and it
+       keeps every domain busy when the suite has fewer tests than the
+       pool has domains. *)
+    Pool.map pool (fun tested -> analyze ~pool ~sim_cache state tested) testeds
+  in
+  match pool with Some p -> run p | None -> Pool.with_pool run
 
 let dead_line_pct report =
   let reg = Coverage.registry report.coverage in

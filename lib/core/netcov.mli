@@ -17,6 +17,10 @@ type timing = {
   sim_s : float;  (** targeted simulations (subset of materialize) *)
   label_s : float;  (** BDD strong/weak labeling *)
   sim_count : int;
+  sim_cache_hits : int;
+      (** policy-chain evaluations answered by the targeted-simulation
+          memo cache *)
+  sim_cache_misses : int;
   ifg_nodes : int;
   ifg_edges : int;
   bdd_vars : int;
@@ -30,8 +34,41 @@ type report = {
 
 (** [analyze state tested] runs the full pipeline: lazy IFG
     materialization from the tested data plane facts, strong/weak
-    labeling, and direct marking of control-plane-tested elements. *)
-val analyze : Netcov_sim.Stable_state.t -> tested -> report
+    labeling, and direct marking of control-plane-tested elements.
+
+    [pool] parallelizes the labeling pass across its domains (default:
+    sequential). [sim_cache] (default true) memoizes targeted policy
+    simulations within this analysis; neither option changes the
+    report, only the wall time. *)
+val analyze :
+  ?pool:Netcov_parallel.Pool.t ->
+  ?sim_cache:bool ->
+  Netcov_sim.Stable_state.t ->
+  tested ->
+  report
+
+(** [analyze_suite state testeds] analyzes every test of a suite —
+    fanning the per-test materialize/label pipelines out across the
+    pool's domains — and returns the per-test reports in input order.
+    When [pool] is omitted a pool of [Pool.default_domains ()] domains
+    is created for the call ([NETCOV_DOMAINS=1] forces sequential).
+
+    The per-test reports are identical at any domain count: per-test
+    analyses share only the immutable stable state. *)
+val analyze_suite :
+  ?pool:Netcov_parallel.Pool.t ->
+  ?sim_cache:bool ->
+  Netcov_sim.Stable_state.t ->
+  tested list ->
+  report list
+
+(** Deterministic left-to-right merge of per-test reports into a suite
+    report: per element the stronger coverage status wins (equal to
+    analyzing the union of the tests' tested facts); timing components
+    and counters are summed ([bdd_vars] is the max); the dead-code
+    report is taken from the first report (it depends only on the
+    registry). Raises [Invalid_argument] on the empty list. *)
+val merge_reports : report list -> report
 
 (** Dead-code line share over considered lines, percent. *)
 val dead_line_pct : report -> float

@@ -1,25 +1,108 @@
 open Netcov_types
 open Netcov_config
 open Netcov_sim
+open Netcov_policy
+
+(* Targeted-simulation memo cache. The memoized unit is one policy
+   chain evaluation — the pure core of every targeted simulation
+   (§4.2): key = (device, chain, defaults, canonicalized input route),
+   value = the full Eval.result (verdict, transformed route, exercised
+   clause ids). Internet2-style designs re-evaluate the same shared
+   export/import chains with the same route once per iBGP session, so
+   hit rates are substantial even within a single analysis. Caches are
+   created per analysis context (hence domain-local under the parallel
+   pipeline) and need no locking. *)
+(* The key is structural, not a formatted string: building strings per
+   lookup costs more than the evaluations the cache saves. [Route.bgp]
+   is pure data and already canonical field-wise; the community set's
+   internal tree shape can differ for equal sets, which at worst turns
+   a hit into a miss, never a wrong result. *)
+module Sim_key = struct
+  type t = {
+    k_host : string;
+    k_chain : string list;
+    k_default : Eval.verdict;
+    k_protocol : Route.protocol;
+    k_route : Route.bgp;
+  }
+
+  let equal = ( = )
+
+  (* The generic hash's default meaningful-node budget (10) would stop
+     before reaching the route fields, hashing every route of a
+     (device, chain) pair into one bucket. *)
+  let hash k = Hashtbl.hash_param 100 256 k
+end
+
+module Sim_tbl = Hashtbl.Make (Sim_key)
+
+type sim_cache = {
+  tbl : Eval.result Sim_tbl.t;
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+let create_sim_cache () = { tbl = Sim_tbl.create 4096; c_hits = 0; c_misses = 0 }
+let sim_cache_stats c = (c.c_hits, c.c_misses)
 
 type ctx = {
   state : Stable_state.t;
   edge_of_key : (string, Session.edge) Hashtbl.t;
   trace_cache : (string, Forward.path list) Hashtbl.t;
-  mutable sims : int;
-  mutable sim_time : float;
+  cache : sim_cache option;
+  sim_section : Timing.section;
+  mutable cache_hits : int;  (* cache hits observed by this ctx *)
+  mutable cache_misses : int;
 }
 
-let make_ctx state =
+let make_ctx ?cache state =
   let edge_of_key = Hashtbl.create 256 in
   List.iter
     (fun (e : Session.edge) -> Hashtbl.replace edge_of_key (Session.edge_key e) e)
     (Stable_state.edges state);
-  { state; edge_of_key; trace_cache = Hashtbl.create 256; sims = 0; sim_time = 0. }
+  {
+    state;
+    edge_of_key;
+    trace_cache = Hashtbl.create 256;
+    cache;
+    sim_section = Timing.make "targeted-sim";
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 let state ctx = ctx.state
-let sim_count ctx = ctx.sims
-let sim_seconds ctx = ctx.sim_time
+let sim_count ctx = Timing.count ctx.sim_section
+let sim_seconds ctx = Timing.total ctx.sim_section
+let cache_hits ctx = ctx.cache_hits
+let cache_misses ctx = ctx.cache_misses
+
+(* The evaluator injected into Bgp.{export,import,redistribute}_route:
+   consult the memo cache before running the policy engine. *)
+let chain_eval ctx : Eval.chain_eval =
+ fun d ~chain ~default ~protocol route ->
+  match ctx.cache with
+  | None -> Eval.run_chain d ~chain ~default ~protocol route
+  | Some c -> (
+      let key =
+        {
+          Sim_key.k_host = d.Device.hostname;
+          k_chain = chain;
+          k_default = default;
+          k_protocol = protocol;
+          k_route = route;
+        }
+      in
+      match Sim_tbl.find_opt c.tbl key with
+      | Some r ->
+          ctx.cache_hits <- ctx.cache_hits + 1;
+          c.c_hits <- c.c_hits + 1;
+          r
+      | None ->
+          ctx.cache_misses <- ctx.cache_misses + 1;
+          c.c_misses <- c.c_misses + 1;
+          let r = Eval.run_chain d ~chain ~default ~protocol route in
+          Sim_tbl.add c.tbl key r;
+          r)
 
 type parent_spec = P of Fact.t | P_disj of Fact.t list
 type inference = { target : Fact.t; parents : parent_spec list }
@@ -37,12 +120,7 @@ let config_parents ctx ~host keys =
     keys
 
 (* Wrap a targeted simulation with accounting. *)
-let timed_sim ctx f =
-  let t0 = Unix.gettimeofday () in
-  ctx.sims <- ctx.sims + 1;
-  let r = f () in
-  ctx.sim_time <- ctx.sim_time +. (Unix.gettimeofday () -. t0);
-  r
+let timed_sim ctx f = Timing.record ctx.sim_section f
 
 let find_device_fn ctx host = Stable_state.find_device ctx.state host
 
@@ -213,13 +291,14 @@ let rule_bgp_rib_learned ctx fact =
             Stable_state.bgp_lookup_best ctx.state edge.send_host
               route.Route.prefix
           in
+          let eval = chain_eval ctx in
           let simulate (origin : Rib.bgp_entry) =
             timed_sim ctx (fun () ->
-                match Bgp.export_route find_device edge origin with
+                match Bgp.export_route ~eval find_device edge origin with
                 | None, _ -> None
                 | Some msg, export_keys ->
                     let imported, import_keys =
-                      Bgp.import_route find_device edge msg
+                      Bgp.import_route ~eval find_device edge msg
                     in
                     Some (origin, msg, export_keys, imported, import_keys))
           in
@@ -315,7 +394,8 @@ let rule_bgp_rib_redistribute ctx fact =
         | Some rd, me :: _ ->
             let _, keys =
               timed_sim ctx (fun () ->
-                  Bgp.redistribute_route (find_device_fn ctx) host rd me)
+                  Bgp.redistribute_route ~eval:(chain_eval ctx)
+                    (find_device_fn ctx) host rd me)
             in
             config_parents ctx ~host keys
         | _, _ -> []

@@ -9,7 +9,24 @@ open Netcov_sim
     the targeted simulations (reported by Figure 10(a)'s breakdown). *)
 type ctx
 
-val make_ctx : Stable_state.t -> ctx
+(** Memo cache for targeted policy simulations. Key: (device, policy
+    chain, evaluation defaults, canonicalized input route); value: the
+    verdict, the transformed route and the exercised clause ids. Safe
+    to reuse across analyses {e of the same stable state} within one
+    domain; never share one across domains — create one per analysis
+    instead (the cache never changes results, only skips re-runs). *)
+type sim_cache
+
+val create_sim_cache : unit -> sim_cache
+
+(** Lifetime (hits, misses) of the cache across every ctx that used
+    it. *)
+val sim_cache_stats : sim_cache -> int * int
+
+(** [make_ctx ?cache state]: when [cache] is omitted every simulation
+    is recomputed (seed behaviour). *)
+val make_ctx : ?cache:sim_cache -> Stable_state.t -> ctx
+
 val state : ctx -> Stable_state.t
 
 (** Number of targeted policy simulations run so far. *)
@@ -17,6 +34,12 @@ val sim_count : ctx -> int
 
 (** Wall-clock seconds spent inside targeted simulations. *)
 val sim_seconds : ctx -> float
+
+(** Sim-cache hits/misses observed through this ctx (zero when no cache
+    was supplied). *)
+val cache_hits : ctx -> int
+
+val cache_misses : ctx -> int
 
 (** A parent contribution: conjunctive, or a disjunctive group of
     alternatives (any one of which suffices, §4.3). *)

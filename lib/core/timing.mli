@@ -1,0 +1,33 @@
+(** Shared wall-clock timing: one-shot measurements and named
+    accumulating sections, replacing the ad-hoc [Unix.gettimeofday]
+    deltas previously hand-rolled by the materializer, the rule engine
+    and the bench.
+
+    Sections are plain mutable accumulators and deliberately {e not}
+    synchronized: keep one per domain (the rule context owns its own,
+    so the parallel pipeline never shares one across domains). *)
+
+val now : unit -> float
+
+(** [time f] runs [f] and returns its result with the elapsed wall
+    seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** A named accumulator: total elapsed seconds and number of recorded
+    runs. *)
+type section
+
+val make : string -> section
+val name : section -> string
+
+(** [record s f] runs [f], adding its wall time (and one run) to [s].
+    Exceptions propagate; the partial elapsed time is still recorded. *)
+val record : section -> (unit -> 'a) -> 'a
+
+(** [add s dt] accounts [dt] seconds and one run without running
+    anything. *)
+val add : section -> float -> unit
+
+val total : section -> float
+val count : section -> int
+val reset : section -> unit

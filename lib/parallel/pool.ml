@@ -1,0 +1,156 @@
+type task = unit -> unit
+
+(* Worker domains block on [activity]; [map] pushes one task per item
+   and then helps drain the queue itself. [activity] signals both "a
+   task was queued" and "a task completed", so idle helpers block on it
+   instead of spinning (spinning starves the workers when domains
+   outnumber hardware cores). Tasks never raise: exceptions are
+   captured per-map and re-raised by the caller. *)
+type shared = {
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  activity : Condition.t;
+  mutable closing : bool;
+}
+
+type t = {
+  n_domains : int;
+  shared : shared option;  (* [None]: sequential pool *)
+  mutable workers : unit Domain.t list;
+  mutable torn_down : bool;
+}
+
+let env_domains () =
+  match Sys.getenv_opt "NETCOV_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let domains t = t.n_domains
+
+let sequential =
+  { n_domains = 1; shared = None; workers = []; torn_down = false }
+
+let worker_loop shared =
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while Queue.is_empty shared.queue && not shared.closing do
+      Condition.wait shared.activity shared.mutex
+    done;
+    if Queue.is_empty shared.queue then Mutex.unlock shared.mutex
+      (* closing, and nothing left to drain *)
+    else begin
+      let task = Queue.pop shared.queue in
+      Mutex.unlock shared.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let n =
+    max 1 (match domains with Some n -> n | None -> default_domains ())
+  in
+  if n <= 1 then { n_domains = 1; shared = None; workers = []; torn_down = false }
+  else begin
+    let shared =
+      {
+        queue = Queue.create ();
+        mutex = Mutex.create ();
+        activity = Condition.create ();
+        closing = false;
+      }
+    in
+    let workers =
+      List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop shared))
+    in
+    { n_domains = n; shared = Some shared; workers; torn_down = false }
+  end
+
+let try_pop shared =
+  Mutex.lock shared.mutex;
+  let t =
+    if Queue.is_empty shared.queue then None else Some (Queue.pop shared.queue)
+  in
+  Mutex.unlock shared.mutex;
+  t
+
+let map t f xs =
+  match t.shared with
+  | None -> List.map f xs
+  | Some shared ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      if n = 0 then []
+      else if n = 1 then [ f items.(0) ]
+      else begin
+        let results = Array.make n None in
+        let remaining = Atomic.make n in
+        let failure = Atomic.make None in
+        let run_item i =
+          (match f items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          (* the release fence publishing results.(i) to the caller *)
+          Atomic.decr remaining;
+          (* wake helpers blocked waiting for this map to finish *)
+          Mutex.lock shared.mutex;
+          Condition.broadcast shared.activity;
+          Mutex.unlock shared.mutex
+        in
+        Mutex.lock shared.mutex;
+        for i = 0 to n - 1 do
+          Queue.add (fun () -> run_item i) shared.queue
+        done;
+        Condition.broadcast shared.activity;
+        Mutex.unlock shared.mutex;
+        (* Help until every item of THIS map has finished. Tasks from
+           other (nested) maps may be executed along the way — that is
+           what makes nested [map] deadlock-free. With the queue empty
+           but items still in flight, block on [activity] rather than
+           spin: completions and nested pushes both broadcast it under
+           the mutex, so no wakeup can be missed. *)
+        while Atomic.get remaining > 0 do
+          match try_pop shared with
+          | Some task -> task ()
+          | None ->
+              Mutex.lock shared.mutex;
+              while Queue.is_empty shared.queue && Atomic.get remaining > 0 do
+                Condition.wait shared.activity shared.mutex
+              done;
+              Mutex.unlock shared.mutex
+        done;
+        (match Atomic.get failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        Array.to_list
+          (Array.map (function Some r -> r | None -> assert false) results)
+      end
+
+let teardown t =
+  match t.shared with
+  | None -> ()
+  | Some shared ->
+      if not t.torn_down then begin
+        t.torn_down <- true;
+        Mutex.lock shared.mutex;
+        shared.closing <- true;
+        Condition.broadcast shared.activity;
+        Mutex.unlock shared.mutex;
+        List.iter Domain.join t.workers;
+        t.workers <- []
+      end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> teardown pool) (fun () -> f pool)

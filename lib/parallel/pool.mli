@@ -1,0 +1,51 @@
+(** A small fixed-size domain work pool (OCaml 5 [Domain]s), dependency
+    free. Built for coarse-grained fan-out: per-test coverage analyses
+    and per-cone labeling passes, which are independent of each other.
+
+    Properties:
+
+    - {b Ordered results}: [map] returns results positionally, in input
+      order, regardless of execution interleaving.
+    - {b Exception propagation}: the first exception raised by a worker
+      is re-raised (with its backtrace) in the calling domain once the
+      map has drained.
+    - {b Help-first scheduling}: the caller of [map] executes queued
+      tasks itself while waiting, so a task may itself call [map] on the
+      same pool (nested fan-out) without deadlock or extra domains.
+    - {b Sequential fallback}: a pool with [domains <= 1] spawns no
+      domains and [map] degenerates to [List.map]. Setting the
+      [NETCOV_DOMAINS] environment variable overrides the default
+      domain count ([NETCOV_DOMAINS=1] forces sequential execution
+      everywhere a default-sized pool is used). *)
+
+type t
+
+(** Domain count used by [create] when [?domains] is omitted: the
+    [NETCOV_DOMAINS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()] capped at
+    8. *)
+val default_domains : unit -> int
+
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    caller participates as the last worker during [map]). [domains] is
+    clamped to at least 1; when omitted it is [default_domains ()]. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of domains participating in [map] (workers + caller). *)
+val domains : t -> int
+
+(** The shared sequential pool: no domains, [map] is [List.map]. *)
+val sequential : t
+
+(** [map pool f xs] applies [f] to every element of [xs], distributing
+    the applications over the pool's domains, and returns the results
+    in input order. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Signals workers to exit after the queue drains and joins them.
+    Idempotent; [map] must not be called afterwards. *)
+val teardown : t -> unit
+
+(** [with_pool ~domains f] runs [f] with a fresh pool and guarantees
+    teardown. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a

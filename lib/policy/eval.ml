@@ -99,6 +99,14 @@ let dedup keys =
       end)
     keys
 
+type chain_eval =
+  Device.t ->
+  chain:string list ->
+  default:verdict ->
+  protocol:Route.protocol ->
+  Route.bgp ->
+  result
+
 let run_chain (d : Device.t) ~chain ~default ?(protocol = Route.Bgp) route =
   let finish verdict route exercised =
     {

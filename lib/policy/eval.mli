@@ -35,6 +35,19 @@ val run_chain :
   Route.bgp ->
   result
 
+(** The shape of a chain evaluator, as injected into the targeted
+    simulations: [run_chain] itself, or a memoizing wrapper around it
+    (the coverage core keys such a cache on device, chain, defaults and
+    the canonicalized input route — [run_chain] is a pure function of
+    exactly these). *)
+type chain_eval =
+  Device.t ->
+  chain:string list ->
+  default:verdict ->
+  protocol:Route.protocol ->
+  Route.bgp ->
+  result
+
 (** [matches_term device ~protocol route term] tests a single clause,
     returning the consulted list keys when it matches. *)
 val matches_term :

@@ -59,8 +59,14 @@ let suppressed_by_summary (b : Device.bgp_config) (entry : Rib.bgp_entry) =
          && Prefix.len entry.be_route.Route.prefix > Prefix.len a.ag_prefix)
        b.aggregates
 
-let export_route (find_device : find_device) (e : Session.edge)
-    (entry : Rib.bgp_entry) =
+(* Default chain evaluator: the raw policy engine. The coverage core
+   substitutes a memoizing wrapper via [?eval]. *)
+let default_eval : Eval.chain_eval =
+ fun d ~chain ~default ~protocol route ->
+  Eval.run_chain d ~chain ~default ~protocol route
+
+let export_route ?(eval = default_eval) (find_device : find_device)
+    (e : Session.edge) (entry : Rib.bgp_entry) =
   let sd = find_device e.send_host in
   match (Session.send_neighbor sd e, sd.bgp) with
   | None, _ | _, None -> (None, [])
@@ -69,7 +75,8 @@ let export_route (find_device : find_device) (e : Session.edge)
   | Some nb, Some b -> (
         let chain = Device.neighbor_export sd nb in
         let { Eval.verdict; route; exercised } =
-          Eval.run_chain sd ~chain ~default:Eval.Accepted entry.be_route
+          eval sd ~chain ~default:Eval.Accepted ~protocol:Route.Bgp
+            entry.be_route
         in
         match (verdict, route) with
         | Eval.Rejected, _ | _, None -> (None, exercised)
@@ -102,8 +109,8 @@ let export_route (find_device : find_device) (e : Session.edge)
             in
             (Some r, exercised))
 
-let import_route (find_device : find_device) (e : Session.edge) (msg : Route.bgp)
-    =
+let import_route ?(eval = default_eval) (find_device : find_device)
+    (e : Session.edge) (msg : Route.bgp) =
   let rd = find_device e.recv_host in
   match (Session.recv_neighbor rd e, rd.bgp) with
   | None, _ | _, None -> (None, [])
@@ -122,13 +129,13 @@ let import_route (find_device : find_device) (e : Session.edge) (msg : Route.bgp
         in
         let chain = Device.neighbor_import rd nb in
         let { Eval.verdict; route; exercised } =
-          Eval.run_chain rd ~chain ~default:Eval.Accepted msg
+          eval rd ~chain ~default:Eval.Accepted ~protocol:Route.Bgp msg
         in
         match (verdict, route) with
         | Eval.Rejected, _ | _, None -> (None, exercised)
         | Eval.Accepted, Some r -> (Some r, exercised))
 
-let redistribute_route (find_device : find_device) host
+let redistribute_route ?(eval = default_eval) (find_device : find_device) host
     (rd : Device.redistribute) (me : Rib.main_entry) =
   let d = find_device host in
   let base =
@@ -141,7 +148,7 @@ let redistribute_route (find_device : find_device) host
   | None -> (Some base, [])
   | Some pol -> (
       let { Eval.verdict; route; exercised } =
-        Eval.run_chain d ~chain:[ pol ] ~default:Eval.Rejected
+        eval d ~chain:[ pol ] ~default:Eval.Rejected
           ~protocol:me.Rib.me_protocol base
       in
       match (verdict, route) with

@@ -17,8 +17,14 @@ type find_device = string -> Device.t
     processing of [entry] over [edge]: exportability (iBGP full-mesh
     rule, no-export community), the export policy chain, eBGP AS
     prepending and next-hop rewriting. Returns the wire message and the
-    policy elements exercised on the sender. *)
+    policy elements exercised on the sender.
+
+    [eval] substitutes the policy-chain evaluator (default:
+    [Eval.run_chain]); the coverage core injects a memoizing wrapper so
+    repeated targeted simulations of the same (device, chain, route)
+    are answered from cache. *)
 val export_route :
+  ?eval:Netcov_policy.Eval.chain_eval ->
   find_device ->
   Session.edge ->
   Rib.bgp_entry ->
@@ -29,6 +35,7 @@ val export_route :
     preference, the import policy chain. Returns the accepted route and
     the policy elements exercised on the receiver. *)
 val import_route :
+  ?eval:Netcov_policy.Eval.chain_eval ->
   find_device ->
   Session.edge ->
   Route.bgp ->
@@ -37,6 +44,7 @@ val import_route :
 (** [redistribute_route find_device host r main_entry] simulates a
     redistribution config pulling a main-RIB entry into BGP. *)
 val redistribute_route :
+  ?eval:Netcov_policy.Eval.chain_eval ->
   find_device ->
   string ->
   Device.redistribute ->

@@ -1,0 +1,188 @@
+(* Tests for the domain work pool and the parallel/memoized coverage
+   pipeline: pool semantics (ordering, exceptions, nesting) and the
+   determinism guarantee — reports are byte-identical at any domain
+   count and with the simulation memo cache on or off. *)
+open Netcov_config
+open Netcov_core
+open Netcov_sim
+open Netcov_nettest
+open Netcov_workloads
+module Pool = Netcov_parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      check_ints "results in input order" (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs));
+  check_ints "empty input" [] (Pool.with_pool ~domains:4 (fun p -> Pool.map p Fun.id []))
+
+let test_sequential_equivalence () =
+  let xs = List.init 37 (fun i -> i - 5) in
+  let f x = (x * 7) mod 11 in
+  check_ints "sequential pool = List.map" (List.map f xs)
+    (Pool.map Pool.sequential f xs);
+  check_int "sequential has one domain" 1 (Pool.domains Pool.sequential)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try
+         ignore
+           (Pool.map pool
+              (fun x -> if x = 13 then raise (Boom x) else x)
+              (List.init 40 Fun.id));
+         Alcotest.fail "expected Boom"
+       with Boom 13 -> ());
+      (* the pool survives a failed map *)
+      check_ints "pool usable after failure" [ 2; 4 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_nested_map () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let rows = List.init 8 (fun i -> List.init 8 (fun j -> (8 * i) + j)) in
+      let summed =
+        Pool.map pool
+          (fun row -> List.fold_left ( + ) 0 (Pool.map pool (fun x -> x + 1) row))
+          rows
+      in
+      check_int "nested maps on one pool" (((64 * 63) / 2) + 64)
+        (List.fold_left ( + ) 0 summed))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the coverage pipeline                                *)
+(* ------------------------------------------------------------------ *)
+
+let report_fingerprint (r : Netcov.report) =
+  Json_export.coverage r.Netcov.coverage
+
+let ft_state_and_testeds =
+  lazy
+    (let ft = Fattree.generate ~k:4 () in
+     let state = Stable_state.compute (Registry.build ft.Fattree.devices) in
+     let testeds =
+       List.map
+         (fun (t : Nettest.t) -> (t.Nettest.run state).Nettest.tested)
+         (Datacenter.suite ft)
+     in
+     (state, testeds))
+
+let test_suite_domain_determinism () =
+  let state, testeds = Lazy.force ft_state_and_testeds in
+  let at domains =
+    Pool.with_pool ~domains (fun pool ->
+        Netcov.analyze_suite ~pool state testeds)
+  in
+  let seq = at 1 and par = at 4 in
+  check_int "one report per test" (List.length testeds) (List.length par);
+  List.iteri
+    (fun i (a, b) ->
+      check_str
+        (Printf.sprintf "per-test report %d identical" i)
+        (report_fingerprint a) (report_fingerprint b))
+    (List.combine seq par);
+  check_str "merged suite report identical"
+    (report_fingerprint (Netcov.merge_reports seq))
+    (report_fingerprint (Netcov.merge_reports par))
+
+let test_merge_equals_union_analysis () =
+  let state, testeds = Lazy.force ft_state_and_testeds in
+  let merged =
+    Netcov.merge_reports (Netcov.analyze_suite ~pool:Pool.sequential state testeds)
+  in
+  let union =
+    Netcov.analyze state
+      (List.fold_left Netcov.merge_tested Netcov.no_tests testeds)
+  in
+  check_str "merged per-test = union analysis" (report_fingerprint union)
+    (report_fingerprint merged)
+
+let i2_state_and_testeds =
+  lazy
+    (let net = Internet2.generate Internet2.paper_params in
+     let state = Stable_state.compute (Registry.build net.Internet2.devices) in
+     let testeds =
+       List.map
+         (fun (t : Nettest.t) -> (t.Nettest.run state).Nettest.tested)
+         (Iterations.improved_suite net)
+     in
+     (state, testeds))
+
+let test_i2_domain_determinism () =
+  let state, testeds = Lazy.force i2_state_and_testeds in
+  let at domains =
+    Pool.with_pool ~domains (fun pool ->
+        Netcov.merge_reports (Netcov.analyze_suite ~pool state testeds))
+  in
+  check_str "internet2 merged report identical 1 vs 4 domains"
+    (report_fingerprint (at 1))
+    (report_fingerprint (at 4))
+
+let test_sim_cache_transparent () =
+  let state, testeds = Lazy.force i2_state_and_testeds in
+  let run sim_cache =
+    Netcov.merge_reports
+      (Netcov.analyze_suite ~pool:Pool.sequential ~sim_cache state testeds)
+  in
+  let on = run true and off = run false in
+  check_str "cache on = cache off" (report_fingerprint off) (report_fingerprint on);
+  let tm = on.Netcov.timing in
+  check_bool "cache sees hits" true (tm.Netcov.sim_cache_hits > 0);
+  check_int "cache off has no traffic" 0
+    (off.Netcov.timing.Netcov.sim_cache_hits
+    + off.Netcov.timing.Netcov.sim_cache_misses)
+
+(* ------------------------------------------------------------------ *)
+(* BDD apply-cache counters                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bdd_cache_stats () =
+  let open Netcov_bdd in
+  let m = Bdd.create ~cache_size:1024 () in
+  let st0 = Bdd.cache_stats m in
+  check_int "slots rounded to pow2" 1024 st0.Bdd.slots;
+  check_int "fresh cache: no hits" 0 st0.Bdd.hits;
+  let vars = List.init 16 (Bdd.var m) in
+  let a = Bdd.conj m vars in
+  let st1 = Bdd.cache_stats m in
+  check_bool "building records misses" true (st1.Bdd.misses > 0);
+  let b = Bdd.conj m vars in
+  let st2 = Bdd.cache_stats m in
+  check_bool "rebuild hits the cache" true (st2.Bdd.hits > st1.Bdd.hits);
+  check_bool "identical result" true (Bdd.equal a b)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "sequential equivalence" `Quick
+            test_sequential_equivalence;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "suite 1 vs 4 domains" `Quick
+            test_suite_domain_determinism;
+          Alcotest.test_case "internet2 1 vs 4 domains" `Quick
+            test_i2_domain_determinism;
+          Alcotest.test_case "merge = union analysis" `Quick
+            test_merge_equals_union_analysis;
+          Alcotest.test_case "sim cache transparent" `Quick
+            test_sim_cache_transparent;
+        ] );
+      ( "bdd-cache",
+        [ Alcotest.test_case "stats counters" `Quick test_bdd_cache_stats ] );
+    ]
