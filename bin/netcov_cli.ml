@@ -4,7 +4,11 @@
      internet2   run the Internet2 case study and write coverage reports
      fattree     run the datacenter case study and write coverage reports
      annotate    print one device's annotated configuration
-     render      render a workload's configurations to a directory *)
+     render      render a workload's configurations to a directory
+     trace       run the Figure 1 example under the tracer, write trace JSON
+
+   Most analysis subcommands accept --trace FILE and --metrics FILE (see
+   docs/OBSERVABILITY.md for the span taxonomy and metric catalog). *)
 
 open Cmdliner
 open Netcov_config
@@ -26,6 +30,46 @@ let out_dir =
     & opt (some string) None
     & info [ "o"; "out" ] ~docv:"DIR"
         ~doc:"Write rendered configurations and an lcov report to $(docv).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline spans and write a Chrome trace_event JSON file to \
+           $(docv) (open it in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry as JSON to $(docv) when the run \
+           finishes (schema in docs/OBSERVABILITY.md).")
+
+(* Runs [f] with tracing enabled when requested, then exports the trace
+   ring and/or metrics registry. Exports also happen when [f] raises, so
+   a crashed run still leaves its telemetry behind. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Netcov_obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun file ->
+          Netcov_obs.Trace.write file;
+          Printf.printf "wrote %d trace events to %s (%d dropped)\n"
+            (List.length (Netcov_obs.Trace.events ()))
+            file
+            (Netcov_obs.Trace.dropped ()))
+        trace;
+      Option.iter
+        (fun file ->
+          Netcov_obs.Metrics.write Netcov_obs.Metrics.default file;
+          Printf.printf "wrote metrics to %s\n" file)
+        metrics)
+    f
 
 let i2_suite =
   Arg.(
@@ -83,8 +127,9 @@ let internet2_cmd =
             "Use $(docv) route reflectors instead of an iBGP full mesh \
              (the first $(docv) routers become reflectors).")
   in
-  let run verbose peers seed reflectors suite out =
+  let run verbose peers seed reflectors suite out trace metrics =
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     let ibgp =
       match reflectors with
       | None -> Internet2.Full_mesh
@@ -105,15 +150,18 @@ let internet2_cmd =
   in
   Cmd.v
     (Cmd.info "internet2" ~doc:"Run the Internet2 backbone case study.")
-    Term.(const run $ verbose $ peers $ seed $ reflectors $ i2_suite $ out_dir)
+    Term.(
+      const run $ verbose $ peers $ seed $ reflectors $ i2_suite $ out_dir
+      $ trace_out $ metrics_out)
 
 let fattree_cmd =
   let k =
     Arg.(
       value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
   in
-  let run verbose k out =
+  let run verbose k out trace metrics =
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     let ft = Fattree.generate ~k () in
     let state = Stable_state.compute (Registry.build ft.Fattree.devices) in
     let results = Nettest.run_suite state (Datacenter.suite ft) in
@@ -123,7 +171,7 @@ let fattree_cmd =
   in
   Cmd.v
     (Cmd.info "fattree" ~doc:"Run the fat-tree datacenter case study.")
-    Term.(const run $ verbose $ k $ out_dir)
+    Term.(const run $ verbose $ k $ out_dir $ trace_out $ metrics_out)
 
 let annotate_cmd =
   let device =
@@ -195,8 +243,9 @@ let whatif_cmd =
       & info [ "multipath" ] ~docv:"M"
           ~doc:"ECMP width (1 makes backup links visible only under failures).")
   in
-  let run verbose k multipath =
+  let run verbose k multipath trace metrics =
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     let ft = Fattree.generate ~k ~multipath () in
     let state = Stable_state.compute (Registry.build ft.Fattree.devices) in
     let suite =
@@ -222,15 +271,16 @@ let whatif_cmd =
   Cmd.v
     (Cmd.info "whatif"
        ~doc:"Coverage under single-link failures (fat-tree reachability suite).")
-    Term.(const run $ verbose $ k $ multipath)
+    Term.(const run $ verbose $ k $ multipath $ trace_out $ metrics_out)
 
 let mutation_cmd =
   let k =
     Arg.(
       value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
   in
-  let run verbose k =
+  let run verbose k trace metrics =
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
     let ft = Fattree.generate ~k () in
     let reg = Registry.build ft.Fattree.devices in
     let state = Stable_state.compute reg in
@@ -256,7 +306,167 @@ let mutation_cmd =
        ~doc:
          "Compare IFG coverage against mutation-based coverage \
           (one control-plane recomputation per configuration element).")
-    Term.(const run $ verbose $ k)
+    Term.(const run $ verbose $ k $ trace_out $ metrics_out)
+
+let trace_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 string "trace.json"
+      & info [] ~docv:"FILE" ~doc:"Trace output file (Chrome trace_event JSON).")
+  in
+  (* The paper's Figure 1 network (examples/quickstart.ml), round-tripped
+     through the Junos emitter and parser so the trace shows a genuine
+     parse stage, then simulated and analyzed end to end. *)
+  let figure1_devices () =
+    let ip = Netcov_types.Ipv4.of_string in
+    let pfx = Netcov_types.Prefix.of_string in
+    let r1 =
+      Device.make
+        ~interfaces:[ Device.interface ~address:(ip "192.168.1.1", 30) "eth0" ]
+        ~policies:
+          [
+            {
+              Policy_ast.pol_name = "R2-to-R1";
+              terms =
+                [
+                  {
+                    term_name = "block";
+                    matches =
+                      [
+                        Policy_ast.Match_prefix
+                          (pfx "10.10.2.0/24", Policy_ast.Exact);
+                      ];
+                    actions = [ Policy_ast.Reject ];
+                  };
+                  {
+                    term_name = "prefer";
+                    matches =
+                      [
+                        Policy_ast.Match_prefix
+                          (pfx "10.10.1.0/24", Policy_ast.Exact);
+                      ];
+                    actions =
+                      [ Policy_ast.Set_local_pref 120; Policy_ast.Accept ];
+                  };
+                ];
+            };
+          ]
+        ~bgp:
+          {
+            Device.local_as = 65001;
+            router_id = ip "192.168.1.1";
+            networks = [];
+            aggregates = [];
+            redistributes = [];
+            groups = [];
+            neighbors =
+              [
+                {
+                  Device.nb_ip = ip "192.168.1.2";
+                  nb_remote_as = 65002;
+                  nb_group = None;
+                  nb_import = [ "R2-to-R1" ];
+                  nb_export = [];
+                  nb_local_addr = None;
+                  nb_next_hop_self = false;
+                  nb_rr_client = false;
+                  nb_description = Some "to R2";
+                };
+              ];
+            multipath = 1;
+          }
+        "r1"
+    in
+    let r2 =
+      Device.make
+        ~interfaces:
+          [
+            Device.interface ~address:(ip "192.168.1.2", 30) "eth0";
+            Device.interface ~address:(ip "10.10.1.1", 24) "eth1";
+          ]
+        ~bgp:
+          {
+            Device.local_as = 65002;
+            router_id = ip "192.168.1.2";
+            networks = [ pfx "10.10.1.0/24" ];
+            aggregates = [];
+            redistributes = [];
+            groups = [];
+            neighbors =
+              [
+                {
+                  Device.nb_ip = ip "192.168.1.1";
+                  nb_remote_as = 65001;
+                  nb_group = None;
+                  nb_import = [];
+                  nb_export = [];
+                  nb_local_addr = None;
+                  nb_next_hop_self = false;
+                  nb_rr_client = false;
+                  nb_description = Some "to R1";
+                };
+              ];
+            multipath = 1;
+          }
+        "r2"
+    in
+    [ r1; r2 ]
+  in
+  let run verbose file metrics =
+    setup_logs verbose;
+    with_obs ~trace:(Some file) ~metrics @@ fun () ->
+    let module T = Netcov_obs.Trace in
+    let texts =
+      T.with_span "emit" @@ fun () ->
+      List.map
+        (fun d -> (d.Device.hostname, Emit_junos.to_string d))
+        (figure1_devices ())
+    in
+    let devices =
+      List.map
+        (fun (hostname, text) ->
+          T.with_span "parse" ~args:[ ("file", T.S (hostname ^ ".cfg")) ]
+          @@ fun () ->
+          match Parse_junos.parse ~hostname text with
+          | Ok d -> d
+          | Error e -> failwith (Parse_junos.error_to_string e))
+        texts
+    in
+    let state = Stable_state.compute (Registry.build devices) in
+    let tested_entry = Netcov_types.Prefix.of_string "10.10.1.0/24" in
+    let dp_facts =
+      List.map
+        (fun entry -> Fact.F_main_rib { host = "r1"; entry })
+        (Stable_state.main_lookup state "r1" tested_entry)
+    in
+    let report =
+      Netcov.analyze state { Netcov.dp_facts; cp_elements = [] }
+    in
+    let stats = Coverage.line_stats report.Netcov.coverage in
+    Printf.printf
+      "figure 1 example: converged in %d rounds; coverage %.1f%% of %d \
+       considered lines\n"
+      (Stable_state.rounds state)
+      (Coverage.pct stats) stats.Coverage.considered;
+    List.iter
+      (fun name ->
+        match T.find_spans name with
+        | [] -> ()
+        | spans ->
+            let total =
+              List.fold_left (fun a (e : T.event) -> a +. e.ev_dur_us) 0. spans
+            in
+            Printf.printf "  %-12s %4d span(s)  %8.1f us\n" name
+              (List.length spans) total)
+      [ "emit"; "parse"; "simulate"; "analyze"; "materialize"; "label" ]
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the paper's Figure 1 example (emit, parse, simulate, analyze) \
+          with tracing on and write a Chrome trace_event JSON file.")
+    Term.(const run $ verbose $ file $ metrics_out)
 
 let audit_cmd =
   let dir =
@@ -272,8 +482,18 @@ let audit_cmd =
       & opt (enum [ ("junos", `Junos); ("ios", `Ios) ]) `Junos
       & info [ "syntax" ] ~docv:"SYNTAX" ~doc:"Concrete syntax of the files.")
   in
-  let run verbose dir syntax out =
+  let run verbose dir syntax out trace metrics =
     setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
+    let m_parse_files =
+      Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
+        ~help:"configuration files parsed" ~unit_:"files" "parse.files"
+    in
+    let m_parse_errors =
+      Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
+        ~help:"configuration files rejected by the parser" ~unit_:"files"
+        "parse.errors"
+    in
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f ->
@@ -294,6 +514,9 @@ let audit_cmd =
     let devices =
       List.filter_map
         (fun f ->
+          Netcov_obs.Trace.with_span "parse"
+            ~args:[ ("file", Netcov_obs.Trace.S f) ]
+          @@ fun () ->
           let hostname = Filename.remove_extension f in
           let text = read_file (Filename.concat dir f) in
           let parsed =
@@ -305,9 +528,11 @@ let audit_cmd =
                 Result.map_error Parse_ios.error_to_string
                   (Parse_ios.parse ~hostname text)
           in
+          Netcov_obs.Metrics.inc m_parse_files 1;
           match parsed with
           | Ok d -> Some d
           | Error msg ->
+              Netcov_obs.Metrics.inc m_parse_errors 1;
               Printf.eprintf "skipping %s: %s\n" f msg;
               None)
         files
@@ -352,7 +577,8 @@ let audit_cmd =
          "Parse configuration files from a directory, simulate the network \
           and report the data-plane-testable coverage ceiling plus dead \
           configuration.")
-    Term.(const run $ verbose $ dir $ syntax $ out_dir)
+    Term.(
+      const run $ verbose $ dir $ syntax $ out_dir $ trace_out $ metrics_out)
 
 let () =
   let doc = "test coverage for network configurations (NetCov, NSDI 2023)" in
@@ -368,4 +594,5 @@ let () =
             whatif_cmd;
             mutation_cmd;
             audit_cmd;
+            trace_cmd;
           ]))

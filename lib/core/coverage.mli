@@ -4,12 +4,17 @@
 
 open Netcov_config
 
+(** Coverage status of one configuration element, ordered by strength
+    ([Strong] > [Weak] > [Not_covered]). *)
 type status = Not_covered | Weak | Strong
 
+(** Lowercase name of a status ("strong", "weak", "not-covered"). *)
 val status_to_string : status -> string
 
+(** A coverage map: a status for every element of one registry. *)
 type t
 
+(** The registry this coverage map was computed over. *)
 val registry : t -> Registry.t
 
 (** [of_sets reg ~strong ~weak] builds a coverage map; strong wins when
@@ -17,18 +22,22 @@ val registry : t -> Registry.t
 val of_sets :
   Registry.t -> strong:Element.Id_set.t -> weak:Element.Id_set.t -> t
 
+(** Coverage map with every element [Not_covered]. *)
 val empty : Registry.t -> t
 
 (** Union of two runs over the same registry: per element the stronger
     status wins. *)
 val merge : t -> t -> t
 
+(** Status of one element ([Not_covered] for unknown ids). *)
 val element_status : t -> Element.id -> status
 
 (** Mark additional elements strong (directly tested by control-plane
     tests). *)
 val with_strong : t -> Element.id list -> t
 
+(** Line-level totals over one coverage map (the paper reports
+    line percentages, not element percentages). *)
 type line_stats = {
   strong_lines : int;
   weak_lines : int;
@@ -36,12 +45,16 @@ type line_stats = {
   total : int;  (** all configuration lines *)
 }
 
+(** Covered lines: strong + weak. *)
 val covered_lines : line_stats -> int
 
 (** Fraction of considered lines covered (strong + weak). *)
 val pct : line_stats -> float
 
+(** Network-wide line totals. *)
 val line_stats : t -> line_stats
+
+(** Per-device line totals, in registry device order. *)
 val device_stats : t -> (string * line_stats) list
 
 (** Per element type: (covered elements, total elements, covered lines,
@@ -54,7 +67,11 @@ type type_stats = {
   lines_total : int;
 }
 
+(** Totals grouped by fine-grained element type. *)
 val etype_stats : t -> (Element.etype * type_stats) list
+
+(** Totals grouped by the paper's Figure 7 buckets (Interfaces, BGP,
+    Routing policies, Match lists). *)
 val bucket_stats : t -> (Element.bucket * type_stats) list
 
 (** Status of a specific 1-based line of a device ([None] when the line

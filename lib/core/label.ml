@@ -57,6 +57,38 @@ let src = Logs.Src.create "netcov.label" ~doc:"strong/weak labeling"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module M = Netcov_obs.Metrics
+module T = Netcov_obs.Trace
+
+(* Labeling metrics (docs/OBSERVABILITY.md). BDD apply-cache counters are
+   flushed here in bulk from each cone's manager, so the BDD hot path
+   keeps its local counters only. *)
+let m_runs = M.counter M.default ~help:"labeling passes" ~unit_:"runs" "label.runs"
+
+let m_seconds =
+  M.histogram M.default ~help:"wall time of one labeling pass"
+    ~unit_:"seconds" ~buckets:M.seconds_buckets "label.seconds"
+
+let m_cones =
+  M.counter M.default ~help:"BDD cones labeled (tainted tested facts)"
+    ~unit_:"cones" "label.cones"
+
+let m_cone_vars =
+  M.histogram M.default ~help:"BDD variables per cone" ~unit_:"variables"
+    ~buckets:M.size_buckets "label.cone_vars"
+
+let m_bdd_nodes =
+  M.histogram M.default ~help:"BDD nodes allocated per cone" ~unit_:"nodes"
+    ~buckets:M.size_buckets "bdd.nodes"
+
+let m_bdd_hits =
+  M.counter M.default ~help:"BDD apply-cache hits" ~unit_:"lookups"
+    "bdd.cache.hits"
+
+let m_bdd_misses =
+  M.counter M.default ~help:"BDD apply-cache misses" ~unit_:"lookups"
+    "bdd.cache.misses"
+
 (* Split [xs] into chunks of at most [size] elements, preserving
    order. *)
 let chunks size xs =
@@ -70,6 +102,8 @@ let chunks size xs =
 
 let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
     g ~tested =
+  T.with_span "label" ~args:[ ("tested", T.I (List.length tested)) ]
+  @@ fun () ->
   let t0 = Timing.now () in
   let pre_strong =
     if disjfree_heuristic then disjunction_free_strong g ~tested
@@ -115,6 +149,8 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
        independent, so the merged result is identical at any domain
        count. *)
     let label_one t =
+      T.with_span "label.cone" @@ fun () ->
+      M.inc m_cones 1;
       let in_cone, order = cone g t in
       ignore in_cone;
       (* var assignment local to this cone *)
@@ -135,6 +171,7 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
                     max_cone_vars)
           | None -> ())
         order;
+      M.observe m_cone_vars (float_of_int !n_vars);
       if !n_vars = 0 then (Element.Id_set.empty, 0, 0)
       else begin
         let m = Bdd.create () in
@@ -174,6 +211,10 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
               | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
               | None -> ())
           (Bdd.support m b);
+        let cs = Bdd.cache_stats m in
+        M.inc m_bdd_hits cs.Bdd.hits;
+        M.inc m_bdd_misses cs.Bdd.misses;
+        M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
         (!cone_strong, !n_vars, Bdd.node_count m)
       end
     in
@@ -195,11 +236,14 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
            bdd_nodes := max !bdd_nodes n)
   end;
   let weak = Element.Id_set.diff covered !strong in
+  let seconds = Timing.now () -. t0 in
+  M.inc m_runs 1;
+  M.observe m_seconds seconds;
   {
     covered;
     strong = Element.Id_set.inter !strong covered;
     weak;
     vars = !total_vars;
     bdd_nodes = !bdd_nodes;
-    seconds = Timing.now () -. t0;
+    seconds;
   }

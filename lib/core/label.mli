@@ -11,10 +11,15 @@
     disjunctive nodes — and necessity reduces to a cofactor constancy
     check. Config facts with a disjunction-free path to a tested fact are
     pre-classified strong and their variables replaced by constant true
-    (the paper's variable-reduction heuristic). *)
+    (the paper's variable-reduction heuristic).
+
+    Each pass is wrapped in a [label] trace span with one [label.cone]
+    child span per labeled cone; volumes land in the [label.*] and
+    [bdd.*] metrics ([docs/OBSERVABILITY.md]). *)
 
 open Netcov_config
 
+(** Outcome of one labeling pass over a materialized IFG. *)
 type result = {
   covered : Element.Id_set.t;  (** all config elements in the IFG *)
   strong : Element.Id_set.t;

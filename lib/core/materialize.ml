@@ -9,6 +9,57 @@ type stats = {
   iterations : int;
 }
 
+module M = Netcov_obs.Metrics
+module T = Netcov_obs.Trace
+
+(* Materialization metrics (docs/OBSERVABILITY.md); the per-run [stats]
+   record remains the per-analysis view, the registry the cumulative
+   cross-domain one. *)
+let m_runs = M.counter M.default ~help:"IFG materializations" ~unit_:"runs" "materialize.runs"
+
+let m_seconds =
+  M.histogram M.default ~help:"wall time of one materialization"
+    ~unit_:"seconds" ~buckets:M.seconds_buckets "materialize.seconds"
+
+let m_iterations =
+  M.counter M.default ~help:"worklist nodes popped, summed over runs"
+    ~unit_:"nodes" "materialize.iterations"
+
+let m_nodes =
+  M.histogram M.default ~help:"IFG nodes per materialization" ~unit_:"nodes"
+    ~buckets:M.size_buckets "materialize.ifg_nodes"
+
+let m_edges =
+  M.histogram M.default ~help:"IFG edges per materialization" ~unit_:"edges"
+    ~buckets:M.size_buckets "materialize.ifg_edges"
+
+let m_sims =
+  M.counter M.default ~help:"targeted policy simulations" ~unit_:"simulations"
+    "sim.targeted.count"
+
+let m_sim_seconds =
+  M.histogram M.default ~help:"targeted-simulation wall time per materialization"
+    ~unit_:"seconds" ~buckets:M.seconds_buckets "sim.targeted.seconds"
+
+let m_cache_hits =
+  M.counter M.default ~help:"targeted-simulation memo cache hits"
+    ~unit_:"lookups" "sim.cache.hits"
+
+let m_cache_misses =
+  M.counter M.default ~help:"targeted-simulation memo cache misses"
+    ~unit_:"lookups" "sim.cache.misses"
+
+let rule_counters =
+  lazy
+    (List.map
+       (fun (name, _) ->
+         ( name,
+           M.counter M.default ~help:"inferences emitted per rule"
+             ~unit_:"inferences"
+             ~labels:[ ("rule", name) ]
+             "materialize.inferences" ))
+       Rules.all_rules)
+
 let expandable ctx fact =
   match fact with
   | Fact.F_config _ -> false
@@ -18,6 +69,9 @@ let expandable ctx fact =
       | None -> true)
 
 let run ctx ~tested =
+  T.with_span "materialize" ~args:[ ("tested", T.I (List.length tested)) ]
+  @@ fun () ->
+  let rule_counters = Lazy.force rule_counters in
   let g = Ifg.create () in
   let queue = Queue.create () in
   let enqueue_fact f =
@@ -57,14 +111,16 @@ let run ctx ~tested =
             | Ifg.N_disj -> ()
             | Ifg.N_fact f ->
                 if expandable ctx f then
-                  List.iter
-                    (fun rule -> List.iter apply_inference (rule ctx f))
-                    Rules.all_rules
+                  List.iter2
+                    (fun (_, rule) (_, counter) ->
+                      let infs = rule ctx f in
+                      if infs <> [] then M.inc counter (List.length infs);
+                      List.iter apply_inference infs)
+                    Rules.all_rules rule_counters
           end
         done)
   in
-  ( g,
-    tested_ids,
+  let stats =
     {
       nodes = Ifg.n_nodes g;
       edges = Ifg.n_edges g;
@@ -74,4 +130,17 @@ let run ctx ~tested =
       sim_cache_hits = Rules.cache_hits ctx;
       sim_cache_misses = Rules.cache_misses ctx;
       iterations = !iterations;
-    } )
+    }
+  in
+  (* Flush the per-run stats into the cumulative registry in bulk: the
+     worklist itself stays free of registry traffic. *)
+  M.inc m_runs 1;
+  M.observe m_seconds stats.rule_seconds;
+  M.inc m_iterations stats.iterations;
+  M.observe m_nodes (float_of_int stats.nodes);
+  M.observe m_edges (float_of_int stats.edges);
+  M.inc m_sims stats.sim_count;
+  M.observe m_sim_seconds stats.sim_seconds;
+  M.inc m_cache_hits stats.sim_cache_hits;
+  M.inc m_cache_misses stats.sim_cache_misses;
+  (g, tested_ids, stats)

@@ -1,8 +1,14 @@
 (** Lazy IFG materialization — Algorithm 1. Starting from the tested
     facts, repeatedly applies every inference rule to dirty nodes until
     no new facts are derived. Expansion stops at facts on external
-    (environment) devices, which become leaves. *)
+    (environment) devices, which become leaves.
 
+    Each run is wrapped in a [materialize] trace span; run totals are
+    flushed into the [materialize.*] and [sim.targeted.*]/[sim.cache.*]
+    metrics, with per-rule inference counts under
+    [materialize.inferences{rule=...}] (see [docs/OBSERVABILITY.md]). *)
+
+(** Per-run volume and timing, returned alongside the graph. *)
 type stats = {
   nodes : int;
   edges : int;

@@ -42,7 +42,24 @@ type report = {
   dead : Deadcode.report;
 }
 
+module M = Netcov_obs.Metrics
+module T = Netcov_obs.Trace
+
+(* Whole-analysis metrics; stage metrics live with their stages. *)
+let m_runs = M.counter M.default ~help:"coverage analyses" ~unit_:"runs" "analyze.runs"
+
+let m_seconds =
+  M.histogram M.default ~help:"end-to-end wall time of one analysis"
+    ~unit_:"seconds" ~buckets:M.seconds_buckets "analyze.seconds"
+
 let analyze ?pool ?(sim_cache = true) state tested =
+  T.with_span "analyze"
+    ~args:
+      [
+        ("dp_facts", T.I (List.length tested.dp_facts));
+        ("cp_elements", T.I (List.length tested.cp_elements));
+      ]
+  @@ fun () ->
   let pool = Option.value pool ~default:Pool.sequential in
   let t0 = Timing.now () in
   let reg = Stable_state.registry state in
@@ -51,11 +68,14 @@ let analyze ?pool ?(sim_cache = true) state tested =
   let g, tested_ids, mstats = Materialize.run ctx ~tested:tested.dp_facts in
   let label = Label.run ~pool g ~tested:tested_ids in
   let coverage =
+    T.with_span "aggregate" @@ fun () ->
     Coverage.of_sets reg ~strong:label.Label.strong ~weak:label.Label.weak
     |> fun cov -> Coverage.with_strong cov tested.cp_elements
   in
-  let dead = Deadcode.analyze reg in
+  let dead = T.with_span "deadcode" @@ fun () -> Deadcode.analyze reg in
   let total_s = Timing.now () -. t0 in
+  M.inc m_runs 1;
+  M.observe m_seconds total_s;
   {
     coverage;
     timing =

@@ -1,5 +1,10 @@
 (** NetCov public entry point: given a stable network state and what a
-    test suite tested, compute configuration coverage. *)
+    test suite tested, compute configuration coverage.
+
+    Every analysis is wrapped in an [analyze] trace span and counted in
+    the [analyze.*] metrics of {!Netcov_obs} (catalog in
+    [docs/OBSERVABILITY.md]); observability output never changes the
+    computed report. *)
 
 open Netcov_config
 
@@ -8,9 +13,16 @@ open Netcov_config
     by control plane tests. *)
 type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
 
+(** The empty test description: analyzing it yields zero coverage. *)
 val no_tests : tested
+
+(** Union of two test descriptions; data plane facts are deduplicated
+    by key, element ids sorted and deduplicated. *)
 val merge_tested : tested -> tested -> tested
 
+(** Wall-clock and volume breakdown of one analysis (the per-run view;
+    the cumulative cross-run view lives in the {!Netcov_obs.Metrics}
+    registry). *)
 type timing = {
   total_s : float;
   materialize_s : float;  (** IFG walk + stable-state lookups *)
@@ -26,6 +38,8 @@ type timing = {
   bdd_vars : int;
 }
 
+(** Everything one analysis produces: the coverage map, its timing
+    breakdown and the registry's dead-code report. *)
 type report = {
   coverage : Coverage.t;
   timing : timing;

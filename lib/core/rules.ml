@@ -566,20 +566,20 @@ let rule_acl ctx fact =
       ]
   | _ -> []
 
-let all_rules : rule list =
+let all_rules : (string * rule) list =
   [
-    rule_main_rib_bgp;
-    rule_main_rib_connected;
-    rule_main_rib_static;
-    rule_main_rib_igp;
-    rule_connected_rib;
-    rule_igp_rib;
-    rule_bgp_rib_learned;
-    rule_bgp_rib_network;
-    rule_bgp_rib_redistribute;
-    rule_redist_edge;
-    rule_bgp_rib_aggregate;
-    rule_edge;
-    rule_path;
-    rule_acl;
+    ("main-rib-bgp", rule_main_rib_bgp);
+    ("main-rib-connected", rule_main_rib_connected);
+    ("main-rib-static", rule_main_rib_static);
+    ("main-rib-igp", rule_main_rib_igp);
+    ("connected-rib", rule_connected_rib);
+    ("igp-rib", rule_igp_rib);
+    ("bgp-rib-learned", rule_bgp_rib_learned);
+    ("bgp-rib-network", rule_bgp_rib_network);
+    ("bgp-rib-redistribute", rule_bgp_rib_redistribute);
+    ("redist-edge", rule_redist_edge);
+    ("bgp-rib-aggregate", rule_bgp_rib_aggregate);
+    ("edge", rule_edge);
+    ("path", rule_path);
+    ("acl", rule_acl);
   ]

@@ -52,9 +52,11 @@ type inference = { target : Fact.t; parents : parent_spec list }
 
 type rule = ctx -> Fact.t -> inference list
 
-(** The rule set; applied exhaustively to each dirty node by
-    {!Materialize}. *)
-val all_rules : rule list
+(** The rule set, each paired with a stable name (used as the [rule]
+    label of the [materialize.inferences] metric — see
+    [docs/OBSERVABILITY.md]); applied exhaustively to each dirty node
+    by {!Materialize}. *)
+val all_rules : (string * rule) list
 
 (** [config_fact ctx ~host key] resolves an element key to a config fact,
     [None] when the device is external or the key unknown. *)

@@ -1,30 +1,4 @@
-let now = Unix.gettimeofday
-
-let time f =
-  let t0 = now () in
-  let r = f () in
-  (r, now () -. t0)
-
-type section = {
-  sname : string;
-  mutable total_s : float;
-  mutable runs : int;
-}
-
-let make sname = { sname; total_s = 0.; runs = 0 }
-let name s = s.sname
-
-let add s dt =
-  s.total_s <- s.total_s +. dt;
-  s.runs <- s.runs + 1
-
-let record s f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () -> add s (now () -. t0)) f
-
-let total s = s.total_s
-let count s = s.runs
-
-let reset s =
-  s.total_s <- 0.;
-  s.runs <- 0
+(* Absorbed by the observability layer: the implementation lives in
+   [Netcov_obs.Timing]; this module remains so existing [Netcov_core]
+   users keep their unqualified [Timing] references. *)
+include Netcov_obs.Timing

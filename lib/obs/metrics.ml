@@ -1,0 +1,301 @@
+type labels = (string * string) list
+
+let schema_version = 1
+
+type gauge_data = { mutable g : float }
+
+type hist_data = {
+  hbounds : float array;
+  hcounts : int array;  (* length = Array.length hbounds + 1; last = +Inf *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type data = Dcounter of int Atomic.t | Dgauge of gauge_data | Dhist of hist_data
+
+type metric = {
+  m_name : string;
+  m_labels : labels;
+  m_help : string;
+  m_unit : string;
+  m_data : data;
+}
+
+type registry = { mu : Mutex.t; tbl : (string, metric) Hashtbl.t }
+type counter = int Atomic.t
+type gauge = { g_mu : Mutex.t; g_d : gauge_data }
+type histogram = { h_mu : Mutex.t; h_d : hist_data }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+let default = create ()
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let key name labels =
+  match labels with
+  | [] -> name
+  | l ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+      ^ "}"
+
+(* Register-or-retrieve under the registry mutex. [extract] projects the
+   typed handle out of an existing metric (None = kind mismatch);
+   [build] makes the data for a fresh registration. *)
+let register reg ~help ~unit_ ~labels name ~extract ~build =
+  let labels = canon_labels labels in
+  let k = key name labels in
+  Mutex.lock reg.mu;
+  let result =
+    match Hashtbl.find_opt reg.tbl k with
+    | Some m -> (
+        match extract m.m_data with
+        | Some h -> Ok h
+        | None ->
+            Error
+              (Printf.sprintf
+                 "Metrics: %s already registered with a different kind or buckets"
+                 k))
+    | None ->
+        let data, handle = build () in
+        Hashtbl.add reg.tbl k
+          { m_name = name; m_labels = labels; m_help = help; m_unit = unit_;
+            m_data = data };
+        Ok handle
+  in
+  Mutex.unlock reg.mu;
+  match result with Ok h -> h | Error msg -> invalid_arg msg
+
+let counter reg ?(help = "") ?(unit_ = "") ?(labels = []) name : counter =
+  register reg ~help ~unit_ ~labels name
+    ~extract:(function Dcounter a -> Some a | _ -> None)
+    ~build:(fun () ->
+      let a = Atomic.make 0 in
+      (Dcounter a, a))
+
+let inc (c : counter) n = ignore (Atomic.fetch_and_add c n)
+
+let gauge reg ?(help = "") ?(unit_ = "") ?(labels = []) name : gauge =
+  register reg ~help ~unit_ ~labels name
+    ~extract:(function Dgauge d -> Some { g_mu = reg.mu; g_d = d } | _ -> None)
+    ~build:(fun () ->
+      let d = { g = 0. } in
+      (Dgauge d, { g_mu = reg.mu; g_d = d }))
+
+let set (g : gauge) v =
+  Mutex.lock g.g_mu;
+  g.g_d.g <- v;
+  Mutex.unlock g.g_mu
+
+let validate_bounds bounds =
+  let ok = ref (bounds <> []) in
+  List.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then ok := false;
+      if i > 0 && b <= List.nth bounds (i - 1) then ok := false)
+    bounds;
+  if not !ok then
+    invalid_arg "Metrics.histogram: bounds must be finite and strictly increasing"
+
+let histogram reg ?(help = "") ?(unit_ = "") ?(labels = []) ~buckets name :
+    histogram =
+  validate_bounds buckets;
+  let bounds = Array.of_list buckets in
+  register reg ~help ~unit_ ~labels name
+    ~extract:(function
+      | Dhist d when d.hbounds = bounds -> Some { h_mu = reg.mu; h_d = d }
+      | Dhist _ | Dcounter _ | Dgauge _ -> None)
+    ~build:(fun () ->
+      let d =
+        {
+          hbounds = bounds;
+          hcounts = Array.make (Array.length bounds + 1) 0;
+          hsum = 0.;
+          hcount = 0;
+        }
+      in
+      (Dhist d, { h_mu = reg.mu; h_d = d }))
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe (h : histogram) v =
+  Mutex.lock h.h_mu;
+  let d = h.h_d in
+  let i = bucket_index d.hbounds v in
+  d.hcounts.(i) <- d.hcounts.(i) + 1;
+  d.hsum <- d.hsum +. v;
+  d.hcount <- d.hcount + 1;
+  Mutex.unlock h.h_mu
+
+let seconds_buckets =
+  [ 0.0001; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 60. ]
+
+let size_buckets = [ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
+
+type hist_snapshot = {
+  bounds : float list;
+  bucket_counts : int list;
+  sum : float;
+  count : int;
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+
+type sample = {
+  name : string;
+  labels : labels;
+  help : string;
+  unit_ : string;
+  value : value;
+}
+
+let snapshot_value = function
+  | Dcounter a -> Counter (Atomic.get a)
+  | Dgauge d -> Gauge d.g
+  | Dhist d ->
+      (* raw per-bucket counts -> cumulative (Prometheus convention) *)
+      let acc = ref 0 in
+      let cumulative =
+        Array.to_list (Array.map (fun c -> acc := !acc + c; !acc) d.hcounts)
+      in
+      Histogram
+        {
+          bounds = Array.to_list d.hbounds;
+          bucket_counts = cumulative;
+          sum = d.hsum;
+          count = d.hcount;
+        }
+
+let samples reg =
+  Mutex.lock reg.mu;
+  let all =
+    Hashtbl.fold
+      (fun k m acc ->
+        ( k,
+          {
+            name = m.m_name;
+            labels = m.m_labels;
+            help = m.m_help;
+            unit_ = m.m_unit;
+            value = snapshot_value m.m_data;
+          } )
+        :: acc)
+      reg.tbl []
+  in
+  Mutex.unlock reg.mu;
+  List.map snd (List.sort (fun (a, _) (b, _) -> String.compare a b) all)
+
+let value reg ?(labels = []) name =
+  let k = key name (canon_labels labels) in
+  Mutex.lock reg.mu;
+  let v =
+    Option.map (fun m -> snapshot_value m.m_data) (Hashtbl.find_opt reg.tbl k)
+  in
+  Mutex.unlock reg.mu;
+  v
+
+let merge_into ~into src =
+  List.iter
+    (fun s ->
+      match s.value with
+      | Counter v ->
+          inc (counter into ~help:s.help ~unit_:s.unit_ ~labels:s.labels s.name) v
+      | Gauge v ->
+          let g = gauge into ~help:s.help ~unit_:s.unit_ ~labels:s.labels s.name in
+          Mutex.lock g.g_mu;
+          g.g_d.g <- Float.max g.g_d.g v;
+          Mutex.unlock g.g_mu
+      | Histogram h ->
+          let hm =
+            histogram into ~help:s.help ~unit_:s.unit_ ~labels:s.labels
+              ~buckets:h.bounds s.name
+          in
+          (* de-cumulate the snapshot back into raw bucket increments *)
+          let prev = ref 0 in
+          let raw = List.map (fun c -> let d = c - !prev in prev := c; d) h.bucket_counts in
+          Mutex.lock hm.h_mu;
+          List.iteri (fun i d -> hm.h_d.hcounts.(i) <- hm.h_d.hcounts.(i) + d) raw;
+          hm.h_d.hsum <- hm.h_d.hsum +. h.sum;
+          hm.h_d.hcount <- hm.h_d.hcount + h.count;
+          Mutex.unlock hm.h_mu)
+    (samples src)
+
+let reset reg =
+  Mutex.lock reg.mu;
+  Hashtbl.iter
+    (fun _ m ->
+      match m.m_data with
+      | Dcounter a -> Atomic.set a 0
+      | Dgauge d -> d.g <- 0.
+      | Dhist d ->
+          Array.fill d.hcounts 0 (Array.length d.hcounts) 0;
+          d.hsum <- 0.;
+          d.hcount <- 0)
+    reg.tbl;
+  Mutex.unlock reg.mu
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let escape = Trace.escape
+let json_float = Trace.json_float
+
+let add_labels buf labels =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf "\"%s\":\"%s\"" (escape k) (escape v))
+    labels;
+  Buffer.add_string buf "}"
+
+let add_sample buf s =
+  Printf.bprintf buf "{\"name\":\"%s\",\"labels\":" (escape s.name);
+  add_labels buf s.labels;
+  Printf.bprintf buf ",\"unit\":\"%s\",\"help\":\"%s\"" (escape s.unit_)
+    (escape s.help);
+  match s.value with
+  | Counter v -> Printf.bprintf buf ",\"type\":\"counter\",\"value\":%d}" v
+  | Gauge v ->
+      Printf.bprintf buf ",\"type\":\"gauge\",\"value\":%s}" (json_float v)
+  | Histogram h ->
+      Printf.bprintf buf ",\"type\":\"histogram\",\"sum\":%s,\"count\":%d"
+        (json_float h.sum) h.count;
+      Buffer.add_string buf ",\"buckets\":[";
+      let n = List.length h.bucket_counts in
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string buf ",";
+          let le =
+            if i = n - 1 then "\"+Inf\"" else json_float (List.nth h.bounds i)
+          in
+          Printf.bprintf buf "{\"le\":%s,\"count\":%d}" le c)
+        h.bucket_counts;
+      Buffer.add_string buf "]}"
+
+let to_json reg =
+  let ss = samples reg in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"netcovMetricsVersion\": %d,\n" schema_version;
+  Buffer.add_string buf "  \"metrics\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf "    ";
+      add_sample buf s;
+      if i < List.length ss - 1 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n")
+    ss;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write reg path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json reg))

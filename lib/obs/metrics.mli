@@ -1,0 +1,136 @@
+(** Metrics registry: named counters, gauges and fixed-bucket
+    histograms for the coverage pipeline.
+
+    A metric is identified by its name plus a canonicalized label set
+    (labels are sorted by key at registration). Registering the same
+    identity twice returns the {e same} underlying metric, so
+    instrumented modules can register at load time without
+    coordination; re-registering with a different kind (or different
+    histogram buckets) raises [Invalid_argument].
+
+    Concurrency: counters are lock-free atomics; gauge and histogram
+    updates take the owning registry's mutex. All instrumentation in
+    this repo records into the process-wide {!default} registry, which
+    is therefore safe to update from any domain. Per-domain registries
+    plus {!merge_into} are available when contention matters.
+
+    Metrics never change computed results — removing every recording
+    call leaves all coverage reports byte-identical. Metric names,
+    units and semantics are cataloged in [docs/OBSERVABILITY.md]. *)
+
+(** A label set: [(key, value)] pairs, canonicalized (sorted by key)
+    at registration. *)
+type labels = (string * string) list
+
+(** A registry of metrics. *)
+type registry
+
+(** Version of the exported JSON envelope (the
+    ["netcovMetricsVersion"] field). *)
+val schema_version : int
+
+(** [create ()] is a fresh empty registry. *)
+val create : unit -> registry
+
+(** The process-wide registry every built-in instrumentation point
+    records into. *)
+val default : registry
+
+(** A monotonically increasing integer metric. *)
+type counter
+
+(** A floating-point metric set to the latest observed value. *)
+type gauge
+
+(** A fixed-bucket distribution of float observations. *)
+type histogram
+
+(** [counter reg name] registers (or retrieves) the counter [name]
+    with the given [labels] in [reg]. [help] and [unit_] document the
+    metric in exports; the first registration's values win. *)
+val counter :
+  registry -> ?help:string -> ?unit_:string -> ?labels:labels -> string -> counter
+
+(** [inc c n] adds [n] to the counter (lock-free). *)
+val inc : counter -> int -> unit
+
+(** [gauge reg name] registers (or retrieves) a gauge. *)
+val gauge :
+  registry -> ?help:string -> ?unit_:string -> ?labels:labels -> string -> gauge
+
+(** [set g v] sets the gauge to [v]. *)
+val set : gauge -> float -> unit
+
+(** [histogram reg ~buckets name] registers (or retrieves) a histogram
+    with the given upper-bound [buckets], which must be finite and
+    strictly increasing (an implicit [+Inf] bucket is always added).
+    Raises [Invalid_argument] on invalid bounds or if [name] is
+    already registered with different bounds. *)
+val histogram :
+  registry ->
+  ?help:string ->
+  ?unit_:string ->
+  ?labels:labels ->
+  buckets:float list ->
+  string ->
+  histogram
+
+(** [observe h v] records [v] into its bucket and the running
+    sum/count. *)
+val observe : histogram -> float -> unit
+
+(** Default bucket bounds for wall-clock durations, in seconds
+    (100 µs .. 60 s). *)
+val seconds_buckets : float list
+
+(** Default bucket bounds for object counts / sizes (1 .. 1e6,
+    decades). *)
+val size_buckets : float list
+
+(** Snapshot of one histogram. [bucket_counts] is {e cumulative}
+    Prometheus-style: entry [i] counts observations [<= bounds[i]];
+    the final extra entry is the [+Inf] bucket and equals [count]. *)
+type hist_snapshot = {
+  bounds : float list;
+  bucket_counts : int list;  (** length = [List.length bounds + 1] *)
+  sum : float;
+  count : int;
+}
+
+(** A snapshot of one metric's value. *)
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+
+(** A snapshot of one registered metric. *)
+type sample = {
+  name : string;
+  labels : labels;
+  help : string;
+  unit_ : string;
+  value : value;
+}
+
+(** [samples reg] is a consistent snapshot of every metric in [reg],
+    sorted by name then labels (deterministic). *)
+val samples : registry -> sample list
+
+(** [value reg name] is the current value of the metric with that
+    name/label identity, or [None] if unregistered. *)
+val value : registry -> ?labels:labels -> string -> value option
+
+(** [merge_into ~into src] folds a snapshot of [src] into [into]:
+    counters and histogram buckets/sums add; gauges keep the maximum
+    (gauges in this codebase are non-negative sizes). Metrics missing
+    from [into] are registered with [src]'s metadata. Raises
+    [Invalid_argument] on a kind or bucket-bound mismatch. *)
+val merge_into : into:registry -> registry -> unit
+
+(** [reset reg] zeroes every metric's value, keeping registrations. *)
+val reset : registry -> unit
+
+(** [to_json reg] renders a versioned JSON document of {!samples}
+    (schema in [docs/OBSERVABILITY.md]). Deterministic for a given
+    snapshot. *)
+val to_json : registry -> string
+
+(** [write reg path] writes {!to_json} to [path]. *)
+val write : registry -> string -> unit

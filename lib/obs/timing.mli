@@ -1,13 +1,12 @@
 (** Shared wall-clock timing: one-shot measurements and named
-    accumulating sections. The implementation is
-    [Netcov_obs.Timing] — this alias keeps the historical
-    [Netcov_core.Timing] path working; new code should prefer the
-    observability layer directly (spans via [Netcov_obs.Trace],
-    aggregates via [Netcov_obs.Metrics]).
+    accumulating sections, replacing the ad-hoc [Unix.gettimeofday]
+    deltas previously hand-rolled by the materializer, the rule engine
+    and the bench.
 
     Sections are plain mutable accumulators and deliberately {e not}
     synchronized: keep one per domain (the rule context owns its own,
-    so the parallel pipeline never shares one across domains). *)
+    so the parallel pipeline never shares one across domains). For
+    cross-domain aggregation use {!Metrics} instead. *)
 
 (** [now ()] is the current wall-clock time in seconds. *)
 val now : unit -> float

@@ -1,0 +1,234 @@
+type arg = S of string | I of int | F of float | B of bool
+
+let schema_version = 1
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_phase : [ `Complete | `Instant ];
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_tid : int;
+  ev_seq : int;
+  ev_args : (string * arg) list;
+}
+
+let dummy =
+  {
+    ev_name = "";
+    ev_cat = "";
+    ev_phase = `Instant;
+    ev_ts_us = 0.;
+    ev_dur_us = 0.;
+    ev_tid = 0;
+    ev_seq = 0;
+    ev_args = [];
+  }
+
+(* Start-order sequence: assigned when a span opens (not when it is
+   pushed at close), so sorting by it puts parents before children even
+   when their start timestamps tie at clock resolution. *)
+let seq = Atomic.make 0
+
+(* One process-wide collector. The ring is mutated under [mu]; the
+   enabled flag is a separate atomic so the disabled fast path of
+   [with_span] is a single load, no lock. *)
+type state = {
+  mutable buf : event array;
+  mutable len : int;  (* valid entries *)
+  mutable pos : int;  (* oldest entry when the ring is full *)
+  mutable lost : int;
+  mutable t0 : float;  (* epoch for relative timestamps *)
+}
+
+let mu = Mutex.create ()
+let st = { buf = [||]; len = 0; pos = 0; lost = 0; t0 = 0. }
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let default_capacity = 65536
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 16 capacity in
+  Mutex.lock mu;
+  if Array.length st.buf <> capacity then st.buf <- Array.make capacity dummy;
+  st.len <- 0;
+  st.pos <- 0;
+  st.lost <- 0;
+  st.t0 <- Unix.gettimeofday ();
+  Atomic.set seq 0;
+  Mutex.unlock mu;
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let clear () =
+  Mutex.lock mu;
+  st.len <- 0;
+  st.pos <- 0;
+  st.lost <- 0;
+  st.t0 <- Unix.gettimeofday ();
+  Atomic.set seq 0;
+  Mutex.unlock mu
+
+(* [t0] is only written under [mu] by enable/clear; a racy read here can
+   at worst skew timestamps of events recorded concurrently with an
+   enable, never corrupt memory. *)
+let now_us () = (Unix.gettimeofday () -. st.t0) *. 1e6
+
+let push ev =
+  Mutex.lock mu;
+  let cap = Array.length st.buf in
+  if cap = 0 then st.lost <- st.lost + 1 (* recording before any enable *)
+  else if st.len < cap then begin
+    st.buf.(st.len) <- ev;
+    st.len <- st.len + 1
+  end
+  else begin
+    st.buf.(st.pos) <- ev;
+    st.pos <- (st.pos + 1) mod cap;
+    st.lost <- st.lost + 1
+  end;
+  Mutex.unlock mu
+
+let tid () = (Domain.self () :> int)
+
+let with_span ?(cat = "netcov") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let s = Atomic.fetch_and_add seq 1 in
+    let t_start = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t_end = now_us () in
+        push
+          {
+            ev_name = name;
+            ev_cat = cat;
+            ev_phase = `Complete;
+            ev_ts_us = t_start;
+            ev_dur_us = t_end -. t_start;
+            ev_tid = tid ();
+            ev_seq = s;
+            ev_args = args;
+          })
+      f
+  end
+
+let instant ?(cat = "netcov") ?(args = []) name =
+  if Atomic.get on then
+    push
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_phase = `Instant;
+        ev_ts_us = now_us ();
+        ev_dur_us = 0.;
+        ev_tid = tid ();
+        ev_seq = Atomic.fetch_and_add seq 1;
+        ev_args = args;
+      }
+
+let events () =
+  Mutex.lock mu;
+  let cap = Array.length st.buf in
+  let n = st.len in
+  let snapshot =
+    Array.init n (fun i ->
+        if n < cap then st.buf.(i) else st.buf.((st.pos + i) mod cap))
+  in
+  Mutex.unlock mu;
+  List.stable_sort
+    (fun a b ->
+      match Float.compare a.ev_ts_us b.ev_ts_us with
+      | 0 -> Int.compare a.ev_seq b.ev_seq
+      | c -> c)
+    (Array.to_list snapshot)
+
+let dropped () =
+  Mutex.lock mu;
+  let n = st.lost in
+  Mutex.unlock mu;
+  n
+
+let find_spans name =
+  List.filter
+    (fun e -> e.ev_phase = `Complete && String.equal e.ev_name name)
+    (events ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON export                                      *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let arg_value = function
+  | S s -> "\"" ^ escape s ^ "\""
+  | I i -> string_of_int i
+  | F f -> json_float f
+  | B b -> if b then "true" else "false"
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf "\"%s\":%s" (escape k) (arg_value v))
+    args;
+  Buffer.add_string buf "}"
+
+let add_event buf e =
+  Printf.bprintf buf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\""
+    (escape e.ev_name) (escape e.ev_cat)
+    (match e.ev_phase with `Complete -> "X" | `Instant -> "i");
+  Printf.bprintf buf ",\"pid\":1,\"tid\":%d,\"ts\":%.3f" e.ev_tid e.ev_ts_us;
+  (match e.ev_phase with
+  | `Complete -> Printf.bprintf buf ",\"dur\":%.3f" e.ev_dur_us
+  | `Instant -> Buffer.add_string buf ",\"s\":\"t\"");
+  Buffer.add_string buf ",\"args\":";
+  add_args buf e.ev_args;
+  Buffer.add_string buf "}"
+
+let to_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"netcovTraceVersion\": %d,\n" schema_version;
+  Buffer.add_string buf "  \"displayTimeUnit\": \"ms\",\n";
+  Printf.bprintf buf "  \"droppedEvents\": %d,\n" (dropped ());
+  Buffer.add_string buf "  \"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf "    ";
+      add_event buf e;
+      if i < List.length evs - 1 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n")
+    evs;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,98 @@
+(** Span-based structured tracing for the coverage pipeline.
+
+    A {e span} is one named, timed interval of work (parsing, one
+    control-plane convergence round, one IFG materialization, one BDD
+    labeling cone, ...). Spans nest by wall-clock containment: a span
+    opened while another span is running on the same domain renders as
+    its child. The collector is a single process-wide ring buffer,
+    safe to record into from any domain; when the buffer fills, the
+    {e oldest} events are overwritten and {!dropped} counts the loss.
+
+    Tracing is {b off by default} and [with_span] is a direct call of
+    its thunk while off, so instrumented code pays one atomic load per
+    span when tracing is disabled. Enabling tracing never changes any
+    computed result — only observability output.
+
+    The export format is Chrome [trace_event] JSON (the
+    ["traceEvents"] array form), loadable in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}. The envelope and its
+    ["netcovTraceVersion"] field are documented in
+    [docs/OBSERVABILITY.md]. *)
+
+(** A span/event argument value, rendered into the event's ["args"]
+    object. *)
+type arg = S of string | I of int | F of float | B of bool
+
+(** Version of the exported JSON envelope (the ["netcovTraceVersion"]
+    field). Bumped whenever the envelope shape changes. *)
+val schema_version : int
+
+(** [enable ?capacity ()] clears the buffer, resets the epoch used for
+    relative timestamps and turns collection on. [capacity] is the
+    ring size in events (default 65536, clamped to at least 16). *)
+val enable : ?capacity:int -> unit -> unit
+
+(** [disable ()] stops collection. Already-recorded events are kept
+    and can still be exported. *)
+val disable : unit -> unit
+
+(** [enabled ()] reports whether spans are currently being recorded. *)
+val enabled : unit -> bool
+
+(** [clear ()] discards all recorded events and resets the timestamp
+    epoch and the dropped-event counter, without changing the
+    enabled/disabled state. *)
+val clear : unit -> unit
+
+(** [with_span ?cat ?args name f] runs [f], recording one complete
+    span named [name] covering its execution. The span is recorded
+    even when [f] raises (the exception propagates). [cat] is the
+    Chrome trace category (default ["netcov"]). No-op wrapper when
+    tracing is disabled. *)
+val with_span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?cat ?args name] records a zero-duration marker event. *)
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+(** A recorded event. Timestamps are microseconds relative to the last
+    {!enable}/{!clear}; [ev_tid] is the recording domain's id. *)
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_phase : [ `Complete | `Instant ];  (** Chrome phase [X] or [i] *)
+  ev_ts_us : float;  (** start timestamp, microseconds *)
+  ev_dur_us : float;  (** duration, microseconds; 0 for instants *)
+  ev_tid : int;  (** recording domain id *)
+  ev_seq : int;  (** process-wide span start order *)
+  ev_args : (string * arg) list;
+}
+
+(** [events ()] is a snapshot of the retained events, sorted by start
+    timestamp (ties broken by start order, so a parent span precedes
+    its children even when their timestamps coincide at clock
+    resolution). *)
+val events : unit -> event list
+
+(** [dropped ()] is the number of events lost to ring-buffer
+    overwrites since the last {!enable}/{!clear}. *)
+val dropped : unit -> int
+
+(** [find_spans name] is the retained complete spans named [name], in
+    {!events} order — a convenience for tests and summaries. *)
+val find_spans : string -> event list
+
+(** [to_json ()] renders the retained events as a Chrome
+    [trace_event] JSON document (see [docs/OBSERVABILITY.md] for the
+    schema). Deterministic given the same event list. *)
+val to_json : unit -> string
+
+(** [write path] writes {!to_json} to [path]. *)
+val write : string -> unit
+
+(** Minimal JSON string escaping, shared by the trace and metrics
+    exporters (exposed for tests). *)
+val escape : string -> string
+
+(** Finite JSON number rendering: integers print without a fraction,
+    NaN renders as [0] and infinities clamp to [±1e308]. *)
+val json_float : float -> string

@@ -1,3 +1,29 @@
+module M = Netcov_obs.Metrics
+module T = Netcov_obs.Trace
+
+(* Pool scheduling metrics (docs/OBSERVABILITY.md). Sequential pools
+   bypass the queue entirely and record nothing. *)
+let m_maps =
+  M.counter M.default ~help:"parallel Pool.map calls" ~unit_:"calls" "pool.maps"
+
+let m_queued =
+  M.counter M.default ~help:"tasks pushed to the shared pool queue"
+    ~unit_:"tasks" "pool.tasks.queued"
+
+(* The caller of [map] draining tasks itself is the help-first "steal"
+   path; worker counters are registered per worker index at spawn. *)
+let m_exec_caller =
+  M.counter M.default ~help:"tasks executed by the calling domain (help-first)"
+    ~unit_:"tasks"
+    ~labels:[ ("executor", "caller") ]
+    "pool.tasks.executed"
+
+let exec_worker_counter i =
+  M.counter M.default ~help:"tasks executed by a spawned worker domain"
+    ~unit_:"tasks"
+    ~labels:[ ("executor", "worker-" ^ string_of_int i) ]
+    "pool.tasks.executed"
+
 type task = unit -> unit
 
 (* Worker domains block on [activity]; [map] pushes one task per item
@@ -38,7 +64,8 @@ let domains t = t.n_domains
 let sequential =
   { n_domains = 1; shared = None; workers = []; torn_down = false }
 
-let worker_loop shared =
+let worker_loop ~index shared =
+  let executed = exec_worker_counter index in
   let rec loop () =
     Mutex.lock shared.mutex;
     while Queue.is_empty shared.queue && not shared.closing do
@@ -50,6 +77,7 @@ let worker_loop shared =
       let task = Queue.pop shared.queue in
       Mutex.unlock shared.mutex;
       task ();
+      M.inc executed 1;
       loop ()
     end
   in
@@ -70,7 +98,8 @@ let create ?domains () =
       }
     in
     let workers =
-      List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop shared))
+      List.init (n - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop ~index:i shared))
     in
     { n_domains = n; shared = Some shared; workers; torn_down = false }
   end
@@ -91,7 +120,12 @@ let map t f xs =
       let n = Array.length items in
       if n = 0 then []
       else if n = 1 then [ f items.(0) ]
-      else begin
+      else
+        T.with_span "pool.map" ~args:[ ("items", T.I n) ]
+        @@ fun () ->
+        begin
+        M.inc m_maps 1;
+        M.inc m_queued n;
         let results = Array.make n None in
         let remaining = Atomic.make n in
         let failure = Atomic.make None in
@@ -122,7 +156,9 @@ let map t f xs =
            the mutex, so no wakeup can be missed. *)
         while Atomic.get remaining > 0 do
           match try_pop shared with
-          | Some task -> task ()
+          | Some task ->
+              task ();
+              M.inc m_exec_caller 1
           | None ->
               Mutex.lock shared.mutex;
               while Queue.is_empty shared.queue && Atomic.get remaining > 0 do

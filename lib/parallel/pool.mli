@@ -16,7 +16,13 @@
       domains and [map] degenerates to [List.map]. Setting the
       [NETCOV_DOMAINS] environment variable overrides the default
       domain count ([NETCOV_DOMAINS=1] forces sequential execution
-      everywhere a default-sized pool is used). *)
+      everywhere a default-sized pool is used).
+
+    Parallel [map] calls are wrapped in a [pool.map] trace span and
+    counted in the [pool.*] metrics, with per-executor task counts
+    under [pool.tasks.executed{executor=...}] — the data behind the
+    scheduling-overhead analysis in [docs/OBSERVABILITY.md]. A
+    sequential pool records nothing. *)
 
 type t
 

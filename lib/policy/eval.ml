@@ -107,7 +107,15 @@ type chain_eval =
   Route.bgp ->
   result
 
+(* Evaluation volume metric: every policy-chain run (the targeted
+   simulation primitive) counts here, cached or not at higher layers. *)
+let m_chain_evals =
+  Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
+    ~help:"policy-chain evaluations (targeted-simulation primitive)"
+    ~unit_:"evaluations" "policy.chain_evals"
+
 let run_chain (d : Device.t) ~chain ~default ?(protocol = Route.Bgp) route =
+  Netcov_obs.Metrics.inc m_chain_evals 1;
   let finish verdict route exercised =
     {
       verdict;

@@ -517,6 +517,9 @@ let run ?(max_rounds = 64) devices topo =
   let changed = ref true in
   while !changed && !rounds < max_rounds do
     incr rounds;
+    Netcov_obs.Trace.with_span "sim.bgp.round"
+      ~args:[ ("round", Netcov_obs.Trace.I !rounds) ]
+    @@ fun () ->
     changed := false;
     let prev_bgp h =
       Option.value (Hashtbl.find_opt bgp_state h) ~default:Prefix_trie.empty

@@ -32,20 +32,58 @@ let apply_down down devices =
         })
       devices
 
+module M = Netcov_obs.Metrics
+
+(* Convergence metrics (docs/OBSERVABILITY.md). *)
+let m_runs = M.counter M.default ~help:"stable-state computations" ~unit_:"runs" "sim.runs"
+
+let m_rounds =
+  M.counter M.default ~help:"BGP convergence rounds, summed over runs"
+    ~unit_:"rounds" "sim.rounds"
+
+let m_seconds =
+  M.histogram M.default ~help:"wall time of one stable-state computation"
+    ~unit_:"seconds" ~buckets:M.seconds_buckets "sim.seconds"
+
+let m_rib_entries =
+  M.gauge M.default ~help:"main-RIB entries in the last computed stable state"
+    ~unit_:"entries" "sim.rib_entries"
+
+let m_edges =
+  M.gauge M.default ~help:"routing edges in the last computed stable state"
+    ~unit_:"edges" "sim.bgp_edges"
+
 let compute ?max_rounds ?(down = []) reg =
-  let devices = apply_down down (Registry.devices reg) in
-  let topo = Topology.build devices in
-  let sim = Bgp.run ?max_rounds devices topo in
-  let edge_index = Hashtbl.create 256 in
-  List.iter
-    (fun (e : Session.edge) ->
-      Hashtbl.replace edge_index
-        (edge_index_key ~recv_host:e.recv_host ~send_ip:e.send_ip)
-        e)
-    sim.edges;
-  let sim_devices = Hashtbl.create 64 in
-  List.iter (fun (d : Device.t) -> Hashtbl.replace sim_devices d.hostname d) devices;
-  { reg; topo; sim; edge_index; sim_devices }
+  let n_devices = List.length (Registry.devices reg) in
+  Netcov_obs.Trace.with_span "simulate"
+    ~args:[ ("devices", Netcov_obs.Trace.I n_devices) ]
+  @@ fun () ->
+  let t, dt =
+    Netcov_obs.Timing.time (fun () ->
+        let devices = apply_down down (Registry.devices reg) in
+        let topo = Topology.build devices in
+        let sim = Bgp.run ?max_rounds devices topo in
+        let edge_index = Hashtbl.create 256 in
+        List.iter
+          (fun (e : Session.edge) ->
+            Hashtbl.replace edge_index
+              (edge_index_key ~recv_host:e.recv_host ~send_ip:e.send_ip)
+              e)
+          sim.edges;
+        let sim_devices = Hashtbl.create 64 in
+        List.iter
+          (fun (d : Device.t) -> Hashtbl.replace sim_devices d.hostname d)
+          devices;
+        { reg; topo; sim; edge_index; sim_devices })
+  in
+  M.inc m_runs 1;
+  M.inc m_rounds t.sim.rounds;
+  M.observe m_seconds dt;
+  M.set m_rib_entries
+    (float_of_int
+       (Hashtbl.fold (fun _ table acc -> acc + Rib.table_count table) t.sim.main_ribs 0));
+  M.set m_edges (float_of_int (List.length t.sim.edges));
+  t
 
 let registry t = t.reg
 let topology t = t.topo

@@ -1,0 +1,496 @@
+(* Tests for the observability layer (Netcov_obs): span collection and
+   ordering, ring-buffer overflow, histogram bucketing, cross-domain
+   registry merging, the versioned JSON exports (validated against the
+   schema documented in docs/OBSERVABILITY.md), and the guarantee that
+   tracing never changes coverage reports. *)
+open Netcov_core
+open Netcov_sim
+open Netcov_config
+module T = Netcov_obs.Trace
+module M = Netcov_obs.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser, for validating exports without dependencies    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let lit word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* decoded code points are irrelevant to these tests *)
+              advance ();
+              advance ();
+              advance ();
+              Buffer.add_char b '?'
+          | c -> Buffer.add_char b c);
+          advance ();
+          go ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              members ()
+            end
+            else expect '}'
+          in
+          members ();
+          J_obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_list []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            if peek () = ',' then begin
+              advance ();
+              elements ()
+            end
+            else expect ']'
+          in
+          elements ();
+          J_list (List.rev !items)
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' -> lit "true" (J_bool true)
+    | 'f' -> lit "false" (J_bool false)
+    | 'n' -> lit "null" J_null
+    | _ -> J_num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing characters";
+  v
+
+let field name = function
+  | J_obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> Alcotest.failf "missing field %S" name)
+  | _ -> Alcotest.failf "not an object (looking for %S)" name
+
+let as_num = function
+  | J_num f -> f
+  | _ -> Alcotest.fail "expected a number"
+
+let as_list = function
+  | J_list l -> l
+  | _ -> Alcotest.fail "expected an array"
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  T.enable ();
+  let r =
+    T.with_span "outer" (fun () ->
+        T.with_span "inner" (fun () -> 6 * 7))
+  in
+  T.disable ();
+  check_int "with_span returns the thunk's value" 42 r;
+  match T.events () with
+  | [ outer; inner ] ->
+      check_str "parent first" "outer" outer.T.ev_name;
+      check_str "child second" "inner" inner.T.ev_name;
+      check_bool "child starts after parent" true
+        (inner.T.ev_ts_us >= outer.T.ev_ts_us);
+      check_bool "child ends before parent" true
+        (inner.T.ev_ts_us +. inner.T.ev_dur_us
+        <= outer.T.ev_ts_us +. outer.T.ev_dur_us +. 1e-6)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_on_exception () =
+  T.enable ();
+  (try T.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  T.disable ();
+  check_int "span recorded despite the raise" 1
+    (List.length (T.find_spans "boom"))
+
+let test_disabled_records_nothing () =
+  T.enable ();
+  T.clear ();
+  T.disable ();
+  T.with_span "quiet" (fun () -> ());
+  T.instant "quiet-marker";
+  check_int "no events while disabled" 0 (List.length (T.events ()))
+
+let test_ring_overflow () =
+  T.enable ~capacity:16 ();
+  for i = 1 to 40 do
+    T.instant "tick" ~args:[ ("i", T.I i) ]
+  done;
+  T.disable ();
+  check_int "ring keeps the newest [capacity] events" 16
+    (List.length (T.events ()));
+  check_int "dropped counts the overwritten events" 24 (T.dropped ());
+  (* the survivors are the most recent ones, still in timestamp order *)
+  let is =
+    List.map
+      (fun (e : T.event) ->
+        match e.T.ev_args with [ ("i", T.I i) ] -> i | _ -> -1)
+      (T.events ())
+  in
+  check_bool "newest events survive, in order" true
+    (is = List.init 16 (fun k -> 25 + k))
+
+let test_trace_json_schema () =
+  T.enable ();
+  T.with_span "alpha" ~args:[ ("n", T.I 3); ("why", T.S "be\"cause") ]
+    (fun () -> T.instant "mark");
+  T.disable ();
+  let j = parse_json (T.to_json ()) in
+  check_int "netcovTraceVersion" T.schema_version
+    (int_of_float (as_num (field "netcovTraceVersion" j)));
+  check_int "droppedEvents" 0 (int_of_float (as_num (field "droppedEvents" j)));
+  let evs = as_list (field "traceEvents" j) in
+  check_int "both events exported" 2 (List.length evs);
+  List.iter
+    (fun e ->
+      (* required Chrome trace_event keys *)
+      List.iter
+        (fun k -> ignore (field k e))
+        [ "name"; "cat"; "ph"; "pid"; "tid"; "ts"; "args" ];
+      match field "ph" e with
+      | J_str "X" -> ignore (as_num (field "dur" e))
+      | J_str "i" -> ignore (field "s" e)
+      | _ -> Alcotest.fail "phase must be X or i")
+    evs;
+  (* args survive the round trip, including escaping *)
+  let alpha = List.hd evs in
+  check_str "string arg round-trips" "be\"cause"
+    (match field "why" (field "args" alpha) with
+    | J_str s -> s
+    | _ -> Alcotest.fail "why must be a string")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucketing () =
+  let reg = M.create () in
+  let h = M.histogram reg ~buckets:[ 1.; 5.; 10. ] "t.hist" in
+  List.iter (M.observe h) [ 0.5; 1.; 3.; 7.; 20. ];
+  match M.value reg "t.hist" with
+  | Some (M.Histogram snap) ->
+      check_bool "bounds kept" true (snap.M.bounds = [ 1.; 5.; 10. ]);
+      (* cumulative: <=1 -> 2, <=5 -> 3, <=10 -> 4, +Inf -> 5 *)
+      check_bool "cumulative bucket counts" true
+        (snap.M.bucket_counts = [ 2; 3; 4; 5 ]);
+      check_int "count" 5 snap.M.count;
+      check_bool "sum" true (abs_float (snap.M.sum -. 31.5) < 1e-9)
+  | _ -> Alcotest.fail "histogram sample missing"
+
+let test_histogram_invalid_buckets () =
+  let reg = M.create () in
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument "Metrics.histogram: bounds must be finite and strictly increasing")
+    (fun () -> ignore (M.histogram reg ~buckets:[ 5.; 1. ] "bad"));
+  ignore (M.histogram reg ~buckets:[ 1.; 2. ] "h");
+  check_bool "re-registration with different buckets rejected" true
+    (try
+       ignore (M.histogram reg ~buckets:[ 1.; 3. ] "h");
+       false
+     with Invalid_argument _ -> true)
+
+let test_counter_parallel_exactness () =
+  let reg = M.create () in
+  let c = M.counter reg "t.par" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              M.inc c 1
+            done))
+  in
+  List.iter Domain.join domains;
+  check_bool "no lost increments" true
+    (M.value reg "t.par" = Some (M.Counter 40_000))
+
+let test_merge_across_domains () =
+  (* one private registry per domain, merged after the joins — the
+     contention-free alternative to sharing [default] *)
+  let shards =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let reg = M.create () in
+            M.inc (M.counter reg "m.count") (10 * (i + 1));
+            M.set (M.gauge reg "m.size") (float_of_int (100 * (i + 1)));
+            let h = M.histogram reg ~buckets:[ 1.; 10. ] "m.hist" in
+            M.observe h (float_of_int i);
+            M.observe h 5.;
+            reg))
+    |> List.map Domain.join
+  in
+  let into = M.create () in
+  List.iter (fun src -> M.merge_into ~into src) shards;
+  check_bool "counters add" true (M.value into "m.count" = Some (M.Counter 60));
+  check_bool "gauges keep the max" true
+    (M.value into "m.size" = Some (M.Gauge 300.));
+  (match M.value into "m.hist" with
+  | Some (M.Histogram snap) ->
+      check_int "histogram counts add" 6 snap.M.count;
+      (* observations 0,5 / 1,5 / 2,5 -> <=1: {0,1}, <=10: all, +Inf: all *)
+      check_bool "merged cumulative buckets" true
+        (snap.M.bucket_counts = [ 2; 6; 6 ]);
+      check_bool "sums add" true (abs_float (snap.M.sum -. 18.) < 1e-9)
+  | _ -> Alcotest.fail "merged histogram missing");
+  (* merging twice keeps adding — merge is plain accumulation *)
+  M.merge_into ~into (List.hd shards);
+  check_bool "second merge adds again" true
+    (M.value into "m.count" = Some (M.Counter 70))
+
+let test_merge_kind_mismatch () =
+  let a = M.create () and b = M.create () in
+  ignore (M.counter a "x");
+  M.set (M.gauge b "x") 1.;
+  check_bool "kind mismatch raises" true
+    (try
+       M.merge_into ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_json_schema () =
+  let reg = M.create () in
+  M.inc (M.counter reg ~help:"h" ~unit_:"ops" "z.count") 7;
+  M.set (M.gauge reg "a.gauge") 2.5;
+  let h = M.histogram reg ~buckets:[ 0.1; 1. ] ~labels:[ ("k", "v") ] "b.h" in
+  M.observe h 0.05;
+  M.observe h 50.;
+  let j = parse_json (M.to_json reg) in
+  check_int "netcovMetricsVersion" M.schema_version
+    (int_of_float (as_num (field "netcovMetricsVersion" j)));
+  let ms = as_list (field "metrics" j) in
+  check_int "all metrics exported" 3 (List.length ms);
+  (* sorted by name: a.gauge, b.h, z.count *)
+  let names =
+    List.map (fun m -> match field "name" m with J_str s -> s | _ -> "?") ms
+  in
+  check_bool "deterministic name order" true
+    (names = [ "a.gauge"; "b.h"; "z.count" ]);
+  List.iter
+    (fun m ->
+      List.iter (fun k -> ignore (field k m)) [ "name"; "labels"; "type" ];
+      match field "type" m with
+      | J_str "counter" -> ignore (as_num (field "value" m))
+      | J_str "gauge" -> ignore (as_num (field "value" m))
+      | J_str "histogram" ->
+          let buckets = as_list (field "buckets" m) in
+          let counts =
+            List.map (fun b -> int_of_float (as_num (field "count" b))) buckets
+          in
+          (* cumulative counts must be monotone, +Inf last = total count *)
+          check_bool "bucket counts monotone" true
+            (List.for_all2 ( <= ) counts
+               (List.tl counts @ [ max_int ]));
+          (match List.rev buckets with
+          | last :: _ ->
+              check_bool "+Inf bucket last" true (field "le" last = J_str "+Inf");
+              check_int "+Inf equals count"
+                (int_of_float (as_num (field "count" m)))
+                (int_of_float (as_num (field "count" last)))
+          | [] -> Alcotest.fail "histogram without buckets");
+          ignore (as_num (field "sum" m))
+      | _ -> Alcotest.fail "unknown metric type")
+    ms;
+  (* labels round-trip *)
+  let bh = List.nth ms 1 in
+  check_bool "labels exported" true (field "k" (field "labels" bh) = J_str "v")
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_state =
+  lazy
+    (let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+     Stable_state.compute (Registry.build ft.Netcov_workloads.Fattree.devices))
+
+let test_report_identical_with_tracing () =
+  let state = Lazy.force small_state in
+  let tested = Netcov_dpcov.Dpcov.all_data_plane_tested state in
+  (* [Json_export.coverage], not [report]: the full report embeds wall
+     times which differ between any two runs, traced or not. *)
+  T.disable ();
+  let off =
+    Json_export.coverage (Netcov.analyze state tested).Netcov.coverage
+  in
+  T.enable ();
+  let on =
+    Json_export.coverage (Netcov.analyze state tested).Netcov.coverage
+  in
+  T.disable ();
+  check_str "coverage report byte-identical with tracing on" off on
+
+let test_pipeline_spans_present () =
+  let state = Lazy.force small_state in
+  let tested = Netcov_dpcov.Dpcov.all_data_plane_tested state in
+  T.enable ();
+  ignore (Netcov.analyze state tested);
+  T.disable ();
+  List.iter
+    (fun name ->
+      check_bool (name ^ " span recorded") true (T.find_spans name <> []))
+    [ "analyze"; "materialize"; "label"; "aggregate"; "deadcode" ];
+  (* the analyze span must contain its stage spans *)
+  match (T.find_spans "analyze", T.find_spans "materialize") with
+  | [ a ], m :: _ ->
+      check_bool "materialize nested in analyze" true
+        (m.T.ev_ts_us >= a.T.ev_ts_us
+        && m.T.ev_ts_us +. m.T.ev_dur_us
+           <= a.T.ev_ts_us +. a.T.ev_dur_us +. 1e-6)
+  | _ -> Alcotest.fail "expected one analyze span"
+
+let test_pipeline_metrics_recorded () =
+  (* built-in instrumentation lands in the default registry *)
+  let before =
+    match M.value M.default "analyze.runs" with
+    | Some (M.Counter n) -> n
+    | _ -> 0
+  in
+  let state = Lazy.force small_state in
+  ignore (Netcov.analyze state Netcov.no_tests);
+  (match M.value M.default "analyze.runs" with
+  | Some (M.Counter n) -> check_int "analyze.runs incremented" (before + 1) n
+  | _ -> Alcotest.fail "analyze.runs missing");
+  List.iter
+    (fun name ->
+      check_bool (name ^ " registered") true (M.value M.default name <> None))
+    [
+      "sim.runs";
+      "sim.rounds";
+      "materialize.runs";
+      "materialize.iterations";
+      "label.runs";
+      "label.cones";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "span survives exception" `Quick
+            test_span_on_exception;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "trace JSON schema" `Quick test_trace_json_schema;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "invalid buckets" `Quick
+            test_histogram_invalid_buckets;
+          Alcotest.test_case "parallel counter exactness" `Quick
+            test_counter_parallel_exactness;
+          Alcotest.test_case "merge across domains" `Quick
+            test_merge_across_domains;
+          Alcotest.test_case "merge kind mismatch" `Quick
+            test_merge_kind_mismatch;
+          Alcotest.test_case "metrics JSON schema" `Quick
+            test_metrics_json_schema;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "report identical with tracing" `Quick
+            test_report_identical_with_tracing;
+          Alcotest.test_case "pipeline spans present" `Quick
+            test_pipeline_spans_present;
+          Alcotest.test_case "pipeline metrics recorded" `Quick
+            test_pipeline_metrics_recorded;
+        ] );
+    ]

@@ -14,7 +14,7 @@ let ctx = lazy (Rules.make_ctx (Lazy.force state))
 
 (* Apply every rule to a fact; return the inferences. *)
 let infer fact =
-  List.concat_map (fun rule -> rule (Lazy.force ctx) fact) Rules.all_rules
+  List.concat_map (fun (_, rule) -> rule (Lazy.force ctx) fact) Rules.all_rules
 
 let parent_keys (inferences : Rules.inference list) target =
   List.concat_map
@@ -110,7 +110,7 @@ let test_edge_rule_multihop_has_paths () =
       (Stable_state.edge_from state ~recv_host:"d" ~send_ip:(ip "172.20.0.1"))
   in
   let fact = Fact.F_edge (Session.edge_key edge) in
-  let inferences = List.concat_map (fun rule -> rule ctx fact) Rules.all_rules in
+  let inferences = List.concat_map (fun (_, rule) -> rule ctx fact) Rules.all_rules in
   let keys = parent_keys inferences fact in
   check_bool "path parents" true (has_parent keys "path:")
 
@@ -119,7 +119,7 @@ let test_path_rule () =
   let ctx = Rules.make_ctx state in
   let dst = ip "172.20.0.4" in
   let fact = Fact.F_path { src = "a"; dst; idx = 0 } in
-  let inferences = List.concat_map (fun rule -> rule ctx fact) Rules.all_rules in
+  let inferences = List.concat_map (fun (_, rule) -> rule ctx fact) Rules.all_rules in
   let keys = parent_keys inferences fact in
   check_bool "hop main entries" true (has_parent keys "main:a:");
   check_bool "igp protocol used" true (has_parent keys ":igp")
@@ -177,14 +177,14 @@ let test_redist_edge_rule () =
   let fact =
     Fact.F_bgp_rib { host = "a"; route = entry.be_route; source = entry.be_source }
   in
-  let inferences = List.concat_map (fun rule -> rule ctx fact) Rules.all_rules in
+  let inferences = List.concat_map (fun (_, rule) -> rule ctx fact) Rules.all_rules in
   let keys = parent_keys inferences fact in
   check_bool "redist edge parent" true (has_parent keys "redist-edge:a:static");
   check_bool "source main entry" true (has_parent keys "main:a:172.30.0.0/16");
   (* and the intra-device edge resolves to the redistribute config *)
   let redge = Fact.F_redist_edge { host = "a"; proto = Route.Static } in
   let rkeys =
-    parent_keys (List.concat_map (fun rule -> rule ctx redge) Rules.all_rules) redge
+    parent_keys (List.concat_map (fun (_, rule) -> rule ctx redge) Rules.all_rules) redge
   in
   check_bool "redistribute config" true (has_parent rkeys "cfg:")
 
@@ -219,7 +219,7 @@ let test_static_recursive_resolution () =
       (Stable_state.main_lookup state "d" (p "172.31.99.0/24"))
   in
   let fact = Fact.F_main_rib { host = "d"; entry } in
-  let inferences = List.concat_map (fun rule -> rule ctx fact) Rules.all_rules in
+  let inferences = List.concat_map (fun (_, rule) -> rule ctx fact) Rules.all_rules in
   let keys = parent_keys inferences fact in
   (* parents: the static-route config element AND the resolving IGP
      main-RIB entries for the next hop (two ECMP alternatives -> disj) *)
