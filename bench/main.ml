@@ -583,8 +583,9 @@ let scaling () =
   let cores = Domain.recommended_domain_count () in
   let domain_counts = [ 1; 2; 4; 8 ] in
   let runs = List.map (fun d -> (d, run_at d)) domain_counts in
-  let merged_cov (reports, _) =
-    Json_export.coverage (Netcov.merge_reports reports).Netcov.coverage
+  let merged_cov (reports, wall) =
+    Json_export.coverage
+      (Netcov.merge_reports ~wall_s:wall reports).Netcov.coverage
   in
   let reference = merged_cov (List.assoc 1 runs) in
   let base_wall = snd (List.assoc 1 runs) in
@@ -614,7 +615,7 @@ let scaling () =
   in
   let on_reports, on_wall = run_cache true in
   let off_reports, off_wall = run_cache false in
-  let on_merged = Netcov.merge_reports on_reports in
+  let on_merged = Netcov.merge_reports ~wall_s:on_wall on_reports in
   let tm = on_merged.Netcov.timing in
   let hits = tm.Netcov.sim_cache_hits and misses = tm.Netcov.sim_cache_misses in
   let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in

@@ -6,6 +6,8 @@
      annotate    print one device's annotated configuration
      render      render a workload's configurations to a directory
      trace       run the Figure 1 example under the tracer, write trace JSON
+     parse       syntax-check configuration files (exit 1 on the first error)
+     fuzz        run the differential property oracles (docs/TESTING.md)
 
    Most analysis subcommands accept --trace FILE and --metrics FILE (see
    docs/OBSERVABILITY.md for the span taxonomy and metric catalog). *)
@@ -70,6 +72,18 @@ let with_obs ~trace ~metrics f =
           Printf.printf "wrote metrics to %s\n" file)
         metrics)
     f
+
+(* Uniform parser-diagnostic exit: [file:line: message] on stderr and a
+   clean exit code 1 — never an uncaught-exception backtrace. *)
+let parse_error_exit ~file ~line message : 'a =
+  Printf.eprintf "%s:%d: %s\n%!" file line message;
+  exit 1
+
+let syntax_arg =
+  Arg.(
+    value
+    & opt (enum [ ("junos", `Junos); ("ios", `Ios) ]) `Junos
+    & info [ "syntax" ] ~docv:"SYNTAX" ~doc:"Concrete syntax of the files.")
 
 let i2_suite =
   Arg.(
@@ -430,7 +444,9 @@ let trace_cmd =
           @@ fun () ->
           match Parse_junos.parse ~hostname text with
           | Ok d -> d
-          | Error e -> failwith (Parse_junos.error_to_string e))
+          | Error e ->
+              parse_error_exit ~file:(hostname ^ ".cfg") ~line:e.Parse_junos.line
+                e.Parse_junos.message)
         texts
     in
     let state = Stable_state.compute (Registry.build devices) in
@@ -475,12 +491,6 @@ let audit_cmd =
       & pos 0 (some dir) None
       & info [] ~docv:"DIR"
           ~doc:"Directory of configuration files (*.cfg or *.conf).")
-  in
-  let syntax =
-    Arg.(
-      value
-      & opt (enum [ ("junos", `Junos); ("ios", `Ios) ]) `Junos
-      & info [ "syntax" ] ~docv:"SYNTAX" ~doc:"Concrete syntax of the files.")
   in
   let run verbose dir syntax out trace metrics =
     setup_logs verbose;
@@ -578,7 +588,101 @@ let audit_cmd =
           and report the data-plane-testable coverage ceiling plus dead \
           configuration.")
     Term.(
-      const run $ verbose $ dir $ syntax $ out_dir $ trace_out $ metrics_out)
+      const run $ verbose $ dir $ syntax_arg $ out_dir $ trace_out $ metrics_out)
+
+let parse_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Configuration files to syntax-check.")
+  in
+  let run verbose files syntax =
+    setup_logs verbose;
+    let read_file path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    List.iter
+      (fun file ->
+        let hostname = Filename.remove_extension (Filename.basename file) in
+        let text = read_file file in
+        let parsed =
+          match syntax with
+          | `Junos ->
+              Result.map_error
+                (fun (e : Parse_junos.error) -> (e.line, e.message))
+                (Parse_junos.parse ~hostname text)
+          | `Ios ->
+              Result.map_error
+                (fun (e : Parse_ios.error) -> (e.line, e.message))
+                (Parse_ios.parse ~hostname text)
+        in
+        match parsed with
+        | Ok d ->
+            Printf.printf "%s: ok (%s, %d elements)\n" file d.Device.hostname
+              (List.length (Device.element_keys d))
+        | Error (line, message) -> parse_error_exit ~file ~line message)
+      files
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Syntax-check configuration files. Prints one line per parsed file; \
+          on the first malformed file prints $(i,file:line: message) to \
+          stderr and exits 1.")
+    Term.(const run $ verbose $ files $ syntax_arg)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Root seed of the run. Failures print a per-iteration \
+             reproduction seed; pass it back here with $(b,--iters) 1 to \
+             replay one counterexample.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"K" ~doc:"Iterations per oracle.")
+  in
+  let oracles =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Run only oracle $(docv) (repeatable; default: all five).")
+  in
+  let run verbose seed iters oracles =
+    setup_logs verbose;
+    List.iter
+      (fun n ->
+        if Netcov_check.Oracles.find n = None then begin
+          Printf.eprintf "unknown oracle %S; available: %s\n" n
+            (String.concat ", "
+               (List.map
+                  (fun (o : Netcov_check.Oracles.t) -> o.Netcov_check.Oracles.name)
+                  Netcov_check.Oracles.all));
+          exit 2
+        end)
+      oracles;
+    let names = match oracles with [] -> None | ns -> Some ns in
+    let ok = Netcov_check.Oracles.run_all ?names ~seed ~iters () in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the differential property oracles (emit/parse roundtrip, \
+          parallel determinism, sim-cache equivalence, BDD vs truth table, \
+          coverage monotonicity/merge) on random networks. Exits 1 and \
+          prints a shrunk counterexample plus a reproduction seed on any \
+          divergence. See docs/TESTING.md.")
+    Term.(const run $ verbose $ seed $ iters $ oracles)
 
 let () =
   let doc = "test coverage for network configurations (NetCov, NSDI 2023)" in
@@ -595,4 +699,6 @@ let () =
             mutation_cmd;
             audit_cmd;
             trace_cmd;
+            parse_cmd;
+            fuzz_cmd;
           ]))

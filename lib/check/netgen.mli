@@ -1,0 +1,59 @@
+(** Random-network and random-configuration generators for the
+    differential oracles.
+
+    Two families:
+
+    - {!device}: a single round-trippable device configuration drawing
+      from every element kind the emitters know (interfaces, ACLs,
+      prefix/community/as-path lists, policies, BGP) — the input space
+      of the emit→parse oracles.
+    - {!network}/{!scenario}: a small eBGP {e tree} topology (a tree
+      always converges, so the stable state is well defined) with route
+      policies sprinkled on some sessions, plus a symbolic test suite.
+      Symbolic: a {!test_spec} names RIB probes by router/LAN index and
+      is materialized against a computed {!Netcov_sim.Stable_state}
+      with {!tested_of}, so generation and shrinking never simulate. *)
+
+open Netcov_types
+open Netcov_config
+
+(** A random, well-formed, round-trippable device (random syntax). *)
+val device : Device.t Gen.t
+
+(** An eBGP tree: router [i >= 1] peers with [parent.(i)]; router [j]
+    originates LAN [10.64.j.0/24]. [policied] routers apply a small
+    import policy chain (with a prefix list) on their uplink session. *)
+type network = {
+  n_routers : int;
+  parent : int array;
+  multipath : int;
+  policied : int list;
+}
+
+(** LAN prefix originated by router [i]. *)
+val lan : int -> Prefix.t
+
+(** Hostname of router [i] ("r<i>"). *)
+val host : int -> string
+
+val devices_of : network -> Device.t list
+
+(** One test, symbolically: [probes] are (router, LAN) main-RIB
+    lookups, [cp_picks] are raw draws mapped onto element ids modulo
+    the registry size at materialization time. *)
+type test_spec = { probes : (int * int) list; cp_picks : int list }
+
+(** A network together with a non-empty test suite over it. *)
+type scenario = { net : network; tests : test_spec list }
+
+val network : network Gen.t
+val scenario : scenario Gen.t
+
+(** Materialize a symbolic test against a computed stable state. *)
+val tested_of :
+  Netcov_sim.Stable_state.t -> test_spec -> Netcov_core.Netcov.tested
+
+(** Compact one-line spec strings for counterexample reports. *)
+val print_network : network -> string
+
+val print_scenario : scenario -> string

@@ -1,0 +1,43 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a tiny splittable generator
+   with a 64-bit state advanced by a Weyl sequence. Chosen over
+   [Random.State] because its behaviour is identical on every platform
+   and OCaml version — failure seeds printed in CI replay locally. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let range t lo hi =
+  if lo > hi then invalid_arg "Prng.range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 1
+
+let mix seed i =
+  (* one splitmix step over (seed, i): cheap, and distinct iterations of
+     distinct runs land on distinct streams *)
+  let t = make seed in
+  for _ = 0 to i do
+    ignore (next t)
+  done;
+  Int64.to_int (Int64.logand (next t) Int64.max_int)

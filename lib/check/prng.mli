@@ -1,0 +1,40 @@
+(** Deterministic splittable PRNG (SplitMix64) for the property harness.
+
+    Every stream is created from an explicit integer seed — there is no
+    [self_init] — so any failure the harness reports can be replayed
+    exactly by re-running with the printed seed. [split] derives an
+    independent child stream, which is what lets generators regenerate
+    the "rest" of a composite value with identical randomness while a
+    prefix of it is being shrunk. *)
+
+type t
+
+(** [make seed] starts a stream. Equal seeds yield equal streams on
+    every platform (the core is pure 64-bit integer arithmetic). *)
+val make : int -> t
+
+(** [copy t] snapshots the stream: the copy replays exactly the draws
+    the original would have produced from this point. *)
+val copy : t -> t
+
+(** [split t] advances [t] once and returns an independent stream whose
+    seed is the drawn value. *)
+val split : t -> t
+
+(** Raw next 64-bit draw (advances the stream). *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound); raises [Invalid_argument]
+    on a non-positive bound. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive; raises
+    [Invalid_argument] when [lo > hi]. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [mix seed i] deterministically derives the per-iteration seed [i]
+    of a run rooted at [seed]; printed on failures so one iteration can
+    be replayed alone. *)
+val mix : int -> int -> int

@@ -121,6 +121,7 @@ let timing_json (t : Netcov.timing) =
   J_obj
     [
       ("total_s", J_float t.Netcov.total_s);
+      ("cpu_total_s", J_float t.Netcov.cpu_total_s);
       ("materialize_s", J_float t.Netcov.materialize_s);
       ("sim_s", J_float t.Netcov.sim_s);
       ("label_s", J_float t.Netcov.label_s);

@@ -25,6 +25,7 @@ let merge_tested a b =
 
 type timing = {
   total_s : float;
+  cpu_total_s : float;
   materialize_s : float;
   sim_s : float;
   label_s : float;
@@ -81,6 +82,7 @@ let analyze ?pool ?(sim_cache = true) state tested =
     timing =
       {
         total_s;
+        cpu_total_s = total_s;
         materialize_s = mstats.Materialize.rule_seconds;
         sim_s = mstats.Materialize.sim_seconds;
         label_s = label.Label.seconds;
@@ -96,7 +98,13 @@ let analyze ?pool ?(sim_cache = true) state tested =
 
 let merge_timing a b =
   {
-    total_s = a.total_s +. b.total_s;
+    (* Per-test analyses may have run concurrently, so their wall times
+       do not add up: summing them over-reports elapsed time by up to
+       the domain count. The max of the two is a lower bound on the
+       suite's wall time; callers that measured the real elapsed time
+       pass it to [merge_reports ~wall_s]. CPU time does sum. *)
+    total_s = Float.max a.total_s b.total_s;
+    cpu_total_s = a.cpu_total_s +. b.cpu_total_s;
     materialize_s = a.materialize_s +. b.materialize_s;
     sim_s = a.sim_s +. b.sim_s;
     label_s = a.label_s +. b.label_s;
@@ -108,17 +116,35 @@ let merge_timing a b =
     bdd_vars = max a.bdd_vars b.bdd_vars;
   }
 
-let merge_reports = function
+let merge_reports ?wall_s = function
   | [] -> invalid_arg "Netcov.merge_reports: empty list"
   | r :: rest ->
-      List.fold_left
-        (fun acc r ->
-          {
-            coverage = Coverage.merge acc.coverage r.coverage;
-            timing = merge_timing acc.timing r.timing;
-            dead = acc.dead;
-          })
-        r rest
+      (* The merged [dead] field is taken from the first report, which
+         is only sound when every report was produced against the same
+         element registry — the dead-code analysis depends on nothing
+         else. Reports from different registries have incomparable
+         element ids, so merging their coverage would be silently
+         wrong too; reject the call instead. *)
+      let reg = Coverage.registry r.coverage in
+      List.iter
+        (fun r' ->
+          if Coverage.registry r'.coverage != reg then
+            invalid_arg
+              "Netcov.merge_reports: reports built from different registries")
+        rest;
+      let merged =
+        List.fold_left
+          (fun acc r ->
+            {
+              coverage = Coverage.merge acc.coverage r.coverage;
+              timing = merge_timing acc.timing r.timing;
+              dead = acc.dead;
+            })
+          r rest
+      in
+      match wall_s with
+      | None -> merged
+      | Some w -> { merged with timing = { merged.timing with total_s = w } }
 
 let analyze_suite ?pool ?(sim_cache = true) state testeds =
   let run pool =

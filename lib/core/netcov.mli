@@ -25,6 +25,17 @@ val merge_tested : tested -> tested -> tested
     registry). *)
 type timing = {
   total_s : float;
+      (** Elapsed wall-clock time. For a single {!analyze} run this is
+          the measured end-to-end time; for a merged suite report it is
+          the value passed to [merge_reports ~wall_s], or — when the
+          caller did not measure — the max of the per-test wall times,
+          a lower bound (per-test analyses may have run concurrently,
+          so their wall times must not be summed). *)
+  cpu_total_s : float;
+      (** Sum of per-analysis wall times: total compute spent. Equals
+          [total_s] for a single run; for a suite merged from a
+          parallel pool it can exceed [total_s] by up to the domain
+          count. *)
   materialize_s : float;  (** IFG walk + stable-state lookups *)
   sim_s : float;  (** targeted simulations (subset of materialize) *)
   label_s : float;  (** BDD strong/weak labeling *)
@@ -78,11 +89,21 @@ val analyze_suite :
 
 (** Deterministic left-to-right merge of per-test reports into a suite
     report: per element the stronger coverage status wins (equal to
-    analyzing the union of the tests' tested facts); timing components
-    and counters are summed ([bdd_vars] is the max); the dead-code
-    report is taken from the first report (it depends only on the
-    registry). Raises [Invalid_argument] on the empty list. *)
-val merge_reports : report list -> report
+    analyzing the union of the tests' tested facts); [cpu_total_s],
+    stage timings and counters are summed ([bdd_vars] is the max).
+
+    Wall time does not sum across reports that may have run in
+    parallel: merged [total_s] is [wall_s] when given (callers that
+    timed the whole suite should pass it), otherwise the max of the
+    inputs' [total_s] — a lower bound on true elapsed time.
+
+    Invariant: all reports must come from analyses of the same element
+    registry. The merged [dead] report is taken from the first input
+    (dead-code analysis depends only on the registry), and coverage
+    element ids are only comparable within one registry — merging
+    reports whose coverages disagree on the registry raises
+    [Invalid_argument], as does the empty list. *)
+val merge_reports : ?wall_s:float -> report list -> report
 
 (** Dead-code line share over considered lines, percent. *)
 val dead_line_pct : report -> float

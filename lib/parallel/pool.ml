@@ -46,13 +46,24 @@ type t = {
   mutable torn_down : bool;
 }
 
+(* An invalid NETCOV_DOMAINS would otherwise be indistinguishable from
+   an unset one — the user asked for a domain count and silently got
+   the default. Warn once per process, not per pool. *)
+let warned_bad_env = Atomic.make false
+
 let env_domains () =
   match Sys.getenv_opt "NETCOV_DOMAINS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> Some n
-      | Some _ | None -> None)
+      | Some _ | None ->
+          if not (Atomic.exchange warned_bad_env true) then
+            Printf.eprintf
+              "netcov: ignoring invalid NETCOV_DOMAINS=%S (want a positive \
+               integer); using the default domain count\n%!"
+              s;
+          None)
 
 let default_domains () =
   match env_domains () with

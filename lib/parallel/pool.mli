@@ -29,7 +29,8 @@ type t
 (** Domain count used by [create] when [?domains] is omitted: the
     [NETCOV_DOMAINS] environment variable when set to a positive
     integer, otherwise [Domain.recommended_domain_count ()] capped at
-    8. *)
+    8. A set-but-invalid [NETCOV_DOMAINS] falls back to the default
+    and warns once on stderr, naming the rejected value. *)
 val default_domains : unit -> int
 
 (** [create ~domains ()] spawns [domains - 1] worker domains (the

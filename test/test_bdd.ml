@@ -119,6 +119,82 @@ let prop_canonical =
       let equivalent = List.for_all (fun env -> interp env f = interp env g) all_envs in
       Bdd.equal bf bg = equivalent)
 
+(* ------------------------------------------------------------------ *)
+(* restrict / is_necessary / any_sat edge cases                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_restrict_terminals () =
+  let m = Bdd.create () in
+  let t = Bdd.bdd_true m and f = Bdd.bdd_false m in
+  List.iter
+    (fun value ->
+      check_bool "restrict true is true" true
+        (Bdd.equal (Bdd.restrict m t ~var:0 ~value) t);
+      check_bool "restrict false is false" true
+        (Bdd.equal (Bdd.restrict m f ~var:0 ~value) f))
+    [ true; false ];
+  (* is_necessary on terminals: nothing is necessary for a tautology,
+     everything vacuously is for the unsatisfiable function. *)
+  check_bool "no var necessary for true" false (Bdd.is_necessary m t ~var:0);
+  check_bool "any var necessary for false" true (Bdd.is_necessary m f ~var:0);
+  check_bool "tautology sat with empty assignment" true
+    (Bdd.any_sat m t = Some [])
+
+let test_restrict_uncached_var () =
+  (* Restricting on a variable above [max_operand] cannot be packed
+     into an apply-cache key; the implementation takes an uncached
+     recompute path. Such a variable can never occur in a node (var
+     creation rejects it), so the cofactor must rebuild to the very
+     same hash-consed node. *)
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.bdd_or m (Bdd.bdd_and m a b) (Bdd.bdd_xor m b c) in
+  let huge = 1 lsl 29 (* max_operand + 1 *) in
+  check_bool "uncached restrict is identity" true
+    (Bdd.equal (Bdd.restrict m f ~var:huge ~value:true) f);
+  check_bool "uncached restrict is identity (false)" true
+    (Bdd.equal (Bdd.restrict m f ~var:huge ~value:false) f);
+  check_bool "var creation rejects huge index" true
+    (match Bdd.var m huge with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let env_with env v value i = if i = v then value else env i
+
+let prop_restrict_vs_eval =
+  QCheck.Test.make ~name:"restrict agrees with eval under the cofactor"
+    ~count:200
+    (QCheck.make
+       (QCheck.Gen.triple (gen_formula 12) (QCheck.Gen.int_bound 3)
+          QCheck.Gen.bool))
+    (fun (f, v, value) ->
+      let m = Bdd.create () in
+      let b = build m f in
+      let r = Bdd.restrict m b ~var:v ~value in
+      List.for_all
+        (fun env ->
+          (* the cofactor must ignore env's value for v... *)
+          Bdd.eval m r env = interp (env_with env v value) f
+          (* ...and not mention v at all *)
+          && not (List.mem v (Bdd.support m r)))
+        all_envs)
+
+let prop_any_sat_sound_complete =
+  QCheck.Test.make ~name:"any_sat is sound and complete" ~count:200
+    (QCheck.make (gen_formula 12))
+    (fun f ->
+      let m = Bdd.create () in
+      let b = build m f in
+      let satisfiable = List.exists (fun env -> interp env f) all_envs in
+      match Bdd.any_sat m b with
+      | None -> not satisfiable
+      | Some assignment ->
+          satisfiable
+          && interp
+               (fun i ->
+                 List.assoc_opt i assignment |> Option.value ~default:false)
+               f)
+
 let prop_necessity_semantics =
   QCheck.Test.make ~name:"is_necessary matches semantic necessity" ~count:200
     (QCheck.make (QCheck.Gen.pair (gen_formula 12) (QCheck.Gen.int_bound 3)))
@@ -143,8 +219,17 @@ let () =
           Alcotest.test_case "necessity" `Quick test_necessity;
           Alcotest.test_case "support" `Quick test_support;
           Alcotest.test_case "any_sat" `Quick test_any_sat;
+          Alcotest.test_case "restrict terminals" `Quick test_restrict_terminals;
+          Alcotest.test_case "restrict uncached var" `Quick
+            test_restrict_uncached_var;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_semantics; prop_canonical; prop_necessity_semantics ] );
+          [
+            prop_semantics;
+            prop_canonical;
+            prop_necessity_semantics;
+            prop_restrict_vs_eval;
+            prop_any_sat_sound_complete;
+          ] );
     ]

@@ -142,6 +142,62 @@ let test_sim_cache_transparent () =
     + off.Netcov.timing.Netcov.sim_cache_misses)
 
 (* ------------------------------------------------------------------ *)
+(* Merged timing semantics and registry validation                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_timing_semantics () =
+  let state, testeds = Lazy.force ft_state_and_testeds in
+  let reports = Netcov.analyze_suite ~pool:Pool.sequential state testeds in
+  let per_test_total = List.map (fun r -> r.Netcov.timing.Netcov.total_s) reports in
+  let merged = Netcov.merge_reports reports in
+  let tm = merged.Netcov.timing in
+  check_bool "cpu_total_s sums the per-test wall times" true
+    (Float.abs (tm.Netcov.cpu_total_s -. List.fold_left ( +. ) 0. per_test_total)
+    < 1e-9);
+  check_bool "default total_s is the max, not the sum" true
+    (tm.Netcov.total_s = List.fold_left Float.max 0. per_test_total);
+  let timed = Netcov.merge_reports ~wall_s:12.5 reports in
+  check_bool "wall_s overrides merged total_s" true
+    (timed.Netcov.timing.Netcov.total_s = 12.5);
+  check_bool "wall_s leaves cpu_total_s alone" true
+    (timed.Netcov.timing.Netcov.cpu_total_s = tm.Netcov.cpu_total_s)
+
+let test_merge_rejects_foreign_registry () =
+  let state, testeds = Lazy.force ft_state_and_testeds in
+  let r = Netcov.analyze state (List.hd testeds) in
+  let other_state = Stable_state.compute (Registry.build (Testnet.chain ())) in
+  let other = Netcov.analyze other_state Netcov.no_tests in
+  check_bool "merging across registries raises" true
+    (match Netcov.merge_reports [ r; other ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "empty list raises" true
+    (match Netcov.merge_reports [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* NETCOV_DOMAINS parsing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_domains () =
+  (* Unix.putenv cannot unset, so probe the fallback with a value that
+     is valid-but-ignored afterwards. *)
+  Unix.putenv "NETCOV_DOMAINS" "3";
+  check_int "valid value is honoured" 3 (Pool.default_domains ());
+  let fallback =
+    max 1 (min 8 (Domain.recommended_domain_count ()))
+  in
+  List.iter
+    (fun bad ->
+      Unix.putenv "NETCOV_DOMAINS" bad;
+      check_int
+        (Printf.sprintf "invalid %S falls back to the default" bad)
+        fallback (Pool.default_domains ()))
+    [ "abc"; "0"; "-2"; "" ];
+  Unix.putenv "NETCOV_DOMAINS" "1"
+
+(* ------------------------------------------------------------------ *)
 (* BDD apply-cache counters                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -183,6 +239,15 @@ let () =
           Alcotest.test_case "sim cache transparent" `Quick
             test_sim_cache_transparent;
         ] );
+      ( "merge",
+        [
+          Alcotest.test_case "timing: cpu sums, wall does not" `Quick
+            test_merge_timing_semantics;
+          Alcotest.test_case "foreign registry rejected" `Quick
+            test_merge_rejects_foreign_registry;
+        ] );
+      ( "env",
+        [ Alcotest.test_case "NETCOV_DOMAINS parsing" `Quick test_env_domains ] );
       ( "bdd-cache",
         [ Alcotest.test_case "stats counters" `Quick test_bdd_cache_stats ] );
     ]
