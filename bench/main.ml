@@ -1,7 +1,11 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (sections 6-8). Run with no argument for everything, or pass
    one of: fig6b fig7 fig8 fig9 fig10a fig10b fig11a fig11b table2
-   ablation kernels.
+   ablation mutation whatif rr scaling intern kernels.
+
+   Flags: --smoke shrinks workloads to a seconds-scale budget (CI),
+   --oversubscribe re-enables scaling rows with more domains than
+   hardware cores, --trace FILE / --metrics FILE export observability.
 
    Absolute numbers differ from the paper (synthetic workload, different
    machine); the printed "paper" annotations give the reference values so
@@ -17,6 +21,8 @@ module Pool = Netcov_parallel.Pool
 let section title = Printf.printf "\n=== %s ===\n%!" title
 let timed = Timing.time
 let pct = Printf.sprintf "%.1f%%"
+let smoke = ref false
+let oversubscribe = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Shared environments                                                 *)
@@ -577,11 +583,22 @@ let scaling () =
         timed (fun () -> Netcov.analyze_suite ~pool env.ft_state testeds))
   in
   (* Honesty: [cores] is what this host can actually run in parallel.
-     Domain counts beyond it are still measured (the oversubscription
-     penalty is itself informative — BENCH_parallel.json's 8-domain
-     slowdown) but flagged so nobody reads them as scaling data. *)
+     Domain counts beyond it measure scheduling overhead, not scaling,
+     so they are skipped by default and only run (flagged) under
+     --oversubscribe. *)
   let cores = Domain.recommended_domain_count () in
-  let domain_counts = [ 1; 2; 4; 8 ] in
+  let all_counts = [ 1; 2; 4; 8 ] in
+  let domain_counts =
+    if !oversubscribe then all_counts
+    else List.filter (fun d -> d <= cores) all_counts
+  in
+  let skipped = List.filter (fun d -> not (List.mem d domain_counts)) all_counts in
+  if skipped <> [] then
+    Printf.printf
+      "  (skipping domain counts %s: above the %d hardware cores; pass \
+       --oversubscribe to measure them)\n"
+      (String.concat ", " (List.map string_of_int skipped))
+      cores;
   let runs = List.map (fun d -> (d, run_at d)) domain_counts in
   let merged_cov (reports, wall) =
     Json_export.coverage
@@ -635,9 +652,9 @@ let scaling () =
   Buffer.add_string buf "  \"workload\": \"fattree-k8-suite\",\n";
   Printf.bprintf buf "  \"cores\": %d,\n" cores;
   Buffer.add_string buf
-    "  \"note\": \"rows with oversubscribed=true use more domains than \
-     hardware cores; their speedup measures scheduling overhead, not \
-     scaling\",\n";
+    "  \"note\": \"domain counts above hardware cores are skipped unless \
+     --oversubscribe is passed; rows with oversubscribed=true measure \
+     scheduling overhead, not scaling\",\n";
   Buffer.add_string buf "  \"domain_runs\": [\n";
   List.iteri
     (fun i (d, wall, speedup, identical, oversubscribed) ->
@@ -662,6 +679,128 @@ let scaling () =
   Printf.printf "wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Interned fact identities (BENCH_intern.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures exactly what the interner changed: the materialize+label
+   pipeline under the two identity modes. [By_key] pays a formatted
+   key string per fact-identity operation — the pre-interning
+   representation — while [Structural] hashes the fact variant
+   directly into dense ids. The targeted-simulation memo cache is
+   warmed by an unmeasured run and shared across iterations so policy
+   evaluation, identical in both modes, does not dilute the
+   identity-cost delta. Coverage equality is checked on the full
+   pipeline via the exported JSON (docs/PERFORMANCE.md). *)
+let intern_bench () =
+  section "Interning: materialize+label under By_key vs Structural identity";
+  let workloads =
+    if !smoke then [ ("fattree-k4", `Ft 4, 1) ]
+    else [ ("fattree-k8", `Ft 8, 5); ("internet2", `I2, 5) ]
+  in
+  let rows =
+    List.map
+      (fun (name, w, iters) ->
+        let state, tests =
+          match w with
+          | `Ft k ->
+              let ft = Fattree.generate ~k () in
+              let state =
+                Stable_state.compute (Registry.build ft.Fattree.devices)
+              in
+              (state, Datacenter.suite ft)
+          | `I2 ->
+              let net = Internet2.generate Internet2.paper_params in
+              let state =
+                Stable_state.compute (Registry.build net.Internet2.devices)
+              in
+              (state, Iterations.improved_suite net)
+        in
+        let tested = Nettest.suite_tested (Nettest.run_suite state tests) in
+        let facts = tested.Netcov.dp_facts in
+        let measure mode =
+          let cache = Rules.create_sim_cache () in
+          let one () =
+            let ctx = Rules.make_ctx ~cache state in
+            let g, ids, _ = Materialize.run ~mode ctx ~tested:facts in
+            ignore (Label.run g ~tested:ids)
+          in
+          one ();
+          let a0 = Gc.allocated_bytes () in
+          let (), wall =
+            timed (fun () ->
+                for _ = 1 to iters do
+                  one ()
+                done)
+          in
+          let alloc = Gc.allocated_bytes () -. a0 in
+          (wall /. float_of_int iters, alloc /. float_of_int iters)
+        in
+        let key_wall, key_alloc = measure Intern.By_key in
+        let str_wall, str_alloc = measure Intern.Structural in
+        let cov mode =
+          Json_export.coverage
+            (Netcov.analyze ~pool:Pool.sequential ~identity:mode state tested)
+              .Netcov.coverage
+        in
+        let identical =
+          String.equal (cov Intern.By_key) (cov Intern.Structural)
+        in
+        let speedup = key_wall /. max 1e-9 str_wall in
+        let alloc_ratio = key_alloc /. max 1. str_alloc in
+        let mb b = b /. 1048576. in
+        Printf.printf
+          "  %-12s facts=%d iters=%d  by_key %7.3fs %8.1fMB  structural \
+           %7.3fs %8.1fMB  speedup %.2fx  alloc x%.2f  identical %b\n"
+          name (List.length facts) iters key_wall (mb key_alloc) str_wall
+          (mb str_alloc) speedup alloc_ratio identical;
+        ( name,
+          iters,
+          List.length facts,
+          (key_wall, key_alloc),
+          (str_wall, str_alloc),
+          speedup,
+          alloc_ratio,
+          identical ))
+      workloads
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"intern\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Buffer.add_string buf
+    "  \"note\": \"materialize+label wall seconds and allocated bytes per \
+     iteration; by_key rebuilds formatted fact-key strings per identity \
+     operation (the pre-interning representation), structural hashes the \
+     fact variant into dense interned ids; the sim memo cache is warmed \
+     and shared so both modes pay identical policy-evaluation cost\",\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i
+         ( name,
+           iters,
+           nfacts,
+           (key_wall, key_alloc),
+           (str_wall, str_alloc),
+           speedup,
+           alloc_ratio,
+           identical ) ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"iters\": %d, \"tested_facts\": %d,\n\
+        \     \"by_key\": {\"wall_s\": %.4f, \"alloc_bytes\": %.0f},\n\
+        \     \"structural\": {\"wall_s\": %.4f, \"alloc_bytes\": %.0f},\n\
+        \     \"speedup\": %.3f, \"alloc_ratio\": %.3f, \
+         \"identical_coverage\": %b}%s\n"
+        name iters nfacts key_wall key_alloc str_wall str_alloc speedup
+        alloc_ratio identical
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_intern.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_intern.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -681,6 +820,7 @@ let experiments =
     ("whatif", whatif);
     ("rr", rr);
     ("scaling", scaling);
+    ("intern", intern_bench);
     ("kernels", kernels);
   ]
 
@@ -692,6 +832,12 @@ let () =
     | [] -> (trace, metrics, List.rev acc)
     | "--trace" :: file :: rest -> split_obs (Some file) metrics acc rest
     | "--metrics" :: file :: rest -> split_obs trace (Some file) acc rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        split_obs trace metrics acc rest
+    | "--oversubscribe" :: rest ->
+        oversubscribe := true;
+        split_obs trace metrics acc rest
     | a :: rest -> split_obs trace metrics (a :: acc) rest
   in
   let trace, metrics, args =

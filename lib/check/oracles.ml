@@ -361,9 +361,49 @@ let monotone_oracle =
   }
 
 (* ------------------------------------------------------------------ *)
+(* 6. interned identities vs the string-key reference                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The dense-id IFG core (lib/core/intern.ml) must be a pure
+   representation change: [Intern.By_key] keeps the historical
+   formatted-string fact identity as the reference, [Intern.Structural]
+   is the interned hot path. Any divergence is a bug in the structural
+   [Fact.equal]/[Fact.hash] projection. *)
+let intern_prop (sc : Netgen.scenario) =
+  let state = state_of sc.Netgen.net in
+  let testeds = testeds_of state sc in
+  let run identity =
+    List.map coverage_fp
+      (Netcov.analyze_suite ~pool:Pool.sequential ~identity state testeds)
+  in
+  match first_diff (run Intern.Structural) (run Intern.By_key) with
+  | Some i ->
+      fail "report %d differs between Structural and By_key fact identity" i
+  | None -> Ok ()
+
+let intern_oracle =
+  {
+    name = "intern-reference";
+    describe =
+      "interned (Structural) and string-keyed (By_key) fact identities \
+       produce identical reports";
+    run =
+      (fun ~seed ~iters ->
+        Check.run ~name:"intern-reference" ~seed ~iters
+          ~print:Netgen.print_scenario Netgen.scenario intern_prop);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
-  [ roundtrip_oracle; parallel_oracle; cache_oracle; bdd_oracle; monotone_oracle ]
+  [
+    roundtrip_oracle;
+    parallel_oracle;
+    cache_oracle;
+    bdd_oracle;
+    monotone_oracle;
+    intern_oracle;
+  ]
 
 let find name = List.find_opt (fun o -> o.name = name) all
 

@@ -14,9 +14,10 @@ type t = {
   run : seed:int -> iters:int -> Check.outcome;
 }
 
-(** The five oracles, in documentation order: ["roundtrip"],
+(** The six oracles, in documentation order: ["roundtrip"],
     ["parallel-determinism"], ["cache-equivalence"],
-    ["bdd-truth-table"], ["monotonicity-merge"]. *)
+    ["bdd-truth-table"], ["monotonicity-merge"],
+    ["intern-reference"]. *)
 val all : t list
 
 val find : string -> t option

@@ -23,7 +23,10 @@ type t =
   | F_path of { src : string; dst : Ipv4.t; idx : int }
       (** the [idx]-th enumerated forwarding path src → dst *)
 
-(** Canonical string identity; equal facts have equal keys. *)
+(** Canonical string identity; equal facts have equal keys. Allocates a
+    fresh string per call — reserved for the export/debug boundary
+    (JSON/LCOV/HTML, counterexample printing); hot-path identity goes
+    through {!equal}/{!hash}/{!Tbl} and the {!Intern} table. *)
 val key : t -> string
 
 (** Host a fact lives on, when host-bound. Messages and inter-device
@@ -32,4 +35,17 @@ val host_of : t -> string option
 
 val is_config : t -> Element.id option
 val pp : Format.formatter -> t -> unit
+
+(** Structural equality, allocation-free, equivalent to comparing
+    {!key} strings: it projects exactly the fields [key] prints (a
+    main-RIB fact ignores its metric; an IGP-RIB fact ignores cost and
+    destination endpoint). *)
 val equal : t -> t -> bool
+
+(** Structural hash compatible with {!equal} (same field projection);
+    canonical in community sets. *)
+val hash : t -> int
+
+(** Hash table keyed by fact identity — the allocation-free
+    replacement for [(Fact.key f, _) Hashtbl.t] dedup tables. *)
+module Tbl : Hashtbl.S with type key = t

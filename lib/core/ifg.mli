@@ -1,6 +1,12 @@
 (** The information flow graph: a DAG whose vertices are facts (plus
     disjunctive nodes for non-deterministic contributions, §4.3) and
-    whose edges point from contributor to derived fact. *)
+    whose edges point from contributor to derived fact.
+
+    Fact identity is interned ({!Intern}) to dense ids on entry: adding
+    a fact costs one structural hash, never a key-string construction.
+    Node attributes and adjacency live in flat int arrays; traversals
+    should prefer the [iter_*]/[fold_*] forms, which walk adjacency
+    without allocating lists. *)
 
 type node_id = int
 
@@ -10,7 +16,14 @@ type node_kind =
 
 type t
 
-val create : unit -> t
+(** [create ()] is an empty graph with a fresh interner. [mode]
+    selects the fact-identity mode (default
+    {!Intern.Structural}); {!Intern.By_key} reproduces the historical
+    string-keyed identity for differential testing. *)
+val create : ?mode:Intern.mode -> unit -> t
+
+(** The graph's fact interner (export/debug: reverse id lookup). *)
+val interner : t -> Intern.t
 
 (** [add_fact g f] returns the node for [f], creating it if new; the
     boolean is [true] when the node is new. *)
@@ -30,19 +43,32 @@ val add_edge : t -> parent:node_id -> child:node_id -> unit
 
 val kind : t -> node_id -> node_kind
 
-(** Contributors of a node. *)
+(** [is_disj g id] without materializing a {!node_kind} (hot paths). *)
+val is_disj : t -> node_id -> bool
+
+(** Element id when the node is a config fact (hot-path equivalent of
+    matching {!kind} against [N_fact] + {!Fact.is_config}). *)
+val config_eid : t -> node_id -> Netcov_config.Element.id option
+
+(** Contributors of a node, in reverse insertion order. *)
 val parents : t -> node_id -> node_id list
 
-(** Facts this node contributes to. *)
+(** Facts this node contributes to, in reverse insertion order. *)
 val children : t -> node_id -> node_id list
 
+(** Allocation-free adjacency walks, same order as {!parents} /
+    {!children}. *)
+val iter_parents : t -> node_id -> (node_id -> unit) -> unit
+
+val iter_children : t -> node_id -> (node_id -> unit) -> unit
+val fold_parents : t -> node_id -> ('a -> node_id -> 'a) -> 'a -> 'a
 val n_nodes : t -> int
 val n_edges : t -> int
 
 (** Iterate all nodes. *)
 val iter_nodes : t -> (node_id -> node_kind -> unit) -> unit
 
-(** Config-element nodes present in the graph. *)
+(** Config-element nodes present in the graph, ascending node id. *)
 val config_nodes : t -> (node_id * Netcov_config.Element.id) list
 
 (** Expansion bookkeeping for the materialization loop. *)

@@ -1,0 +1,102 @@
+(* Fact interning: dense int identities for the IFG core.
+
+   Identity mode Structural hashes the fact variant itself (Fact.hash /
+   Fact.equal); By_key reproduces the historical string identity
+   (Fact.key into a string-keyed table) and exists only as the
+   reference side of the differential oracle and the before/after
+   benchmark. The two modes assign the same ids for the same intern
+   sequence because Fact.equal is pinned to the projection Fact.key
+   prints.
+
+   Domain safety: a single mutex guards the table and the reverse
+   array. The coverage pipeline interns from one domain per analysis,
+   so the lock is uncontended there; sharing one interner across
+   domains is supported (and unit-tested) for future sharded IFGs. *)
+
+type mode = Structural | By_key
+
+type t = {
+  mode : mode;
+  mutex : Mutex.t;
+  tbl : int Fact.Tbl.t;  (* Structural mode *)
+  by_key : (string, int) Hashtbl.t;  (* By_key mode *)
+  mutable facts : Fact.t array;  (* id -> fact; only [next] live *)
+  mutable next : int;
+}
+
+let create ?(mode = Structural) () =
+  {
+    mode;
+    mutex = Mutex.create ();
+    tbl = Fact.Tbl.create 4096;
+    by_key = Hashtbl.create 4096;
+    facts = Array.make 1024 (Fact.F_edge "");
+    next = 0;
+  }
+
+let mode t = t.mode
+let length t = t.next
+
+let grow t =
+  let cap = Array.length t.facts in
+  if t.next >= cap then begin
+    let bigger = Array.make (cap * 2) (Fact.F_edge "") in
+    Array.blit t.facts 0 bigger 0 cap;
+    t.facts <- bigger
+  end
+
+let locked t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let alloc t fact =
+  grow t;
+  let id = t.next in
+  t.facts.(id) <- fact;
+  t.next <- id + 1;
+  id
+
+let intern t fact =
+  locked t @@ fun () ->
+  match t.mode with
+  | Structural -> (
+      match Fact.Tbl.find_opt t.tbl fact with
+      | Some id -> id
+      | None ->
+          let id = alloc t fact in
+          Fact.Tbl.add t.tbl fact id;
+          id)
+  | By_key -> (
+      let k = Fact.key fact in
+      match Hashtbl.find_opt t.by_key k with
+      | Some id -> id
+      | None ->
+          let id = alloc t fact in
+          Hashtbl.add t.by_key k id;
+          id)
+
+let find t fact =
+  locked t @@ fun () ->
+  match t.mode with
+  | Structural -> Fact.Tbl.find_opt t.tbl fact
+  | By_key -> Hashtbl.find_opt t.by_key (Fact.key fact)
+
+let fact t id =
+  locked t @@ fun () ->
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Intern.fact: id %d out of [0, %d)" id t.next)
+  else t.facts.(id)
+
+let iter t f =
+  (* Snapshot the live extent under the lock, then iterate without it:
+     ids are never reassigned and slots below [n] never mutate. *)
+  let n, facts = locked t (fun () -> (t.next, t.facts)) in
+  for id = 0 to n - 1 do
+    f id facts.(id)
+  done

@@ -20,15 +20,13 @@ let disjunction_free_strong g ~tested =
   let rec go id =
     if not visited.(id) then begin
       visited.(id) <- true;
-      (match Ifg.kind g id with
-      | Ifg.N_fact f -> (
-          match Fact.is_config f with
-          | Some eid -> strong := Element.Id_set.add eid !strong
-          | None -> ())
-      | Ifg.N_disj -> ());
-      match Ifg.kind g id with
-      | Ifg.N_disj -> ()  (* do not cross disjunctive nodes *)
-      | Ifg.N_fact _ -> List.iter go (Ifg.parents g id)
+      if not (Ifg.is_disj g id) then begin
+        (* do not cross disjunctive nodes *)
+        (match Ifg.config_eid g id with
+        | Some eid -> strong := Element.Id_set.add eid !strong
+        | None -> ());
+        Ifg.iter_parents g id go
+      end
     end
   in
   List.iter go tested;
@@ -42,7 +40,7 @@ let cone g root =
     if not (Hashtbl.mem seen id) then begin
       Hashtbl.add seen id ();
       order := id :: !order;
-      List.iter go (Ifg.parents g id)
+      Ifg.iter_parents g id go
     end
   in
   go root;
@@ -133,7 +131,7 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
     let rec taint id =
       if not tainted.(id) then begin
         tainted.(id) <- true;
-        List.iter taint (Ifg.children g id)
+        Ifg.iter_children g id taint
       end
     in
     Hashtbl.iter (fun nid _ -> taint nid) candidate;
@@ -184,20 +182,19 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
                  well-formed IFG) contributes true *)
               Hashtbl.replace gamma id (Bdd.bdd_true m);
               let b =
-                match Ifg.kind g id with
-                | Ifg.N_fact _ ->
-                    let self =
-                      match Hashtbl.find_opt var_of_node id with
-                      | Some v -> Bdd.var m v
-                      | None -> Bdd.bdd_true m
-                    in
-                    List.fold_left
-                      (fun acc p -> Bdd.bdd_and m acc (compute p))
-                      self (Ifg.parents g id)
-                | Ifg.N_disj ->
-                    List.fold_left
-                      (fun acc p -> Bdd.bdd_or m acc (compute p))
-                      (Bdd.bdd_false m) (Ifg.parents g id)
+                if Ifg.is_disj g id then
+                  Ifg.fold_parents g id
+                    (fun acc p -> Bdd.bdd_or m acc (compute p))
+                    (Bdd.bdd_false m)
+                else
+                  let self =
+                    match Hashtbl.find_opt var_of_node id with
+                    | Some v -> Bdd.var m v
+                    | None -> Bdd.bdd_true m
+                  in
+                  Ifg.fold_parents g id
+                    (fun acc p -> Bdd.bdd_and m acc (compute p))
+                    self
               in
               Hashtbl.replace gamma id b;
               b

@@ -68,11 +68,11 @@ let expandable ctx fact =
       | Some h -> not (Netcov_sim.Stable_state.is_external (Rules.state ctx) h)
       | None -> true)
 
-let run ctx ~tested =
+let run ?mode ctx ~tested =
   T.with_span "materialize" ~args:[ ("tested", T.I (List.length tested)) ]
   @@ fun () ->
   let rule_counters = Lazy.force rule_counters in
-  let g = Ifg.create () in
+  let g = Ifg.create ?mode () in
   let queue = Queue.create () in
   let enqueue_fact f =
     let id, is_new = Ifg.add_fact g f in

@@ -23,6 +23,12 @@ type stats = {
 }
 
 (** [run ctx ~tested] materializes the IFG reachable (backwards) from
-    the tested facts and returns the node ids of the tested facts. *)
+    the tested facts and returns the node ids of the tested facts.
+    [mode] selects the graph's fact-identity mode (default
+    {!Intern.Structural}; {!Intern.By_key} is the string-keyed
+    reference for differential testing). *)
 val run :
-  Rules.ctx -> tested:Fact.t list -> Ifg.t * Ifg.node_id list * stats
+  ?mode:Intern.mode ->
+  Rules.ctx ->
+  tested:Fact.t list ->
+  Ifg.t * Ifg.node_id list * stats

@@ -7,15 +7,15 @@ type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
 let no_tests = { dp_facts = []; cp_elements = [] }
 
 let merge_tested a b =
-  (* Deduplicate data plane facts by key. *)
-  let seen = Hashtbl.create 256 in
+  (* Deduplicate data plane facts by identity (structural, equivalent
+     to the historical key-string dedup — see Fact.equal). *)
+  let seen = Fact.Tbl.create 256 in
   let dp_facts =
     List.filter
       (fun f ->
-        let k = Fact.key f in
-        if Hashtbl.mem seen k then false
+        if Fact.Tbl.mem seen f then false
         else begin
-          Hashtbl.add seen k ();
+          Fact.Tbl.add seen f ();
           true
         end)
       (a.dp_facts @ b.dp_facts)
@@ -46,6 +46,10 @@ type report = {
 module M = Netcov_obs.Metrics
 module T = Netcov_obs.Trace
 
+let src = Logs.Src.create "netcov.analyze" ~doc:"coverage analysis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 (* Whole-analysis metrics; stage metrics live with their stages. *)
 let m_runs = M.counter M.default ~help:"coverage analyses" ~unit_:"runs" "analyze.runs"
 
@@ -53,7 +57,28 @@ let m_seconds =
   M.histogram M.default ~help:"end-to-end wall time of one analysis"
     ~unit_:"seconds" ~buckets:M.seconds_buckets "analyze.seconds"
 
-let analyze ?pool ?(sim_cache = true) state tested =
+let m_cache_distinct =
+  M.gauge M.default
+    ~help:"distinct keys in the targeted-simulation memo cache after an analysis"
+    ~unit_:"keys" "sim.cache.distinct_keys"
+
+(* Key-precision accounting for the sim cache: record how fragmented
+   the key space was and, at debug level, which key component
+   fragments it (docs/OBSERVABILITY.md). *)
+let record_cache_breakdown cache =
+  Option.iter
+    (fun c ->
+      let b = Rules.sim_cache_breakdown c in
+      M.set m_cache_distinct (float_of_int b.Rules.kb_keys);
+      Log.debug (fun m ->
+          m
+            "sim cache key breakdown: %d keys = %d hosts x %d chains x %d \
+             defaults x %d protocols x %d routes"
+            b.Rules.kb_keys b.Rules.kb_hosts b.Rules.kb_chains
+            b.Rules.kb_defaults b.Rules.kb_protocols b.Rules.kb_routes))
+    cache
+
+let analyze ?pool ?(sim_cache = true) ?identity state tested =
   T.with_span "analyze"
     ~args:
       [
@@ -66,7 +91,10 @@ let analyze ?pool ?(sim_cache = true) state tested =
   let reg = Stable_state.registry state in
   let cache = if sim_cache then Some (Rules.create_sim_cache ()) else None in
   let ctx = Rules.make_ctx ?cache state in
-  let g, tested_ids, mstats = Materialize.run ctx ~tested:tested.dp_facts in
+  let g, tested_ids, mstats =
+    Materialize.run ?mode:identity ctx ~tested:tested.dp_facts
+  in
+  record_cache_breakdown cache;
   let label = Label.run ~pool g ~tested:tested_ids in
   let coverage =
     T.with_span "aggregate" @@ fun () ->
@@ -146,13 +174,15 @@ let merge_reports ?wall_s = function
       | None -> merged
       | Some w -> { merged with timing = { merged.timing with total_s = w } }
 
-let analyze_suite ?pool ?(sim_cache = true) state testeds =
+let analyze_suite ?pool ?(sim_cache = true) ?identity state testeds =
   let run pool =
     (* The pool is also handed to each per-test labeling pass: nested
        fan-out is safe (callers help drain the shared queue), and it
        keeps every domain busy when the suite has fewer tests than the
        pool has domains. *)
-    Pool.map pool (fun tested -> analyze ~pool ~sim_cache state tested) testeds
+    Pool.map pool
+      (fun tested -> analyze ~pool ~sim_cache ?identity state tested)
+      testeds
   in
   match pool with Some p -> run p | None -> Pool.with_pool run
 

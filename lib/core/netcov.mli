@@ -17,7 +17,7 @@ type tested = { dp_facts : Fact.t list; cp_elements : Element.id list }
 val no_tests : tested
 
 (** Union of two test descriptions; data plane facts are deduplicated
-    by key, element ids sorted and deduplicated. *)
+    by fact identity, element ids sorted and deduplicated. *)
 val merge_tested : tested -> tested -> tested
 
 (** Wall-clock and volume breakdown of one analysis (the per-run view;
@@ -63,11 +63,15 @@ type report = {
 
     [pool] parallelizes the labeling pass across its domains (default:
     sequential). [sim_cache] (default true) memoizes targeted policy
-    simulations within this analysis; neither option changes the
-    report, only the wall time. *)
+    simulations within this analysis. [identity] selects the IFG's
+    fact-identity mode (default {!Intern.Structural};
+    {!Intern.By_key} is the string-keyed reference for differential
+    testing). None of these options changes the report, only the wall
+    time. *)
 val analyze :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
+  ?identity:Intern.mode ->
   Netcov_sim.Stable_state.t ->
   tested ->
   report
@@ -83,6 +87,7 @@ val analyze :
 val analyze_suite :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
+  ?identity:Intern.mode ->
   Netcov_sim.Stable_state.t ->
   tested list ->
   report list

@@ -28,10 +28,18 @@ module Sim_key = struct
 
   let equal = ( = )
 
-  (* The generic hash's default meaningful-node budget (10) would stop
-     before reaching the route fields, hashing every route of a
-     (device, chain) pair into one bucket. *)
-  let hash k = Hashtbl.hash_param 100 256 k
+  (* Explicit field-wise hash: the generic hash's default
+     meaningful-node budget (10) would stop before reaching the route
+     fields, hashing every route of a (device, chain) pair into one
+     bucket, and raising the budget re-walks the whole key each
+     lookup. [Route.hash_bgp] folds the route once, canonically. *)
+  let hash k =
+    let mix h v = (h * 31) + v + 1 in
+    let h = Hashtbl.hash k.k_host in
+    let h = List.fold_left (fun h s -> mix h (Hashtbl.hash s)) h k.k_chain in
+    let h = mix h (Hashtbl.hash k.k_default) in
+    let h = mix h (Hashtbl.hash k.k_protocol) in
+    mix h (Route.hash_bgp k.k_route) land max_int
 end
 
 module Sim_tbl = Hashtbl.Make (Sim_key)
@@ -44,6 +52,42 @@ type sim_cache = {
 
 let create_sim_cache () = { tbl = Sim_tbl.create 4096; c_hits = 0; c_misses = 0 }
 let sim_cache_stats c = (c.c_hits, c.c_misses)
+
+(* Key-precision accounting (docs/OBSERVABILITY.md): the cache's hit
+   rate is bounded by how many distinct keys the workload produces, and
+   the per-field distinct counts show which component fragments the key
+   space. Debug-path only — walks the whole table. *)
+type key_breakdown = {
+  kb_keys : int;
+  kb_hosts : int;
+  kb_chains : int;
+  kb_defaults : int;
+  kb_protocols : int;
+  kb_routes : int;
+}
+
+let sim_cache_breakdown c =
+  let hosts = Hashtbl.create 64 in
+  let chains = Hashtbl.create 64 in
+  let defaults = Hashtbl.create 4 in
+  let protocols = Hashtbl.create 4 in
+  let routes = Hashtbl.create 1024 in
+  Sim_tbl.iter
+    (fun k _ ->
+      Hashtbl.replace hosts k.Sim_key.k_host ();
+      Hashtbl.replace chains k.Sim_key.k_chain ();
+      Hashtbl.replace defaults k.Sim_key.k_default ();
+      Hashtbl.replace protocols k.Sim_key.k_protocol ();
+      Hashtbl.replace routes k.Sim_key.k_route ())
+    c.tbl;
+  {
+    kb_keys = Sim_tbl.length c.tbl;
+    kb_hosts = Hashtbl.length hosts;
+    kb_chains = Hashtbl.length chains;
+    kb_defaults = Hashtbl.length defaults;
+    kb_protocols = Hashtbl.length protocols;
+    kb_routes = Hashtbl.length routes;
+  }
 
 type ctx = {
   state : Stable_state.t;

@@ -23,6 +23,22 @@ val create_sim_cache : unit -> sim_cache
     it. *)
 val sim_cache_stats : sim_cache -> int * int
 
+(** Distinct-count breakdown of the cache's key space: total distinct
+    keys plus distinct values per key component. Identifies over-precise
+    key components when the hit rate is low (fed into the
+    [sim.cache.distinct_keys] gauge and the debug log —
+    docs/OBSERVABILITY.md). Walks the whole table; debug path only. *)
+type key_breakdown = {
+  kb_keys : int;
+  kb_hosts : int;
+  kb_chains : int;
+  kb_defaults : int;
+  kb_protocols : int;
+  kb_routes : int;
+}
+
+val sim_cache_breakdown : sim_cache -> key_breakdown
+
 (** [make_ctx ?cache state]: when [cache] is omitted every simulation
     is recomputed (seed behaviour). *)
 val make_ctx : ?cache:sim_cache -> Stable_state.t -> ctx

@@ -8,12 +8,12 @@ let pct t =
   else 100. *. float_of_int t.tested_entries /. float_of_int t.total_entries
 
 let of_tested state (tested : Netcov.tested) =
-  let seen = Hashtbl.create 1024 in
+  let seen = Fact.Tbl.create 1024 in
   let count_fact f =
     match f with
     | Fact.F_main_rib { host; _ } when not (Stable_state.is_external state host)
       ->
-        Hashtbl.replace seen (Fact.key f) ()
+        Fact.Tbl.replace seen f ()
     | Fact.F_path { src; dst; idx } -> (
         (* a tested path exercises the forwarding entries along it *)
         match List.nth_opt (Stable_state.trace state ~src ~dst) idx with
@@ -24,9 +24,8 @@ let of_tested state (tested : Netcov.tested) =
                 if not (Stable_state.is_external state h.hop_host) then
                   List.iter
                     (fun entry ->
-                      Hashtbl.replace seen
-                        (Fact.key
-                           (Fact.F_main_rib { host = h.hop_host; entry }))
+                      Fact.Tbl.replace seen
+                        (Fact.F_main_rib { host = h.hop_host; entry })
                         ())
                     h.hop_entries)
               path.hops)
@@ -39,7 +38,7 @@ let of_tested state (tested : Netcov.tested) =
       0
       (Stable_state.internal_hosts state)
   in
-  { tested_entries = Hashtbl.length seen; total_entries = total }
+  { tested_entries = Fact.Tbl.length seen; total_entries = total }
 
 let all_data_plane_tested state =
   let dp_facts =

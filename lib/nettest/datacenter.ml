@@ -33,12 +33,11 @@ let tor_pingmesh (ft : Fattree.t) : Nettest.t =
   let run state =
     let failures = ref [] in
     let checks = ref 0 in
-    let seen = Hashtbl.create 4096 in
+    let seen = Fact.Tbl.create 4096 in
     let dp_facts = ref [] in
     let push f =
-      let k = Fact.key f in
-      if not (Hashtbl.mem seen k) then begin
-        Hashtbl.add seen k ();
+      if not (Fact.Tbl.mem seen f) then begin
+        Fact.Tbl.add seen f ();
         dp_facts := f :: !dp_facts
       end
     in

@@ -6,7 +6,7 @@ open Netcov_core
 
 type t = {
   st : Stable_state.t;
-  seen : (string, unit) Hashtbl.t;
+  seen : unit Fact.Tbl.t;
   mutable dp_facts : Fact.t list;
   mutable cp_elements : Element.id list;
   mutable n_checks : int;
@@ -16,7 +16,7 @@ type t = {
 let create st =
   {
     st;
-    seen = Hashtbl.create 256;
+    seen = Fact.Tbl.create 256;
     dp_facts = [];
     cp_elements = [];
     n_checks = 0;
@@ -30,9 +30,8 @@ let check p ok msg =
   if not ok then p.fails <- msg :: p.fails
 
 let push p f =
-  let k = Fact.key f in
-  if not (Hashtbl.mem p.seen k) then begin
-    Hashtbl.add p.seen k ();
+  if not (Fact.Tbl.mem p.seen f) then begin
+    Fact.Tbl.add p.seen f ();
     p.dp_facts <- f :: p.dp_facts
   end
 

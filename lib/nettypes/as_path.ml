@@ -29,3 +29,8 @@ let of_string s =
 let pp fmt p = Format.pp_print_string fmt (to_string p)
 let compare = List.compare Int.compare
 let equal a b = compare a b = 0
+
+let hash p =
+  (* Unlike [Hashtbl.hash], folds over the whole path: long paths that
+     share a recent-hop prefix must not collide systematically. *)
+  List.fold_left (fun h asn -> (h * 31) + asn + 1) 17 p

@@ -25,3 +25,6 @@ val of_string : string -> t
 val pp : Format.formatter -> t -> unit
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+(** Folds over every hop; hash-equal whenever {!equal}. *)
+val hash : t -> int

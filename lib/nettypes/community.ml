@@ -33,6 +33,7 @@ let compare a b =
   | c -> c
 
 let equal a b = compare a b = 0
+let hash c = (c.high lsl 16) lor c.low
 
 module Set = Set.Make (struct
   type nonrec t = t

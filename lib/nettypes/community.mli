@@ -18,4 +18,7 @@ val pp : Format.formatter -> t -> unit
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+(** Injective (both fields are 16-bit), so hash-equal iff {!equal}. *)
+val hash : t -> int
+
 module Set : Set.S with type elt = t

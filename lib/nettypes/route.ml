@@ -82,6 +82,19 @@ let compare_bgp a b =
 
 let equal_bgp a b = compare_bgp a b = 0
 
+let hash_bgp r =
+  (* Covers every field [compare_bgp] compares, so hash-equal whenever
+     [equal_bgp]; the community set folds element-wise (in-order, hence
+     canonical) because tree shape may differ between equal sets. *)
+  let mix h v = (h * 31) + v + 1 in
+  let h = mix (Prefix.hash r.prefix) (Ipv4.hash r.next_hop) in
+  let h = mix h (As_path.hash r.as_path) in
+  let h = mix h r.local_pref in
+  let h = mix h r.med in
+  let h = Community.Set.fold (fun c h -> mix h (Community.hash c)) r.communities h in
+  let h = mix h (origin_rank r.origin) in
+  mix h r.cluster_len
+
 let bgp_to_string r =
   Printf.sprintf "%s via %s as-path [%s] lp %d med %d comm {%s} origin %s"
     (Prefix.to_string r.prefix)

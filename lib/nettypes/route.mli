@@ -45,5 +45,10 @@ val add_community : bgp -> Community.t -> bgp
 val has_community : bgp -> Community.t -> bool
 val compare_bgp : bgp -> bgp -> int
 val equal_bgp : bgp -> bgp -> bool
+
+(** Structural hash over every attribute, canonical in the community
+    set (hash-equal whenever {!equal_bgp}); allocation-free, unlike
+    keying on {!bgp_to_string}. *)
+val hash_bgp : bgp -> int
 val pp_bgp : Format.formatter -> bgp -> unit
 val bgp_to_string : bgp -> string
