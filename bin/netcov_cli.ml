@@ -110,14 +110,14 @@ let print_summary results report =
     report.Netcov.timing.Netcov.total_s report.Netcov.timing.Netcov.sim_s
     report.Netcov.timing.Netcov.label_s report.Netcov.timing.Netcov.ifg_nodes
 
-let maybe_write out report =
+let maybe_write ?(diags = []) ?(failures = []) out report =
   match out with
   | None -> ()
   | Some dir ->
       Lcov.write_tree report.Netcov.coverage dir;
       Html_report.write_tree report.Netcov.coverage (Filename.concat dir "html");
       let oc = open_out (Filename.concat dir "coverage.json") in
-      output_string oc (Json_export.report report);
+      output_string oc (Json_export.report ~diags ~failures report);
       close_out oc;
       Printf.printf
         "wrote %s/coverage.info, %s/coverage.json, %s/configs/ and %s/html/\n"
@@ -492,103 +492,171 @@ let audit_cmd =
       & info [] ~docv:"DIR"
           ~doc:"Directory of configuration files (*.cfg or *.conf).")
   in
-  let run verbose dir syntax out trace metrics =
+  let mode =
+    Arg.(
+      value
+      & vflag `Keep_going
+          [
+            ( `Keep_going,
+              info [ "keep-going" ]
+                ~doc:
+                  "Recover from malformed stanzas, duplicate hostnames, \
+                   unknown neighbors and crashing per-test analyses: collect \
+                   diagnostics, emit a partial coverage report that embeds \
+                   them, and exit 3 when anything was skipped (this is the \
+                   default; see docs/ERRORS.md)." );
+            ( `Strict,
+              info [ "strict" ]
+                ~doc:
+                  "Fail fast: the first error-severity diagnostic aborts the \
+                   run with exit 1. Warnings still print." );
+          ])
+  in
+  let run verbose dir syntax mode out trace metrics =
     setup_logs verbose;
-    with_obs ~trace ~metrics @@ fun () ->
-    let m_parse_files =
-      Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
-        ~help:"configuration files parsed" ~unit_:"files" "parse.files"
+    let strict = mode = `Strict in
+    let code =
+      with_obs ~trace ~metrics @@ fun () ->
+      let m_parse_files =
+        Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
+          ~help:"configuration files parsed" ~unit_:"files" "parse.files"
+      in
+      let m_parse_errors =
+        Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
+          ~help:"configuration files rejected by the parser" ~unit_:"files"
+          "parse.errors"
+      in
+      let coll = Diag.collector () in
+      (* Every diagnostic goes through here: collected for the report,
+         printed as a [file:line: severity: message] line, and — under
+         --strict — fatal at the first error severity. *)
+      let emit d =
+        Diag.add coll d;
+        Printf.eprintf "%s\n%!" (Diag.to_string d);
+        if strict && Diag.is_error d then exit 1
+      in
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".cfg" || Filename.check_suffix f ".conf")
+        |> List.sort String.compare
+      in
+      if files = [] then begin
+        Printf.eprintf "no *.cfg or *.conf files in %s\n" dir;
+        exit 1
+      end;
+      let read_file path =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let devices =
+        List.filter_map
+          (fun f ->
+            Netcov_obs.Trace.with_span "parse"
+              ~args:[ ("file", Netcov_obs.Trace.S f) ]
+            @@ fun () ->
+            let hostname = Filename.remove_extension f in
+            match read_file (Filename.concat dir f) with
+            | exception Sys_error msg ->
+                Netcov_obs.Metrics.inc m_parse_errors 1;
+                emit (Diag.error ~file:f Diag.Io_error msg);
+                None
+            | text -> (
+                Netcov_obs.Metrics.inc m_parse_files 1;
+                (* --strict syntax-checks each file whole (a malformed
+                   stanza is an error); --keep-going parses leniently,
+                   skipping bad stanzas with a recovery warning. *)
+                let parsed =
+                  if strict then
+                    match syntax with
+                    | `Junos ->
+                        Result.map
+                          (fun d -> (d, []))
+                          (Result.map_error
+                             (fun (e : Parse_junos.error) ->
+                               Diag.error ~file:f ~line:e.line Diag.Parse_error
+                                 e.message)
+                             (Parse_junos.parse ~hostname text))
+                    | `Ios ->
+                        Result.map
+                          (fun d -> (d, []))
+                          (Result.map_error
+                             (fun (e : Parse_ios.error) ->
+                               Diag.error ~file:f ~line:e.line Diag.Parse_error
+                                 e.message)
+                             (Parse_ios.parse ~hostname text))
+                  else
+                    match syntax with
+                    | `Junos -> Parse_junos.parse_lenient ~file:f ~hostname text
+                    | `Ios -> Parse_ios.parse_lenient ~file:f ~hostname text
+                in
+                match parsed with
+                | Ok (d, warns) ->
+                    List.iter emit warns;
+                    Some d
+                | Error diag ->
+                    Netcov_obs.Metrics.inc m_parse_errors 1;
+                    emit diag;
+                    None))
+          files
+      in
+      Printf.printf "parsed %d device(s)\n" (List.length devices);
+      let reg, reg_diags = Registry.build_lenient devices in
+      List.iter emit reg_diags;
+      Printf.printf "%d elements across %d considered lines (%d total)\n"
+        (Registry.n_elements reg)
+        (Registry.considered_lines reg)
+        (Registry.total_lines reg);
+      let state = Stable_state.compute ~diags:emit reg in
+      Printf.printf
+        "stable state: %d main-RIB entries, %d BGP sessions, converged in %d \
+         rounds\n"
+        (Stable_state.total_main_entries state)
+        (List.length (Stable_state.edges state) / 2)
+        (Stable_state.rounds state);
+      (* hypothetical full data plane test: the configuration a perfect
+         data plane test suite could ever cover *)
+      let all = Netcov_dpcov.Dpcov.all_data_plane_tested state in
+      let outcome =
+        Netcov.analyze_suite_isolated ~diags:emit
+          ~labels:[ "data-plane-upper-bound" ] state [ all ]
+      in
+      let failures = outcome.Netcov.failures in
+      let report = Netcov.merge_reports ~registry:reg outcome.Netcov.ok in
+      let stats = Coverage.line_stats report.Netcov.coverage in
+      Printf.printf
+        "\nupper bound for data-plane testing: %.1f%% of considered lines\n"
+        (Coverage.pct stats);
+      Printf.printf "dead configuration: %.1f%%\n" (Netcov.dead_line_pct report);
+      let by_reason = Hashtbl.create 8 in
+      List.iter
+        (fun (_, reason) ->
+          Hashtbl.replace by_reason reason
+            (1 + Option.value (Hashtbl.find_opt by_reason reason) ~default:0))
+        report.Netcov.dead.Deadcode.details;
+      Hashtbl.iter
+        (fun reason n ->
+          Printf.printf "  %4d x %s\n" n (Deadcode.reason_to_string reason))
+        by_reason;
+      maybe_write ~diags:(Diag.items coll) ~failures out report;
+      if Diag.length coll > 0 || failures <> [] then 3 else 0
     in
-    let m_parse_errors =
-      Netcov_obs.Metrics.counter Netcov_obs.Metrics.default
-        ~help:"configuration files rejected by the parser" ~unit_:"files"
-        "parse.errors"
-    in
-    let files =
-      Sys.readdir dir |> Array.to_list
-      |> List.filter (fun f ->
-             Filename.check_suffix f ".cfg" || Filename.check_suffix f ".conf")
-      |> List.sort String.compare
-    in
-    if files = [] then begin
-      Printf.eprintf "no *.cfg or *.conf files in %s\n" dir;
-      exit 1
-    end;
-    let read_file path =
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    in
-    let devices =
-      List.filter_map
-        (fun f ->
-          Netcov_obs.Trace.with_span "parse"
-            ~args:[ ("file", Netcov_obs.Trace.S f) ]
-          @@ fun () ->
-          let hostname = Filename.remove_extension f in
-          let text = read_file (Filename.concat dir f) in
-          let parsed =
-            match syntax with
-            | `Junos ->
-                Result.map_error Parse_junos.error_to_string
-                  (Parse_junos.parse ~hostname text)
-            | `Ios ->
-                Result.map_error Parse_ios.error_to_string
-                  (Parse_ios.parse ~hostname text)
-          in
-          Netcov_obs.Metrics.inc m_parse_files 1;
-          match parsed with
-          | Ok d -> Some d
-          | Error msg ->
-              Netcov_obs.Metrics.inc m_parse_errors 1;
-              Printf.eprintf "skipping %s: %s\n" f msg;
-              None)
-        files
-    in
-    Printf.printf "parsed %d device(s)\n" (List.length devices);
-    let reg = Registry.build devices in
-    Printf.printf "%d elements across %d considered lines (%d total)\n"
-      (Registry.n_elements reg)
-      (Registry.considered_lines reg)
-      (Registry.total_lines reg);
-    let state = Stable_state.compute reg in
-    Printf.printf
-      "stable state: %d main-RIB entries, %d BGP sessions, converged in %d \
-       rounds\n"
-      (Stable_state.total_main_entries state)
-      (List.length (Stable_state.edges state) / 2)
-      (Stable_state.rounds state);
-    (* hypothetical full data plane test: the configuration a perfect
-       data plane test suite could ever cover *)
-    let all = Netcov_dpcov.Dpcov.all_data_plane_tested state in
-    let report = Netcov.analyze state all in
-    let stats = Coverage.line_stats report.Netcov.coverage in
-    Printf.printf
-      "\nupper bound for data-plane testing: %.1f%% of considered lines\n"
-      (Coverage.pct stats);
-    Printf.printf "dead configuration: %.1f%%\n" (Netcov.dead_line_pct report);
-    let by_reason = Hashtbl.create 8 in
-    List.iter
-      (fun (_, reason) ->
-        Hashtbl.replace by_reason reason
-          (1 + Option.value (Hashtbl.find_opt by_reason reason) ~default:0))
-      report.Netcov.dead.Deadcode.details;
-    Hashtbl.iter
-      (fun reason n ->
-        Printf.printf "  %4d x %s\n" n (Deadcode.reason_to_string reason))
-      by_reason;
-    maybe_write out report
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "audit"
        ~doc:
          "Parse configuration files from a directory, simulate the network \
           and report the data-plane-testable coverage ceiling plus dead \
-          configuration.")
+          configuration. Exits 0 on a clean run, 3 when $(b,--keep-going) \
+          (the default) recovered from problems and wrote a partial report, \
+          and 1 when $(b,--strict) hit an error (docs/ERRORS.md).")
     Term.(
-      const run $ verbose $ dir $ syntax_arg $ out_dir $ trace_out $ metrics_out)
+      const run $ verbose $ dir $ syntax_arg $ mode $ out_dir $ trace_out
+      $ metrics_out)
 
 let parse_cmd =
   let files =
@@ -609,7 +677,14 @@ let parse_cmd =
     List.iter
       (fun file ->
         let hostname = Filename.remove_extension (Filename.basename file) in
-        let text = read_file file in
+        let text =
+          try read_file file
+          with Sys_error msg ->
+            (* unreadable file (directory, permissions, vanished after the
+               cmdliner existence check): diagnostic, not a backtrace *)
+            Printf.eprintf "%s\n%!" msg;
+            exit 1
+        in
         let parsed =
           match syntax with
           | `Junos ->
@@ -655,7 +730,7 @@ let fuzz_cmd =
     Arg.(
       value & opt_all string []
       & info [ "oracle" ] ~docv:"NAME"
-          ~doc:"Run only oracle $(docv) (repeatable; default: all five).")
+          ~doc:"Run only oracle $(docv) (repeatable; default: all).")
   in
   let run verbose seed iters oracles =
     setup_logs verbose;
@@ -671,7 +746,15 @@ let fuzz_cmd =
         end)
       oracles;
     let names = match oracles with [] -> None | ns -> Some ns in
-    let ok = Netcov_check.Oracles.run_all ?names ~seed ~iters () in
+    let ok =
+      try Netcov_check.Oracles.run_all ?names ~seed ~iters ()
+      with e ->
+        (* An oracle escaping with an exception is a harness bug, but it
+           should still fail like a counterexample: one diagnostic line
+           and exit 1, never an uncaught-exception backtrace. *)
+        Printf.eprintf "fuzz: oracle crashed: %s\n%!" (Printexc.to_string e);
+        exit 1
+    in
     if not ok then exit 1
   in
   Cmd.v
@@ -679,9 +762,9 @@ let fuzz_cmd =
        ~doc:
          "Run the differential property oracles (emit/parse roundtrip, \
           parallel determinism, sim-cache equivalence, BDD vs truth table, \
-          coverage monotonicity/merge) on random networks. Exits 1 and \
-          prints a shrunk counterexample plus a reproduction seed on any \
-          divergence. See docs/TESTING.md.")
+          coverage monotonicity/merge, intern-reference, fault-isolation) \
+          on random networks. Exits 1 and prints a shrunk counterexample \
+          plus a reproduction seed on any divergence. See docs/TESTING.md.")
     Term.(const run $ verbose $ seed $ iters $ oracles)
 
 let () =

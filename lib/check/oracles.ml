@@ -394,6 +394,85 @@ let intern_oracle =
   }
 
 (* ------------------------------------------------------------------ *)
+(* 7. per-test fault isolation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A tested fact referencing a nonexistent device makes its analysis
+   raise (the registry lookup fails while deciding expandability) —
+   the same failure mode as a crashing targeted simulation, injected
+   deterministically. *)
+let poison_tested i =
+  let prefix =
+    Option.get (Netcov_types.Prefix.of_string_opt "10.99.99.0/24")
+  in
+  let route =
+    Netcov_types.Route.originate prefix ~next_hop:Netcov_types.Ipv4.zero
+  in
+  {
+    Netcov.dp_facts =
+      [
+        Fact.F_bgp_rib
+          {
+            host = Printf.sprintf "no-such-device-%d" i;
+            route;
+            source = Netcov_sim.Rib.From_redistribute Netcov_types.Route.Static;
+          };
+      ];
+    cp_elements = [];
+  }
+
+let isolation_prop (sc : Netgen.scenario) =
+  let state = state_of sc.Netgen.net in
+  let reg = Stable_state.registry state in
+  let testeds = testeds_of state sc in
+  let k = 2 in
+  (* surround the healthy tests so exclusion is position-independent *)
+  let mixed = (poison_tested 0 :: testeds) @ [ poison_tested 1 ] in
+  let clean = Netcov.analyze_suite ~pool:Pool.sequential state testeds in
+  let outcome = Netcov.analyze_suite_isolated ~pool:Pool.sequential state mixed in
+  if List.length outcome.Netcov.failures <> k then
+    fail "expected %d isolated failures, got %d" k
+      (List.length outcome.Netcov.failures)
+  else if
+    not
+      (List.for_all
+         (fun (f : Netcov.test_failure) ->
+           f.Netcov.tf_index = 0 || f.Netcov.tf_index = List.length mixed - 1)
+         outcome.Netcov.failures)
+  then fail "failure indices do not match the injected positions"
+  else
+    match
+      first_diff
+        (List.map coverage_fp outcome.Netcov.ok)
+        (List.map coverage_fp clean)
+    with
+    | Some i ->
+        fail
+          "surviving report %d differs from analyzing the suite without the \
+           injected tests"
+          i
+    | None ->
+        let m_mixed =
+          coverage_fp (Netcov.merge_reports ~registry:reg outcome.Netcov.ok)
+        in
+        let m_clean = coverage_fp (Netcov.merge_reports ~registry:reg clean) in
+        if m_mixed <> m_clean then
+          fail "merged coverage differs once the failures section is set aside"
+        else Ok ()
+
+let isolation_oracle =
+  {
+    name = "fault-isolation";
+    describe =
+      "a suite with k injected-failing tests analyzes like the suite without \
+       them, modulo the failures section";
+    run =
+      (fun ~seed ~iters ->
+        Check.run ~name:"fault-isolation" ~seed ~iters
+          ~print:Netgen.print_scenario Netgen.scenario isolation_prop);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -403,6 +482,7 @@ let all =
     bdd_oracle;
     monotone_oracle;
     intern_oracle;
+    isolation_oracle;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

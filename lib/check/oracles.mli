@@ -14,10 +14,10 @@ type t = {
   run : seed:int -> iters:int -> Check.outcome;
 }
 
-(** The six oracles, in documentation order: ["roundtrip"],
+(** The seven oracles, in documentation order: ["roundtrip"],
     ["parallel-determinism"], ["cache-equivalence"],
     ["bdd-truth-table"], ["monotonicity-merge"],
-    ["intern-reference"]. *)
+    ["intern-reference"], ["fault-isolation"]. *)
 val all : t list
 
 val find : string -> t option

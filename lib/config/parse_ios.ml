@@ -75,9 +75,12 @@ type section =
 let words line =
   String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
 
-let parse ?(hostname = "device") text =
-  try
-    let lines = String.split_on_char '\n' text in
+(* Core of the parser. Raises [Fail] on the first bad line when
+   [on_error] is absent; with [on_error] every failing line is reported
+   through it and skipped, and parsing continues (per-stanza recovery:
+   the section state is whatever the last good line left it at). *)
+let parse_gen ?(hostname = "device") ?on_error text =
+  let lines = String.split_on_char '\n' text in
     let hostname = ref hostname in
     let interfaces : (string * Device.interface ref) list ref = ref [] in
     let statics = ref [] in
@@ -191,7 +194,8 @@ let parse ?(hostname = "device") text =
         let line = if raw <> "" && raw.[0] = ' ' then raw else String.trim raw in
         let indented = String.length raw > 0 && raw.[0] = ' ' in
         let w = words line in
-        match (w, indented, !section) with
+        let handle () =
+          match (w, indented, !section) with
         | [], _, _ -> ()
         | "!" :: _, _, _ -> section := Top
         | [ "end" ], _, _ -> section := Top
@@ -335,8 +339,19 @@ let parse ?(hostname = "device") text =
         | [ "continue" ], true, In_route_map (_, entry) -> entry.rm_continue <- true
         | "set" :: rest, true, In_route_map (_, entry) ->
             entry.rm_sets <- entry.rm_sets @ [ parse_set at rest ]
-        | _, _, _ ->
-            fail at (Printf.sprintf "cannot parse %S" line))
+          | _, _, _ -> fail at (Printf.sprintf "cannot parse %S" line)
+        in
+        let guarded () =
+          (* [Community.of_string] and [As_regex.compile] raise bare
+             [Failure]/[Invalid_argument]; pin whatever escapes the
+             dispatch to this line so it never surfaces as a backtrace. *)
+          try handle () with
+          | Fail _ as e -> raise e
+          | Failure m | Invalid_argument m -> fail at m
+        in
+        match on_error with
+        | None -> guarded ()
+        | Some report -> ( try guarded () with Fail e -> report e))
       lines;
     let policies =
       List.map
@@ -375,33 +390,50 @@ let parse ?(hostname = "device") text =
           })
         !bgp_local_as
     in
-    Ok
-      (Device.make ~syntax:Device.Ios
-         ~interfaces:(List.map (fun (_, r) -> !r) !interfaces)
-         ~static_routes:(List.rev !statics)
-         ~acls:
-           (List.map
-              (fun (name, rules) -> { Device.acl_name = name; rules })
-              (List.combine
-                 (List.rev acls.Builder.order)
-                 (Builder.to_list acls)))
-         ~prefix_lists:
-           (List.map2
-              (fun name entries -> { Device.pl_name = name; pl_entries = entries })
-              (List.rev prefix_lists.Builder.order)
-              (Builder.to_list prefix_lists))
-         ~community_lists:
-           (List.map2
-              (fun name members -> { Device.cl_name = name; cl_members = members })
-              (List.rev community_lists.Builder.order)
-              (Builder.to_list community_lists))
-         ~as_path_lists:
-           (List.map2
-              (fun name patterns -> { Device.al_name = name; al_patterns = patterns })
-              (List.rev as_path_lists.Builder.order)
-              (Builder.to_list as_path_lists))
-         ~policies ?bgp !hostname)
-  with Fail e -> Error e
+    Device.make ~syntax:Device.Ios
+      ~interfaces:(List.map (fun (_, r) -> !r) !interfaces)
+      ~static_routes:(List.rev !statics)
+      ~acls:
+        (List.map
+           (fun (name, rules) -> { Device.acl_name = name; rules })
+           (List.combine (List.rev acls.Builder.order) (Builder.to_list acls)))
+      ~prefix_lists:
+        (List.map2
+           (fun name entries -> { Device.pl_name = name; pl_entries = entries })
+           (List.rev prefix_lists.Builder.order)
+           (Builder.to_list prefix_lists))
+      ~community_lists:
+        (List.map2
+           (fun name members -> { Device.cl_name = name; cl_members = members })
+           (List.rev community_lists.Builder.order)
+           (Builder.to_list community_lists))
+      ~as_path_lists:
+        (List.map2
+           (fun name patterns -> { Device.al_name = name; al_patterns = patterns })
+           (List.rev as_path_lists.Builder.order)
+           (Builder.to_list as_path_lists))
+      ~policies ?bgp !hostname
+
+let parse ?hostname text =
+  match parse_gen ?hostname text with
+  | d -> Ok d
+  | exception Fail e -> Error e
+
+let parse_lenient ?file ?hostname text =
+  let module D = Netcov_diag.Diag in
+  let errs = ref [] in
+  match parse_gen ?hostname ~on_error:(fun e -> errs := e :: !errs) text with
+  | d ->
+      let diags =
+        List.rev_map
+          (fun (e : error) ->
+            D.warning ?file ~line:e.line ~device:d.Device.hostname
+              D.Parse_recovered
+              (Printf.sprintf "skipped line: %s" e.message))
+          !errs
+      in
+      Ok (d, diags)
+  | exception Fail e -> Error (D.error ?file ~line:e.line D.Parse_error e.message)
 
 let parse_exn ?hostname text =
   match parse ?hostname text with

@@ -4,5 +4,21 @@
 type error = { line : int; message : string }
 
 val error_to_string : error -> string
+
+(** Strict parse: the first unparseable line aborts with [Error].
+    Helper failures (bad communities, as-path regexes) are pinned to
+    their line — [parse] never lets an exception escape. *)
 val parse : ?hostname:string -> string -> (Device.t, error) result
+
+(** Lenient parse with per-stanza recovery: every unparseable line is
+    skipped and reported as a [Parse_recovered] warning (with [?file]
+    and line provenance), and the rest of the configuration still
+    parses. Only catastrophic failures — nothing recoverable
+    line-by-line — yield [Error]. *)
+val parse_lenient :
+  ?file:string ->
+  ?hostname:string ->
+  string ->
+  (Device.t * Netcov_diag.Diag.t list, Netcov_diag.Diag.t) result
+
 val parse_exn : ?hostname:string -> string -> Device.t

@@ -291,9 +291,41 @@ let parse_neighbor ~group at head body : Device.neighbor =
     nb_description = !description;
   }
 
-let parse ?(hostname = "device") text =
-  try
+(* Core of the parser. The block-tree stage is always fatal (an
+   unbalanced file has no usable structure), but with [on_error] each
+   element-level interpreter (interface, policy, list, filter, BGP
+   stanza) recovers independently: a failing element is reported and
+   dropped, its siblings still parse. *)
+let parse_gen ?(hostname = "device") ?on_error text =
     let tree = parse_tree text in
+    let attempt_filter_map f nodes =
+      List.filter_map
+        (fun n ->
+          let run () =
+            (* pin bare [Failure]/[Invalid_argument] (e.g. from
+               [Community.of_string]) to this element's line *)
+            try f n with
+            | Fail _ as e -> raise e
+            | Failure m | Invalid_argument m -> fail n.at m
+          in
+          match on_error with
+          | None -> run ()
+          | Some report -> (
+              try run () with
+              | Fail e ->
+                  report e;
+                  None))
+        nodes
+    in
+    let attempt_map f nodes = attempt_filter_map (fun n -> Some (f n)) nodes in
+    let attempt_iter f nodes =
+      ignore
+        (attempt_filter_map
+           (fun n ->
+             f n;
+             None)
+           nodes)
+    in
     (* hostname *)
     let hostname =
       match find_block "system" tree with
@@ -311,7 +343,7 @@ let parse ?(hostname = "device") text =
     let interfaces =
       match find_block "interfaces" tree with
       | None -> []
-      | Some blk -> List.map parse_interface blk.body
+      | Some blk -> attempt_map parse_interface blk.body
     in
     (* IS-IS participation back-annotates interfaces *)
     let protocols = find_block "protocols" tree in
@@ -319,7 +351,7 @@ let parse ?(hostname = "device") text =
       match Option.bind protocols (fun p -> find_block "isis" p.body) with
       | None -> []
       | Some isis ->
-          List.filter_map
+          attempt_filter_map
             (fun c ->
               match c.head with
               | [ "interface"; ifname ] ->
@@ -372,7 +404,7 @@ let parse ?(hostname = "device") text =
       match Option.bind routing (fun r -> find_block "static" r.body) with
       | None -> []
       | Some s ->
-          List.filter_map
+          attempt_filter_map
             (fun c ->
               match c.head with
               | [ "route"; p; "next-hop"; nh ] ->
@@ -386,18 +418,18 @@ let parse ?(hostname = "device") text =
     let policies =
       match pol_opts with
       | None -> []
-      | Some po -> List.map parse_policy (find_blocks "policy-statement" po.body)
+      | Some po -> attempt_map parse_policy (find_blocks "policy-statement" po.body)
     in
     let prefix_lists =
       match pol_opts with
       | None -> []
-      | Some po -> List.map parse_prefix_list (find_blocks "prefix-list" po.body)
+      | Some po -> attempt_map parse_prefix_list (find_blocks "prefix-list" po.body)
     in
     let community_lists =
       match pol_opts with
       | None -> []
       | Some po ->
-          List.filter_map
+          attempt_filter_map
             (fun c ->
               match c.head with
               | "community" :: name :: "members" :: rest ->
@@ -413,7 +445,7 @@ let parse ?(hostname = "device") text =
       match pol_opts with
       | None -> []
       | Some po ->
-          List.map
+          attempt_map
             (fun g ->
               let name =
                 match g.head with
@@ -436,7 +468,7 @@ let parse ?(hostname = "device") text =
       match find_block "firewall" tree with
       | None -> []
       | Some fw ->
-          List.map
+          attempt_map
             (fun f ->
               let name =
                 match f.head with [ "filter"; x ] -> x | _ -> fail f.at "filter"
@@ -481,7 +513,7 @@ let parse ?(hostname = "device") text =
           let groups = ref [] in
           let neighbors = ref [] in
           let multipath = ref 1 in
-          List.iter
+          attempt_iter
             (fun c ->
               match c.head with
               | [ "network"; p ] -> networks := prefix c.at p :: !networks
@@ -554,10 +586,29 @@ let parse ?(hostname = "device") text =
               multipath = !multipath;
             }
     in
-    Ok
-      (Device.make ~syntax:Device.Junos ~interfaces ~static_routes ~acls
-         ~prefix_lists ~community_lists ~as_path_lists ~policies ?bgp hostname)
-  with Fail e -> Error e
+    Device.make ~syntax:Device.Junos ~interfaces ~static_routes ~acls
+      ~prefix_lists ~community_lists ~as_path_lists ~policies ?bgp hostname
+
+let parse ?hostname text =
+  match parse_gen ?hostname text with
+  | d -> Ok d
+  | exception Fail e -> Error e
+
+let parse_lenient ?file ?hostname text =
+  let module D = Netcov_diag.Diag in
+  let errs = ref [] in
+  match parse_gen ?hostname ~on_error:(fun e -> errs := e :: !errs) text with
+  | d ->
+      let diags =
+        List.rev_map
+          (fun (e : error) ->
+            D.warning ?file ~line:e.line ~device:d.Device.hostname
+              D.Parse_recovered
+              (Printf.sprintf "skipped element: %s" e.message))
+          !errs
+      in
+      Ok (d, diags)
+  | exception Fail e -> Error (D.error ?file ~line:e.line D.Parse_error e.message)
 
 let parse_exn ?hostname text =
   match parse ?hostname text with

@@ -10,4 +10,16 @@ val error_to_string : error -> string
     inside the text ([host-name]) wins over [~hostname] when present. *)
 val parse : ?hostname:string -> string -> (Device.t, error) result
 
+(** Lenient parse: the block-tree stage stays fatal (an unbalanced
+    file has no usable structure, so it yields [Error]), but each
+    element-level interpreter — interface, policy-statement,
+    prefix-list, community list, as-path-group, filter, BGP stanza —
+    recovers independently. A failing element is dropped and reported
+    as a [Parse_recovered] warning; its siblings still parse. *)
+val parse_lenient :
+  ?file:string ->
+  ?hostname:string ->
+  string ->
+  (Device.t * Netcov_diag.Diag.t list, Netcov_diag.Diag.t) result
+
 val parse_exn : ?hostname:string -> string -> Device.t

@@ -86,6 +86,31 @@ let build devices =
     by_key;
   }
 
+let build_lenient devices =
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  let kept =
+    List.filter
+      (fun (d : Device.t) ->
+        if Hashtbl.mem seen d.hostname then begin
+          diags :=
+            Netcov_diag.Diag.error ~device:d.hostname
+              Netcov_diag.Diag.Duplicate_host
+              (Printf.sprintf
+                 "duplicate hostname %s: kept the first definition, dropped \
+                  this one"
+                 d.hostname)
+            :: !diags;
+          false
+        end
+        else begin
+          Hashtbl.add seen d.hostname ();
+          true
+        end)
+      devices
+  in
+  (build kept, List.rev !diags)
+
 let info t host =
   match Hashtbl.find_opt t.infos host with
   | Some i -> i

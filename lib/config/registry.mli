@@ -12,6 +12,11 @@ type t
     duplicate hostnames. *)
 val build : Device.t list -> t
 
+(** Like {!build}, but duplicate hostnames degrade instead of raising:
+    the first definition wins, each later one is dropped and reported
+    as a [Duplicate_host] error diagnostic. *)
+val build_lenient : Device.t list -> t * Netcov_diag.Diag.t list
+
 val device : t -> string -> Device.t
 val device_opt : t -> string -> Device.t option
 

@@ -1,0 +1,4 @@
+(* Re-export: the diagnostic channel lives in [Netcov_diag] (below the
+   parsers in the library stack); core users reach it as
+   [Netcov_core.Diag]. *)
+include Netcov_diag.Diag

@@ -23,8 +23,10 @@ type json =
   | J_float of float
   | J_list of json list
   | J_obj of (string * json) list
+  | J_raw of string  (* pre-encoded JSON, spliced verbatim *)
 
 let rec emit buf = function
+  | J_raw s -> Buffer.add_string buf s
   | J_str s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape_string s);
@@ -135,7 +137,16 @@ let timing_json (t : Netcov.timing) =
 
 let timing t = to_string (timing_json t)
 
-let report (r : Netcov.report) =
+let failure_json (f : Netcov.test_failure) =
+  J_obj
+    [
+      ("index", J_int f.Netcov.tf_index);
+      ("label", J_str f.Netcov.tf_label);
+      ("error", J_str f.Netcov.tf_error);
+      ("backtrace", J_str f.Netcov.tf_backtrace);
+    ]
+
+let report ?(diags = []) ?(failures = []) (r : Netcov.report) =
   let dead =
     List.map
       (fun (id, reason) ->
@@ -152,4 +163,6 @@ let report (r : Netcov.report) =
          ("coverage", coverage_json r.Netcov.coverage);
          ("timing", timing_json r.Netcov.timing);
          ("dead", J_list dead);
+         ("diagnostics", J_list (List.map (fun d -> J_raw (Diag.to_json d)) diags));
+         ("failures", J_list (List.map failure_json failures));
        ])

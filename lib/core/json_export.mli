@@ -9,8 +9,16 @@ val coverage : Coverage.t -> string
 (** Timing/diagnostics of one analysis run. *)
 val timing : Netcov.timing -> string
 
-(** Report including dead-code details. *)
-val report : Netcov.report -> string
+(** Report including dead-code details. The [diagnostics] and
+    [failures] arrays are always present — empty on a clean run — so a
+    partial report (some tests excluded, some stanzas recovered) and a
+    clean one share a single schema (docs/ERRORS.md). Diagnostics embed
+    via {!Diag.to_json}. *)
+val report :
+  ?diags:Diag.t list ->
+  ?failures:Netcov.test_failure list ->
+  Netcov.report ->
+  string
 
 (** Minimal JSON string escaping (exposed for tests). *)
 val escape_string : string -> string

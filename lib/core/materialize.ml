@@ -112,8 +112,8 @@ let run ?mode ctx ~tested =
             | Ifg.N_fact f ->
                 if expandable ctx f then
                   List.iter2
-                    (fun (_, rule) (_, counter) ->
-                      let infs = rule ctx f in
+                    (fun named_rule (_, counter) ->
+                      let infs = Rules.apply_rule ctx named_rule f in
                       if infs <> [] then M.inc counter (List.length infs);
                       List.iter apply_inference infs)
                     Rules.all_rules rule_counters

@@ -62,6 +62,11 @@ let m_cache_distinct =
     ~help:"distinct keys in the targeted-simulation memo cache after an analysis"
     ~unit_:"keys" "sim.cache.distinct_keys"
 
+let m_errors =
+  M.counter M.default
+    ~help:"per-test analysis failures isolated and excluded during suite runs"
+    ~unit_:"failures" "analyze.errors"
+
 (* Key-precision accounting for the sim cache: record how fragmented
    the key space was and, at debug level, which key component
    fragments it (docs/OBSERVABILITY.md). *)
@@ -78,7 +83,7 @@ let record_cache_breakdown cache =
             b.Rules.kb_defaults b.Rules.kb_protocols b.Rules.kb_routes))
     cache
 
-let analyze ?pool ?(sim_cache = true) ?identity state tested =
+let analyze ?pool ?(sim_cache = true) ?identity ?diags state tested =
   T.with_span "analyze"
     ~args:
       [
@@ -90,7 +95,7 @@ let analyze ?pool ?(sim_cache = true) ?identity state tested =
   let t0 = Timing.now () in
   let reg = Stable_state.registry state in
   let cache = if sim_cache then Some (Rules.create_sim_cache ()) else None in
-  let ctx = Rules.make_ctx ?cache state in
+  let ctx = Rules.make_ctx ?cache ?diags state in
   let g, tested_ids, mstats =
     Materialize.run ?mode:identity ctx ~tested:tested.dp_facts
   in
@@ -144,8 +149,34 @@ let merge_timing a b =
     bdd_vars = max a.bdd_vars b.bdd_vars;
   }
 
-let merge_reports ?wall_s = function
-  | [] -> invalid_arg "Netcov.merge_reports: empty list"
+let zero_timing =
+  {
+    total_s = 0.;
+    cpu_total_s = 0.;
+    materialize_s = 0.;
+    sim_s = 0.;
+    label_s = 0.;
+    sim_count = 0;
+    sim_cache_hits = 0;
+    sim_cache_misses = 0;
+    ifg_nodes = 0;
+    ifg_edges = 0;
+    bdd_vars = 0;
+  }
+
+let empty_report reg =
+  { coverage = Coverage.empty reg; timing = zero_timing; dead = Deadcode.analyze reg }
+
+let merge_reports ?wall_s ?registry = function
+  | [] -> (
+      match registry with
+      | None -> invalid_arg "Netcov.merge_reports: empty list"
+      | Some reg ->
+          (* An all-failed suite under --keep-going still merges into a
+             valid zero-coverage report. *)
+          let r = empty_report reg in
+          let total_s = Option.value wall_s ~default:0. in
+          { r with timing = { r.timing with total_s } })
   | r :: rest ->
       (* The merged [dead] field is taken from the first report, which
          is only sound when every report was produced against the same
@@ -154,6 +185,12 @@ let merge_reports ?wall_s = function
          element ids, so merging their coverage would be silently
          wrong too; reject the call instead. *)
       let reg = Coverage.registry r.coverage in
+      Option.iter
+        (fun expected ->
+          if expected != reg then
+            invalid_arg
+              "Netcov.merge_reports: ~registry disagrees with the reports'")
+        registry;
       List.iter
         (fun r' ->
           if Coverage.registry r'.coverage != reg then
@@ -185,6 +222,58 @@ let analyze_suite ?pool ?(sim_cache = true) ?identity state testeds =
       testeds
   in
   match pool with Some p -> run p | None -> Pool.with_pool run
+
+type test_failure = {
+  tf_index : int;
+  tf_label : string;
+  tf_error : string;
+  tf_backtrace : string;
+}
+
+type suite_outcome = { ok : report list; failures : test_failure list }
+
+let analyze_suite_isolated ?pool ?(sim_cache = true) ?identity ?diags ?labels
+    state testeds =
+  let label_of i =
+    match labels with
+    | Some ls -> ( match List.nth_opt ls i with Some l -> l | None -> Printf.sprintf "test-%d" i)
+    | None -> Printf.sprintf "test-%d" i
+  in
+  let run pool =
+    Pool.map pool
+      (fun (i, tested) ->
+        match analyze ~pool ~sim_cache ?identity ?diags state tested with
+        | r -> Ok r
+        | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+        | exception e ->
+            let bt = Printexc.get_backtrace () in
+            Error
+              {
+                tf_index = i;
+                tf_label = label_of i;
+                tf_error = Printexc.to_string e;
+                tf_backtrace = bt;
+              })
+      (List.mapi (fun i t -> (i, t)) testeds)
+  in
+  let results = match pool with Some p -> run p | None -> Pool.with_pool run in
+  let ok = List.filter_map (function Ok r -> Some r | Error _ -> None) results in
+  let failures =
+    List.filter_map (function Error f -> Some f | Ok _ -> None) results
+  in
+  List.iter
+    (fun f ->
+      M.inc m_errors 1;
+      Log.warn (fun m -> m "%s failed and was excluded: %s" f.tf_label f.tf_error);
+      Option.iter
+        (fun sink ->
+          sink
+            (Diag.error Diag.Test_failure
+               (Printf.sprintf "%s failed and was excluded: %s" f.tf_label
+                  f.tf_error)))
+        diags)
+    failures;
+  { ok; failures }
 
 let dead_line_pct report =
   let reg = Coverage.registry report.coverage in

@@ -67,11 +67,18 @@ type report = {
     fact-identity mode (default {!Intern.Structural};
     {!Intern.By_key} is the string-keyed reference for differential
     testing). None of these options changes the report, only the wall
-    time. *)
+    time.
+
+    [diags] installs a diagnostic sink on the rule context: with one, a
+    crashing inference rule (unknown device, policy-eval failure, …)
+    degrades to a [Sim_failure] diagnostic attached to the offending
+    fact instead of aborting the analysis (see {!Rules.apply_rule}).
+    Without it, behaviour — including raising — is unchanged. *)
 val analyze :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
   ?identity:Intern.mode ->
+  ?diags:(Diag.t -> unit) ->
   Netcov_sim.Stable_state.t ->
   tested ->
   report
@@ -92,6 +99,35 @@ val analyze_suite :
   tested list ->
   report list
 
+(** One test whose analysis raised and was excluded from the suite. *)
+type test_failure = {
+  tf_index : int;  (** position in the input [tested list] *)
+  tf_label : string;  (** caller-supplied label, or ["test-<index>"] *)
+  tf_error : string;  (** [Printexc.to_string] of the exception *)
+  tf_backtrace : string;  (** captured backtrace, possibly empty *)
+}
+
+(** Outcome of a fault-isolated suite run: reports of the surviving
+    tests (in input order) plus a record per excluded test. *)
+type suite_outcome = { ok : report list; failures : test_failure list }
+
+(** Like {!analyze_suite}, but with per-test fault isolation: a test
+    whose analysis raises is caught, recorded as a {!test_failure},
+    counted in the [analyze.errors] metric, reported as a
+    [Test_failure] diagnostic when [diags] is given — and excluded. The
+    surviving tests' reports are byte-identical to running them alone
+    ([Stack_overflow]/[Out_of_memory] still propagate). [labels] names
+    the tests for failure records, matched by position. *)
+val analyze_suite_isolated :
+  ?pool:Netcov_parallel.Pool.t ->
+  ?sim_cache:bool ->
+  ?identity:Intern.mode ->
+  ?diags:(Diag.t -> unit) ->
+  ?labels:string list ->
+  Netcov_sim.Stable_state.t ->
+  tested list ->
+  suite_outcome
+
 (** Deterministic left-to-right merge of per-test reports into a suite
     report: per element the stronger coverage status wins (equal to
     analyzing the union of the tests' tested facts); [cpu_total_s],
@@ -107,8 +143,16 @@ val analyze_suite :
     (dead-code analysis depends only on the registry), and coverage
     element ids are only comparable within one registry — merging
     reports whose coverages disagree on the registry raises
-    [Invalid_argument], as does the empty list. *)
-val merge_reports : ?wall_s:float -> report list -> report
+    [Invalid_argument].
+
+    The empty list raises [Invalid_argument] unless [registry] is
+    given, in which case it merges into the documented empty report:
+    zero coverage over that registry, zero timing ([total_s] is
+    [wall_s] when given), and the registry's dead-code report — so an
+    all-failed suite under [--keep-going] still emits a valid report.
+    With both [registry] and a non-empty list, the two must agree. *)
+val merge_reports :
+  ?wall_s:float -> ?registry:Registry.t -> report list -> report
 
 (** Dead-code line share over considered lines, percent. *)
 val dead_line_pct : report -> float

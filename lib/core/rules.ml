@@ -95,11 +95,12 @@ type ctx = {
   trace_cache : (string, Forward.path list) Hashtbl.t;
   cache : sim_cache option;
   sim_section : Timing.section;
+  diags : (Netcov_diag.Diag.t -> unit) option;
   mutable cache_hits : int;  (* cache hits observed by this ctx *)
   mutable cache_misses : int;
 }
 
-let make_ctx ?cache state =
+let make_ctx ?cache ?diags state =
   let edge_of_key = Hashtbl.create 256 in
   List.iter
     (fun (e : Session.edge) -> Hashtbl.replace edge_of_key (Session.edge_key e) e)
@@ -110,6 +111,7 @@ let make_ctx ?cache state =
     trace_cache = Hashtbl.create 256;
     cache;
     sim_section = Timing.make "targeted-sim";
+    diags;
     cache_hits = 0;
     cache_misses = 0;
   }
@@ -609,6 +611,24 @@ let rule_acl ctx fact =
         };
       ]
   | _ -> []
+
+(* Guarded application: without a diag sink a crashing rule propagates
+   (seed behaviour, byte-identical); with one, the failure becomes a
+   [Sim_failure] diagnostic attached to the offending fact and the rule
+   contributes no inferences — the fact simply keeps fewer parents. *)
+let apply_rule ctx (name, (rule : rule)) fact =
+  match ctx.diags with
+  | None -> rule ctx fact
+  | Some sink -> (
+      try rule ctx fact with
+      | (Stack_overflow | Out_of_memory) as e -> raise e
+      | e ->
+          sink
+            (Netcov_diag.Diag.error
+               ?device:(Fact.host_of fact)
+               ~fact:(Fact.key fact) Netcov_diag.Diag.Sim_failure
+               (Printf.sprintf "rule %s failed: %s" name (Printexc.to_string e)));
+          [])
 
 let all_rules : (string * rule) list =
   [

@@ -40,8 +40,14 @@ type key_breakdown = {
 val sim_cache_breakdown : sim_cache -> key_breakdown
 
 (** [make_ctx ?cache state]: when [cache] is omitted every simulation
-    is recomputed (seed behaviour). *)
-val make_ctx : ?cache:sim_cache -> Stable_state.t -> ctx
+    is recomputed (seed behaviour). [diags] installs a diagnostic sink:
+    with one, a crashing rule application degrades to a [Sim_failure]
+    diagnostic (see {!apply_rule}) instead of aborting the analysis. *)
+val make_ctx :
+  ?cache:sim_cache ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
+  Stable_state.t ->
+  ctx
 
 val state : ctx -> Stable_state.t
 
@@ -73,6 +79,14 @@ type rule = ctx -> Fact.t -> inference list
     [docs/OBSERVABILITY.md]); applied exhaustively to each dirty node
     by {!Materialize}. *)
 val all_rules : (string * rule) list
+
+(** [apply_rule ctx (name, rule) fact] applies one named rule. Without
+    a diag sink on [ctx] this is exactly [rule ctx fact]. With one, any
+    exception the rule raises (unknown device, policy-eval failure, …)
+    is reported as an [Error]-severity [Sim_failure] diagnostic carrying
+    the fact's key and host, and the application yields no inferences —
+    the offending fact keeps whatever parents other rules find. *)
+val apply_rule : ctx -> string * rule -> Fact.t -> inference list
 
 (** [config_fact ctx ~host key] resolves an element key to a config fact,
     [None] when the device is external or the key unknown. *)

@@ -141,11 +141,16 @@ let map t f xs =
         let remaining = Atomic.make n in
         let failure = Atomic.make None in
         let run_item i =
-          (match f items.(i) with
-          | r -> results.(i) <- Some r
-          | exception e ->
-              let bt = Printexc.get_raw_backtrace () in
-              ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          (* Cancel cleanly: once a task has failed this map's result
+             can only be the re-raised exception, so queued items are
+             drained without running [f] — the first failure wins and
+             is never masked by later ones. *)
+          (if Atomic.get failure = None then
+             match f items.(i) with
+             | r -> results.(i) <- Some r
+             | exception e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 ignore (Atomic.compare_and_set failure None (Some (e, bt))));
           (* the release fence publishing results.(i) to the caller *)
           Atomic.decr remaining;
           (* wake helpers blocked waiting for this map to finish *)
@@ -181,7 +186,16 @@ let map t f xs =
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ());
         Array.to_list
-          (Array.map (function Some r -> r | None -> assert false) results)
+          (Array.map
+             (function
+               | Some r -> r
+               | None ->
+                   (* Unreachable: [remaining] hit zero with no recorded
+                      failure, so every slot was filled. *)
+                   failwith
+                     "Pool.map: result slot empty after all tasks \
+                      completed without failure (pool invariant broken)")
+             results)
       end
 
 let teardown t =

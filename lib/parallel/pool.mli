@@ -8,7 +8,9 @@
       order, regardless of execution interleaving.
     - {b Exception propagation}: the first exception raised by a worker
       is re-raised (with its backtrace) in the calling domain once the
-      map has drained.
+      map has drained. Later failures never mask the first, and once a
+      failure is recorded the map's remaining queued items are cancelled
+      — drained without running the task function.
     - {b Help-first scheduling}: the caller of [map] executes queued
       tasks itself while waiting, so a task may itself call [map] on the
       same pool (nested fan-out) without deadlock or extra domains.

@@ -480,13 +480,25 @@ let bgp_tables_equal (a : Rib.bgp_entry Rib.table)
       && List.for_all2 (fun x y -> Rib.compare_bgp_entry x y = 0) xs ys)
     a b
 
-let run ?(max_rounds = 64) devices topo =
+let run ?(max_rounds = 64) ?diags devices topo =
   let dev_tbl = Hashtbl.create 64 in
   List.iter (fun (d : Device.t) -> Hashtbl.replace dev_tbl d.hostname d) devices;
   let find_device h =
     match Hashtbl.find_opt dev_tbl h with
     | Some d -> d
-    | None -> invalid_arg ("Bgp.run: unknown device " ^ h)
+    | None -> (
+        match diags with
+        | None -> invalid_arg ("Bgp.run: unknown device " ^ h)
+        | Some sink ->
+            (* Degrade: report once, then stand in an external stub so
+               the session's routes simply stop propagating there. *)
+            sink
+              (Netcov_diag.Diag.error ~device:h Netcov_diag.Diag.Unknown_host
+                 (Printf.sprintf
+                    "unknown device %s: substituting an external stub" h));
+            let stub = Device.make ~is_external:true h in
+            Hashtbl.replace dev_tbl h stub;
+            stub)
   in
   let igp_ribs = Igp.compute devices topo in
   let igp_of h =

@@ -62,8 +62,19 @@ type result = {
 
 (** [run devices topo] computes the stable state. [max_rounds] caps the
     iteration (default 64); non-convergence logs a warning and returns
-    the last state. *)
-val run : ?max_rounds:int -> Device.t list -> Topology.t -> result
+    the last state.
+
+    Without [diags], referencing an unknown device raises
+    [Invalid_argument]. With [diags], each unknown hostname is reported
+    once as an [Unknown_host] error diagnostic and replaced by an
+    external stub device, so the computation degrades (routes stop at
+    the stub) instead of aborting. *)
+val run :
+  ?max_rounds:int ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
+  Device.t list ->
+  Topology.t ->
+  result
 
 (** Best-path comparison used by selection (smaller is better); exposed
     for tests. Ranks: local origination, local-pref, AS-path length,

@@ -53,7 +53,7 @@ let m_edges =
   M.gauge M.default ~help:"routing edges in the last computed stable state"
     ~unit_:"edges" "sim.bgp_edges"
 
-let compute ?max_rounds ?(down = []) reg =
+let compute ?max_rounds ?diags ?(down = []) reg =
   let n_devices = List.length (Registry.devices reg) in
   Netcov_obs.Trace.with_span "simulate"
     ~args:[ ("devices", Netcov_obs.Trace.I n_devices) ]
@@ -62,7 +62,7 @@ let compute ?max_rounds ?(down = []) reg =
     Netcov_obs.Timing.time (fun () ->
         let devices = apply_down down (Registry.devices reg) in
         let topo = Topology.build devices in
-        let sim = Bgp.run ?max_rounds devices topo in
+        let sim = Bgp.run ?max_rounds ?diags devices topo in
         let edge_index = Hashtbl.create 256 in
         List.iter
           (fun (e : Session.edge) ->

@@ -13,9 +13,17 @@ type t
     [down] lists failed interfaces as [(host, ifname)] pairs: they lose
     their addresses for the purposes of topology, connected routes, IGP
     and sessions, while the registry (the coverage domain) is untouched —
-    this models an environmental failure, not a configuration change. *)
+    this models an environmental failure, not a configuration change.
+
+    [diags] is passed through to {!Bgp.run}: with a sink, unknown
+    hostnames degrade to external stubs and are reported instead of
+    raising. *)
 val compute :
-  ?max_rounds:int -> ?down:(string * string) list -> Registry.t -> t
+  ?max_rounds:int ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
+  ?down:(string * string) list ->
+  Registry.t ->
+  t
 
 val registry : t -> Registry.t
 val topology : t -> Topology.t

@@ -1,0 +1,323 @@
+(* Error-path coverage for the resilient pipeline (docs/ERRORS.md):
+   per-stanza parser recovery, lenient registry building, the empty
+   merge, per-test fault isolation in suite analysis, and the partial
+   report JSON schema. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+module Diag = Netcov_diag.Diag
+module Pool = Netcov_parallel.Pool
+module Metrics = Netcov_obs.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let contains = Astring_like.contains
+let p = Prefix.of_string
+
+(* ---------------- parser recovery ---------------- *)
+
+let junos_bad_stanza =
+  "system {\n\
+  \    host-name r9;\n\
+   }\n\
+   interfaces {\n\
+  \    eth0 {\n\
+  \        unit 0 {\n\
+  \            family inet {\n\
+  \                address not-an-ip/33;\n\
+  \            }\n\
+  \        }\n\
+  \    }\n\
+  \    eth1 {\n\
+  \        unit 0 {\n\
+  \            family inet {\n\
+  \                address 10.0.0.1/30;\n\
+  \            }\n\
+  \        }\n\
+  \    }\n\
+   }\n"
+
+let elements_named reg host =
+  List.map
+    (fun id -> Element.name_of (Registry.element reg id))
+    (Registry.elements_of_device reg host)
+
+let test_junos_recovery () =
+  (match Parse_junos.parse ~hostname:"r9" junos_bad_stanza with
+  | Ok _ -> Alcotest.fail "strict parse should reject the bad address"
+  | Error e -> check_int "strict error pinned to the address line" 8 e.line);
+  match Parse_junos.parse_lenient ~file:"r9.cfg" ~hostname:"r9" junos_bad_stanza with
+  | Error d -> Alcotest.failf "lenient parse failed: %s" (Diag.to_string d)
+  | Ok (d, warns) -> (
+      check_int "one recovery warning" 1 (List.length warns);
+      let w = List.hd warns in
+      check_bool "kind" true (w.Diag.kind = Diag.Parse_recovered);
+      check_bool "warning severity" true (w.Diag.severity = Diag.Warning);
+      check_bool "file provenance" true (w.Diag.file = Some "r9.cfg");
+      check_int "line span of the skipped stanza"
+        8
+        (Option.get w.Diag.line);
+      (* the element after the skipped one is still registered, with
+         its own (correct) line span *)
+      let reg, diags = Registry.build_lenient [ d ] in
+      check_int "no registry diagnostics" 0 (List.length diags);
+      check_bool "eth1 survived" true (List.mem "eth1" (elements_named reg "r9"));
+      check_bool "eth0 was dropped" false
+        (List.mem "eth0" (elements_named reg "r9"));
+      match
+        List.find_opt
+          (fun id ->
+            Element.name_of (Registry.element reg id) = "eth1")
+          (Registry.elements_of_device reg "r9")
+      with
+      | None -> Alcotest.fail "eth1 element missing"
+      | Some id ->
+          (* element lines index the canonical rendered configuration;
+             a recovered parse must still give the survivor a span *)
+          check_bool "eth1 owns rendered lines" true
+            ((Registry.element reg id).Element.lines <> []))
+
+let ios_bad_line =
+  "hostname r8\n\
+   !\n\
+   interface GigabitEthernet0/0\n\
+  \ ip address 10.0.0.1 255.255.255.252\n\
+   !\n\
+   frobnicate all the things\n\
+   !\n\
+   ip prefix-list PL seq 5 permit 10.20.0.0/16\n"
+
+let test_ios_recovery () =
+  (match Parse_ios.parse ~hostname:"r8" ios_bad_line with
+  | Ok _ -> Alcotest.fail "strict parse should reject the bad line"
+  | Error e -> check_int "strict error pinned to the bad line" 6 e.line);
+  match Parse_ios.parse_lenient ~file:"r8.cfg" ~hostname:"r8" ios_bad_line with
+  | Error d -> Alcotest.failf "lenient parse failed: %s" (Diag.to_string d)
+  | Ok (d, warns) -> (
+      check_int "one recovery warning" 1 (List.length warns);
+      let w = List.hd warns in
+      check_int "warning line" 6 (Option.get w.Diag.line);
+      check_bool "message names the line" true
+        (contains w.Diag.message "frobnicate");
+      let reg, _ = Registry.build_lenient [ d ] in
+      check_bool "prefix list after the bad line survived" true
+        (List.mem "PL" (elements_named reg "r8"));
+      match
+        List.find_opt
+          (fun id -> Element.name_of (Registry.element reg id) = "PL")
+          (Registry.elements_of_device reg "r8")
+      with
+      | None -> Alcotest.fail "PL element missing"
+      | Some id ->
+          check_bool "PL owns rendered lines" true
+            ((Registry.element reg id).Element.lines <> []))
+
+(* ---------------- lenient registry ---------------- *)
+
+let test_build_lenient_duplicates () =
+  let ip = Ipv4.of_string in
+  let first =
+    Device.make
+      ~interfaces:[ Device.interface ~address:(ip "10.0.0.1", 30) "eth0" ]
+      "dup"
+  in
+  let second = Device.make "dup" in
+  let other = Device.make "other" in
+  let reg, diags = Registry.build_lenient [ first; second; other ] in
+  check_int "one diagnostic" 1 (List.length diags);
+  let d = List.hd diags in
+  check_bool "duplicate-host kind" true (d.Diag.kind = Diag.Duplicate_host);
+  check_bool "error severity" true (Diag.is_error d);
+  check_bool "names the device" true (d.Diag.device = Some "dup");
+  (* the first definition won *)
+  check_int "first dup kept" 1
+    (List.length (Registry.device reg "dup").Device.interfaces);
+  check_int "both hostnames present" 2
+    (List.length (Registry.internal_devices reg))
+
+(* ---------------- empty merge ---------------- *)
+
+let test_merge_empty_with_registry () =
+  let reg = Registry.build (Testnet.chain ()) in
+  (match Netcov.merge_reports [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bare empty merge must still raise");
+  let r = Netcov.merge_reports ~registry:reg [] in
+  let stats = Coverage.line_stats r.Netcov.coverage in
+  check_int "nothing covered" 0 stats.Coverage.strong_lines;
+  check_bool "zero wall time" true (r.Netcov.timing.Netcov.total_s = 0.);
+  let r2 = Netcov.merge_reports ~wall_s:1.5 ~registry:reg [] in
+  check_bool "wall_s seeds total_s" true (r2.Netcov.timing.Netcov.total_s = 1.5);
+  (* dead-code analysis still runs: it depends only on the registry *)
+  check_int "dead report present" (List.length r.Netcov.dead.Deadcode.details)
+    (List.length (Deadcode.analyze reg).Deadcode.details)
+
+(* ---------------- per-test fault isolation ---------------- *)
+
+let state = lazy (Testnet.state_of (Testnet.chain ()))
+
+let clean_tested () =
+  let facts =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "c"; entry })
+      (Stable_state.main_lookup (Lazy.force state) "c" (p "10.10.0.0/24"))
+  in
+  { Netcov.dp_facts = facts; cp_elements = [] }
+
+let poison_tested i =
+  let route =
+    Route.originate (p "10.99.99.0/24") ~next_hop:Ipv4.zero
+  in
+  {
+    Netcov.dp_facts =
+      [
+        Fact.F_bgp_rib
+          {
+            host = Printf.sprintf "no-such-device-%d" i;
+            route;
+            source = Rib.From_redistribute Route.Static;
+          };
+      ];
+    cp_elements = [];
+  }
+
+let counter_value name =
+  match Metrics.value Metrics.default name with
+  | Some (Metrics.Counter n) -> n
+  | _ -> 0
+
+let test_suite_isolation () =
+  let st = Lazy.force state in
+  let clean = clean_tested () in
+  let alone = Netcov.analyze ~pool:Pool.sequential st clean in
+  let coll = Diag.collector () in
+  let errors_before = counter_value "analyze.errors" in
+  let outcome =
+    Netcov.analyze_suite_isolated ~pool:Pool.sequential ~diags:(Diag.sink coll)
+      ~labels:[ "bad-head"; "good"; "bad-tail" ]
+      st
+      [ poison_tested 0; clean; poison_tested 1 ]
+  in
+  check_int "one survivor" 1 (List.length outcome.Netcov.ok);
+  check_int "two failures" 2 (List.length outcome.Netcov.failures);
+  let f0 = List.nth outcome.Netcov.failures 0 in
+  let f1 = List.nth outcome.Netcov.failures 1 in
+  check_int "first failure index" 0 f0.Netcov.tf_index;
+  check_int "second failure index" 2 f1.Netcov.tf_index;
+  check_str "labels applied" "bad-head" f0.Netcov.tf_label;
+  check_str "labels applied (tail)" "bad-tail" f1.Netcov.tf_label;
+  check_bool "original error preserved" true
+    (contains f0.Netcov.tf_error "no-such-device-0");
+  (* the survivor's coverage is byte-identical to running it alone *)
+  let survivor = List.hd outcome.Netcov.ok in
+  check_str "byte-identical survivor coverage"
+    (Json_export.coverage alone.Netcov.coverage)
+    (Json_export.coverage survivor.Netcov.coverage);
+  (* failures surfaced through the metric and the diagnostic sink *)
+  check_int "analyze.errors counted" (errors_before + 2)
+    (counter_value "analyze.errors");
+  check_int "two diagnostics" 2 (Diag.length coll);
+  List.iter
+    (fun d ->
+      check_bool "test-failure kind" true (d.Diag.kind = Diag.Test_failure);
+      check_bool "error severity" true (Diag.is_error d))
+    (Diag.items coll);
+  (* merging the survivors against the registry gives a valid partial
+     report even when everything failed *)
+  let reg = Stable_state.registry st in
+  let merged = Netcov.merge_reports ~registry:reg outcome.Netcov.ok in
+  check_str "merge of one survivor = survivor"
+    (Json_export.coverage survivor.Netcov.coverage)
+    (Json_export.coverage merged.Netcov.coverage);
+  let all_failed =
+    Netcov.analyze_suite_isolated ~pool:Pool.sequential st [ poison_tested 2 ]
+  in
+  check_int "default label" 0 (List.hd all_failed.Netcov.failures).Netcov.tf_index;
+  check_str "default label text" "test-0"
+    (List.hd all_failed.Netcov.failures).Netcov.tf_label;
+  check_int "no survivors" 0 (List.length all_failed.Netcov.ok);
+  ignore (Netcov.merge_reports ~registry:reg all_failed.Netcov.ok)
+
+(* Differential: a suite with k injected-failing tests equals the same
+   suite without them, modulo the failures section. *)
+let test_suite_modulo_failures () =
+  let st = Lazy.force state in
+  let clean = clean_tested () in
+  let empty = { Netcov.dp_facts = []; cp_elements = [] } in
+  let healthy = [ clean; empty ] in
+  let with_poison = [ poison_tested 0; clean; poison_tested 1; empty ] in
+  let plain = Netcov.analyze_suite ~pool:Pool.sequential st healthy in
+  let outcome =
+    Netcov.analyze_suite_isolated ~pool:Pool.sequential st with_poison
+  in
+  check_int "healthy tests all survive" (List.length healthy)
+    (List.length outcome.Netcov.ok);
+  List.iter2
+    (fun a b ->
+      check_str "same coverage modulo failures"
+        (Json_export.coverage a.Netcov.coverage)
+        (Json_export.coverage b.Netcov.coverage))
+    plain outcome.Netcov.ok
+
+(* ---------------- partial report schema ---------------- *)
+
+let test_report_json_sections () =
+  let st = Lazy.force state in
+  let r = Netcov.analyze ~pool:Pool.sequential st (clean_tested ()) in
+  let clean_json = Json_export.report r in
+  check_bool "diagnostics key always present" true
+    (contains clean_json "\"diagnostics\":[]");
+  check_bool "failures key always present" true
+    (contains clean_json "\"failures\":[]");
+  let diags =
+    [ Diag.warning ~file:"r9.cfg" ~line:8 Diag.Parse_recovered "skipped" ]
+  in
+  let failures =
+    [
+      {
+        Netcov.tf_index = 1;
+        tf_label = "bad";
+        tf_error = "Invalid_argument(\"boom\")";
+        tf_backtrace = "";
+      };
+    ]
+  in
+  let partial_json = Json_export.report ~diags ~failures r in
+  check_bool "diagnostic embedded" true
+    (contains partial_json "\"kind\":\"parse.recovered\"");
+  check_bool "failure embedded" true
+    (contains partial_json "\"label\":\"bad\"");
+  check_bool "failure index" true (contains partial_json "\"index\":1")
+
+let () =
+  Alcotest.run "errors"
+    [
+      ( "parser-recovery",
+        [
+          Alcotest.test_case "junos bad stanza" `Quick test_junos_recovery;
+          Alcotest.test_case "ios bad line" `Quick test_ios_recovery;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "lenient duplicates" `Quick
+            test_build_lenient_duplicates;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "empty with registry" `Quick
+            test_merge_empty_with_registry;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "per-test faults excluded" `Quick
+            test_suite_isolation;
+          Alcotest.test_case "suite equal modulo failures" `Quick
+            test_suite_modulo_failures;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "report sections" `Quick test_report_json_sections;
+        ] );
+    ]

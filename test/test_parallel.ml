@@ -47,6 +47,29 @@ let test_exception_propagation () =
       check_ints "pool usable after failure" [ 2; 4 ]
         (Pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
 
+(* Regression: a raising task must surface its own exception. The
+   cancellation path used to leave un-run items' result slots empty and
+   trip an [assert false] during collection, masking the real error
+   with [Assert_failure]. Many raising tasks over several rounds make
+   the cancelled-slot interleaving all but certain on 4 domains. *)
+let test_failure_reports_original_exception () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      for _round = 1 to 10 do
+        match
+          Pool.map pool
+            (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+            (List.init 60 Fun.id)
+        with
+        | _ -> Alcotest.fail "expected a Boom to propagate"
+        | exception Boom i ->
+            check_bool "a raising task's own exception" true (i mod 3 = 0)
+        | exception e ->
+            Alcotest.failf "original exception masked by %s"
+              (Printexc.to_string e)
+      done;
+      check_ints "pool usable after repeated failures" [ 1; 2 ]
+        (Pool.map pool Fun.id [ 1; 2 ]))
+
 let test_nested_map () =
   Pool.with_pool ~domains:4 (fun pool ->
       let rows = List.init 8 (fun i -> List.init 8 (fun j -> (8 * i) + j)) in
@@ -226,6 +249,8 @@ let () =
             test_sequential_equivalence;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+          Alcotest.test_case "failure reports original exception" `Quick
+            test_failure_reports_original_exception;
           Alcotest.test_case "nested map" `Quick test_nested_map;
         ] );
       ( "determinism",
