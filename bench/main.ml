@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (sections 6-8). Run with no argument for everything, or pass
    one of: fig6b fig7 fig8 fig9 fig10a fig10b fig11a fig11b table2
-   ablation mutation whatif rr scaling intern kernels.
+   ablation mutation whatif rr scaling intern incr kernels.
 
    Flags: --smoke shrinks workloads to a seconds-scale budget (CI),
    --oversubscribe re-enables scaling rows with more domains than
@@ -623,23 +623,36 @@ let scaling () =
       runs
   in
   (* Memo-cache effect, measured sequentially on the Internet2 suite
-     (its iBGP full mesh shares policy chains across sessions). *)
+     (its iBGP full mesh shares policy chains across sessions). The
+     canonical-key runs strip pass-through route attributes from the
+     cache key (lib/core/rules.ml), so "before" is the historical
+     full-route key and "after" the canonical one. *)
   let i2 = Lazy.force i2_env in
   let i2_testeds = List.map (fun t -> t.result.Nettest.tested) i2.tests in
-  let run_cache sim_cache =
+  let run_cache ~sim_cache ~sim_canon =
     timed (fun () ->
-        Netcov.analyze_suite ~pool:Pool.sequential ~sim_cache i2.state i2_testeds)
+        Netcov.analyze_suite ~pool:Pool.sequential ~sim_cache ~sim_canon
+          i2.state i2_testeds)
   in
-  let on_reports, on_wall = run_cache true in
-  let off_reports, off_wall = run_cache false in
+  let rate_of reports =
+    let tm = (Netcov.merge_reports reports).Netcov.timing in
+    let h = tm.Netcov.sim_cache_hits and m = tm.Netcov.sim_cache_misses in
+    (h, m, float_of_int h /. float_of_int (max 1 (h + m)))
+  in
+  let full_reports, full_wall = run_cache ~sim_cache:true ~sim_canon:false in
+  let on_reports, on_wall = run_cache ~sim_cache:true ~sim_canon:true in
+  let off_reports, off_wall = run_cache ~sim_cache:false ~sim_canon:true in
   let on_merged = Netcov.merge_reports ~wall_s:on_wall on_reports in
-  let tm = on_merged.Netcov.timing in
-  let hits = tm.Netcov.sim_cache_hits and misses = tm.Netcov.sim_cache_misses in
-  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let hits, misses, hit_rate = rate_of on_reports in
+  let fk_hits, fk_misses, fk_rate = rate_of full_reports in
   let cache_identical =
     String.equal
       (Json_export.coverage on_merged.Netcov.coverage)
       (Json_export.coverage (Netcov.merge_reports off_reports).Netcov.coverage)
+    && String.equal
+         (Json_export.coverage on_merged.Netcov.coverage)
+         (Json_export.coverage
+            (Netcov.merge_reports full_reports).Netcov.coverage)
   in
   Printf.printf
     "internet2 suite sim cache: %d hits / %d misses (%.1f%% hit rate), wall \
@@ -647,6 +660,11 @@ let scaling () =
     hits misses (100. *. hit_rate) on_wall off_wall
     (off_wall /. max 1e-9 on_wall)
     cache_identical;
+  Printf.printf
+    "  key canonicalization: %.1f%% hit rate with full-route keys (%d/%d) -> \
+     %.1f%% with canonical keys (wall %.3fs -> %.3fs)\n"
+    (100. *. fk_rate) fk_hits (fk_hits + fk_misses) (100. *. hit_rate)
+    full_wall on_wall;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"workload\": \"fattree-k8-suite\",\n";
@@ -668,10 +686,15 @@ let scaling () =
   Printf.bprintf buf
     "  \"sim_cache\": {\"workload\": \"internet2-suite\", \"hits\": %d, \
      \"misses\": %d, \"hit_rate\": %.4f, \"wall_on_s\": %.4f, \"wall_off_s\": \
-     %.4f, \"speedup\": %.3f, \"identical\": %b}\n"
+     %.4f, \"speedup\": %.3f, \"identical\": %b,\n\
+    \    \"full_key\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
+     \"wall_s\": %.4f},\n\
+    \    \"canonical\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
+     \"wall_s\": %.4f}}\n"
     hits misses hit_rate on_wall off_wall
     (off_wall /. max 1e-9 on_wall)
-    cache_identical;
+    cache_identical fk_hits fk_misses fk_rate full_wall hits misses hit_rate
+    on_wall;
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_parallel.json" in
   output_string oc (Buffer.contents buf);
@@ -801,6 +824,293 @@ let intern_bench () =
   Printf.printf "wrote BENCH_intern.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-analysis (BENCH_incr.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Incr = Netcov_incr.Incr
+
+(* Candidate one-line value tweaks: bump the numeric argument of one
+   existing [set local-preference] / [set metric] action of one policy
+   term, leaving everything else untouched. *)
+let value_tweaks devs =
+  let out = ref [] in
+  List.iteri
+    (fun di (d : Device.t) ->
+      if not d.Device.is_external then
+        List.iteri
+          (fun pi (p : Policy_ast.policy) ->
+            List.iteri
+              (fun ti (t : Policy_ast.term) ->
+                List.iteri
+                  (fun ai a ->
+                    let tweak =
+                      match a with
+                      | Policy_ast.Set_local_pref v ->
+                          Some
+                            ( Policy_ast.Set_local_pref (v + 5),
+                              Printf.sprintf
+                                "policy %s/%s term %s: local-pref %d -> %d"
+                                d.Device.hostname p.Policy_ast.pol_name
+                                t.Policy_ast.term_name v (v + 5) )
+                      | Policy_ast.Set_med v ->
+                          Some
+                            ( Policy_ast.Set_med (v + 7),
+                              Printf.sprintf
+                                "policy %s/%s term %s: metric %d -> %d"
+                                d.Device.hostname p.Policy_ast.pol_name
+                                t.Policy_ast.term_name v (v + 7) )
+                      | _ -> None
+                    in
+                    match tweak with
+                    | None -> ()
+                    | Some (a', desc) ->
+                        let devs' =
+                          List.mapi
+                            (fun dj (dd : Device.t) ->
+                              if dj <> di then dd
+                              else
+                                {
+                                  dd with
+                                  Device.policies =
+                                    List.mapi
+                                      (fun pj (pp : Policy_ast.policy) ->
+                                        if pj <> pi then pp
+                                        else
+                                          {
+                                            pp with
+                                            Policy_ast.terms =
+                                              List.mapi
+                                                (fun tj (tt : Policy_ast.term) ->
+                                                  if tj <> ti then tt
+                                                  else
+                                                    {
+                                                      tt with
+                                                      Policy_ast.actions =
+                                                        List.mapi
+                                                          (fun aj aa ->
+                                                            if aj = ai then a'
+                                                            else aa)
+                                                          tt.Policy_ast.actions;
+                                                    })
+                                                pp.Policy_ast.terms;
+                                          })
+                                      dd.Device.policies;
+                                })
+                            devs
+                        in
+                        out := (desc, devs') :: !out)
+                  t.Policy_ast.actions)
+              p.Policy_ast.terms)
+          d.Device.policies)
+    devs;
+  List.rev !out
+
+let ribs_equal st_old st_new =
+  Stable_state.all_hosts st_old = Stable_state.all_hosts st_new
+  && Stable_state.edges st_old = Stable_state.edges st_new
+  && List.for_all
+       (fun h ->
+         Rib.table_entries (Stable_state.main_rib st_old h)
+         = Rib.table_entries (Stable_state.main_rib st_new h)
+         && Rib.table_entries (Stable_state.bgp_rib st_old h)
+            = Rib.table_entries (Stable_state.bgp_rib st_new h)
+         && Rib.table_entries (Stable_state.igp_rib st_old h)
+            = Rib.table_entries (Stable_state.igp_rib st_new h))
+       (Stable_state.internal_hosts st_old)
+
+(* One-line live edit. Preferred: a behavior-preserving value tweak —
+   the everyday case the incremental fast path targets — hunted by
+   recomputing the stable state for candidate tweaks until one leaves
+   every RIB unchanged. Networks without such a tweak get an impactful
+   edit instead: prepend [set metric 77] to the first policy term of
+   the first internal device (falling back to an interface-description
+   edit), which perturbs routes and exercises the cone-invalidation
+   path. Returns the edited devices, their stable state and a
+   description. *)
+let one_line_edit state_old devs =
+  let max_tries = 24 in
+  let rec hunt n = function
+    | (desc, devs') :: rest when n < max_tries -> (
+        let st' = Stable_state.compute (Registry.build devs') in
+        if ribs_equal state_old st' then Some (devs', st', desc)
+        else hunt (n + 1) rest)
+    | _ -> None
+  in
+  match hunt 0 (value_tweaks devs) with
+  | Some r -> r
+  | None ->
+      let edited = ref None in
+      let edit_policy (d : Device.t) =
+        match d.Device.policies with
+        | ({ Policy_ast.terms = t :: ts; _ } as p) :: rest ->
+            edited :=
+              Some
+                (Printf.sprintf "policy %s/%s: set metric 77" d.Device.hostname
+                   p.Policy_ast.pol_name);
+            Some
+              {
+                d with
+                Device.policies =
+                  {
+                    p with
+                    Policy_ast.terms =
+                      {
+                        t with
+                        Policy_ast.actions =
+                          Policy_ast.Set_med 77 :: t.Policy_ast.actions;
+                      }
+                      :: ts;
+                  }
+                  :: rest;
+              }
+        | _ -> None
+      in
+      let edit_interface (d : Device.t) =
+        match d.Device.interfaces with
+        | i :: rest ->
+            edited :=
+              Some
+                (Printf.sprintf "interface description on %s" d.Device.hostname);
+            Some
+              {
+                d with
+                Device.interfaces =
+                  { i with Device.description = Some "edited" } :: rest;
+              }
+        | [] -> None
+      in
+      let apply f =
+        List.map
+          (fun (d : Device.t) ->
+            if !edited <> None || d.Device.is_external then d
+            else Option.value (f d) ~default:d)
+          devs
+      in
+      let devs' = apply edit_policy in
+      let devs' = if !edited = None then apply edit_interface else devs' in
+      ( devs',
+        Stable_state.compute (Registry.build devs'),
+        Option.value !edited ~default:"no edit applied" )
+
+(* The headline measurement of lib/incr: after a one-line configuration
+   edit, [Incr.update] must re-analyze the suite an order of magnitude
+   faster than a from-scratch run against the new state, with
+   byte-identical coverage (the [incremental-scratch] oracle asserts the
+   identity on random networks; here it is checked on the paper's
+   workloads and the run fails if it does not hold). *)
+let incr_bench () =
+  section "Incremental re-analysis: one-line edit vs from-scratch (lib/incr)";
+  let workloads =
+    if !smoke then [ ("fattree-k4", `Ft 4) ]
+    else [ ("internet2", `I2); ("fattree-k8", `Ft 8) ]
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let rows =
+    List.map
+      (fun (name, w) ->
+        let devices, tests =
+          match w with
+          | `Ft k ->
+              let ft = Fattree.generate ~k () in
+              (ft.Fattree.devices, Datacenter.suite ft)
+          | `I2 ->
+              let net = Internet2.generate Internet2.paper_params in
+              (net.Internet2.devices, Iterations.improved_suite net)
+        in
+        let state_old = Stable_state.compute (Registry.build devices) in
+        let testeds_of state =
+          List.map
+            (fun (_, r) -> r.Nettest.tested)
+            (Nettest.run_suite state tests)
+        in
+        let testeds_old = testeds_of state_old in
+        let (session, _), cold_s =
+          timed (fun () -> Incr.create state_old testeds_old)
+        in
+        let _devices', state_new, edit = one_line_edit state_old devices in
+        let testeds_new = testeds_of state_new in
+        let st, incr_s =
+          timed (fun () -> Incr.update session state_new testeds_new)
+        in
+        let scratch, scratch_s =
+          timed (fun () ->
+              Netcov.merge_reports
+                ~registry:(Stable_state.registry state_new)
+                (Netcov.analyze_suite ~pool:Pool.sequential state_new
+                   testeds_new))
+        in
+        let identical =
+          String.equal
+            (Json_export.coverage (Incr.report session).Netcov.coverage)
+            (Json_export.coverage scratch.Netcov.coverage)
+        in
+        let speedup = cold_s /. max 1e-9 incr_s in
+        if not identical then
+          fail "%s: incremental coverage differs from scratch" name;
+        if st.Incr.s_reuse_ratio <= 0. then
+          fail "%s: nothing was reused across the update" name;
+        Printf.printf "  %-12s edit: %s\n" name edit;
+        Printf.printf
+          "    cold %7.3fs  scratch(new) %7.3fs  incremental %7.3fs  speedup \
+           %6.1fx vs cold (%.1fx vs scratch)\n"
+          cold_s scratch_s incr_s speedup
+          (scratch_s /. max 1e-9 incr_s);
+        Printf.printf "    %s\n" (Incr.summary st);
+        Printf.printf "    identical-coverage %b\n" identical;
+        ( name,
+          List.length testeds_new,
+          edit,
+          cold_s,
+          scratch_s,
+          incr_s,
+          speedup,
+          st,
+          identical ))
+      workloads
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"incr\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Buffer.add_string buf
+    "  \"note\": \"re-analysis after a one-line configuration edit: \
+     cold_s is the initial from-scratch session (the cold run speedup is \
+     measured against), scratch_s a from-scratch run against the edited \
+     state, incr_s the incremental update (config diff -> cone \
+     invalidation -> delta recompute); coverage is byte-identical to \
+     scratch in every row\",\n";
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, tests, edit, cold_s, scratch_s, incr_s, speedup, st, identical) ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"tests\": %d, \"edit\": %S,\n\
+        \     \"cold_s\": %.4f, \"scratch_s\": %.4f, \"incr_s\": %.4f, \
+         \"speedup\": %.1f, \"speedup_vs_scratch\": %.2f,\n\
+        \     \"changed\": %d, \"added\": %d, \"removed\": %d, \
+         \"dirty_cones\": %d, \"reused\": %d, \"relabeled\": %d,\n\
+        \     \"evicted_sim\": %d, \"evicted_labels\": %d, \"sim_hits\": %d, \
+         \"sim_misses\": %d,\n\
+        \     \"reuse_ratio\": %.4f, \"identical_coverage\": %b}%s\n"
+        name tests edit cold_s scratch_s incr_s speedup
+        (scratch_s /. max 1e-9 incr_s)
+        st.Incr.s_changed
+        st.Incr.s_added st.Incr.s_removed st.Incr.s_dirty_cones
+        st.Incr.s_reused st.Incr.s_relabeled st.Incr.s_evicted_sim
+        st.Incr.s_evicted_labels st.Incr.s_sim_hits st.Incr.s_sim_misses
+        st.Incr.s_reuse_ratio identical
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_incr.json\n";
+  if !failures <> [] then (
+    List.iter (Printf.eprintf "incr bench failure: %s\n") !failures;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -821,6 +1131,7 @@ let experiments =
     ("rr", rr);
     ("scaling", scaling);
     ("intern", intern_bench);
+    ("incr", incr_bench);
     ("kernels", kernels);
   ]
 

@@ -7,6 +7,7 @@
      render      render a workload's configurations to a directory
      trace       run the Figure 1 example under the tracer, write trace JSON
      parse       syntax-check configuration files (exit 1 on the first error)
+     incr        incrementally re-analyze a config change between two dirs
      fuzz        run the differential property oracles (docs/TESTING.md)
 
    Most analysis subcommands accept --trace FILE and --metrics FILE (see
@@ -711,6 +712,161 @@ let parse_cmd =
           stderr and exits 1.")
     Term.(const run $ verbose $ files $ syntax_arg)
 
+let incr_cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"REPORT"
+          ~doc:
+            "Coverage report JSON of the old configuration (the \
+             coverage.json an earlier run wrote with $(b,--out)). Used to \
+             cross-check the recomputed old coverage and to report the \
+             before/after delta.")
+  in
+  let old_dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "old" ] ~docv:"DIR"
+          ~doc:"Directory of old configuration files (*.cfg or *.conf).")
+  in
+  let new_dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "new" ] ~docv:"DIR"
+          ~doc:"Directory of new configuration files.")
+  in
+  let run verbose baseline old_dir new_dir syntax trace metrics =
+    setup_logs verbose;
+    with_obs ~trace ~metrics @@ fun () ->
+    (* The baseline report is parsed before any configuration is
+       touched: malformed report input is a user error, reported as
+       "file: message" with exit 1, never a backtrace. *)
+    let report_error msg =
+      Printf.eprintf "%s: %s\n%!" baseline msg;
+      exit 1
+    in
+    let bl =
+      match Json_import.parse_file baseline with
+      | Error msg -> report_error msg
+      | Ok v -> v
+    in
+    let ( >>= ) o f = Option.bind o f in
+    let bl_overall =
+      match Json_import.member "coverage" bl >>= Json_import.member "overall" with
+      | Some o -> o
+      | None -> report_error "not a coverage report: missing coverage.overall"
+    in
+    let bl_num field =
+      match Json_import.member field bl_overall >>= Json_import.to_num with
+      | Some f -> f
+      | None ->
+          report_error
+            (Printf.sprintf "not a coverage report: missing coverage.overall.%s"
+               field)
+    in
+    let bl_pct = bl_num "percent" in
+    let read_file path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let load_dir dir =
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".cfg" || Filename.check_suffix f ".conf")
+        |> List.sort String.compare
+      in
+      if files = [] then begin
+        Printf.eprintf "no *.cfg or *.conf files in %s\n" dir;
+        exit 1
+      end;
+      List.map
+        (fun f ->
+          let path = Filename.concat dir f in
+          let hostname = Filename.remove_extension f in
+          let text =
+            try read_file path
+            with Sys_error msg ->
+              Printf.eprintf "%s\n%!" msg;
+              exit 1
+          in
+          match syntax with
+          | `Junos -> (
+              match Parse_junos.parse ~hostname text with
+              | Ok d -> d
+              | Error (e : Parse_junos.error) ->
+                  parse_error_exit ~file:path ~line:e.line e.message)
+          | `Ios -> (
+              match Parse_ios.parse ~hostname text with
+              | Ok d -> d
+              | Error (e : Parse_ios.error) ->
+                  parse_error_exit ~file:path ~line:e.line e.message))
+        files
+    in
+    let module Incr = Netcov_incr.Incr in
+    let module Registry_diff = Netcov_incr.Registry_diff in
+    let state_old = Stable_state.compute (Registry.build (load_dir old_dir)) in
+    let tested_old = Netcov_dpcov.Dpcov.all_data_plane_tested state_old in
+    let session, _ = Incr.create state_old [ tested_old ] in
+    let rep_old = Incr.report session in
+    let old_pct = Coverage.line_stats rep_old.Netcov.coverage |> Coverage.pct in
+    if Float.abs (old_pct -. bl_pct) > 0.05 then
+      Printf.printf
+        "warning: baseline report says %.1f%% but the old configuration \
+         recomputes to %.1f%% — stale baseline?\n"
+        bl_pct old_pct;
+    let state_new = Stable_state.compute (Registry.build (load_dir new_dir)) in
+    let tested_new = Netcov_dpcov.Dpcov.all_data_plane_tested state_new in
+    let ustats = Incr.update session state_new [ tested_new ] in
+    let rep = Incr.report session in
+    Option.iter
+      (fun d -> print_string (Registry_diff.summary d))
+      (Incr.last_diff session);
+    print_string (Incr.summary ustats);
+    let pct = Coverage.line_stats rep.Netcov.coverage |> Coverage.pct in
+    Printf.printf "coverage: %.1f%% -> %.1f%% of considered lines\n" old_pct pct;
+    let reg_new = Incr.registry session in
+    if
+      Registry.n_elements (Coverage.registry rep_old.Netcov.coverage)
+      = Registry.n_elements reg_new
+    then begin
+      let d =
+        Coverage_diff.diff ~baseline:rep_old.Netcov.coverage rep.Netcov.coverage
+      in
+      let card = Element.Id_set.cardinal in
+      List.iter
+        (fun (dev, (dd : Coverage_diff.device_delta)) ->
+          Printf.printf "  %s: +%d gained, -%d lost, %d strengthened, %d weakened\n"
+            dev
+            (card dd.Coverage_diff.d_gained)
+            (card dd.Coverage_diff.d_lost)
+            (card dd.Coverage_diff.d_strengthened)
+            (card dd.Coverage_diff.d_weakened))
+        (Coverage_diff.by_device reg_new d)
+    end
+    else
+      Printf.printf
+        "(element sets differ between versions; per-device delta skipped)\n"
+  in
+  Cmd.v
+    (Cmd.info "incr"
+       ~doc:
+         "Incrementally re-analyze a configuration change: diff the old and \
+          new configuration directories at the element level, invalidate \
+          only the affected contribution cones and cached simulations, \
+          recompute the delta and report per-device coverage changes \
+          (docs/INCREMENTAL.md). Exits 1 with $(i,file: message) on a \
+          malformed baseline report.")
+    Term.(
+      const run $ verbose $ baseline $ old_dir $ new_dir $ syntax_arg
+      $ trace_out $ metrics_out)
+
 let fuzz_cmd =
   let seed =
     Arg.(
@@ -762,8 +918,8 @@ let fuzz_cmd =
        ~doc:
          "Run the differential property oracles (emit/parse roundtrip, \
           parallel determinism, sim-cache equivalence, BDD vs truth table, \
-          coverage monotonicity/merge, intern-reference, fault-isolation) \
-          on random networks. Exits 1 and prints a shrunk counterexample \
+          coverage monotonicity/merge, intern-reference, fault-isolation, \
+          incremental-scratch) on random networks. Exits 1 and prints a shrunk counterexample \
           plus a reproduction seed on any divergence. See docs/TESTING.md.")
     Term.(const run $ verbose $ seed $ iters $ oracles)
 
@@ -781,6 +937,7 @@ let () =
             whatif_cmd;
             mutation_cmd;
             audit_cmd;
+            incr_cmd;
             trace_cmd;
             parse_cmd;
             fuzz_cmd;

@@ -473,6 +473,131 @@ let isolation_oracle =
   }
 
 (* ------------------------------------------------------------------ *)
+(* 8. incremental engine vs from-scratch analysis                      *)
+(* ------------------------------------------------------------------ *)
+
+module Incr = Netcov_incr.Incr
+
+(* One small deterministic configuration edit derived from [pick] — the
+   "new version" side of the incremental oracle. Edits keep the network
+   convergent (a tree stays a tree): a policy action value or an
+   interface description is tweaked, or a static route appears. *)
+let mutate_devices pick devs =
+  let internals =
+    List.filteri (fun _ (d : Device.t) -> not d.Device.is_external) devs
+    |> List.map (fun (d : Device.t) -> d.Device.hostname)
+  in
+  match internals with
+  | [] -> devs
+  | _ ->
+      let target = List.nth internals (pick mod List.length internals) in
+      let edit_policy (d : Device.t) =
+        match d.Device.policies with
+        | [] -> None
+        | p :: rest ->
+            let terms =
+              match p.Policy_ast.terms with
+              | [] -> []
+              | t :: ts ->
+                  (* prepending a modifier is a live edit: it applies
+                     before the term's verdict and alters route state *)
+                  {
+                    t with
+                    Policy_ast.actions =
+                      Policy_ast.Set_med 77 :: t.Policy_ast.actions;
+                  }
+                  :: ts
+            in
+            Some { d with Device.policies = { p with Policy_ast.terms } :: rest }
+      in
+      let edit_interface (d : Device.t) =
+        match d.Device.interfaces with
+        | [] -> None
+        | i :: rest ->
+            Some
+              {
+                d with
+                Device.interfaces =
+                  { i with Device.description = Some "edited" } :: rest;
+              }
+      in
+      let add_static (d : Device.t) =
+        Some
+          {
+            d with
+            Device.static_routes =
+              {
+                Device.st_prefix = Netgen.lan 99;
+                st_next_hop = Netcov_types.Ipv4.zero;
+              }
+              :: d.Device.static_routes;
+          }
+      in
+      List.map
+        (fun (d : Device.t) ->
+          if d.Device.hostname <> target then d
+          else
+            let edits =
+              match pick / List.length internals mod 3 with
+              | 0 -> [ edit_policy; edit_interface; add_static ]
+              | 1 -> [ edit_interface; add_static ]
+              | _ -> [ add_static ]
+            in
+            List.fold_left
+              (fun acc e -> match acc with Some _ -> acc | None -> e d)
+              None edits
+            |> Option.value ~default:d)
+        devs
+
+let scratch_fp state testeds =
+  coverage_fp
+    (Netcov.merge_reports
+       ~registry:(Stable_state.registry state)
+       (Netcov.analyze_suite ~pool:Pool.sequential state testeds))
+
+let incr_prop ((sc : Netgen.scenario), pick) =
+  let devs_old = Netgen.devices_of sc.Netgen.net in
+  let devs_new = mutate_devices pick devs_old in
+  let state_a = Stable_state.compute (Registry.build devs_old) in
+  let state_b = Stable_state.compute (Registry.build devs_new) in
+  let testeds_a = testeds_of state_a sc in
+  let testeds_b = testeds_of state_b sc in
+  let session, _ = Incr.create state_a testeds_a in
+  if coverage_fp (Incr.report session) <> scratch_fp state_a testeds_a then
+    fail "cold incremental run diverges from Netcov.analyze_suite"
+  else
+    let (_ : Incr.stats) = Incr.update session state_b testeds_b in
+    if coverage_fp (Incr.report session) <> scratch_fp state_b testeds_b then
+      fail "incremental update diverges from from-scratch analysis (edit %d)"
+        pick
+    else begin
+      (* Edit reverted: this update reuses heavily (the signature path)
+         and must still match from scratch. *)
+      let state_a' = Stable_state.compute (Registry.build devs_old) in
+      let testeds_a' = testeds_of state_a' sc in
+      let (_ : Incr.stats) = Incr.update session state_a' testeds_a' in
+      if coverage_fp (Incr.report session) <> scratch_fp state_a' testeds_a'
+      then fail "incremental revert diverges from from-scratch analysis"
+      else Ok ()
+    end
+
+let print_incr (sc, pick) =
+  Printf.sprintf "%s edit=%d" (Netgen.print_scenario sc) pick
+
+let incr_oracle =
+  {
+    name = "incremental-scratch";
+    describe =
+      "incremental update (diff -> invalidate -> delta recompute) produces \
+       byte-identical coverage to a from-scratch analysis";
+    run =
+      (fun ~seed ~iters ->
+        Check.run ~name:"incremental-scratch" ~seed ~iters ~print:print_incr
+          (Gen.pair Netgen.scenario (Gen.int_bound 1000))
+          incr_prop);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -483,6 +608,7 @@ let all =
     monotone_oracle;
     intern_oracle;
     isolation_oracle;
+    incr_oracle;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -14,10 +14,11 @@ type t = {
   run : seed:int -> iters:int -> Check.outcome;
 }
 
-(** The seven oracles, in documentation order: ["roundtrip"],
+(** The eight oracles, in documentation order: ["roundtrip"],
     ["parallel-determinism"], ["cache-equivalence"],
     ["bdd-truth-table"], ["monotonicity-merge"],
-    ["intern-reference"], ["fault-isolation"]. *)
+    ["intern-reference"], ["fault-isolation"],
+    ["incremental-scratch"]. *)
 val all : t list
 
 val find : string -> t option

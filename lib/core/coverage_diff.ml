@@ -34,6 +34,59 @@ let diff ~baseline current =
     weakened = !weakened;
   }
 
+type device_delta = {
+  d_gained : Element.Id_set.t;
+  d_lost : Element.Id_set.t;
+  d_strengthened : Element.Id_set.t;
+  d_weakened : Element.Id_set.t;
+}
+
+let empty_delta =
+  {
+    d_gained = Element.Id_set.empty;
+    d_lost = Element.Id_set.empty;
+    d_strengthened = Element.Id_set.empty;
+    d_weakened = Element.Id_set.empty;
+  }
+
+(* Group a diff by owning device. Elements stay as interned ids
+   throughout — the registry maps id -> device directly, no string keys
+   are rebuilt or parsed. *)
+let by_device reg d =
+  let tbl = Hashtbl.create 32 in
+  let get dev =
+    match Hashtbl.find_opt tbl dev with
+    | Some r -> r
+    | None ->
+        let r = ref empty_delta in
+        Hashtbl.replace tbl dev r;
+        r
+  in
+  let scatter set update =
+    Element.Id_set.iter
+      (fun id ->
+        let e = Registry.element reg id in
+        let r = get e.Element.device in
+        r := update !r id)
+      set
+  in
+  scatter d.gained (fun dd id ->
+      { dd with d_gained = Element.Id_set.add id dd.d_gained });
+  scatter d.lost (fun dd id ->
+      { dd with d_lost = Element.Id_set.add id dd.d_lost });
+  scatter d.strengthened (fun dd id ->
+      { dd with d_strengthened = Element.Id_set.add id dd.d_strengthened });
+  scatter d.weakened (fun dd id ->
+      { dd with d_weakened = Element.Id_set.add id dd.d_weakened });
+  Hashtbl.fold (fun dev r acc -> (dev, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let delta_is_empty dd =
+  Element.Id_set.is_empty dd.d_gained
+  && Element.Id_set.is_empty dd.d_lost
+  && Element.Id_set.is_empty dd.d_strengthened
+  && Element.Id_set.is_empty dd.d_weakened
+
 let is_empty d =
   Element.Id_set.is_empty d.gained
   && Element.Id_set.is_empty d.lost

@@ -16,6 +16,20 @@ type t = {
     (element counts differ). *)
 val diff : baseline:Coverage.t -> Coverage.t -> t
 
+(** One device's slice of a diff; the same interned element ids as the
+    whole-network sets, never re-derived string keys. *)
+type device_delta = {
+  d_gained : Element.Id_set.t;
+  d_lost : Element.Id_set.t;
+  d_strengthened : Element.Id_set.t;
+  d_weakened : Element.Id_set.t;
+}
+
+(** [by_device reg d] groups a diff by owning device (sorted by device
+    name; only devices with at least one changed element appear). *)
+val by_device : Registry.t -> t -> (string * device_delta) list
+
+val delta_is_empty : device_delta -> bool
 val is_empty : t -> bool
 
 (** No element got worse (lost or weakened) — the regression gate. *)

@@ -1,0 +1,217 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+(* position (byte offset), message *)
+
+type st = { s : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  let n = String.length st.s in
+  while
+    st.pos < n
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let lit st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            st.pos <- st.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.s then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.s st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st (Printf.sprintf "bad \\u escape '%s'" hex)
+                in
+                st.pos <- st.pos + 4;
+                (* Exports only escape control characters; decode the
+                   BMP code point as UTF-8, enough to round-trip. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end
+            | c -> fail st (Printf.sprintf "bad escape '\\%c'" c));
+            go ())
+    | Some c when Char.code c < 0x20 -> fail st "control character in string"
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.s in
+  let num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < n && num_char st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail { st with pos = start } (Printf.sprintf "bad number '%s'" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a value, found end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (k, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              fields_loop ()
+          | Some '}' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected ',' or '}' in object"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              items_loop ()
+          | Some ']' -> st.pos <- st.pos + 1
+          | _ -> fail st "expected ',' or ']' in array"
+        in
+        items_loop ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> lit st "true" (Bool true)
+  | Some 'f' -> lit st "false" (Bool false)
+  | Some 'n' -> lit st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let line_col s pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min pos (String.length s) - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    (match peek st with
+    | Some c -> fail st (Printf.sprintf "trailing input starting at '%c'" c)
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+      let line, col = line_col s pos in
+      Error (Printf.sprintf "%d:%d: %s" line col msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error "truncated read"
+  | contents -> parse contents
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+let to_int = function Num f -> Some (int_of_float f) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,33 @@
+(** Minimal JSON reader for the CLI subcommands that consume reports
+    the toolchain itself wrote ({!Json_export}). Full JSON grammar, no
+    streaming, no dependencies; errors carry a line:column position so
+    the CLI can print ["file: message"] and exit instead of raising. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in document order *)
+
+(** [parse s] is the document in [s], or [Error msg] where [msg] starts
+    with the ["line:col:"] position of the offending input. Trailing
+    non-whitespace input is an error. *)
+val parse : string -> (t, string) result
+
+(** [parse_file path] reads and parses [path]; I/O failures become
+    [Error] too. *)
+val parse_file : string -> (t, string) result
+
+(** [member name j] is field [name] of object [j], [None] when [j] is
+    not an object or lacks the field. *)
+val member : string -> t -> t option
+
+(** Typed projections; [None] on shape mismatch. [to_num] accepts any
+    number, [to_int] truncates. *)
+val to_num : t -> float option
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

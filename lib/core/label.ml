@@ -98,6 +98,107 @@ let chunks size xs =
   in
   go [] [] 0 xs
 
+type cone_result = {
+  c_covered : Element.Id_set.t;
+  c_strong : Element.Id_set.t;
+  c_vars : int;
+  c_bdd_nodes : int;
+  c_capped : bool;
+}
+
+(* Isolated labeling of one tested fact's cone, independent of every
+   other cone: the candidate set is the cone's config nodes minus the
+   root's own disjunction-free strong set (not the global union over
+   all roots). For monotone cone predicates, necessity of a variable is
+   invariant under fixing other variables to true, so the union of
+   isolated per-cone results equals the global [run] result — this is
+   what makes per-cone results cacheable across incremental updates
+   (lib/incr), where the set of sibling cones changes between runs.
+   The only divergence window is [max_cone_vars]: isolated candidate
+   sets are supersets of the global ones, so a cone whose config count
+   exceeds the cap could cap differently; [c_capped] reports it and
+   callers must fall back to {!run}. *)
+let run_cone g ~root =
+  T.with_span "label.cone" @@ fun () ->
+  M.inc m_cones 1;
+  let pre_strong = disjunction_free_strong g ~tested:[ root ] in
+  let _, order = cone g root in
+  let covered = ref Element.Id_set.empty in
+  let candidate = Hashtbl.create 64 in
+  List.iter
+    (fun nid ->
+      match Ifg.config_eid g nid with
+      | Some eid ->
+          covered := Element.Id_set.add eid !covered;
+          if not (Element.Id_set.mem eid pre_strong) then
+            Hashtbl.replace candidate nid eid
+      | None -> ())
+    order;
+  let capped = Hashtbl.length candidate > max_cone_vars in
+  let var_of_node = Hashtbl.create 64 in
+  let eid_of_var = Hashtbl.create 64 in
+  let n_vars = ref 0 in
+  List.iter
+    (fun nid ->
+      if Hashtbl.mem candidate nid && !n_vars < max_cone_vars then begin
+        Hashtbl.replace var_of_node nid !n_vars;
+        Hashtbl.replace eid_of_var !n_vars (Hashtbl.find candidate nid);
+        incr n_vars
+      end)
+    order;
+  M.observe m_cone_vars (float_of_int !n_vars);
+  let strong, bdd_nodes =
+    if !n_vars = 0 then (pre_strong, 0)
+    else begin
+      let m = Bdd.create () in
+      let gamma = Hashtbl.create 256 in
+      let rec compute id =
+        match Hashtbl.find_opt gamma id with
+        | Some b -> b
+        | None ->
+            Hashtbl.replace gamma id (Bdd.bdd_true m);
+            let b =
+              if Ifg.is_disj g id then
+                Ifg.fold_parents g id
+                  (fun acc p -> Bdd.bdd_or m acc (compute p))
+                  (Bdd.bdd_false m)
+              else
+                let self =
+                  match Hashtbl.find_opt var_of_node id with
+                  | Some v -> Bdd.var m v
+                  | None -> Bdd.bdd_true m
+                in
+                Ifg.fold_parents g id
+                  (fun acc p -> Bdd.bdd_and m acc (compute p))
+                  self
+            in
+            Hashtbl.replace gamma id b;
+            b
+      in
+      let b = compute root in
+      let cone_strong = ref pre_strong in
+      List.iter
+        (fun v ->
+          if Bdd.is_necessary m b ~var:v then
+            match Hashtbl.find_opt eid_of_var v with
+            | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
+            | None -> ())
+        (Bdd.support m b);
+      let cs = Bdd.cache_stats m in
+      M.inc m_bdd_hits cs.Bdd.hits;
+      M.inc m_bdd_misses cs.Bdd.misses;
+      M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
+      (!cone_strong, Bdd.node_count m)
+    end
+  in
+  {
+    c_covered = !covered;
+    c_strong = strong;
+    c_vars = !n_vars;
+    c_bdd_nodes = bdd_nodes;
+    c_capped = capped;
+  }
+
 let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
     g ~tested =
   T.with_span "label" ~args:[ ("tested", T.I (List.length tested)) ]

@@ -43,3 +43,24 @@ val run :
   Ifg.t ->
   tested:Ifg.node_id list ->
   result
+
+(** Isolated labeling of one tested fact's ancestor cone. *)
+type cone_result = {
+  c_covered : Element.Id_set.t;  (** config elements in the cone *)
+  c_strong : Element.Id_set.t;  (** subset of [c_covered] *)
+  c_vars : int;
+  c_bdd_nodes : int;
+  c_capped : bool;
+      (** the cone hit the per-cone BDD variable cap; the result is
+          still sound (capped candidates stay weak) but may diverge
+          from {!run}'s global labeling — callers needing equality must
+          fall back to {!run} *)
+}
+
+(** [run_cone g ~root] labels the cone of one tested fact independently
+    of any other tested fact. The union over roots of [c_covered] /
+    [c_strong] equals {!run}'s [covered] / [strong] (unless a cone is
+    [c_capped]): necessity of a monotone predicate's variable is
+    invariant under fixing sibling-cone variables to true. This is the
+    unit of reuse for the incremental engine (lib/incr). *)
+val run_cone : Ifg.t -> root:Ifg.node_id -> cone_result

@@ -63,7 +63,10 @@ type report = {
 
     [pool] parallelizes the labeling pass across its domains (default:
     sequential). [sim_cache] (default true) memoizes targeted policy
-    simulations within this analysis. [identity] selects the IFG's
+    simulations within this analysis; [sim_canon] (default true) keys
+    that memo cache by canonicalized routes — attributes the policy
+    chain neither reads nor writes are stripped from the key (see
+    {!Rules.create_sim_cache}). [identity] selects the IFG's
     fact-identity mode (default {!Intern.Structural};
     {!Intern.By_key} is the string-keyed reference for differential
     testing). None of these options changes the report, only the wall
@@ -77,6 +80,7 @@ type report = {
 val analyze :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
+  ?sim_canon:bool ->
   ?identity:Intern.mode ->
   ?diags:(Diag.t -> unit) ->
   Netcov_sim.Stable_state.t ->
@@ -94,6 +98,7 @@ val analyze :
 val analyze_suite :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
+  ?sim_canon:bool ->
   ?identity:Intern.mode ->
   Netcov_sim.Stable_state.t ->
   tested list ->
@@ -121,6 +126,7 @@ type suite_outcome = { ok : report list; failures : test_failure list }
 val analyze_suite_isolated :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
+  ?sim_canon:bool ->
   ?identity:Intern.mode ->
   ?diags:(Diag.t -> unit) ->
   ?labels:string list ->

@@ -44,14 +44,232 @@ end
 
 module Sim_tbl = Hashtbl.Make (Sim_key)
 
+(* Key canonicalization: a policy chain only reads the route attributes
+   its match conditions name, and only rewrites the ones its actions
+   set. Every other attribute passes through the evaluation untouched —
+   it influences neither control flow nor the exercised clause set, and
+   the output value equals the input value. Stripping those attributes
+   from the cache key (replacing them by fixed placeholders) makes
+   equivalent simulations share one entry; on a hit the pass-through
+   attributes of the cached transformed route are restored from the
+   actual input, which is exactly what a fresh evaluation would have
+   produced. The per-(device, chain) attribute mask is computed once
+   and memoized in the cache. *)
+module Attr = struct
+  let prefix = 1
+  let next_hop = 2
+  let as_path = 4
+  let local_pref = 8
+  let med = 16
+  let communities = 32
+
+  (* [origin] and [cluster_len] have no bit: no match condition or
+     action can read or write them, so they are always pass-through. *)
+  let cond = function
+    | Policy_ast.Match_prefix_list _ | Policy_ast.Match_prefix _ -> prefix
+    | Policy_ast.Match_community_list _ | Policy_ast.Match_community _ ->
+        communities
+    | Policy_ast.Match_as_path_list _ -> as_path
+    | Policy_ast.Match_protocol _ -> 0
+    | Policy_ast.Match_next_hop _ -> next_hop
+
+  let action = function
+    | Policy_ast.Accept | Policy_ast.Reject | Policy_ast.Next_term -> 0
+    | Policy_ast.Set_local_pref _ -> local_pref
+    | Policy_ast.Set_med _ -> med
+    | Policy_ast.Add_community _ | Policy_ast.Remove_community _
+    | Policy_ast.Delete_community_in _ ->
+        communities
+    | Policy_ast.Prepend_as _ -> as_path
+
+  (* Attributes the chain can read or write, as a bit set. Written
+     attributes must stay in the key too: an attribute modified from
+     its input value (community add, AS prepend, a Set on one branch)
+     makes the output depend on the input value. *)
+  let of_chain (d : Device.t) chain =
+    List.fold_left
+      (fun m name ->
+        match Device.find_policy d name with
+        | None -> m
+        | Some p ->
+            List.fold_left
+              (fun m (t : Policy_ast.term) ->
+                let m =
+                  List.fold_left
+                    (fun m c -> m lor cond c)
+                    m t.Policy_ast.matches
+                in
+                List.fold_left
+                  (fun m a -> m lor action a)
+                  m t.Policy_ast.actions)
+              m p.Policy_ast.terms)
+      0 chain
+end
+
+let canonical_route mask (r : Route.bgp) =
+  let keep a = mask land a <> 0 in
+  {
+    Route.prefix =
+      (if keep Attr.prefix then r.Route.prefix else Prefix.default);
+    next_hop = (if keep Attr.next_hop then r.Route.next_hop else Ipv4.zero);
+    as_path = (if keep Attr.as_path then r.Route.as_path else As_path.empty);
+    local_pref = (if keep Attr.local_pref then r.Route.local_pref else 0);
+    med = (if keep Attr.med then r.Route.med else 0);
+    communities =
+      (if keep Attr.communities then r.Route.communities
+       else Community.Set.empty);
+    origin = Route.Origin_igp;
+    cluster_len = 0;
+  }
+
+(* Restore the pass-through attributes of a cached result's transformed
+   route from the actual input route. *)
+let patch_result mask (input : Route.bgp) (r : Eval.result) =
+  match r.Eval.route with
+  | None -> r
+  | Some out ->
+      let keep a = mask land a <> 0 in
+      let out =
+        {
+          Route.prefix =
+            (if keep Attr.prefix then out.Route.prefix else input.Route.prefix);
+          next_hop =
+            (if keep Attr.next_hop then out.Route.next_hop
+             else input.Route.next_hop);
+          as_path =
+            (if keep Attr.as_path then out.Route.as_path
+             else input.Route.as_path);
+          local_pref =
+            (if keep Attr.local_pref then out.Route.local_pref
+             else input.Route.local_pref);
+          med = (if keep Attr.med then out.Route.med else input.Route.med);
+          communities =
+            (if keep Attr.communities then out.Route.communities
+             else input.Route.communities);
+          origin = input.Route.origin;
+          cluster_len = input.Route.cluster_len;
+        }
+      in
+      { r with Eval.route = Some out }
+
 type sim_cache = {
   tbl : Eval.result Sim_tbl.t;
   mutable c_hits : int;
   mutable c_misses : int;
+  canonical : bool;
+  (* (host, chain) -> read/write attribute mask, lazily computed *)
+  masks : (string * string list, int) Hashtbl.t;
 }
 
-let create_sim_cache () = { tbl = Sim_tbl.create 4096; c_hits = 0; c_misses = 0 }
+let create_sim_cache ?(canonical = true) () =
+  {
+    tbl = Sim_tbl.create 4096;
+    c_hits = 0;
+    c_misses = 0;
+    canonical;
+    masks = Hashtbl.create 64;
+  }
+
 let sim_cache_stats c = (c.c_hits, c.c_misses)
+
+(* Selective eviction for the incremental engine (lib/incr): drop every
+   entry — and every memoized attribute mask — belonging to a host
+   whose device configuration changed. Chain evaluation reads nothing
+   but the device, so entries of unchanged hosts stay valid across an
+   update. Returns the number of evicted result entries. *)
+let sim_cache_evict_hosts c pred =
+  let doomed = ref [] in
+  Sim_tbl.iter
+    (fun k _ -> if pred k.Sim_key.k_host then doomed := k :: !doomed)
+    c.tbl;
+  List.iter (fun k -> Sim_tbl.remove c.tbl k) !doomed;
+  let doomed_masks = ref [] in
+  Hashtbl.iter
+    (fun ((h, _) as k) _ -> if pred h then doomed_masks := k :: !doomed_masks)
+    c.masks;
+  List.iter (fun k -> Hashtbl.remove c.masks k) !doomed_masks;
+  List.length !doomed
+
+(* Replay-based revalidation, the precise alternative to
+   [sim_cache_evict_hosts]: instead of dropping every entry of a changed
+   host, re-run each cached evaluation against the host's *new* device
+   and keep the entries whose results are unchanged. Sound for
+   canonical keys because the replay input is the canonical
+   representative of the key's equivalence class: when the chain's
+   read/write attribute mask is unchanged, both the old and the new
+   chain treat the stripped attributes as pass-through, so equality on
+   the representative implies equality on every member of the class
+   (the kept attributes of the output depend only on the kept
+   attributes of the input). A changed mask shifts the key space
+   itself, so those entries are dropped unconditionally. *)
+
+let result_equiv mask (a : Eval.result) (b : Eval.result) =
+  a.Eval.verdict = b.Eval.verdict
+  && a.Eval.exercised = b.Eval.exercised
+  &&
+  match (a.Eval.route, b.Eval.route) with
+  | None, None -> true
+  | Some ra, Some rb ->
+      (* pass-through attributes of the stored result come from its
+         original (non-canonical) input; compare modulo the mask *)
+      if mask = -1 then ra = rb
+      else canonical_route mask ra = canonical_route mask rb
+  | _ -> false
+
+let sim_cache_revalidate_hosts ?(apply = true) c state pred =
+  let checked = ref 0 in
+  let doomed = ref [] in
+  let fresh_masks = Hashtbl.create 16 in
+  let new_mask d mk =
+    match Hashtbl.find_opt fresh_masks mk with
+    | Some m -> m
+    | None ->
+        let m = Attr.of_chain d (snd mk) in
+        Hashtbl.replace fresh_masks mk m;
+        m
+  in
+  Sim_tbl.iter
+    (fun (k : Sim_key.t) r ->
+      if pred k.Sim_key.k_host then begin
+        incr checked;
+        let valid =
+          match Stable_state.find_device state k.Sim_key.k_host with
+          | exception _ -> false (* host gone from the new state *)
+          | d -> (
+              let mask =
+                if not c.canonical then Some (-1)
+                else
+                  let mk = (k.Sim_key.k_host, k.Sim_key.k_chain) in
+                  let m = new_mask d mk in
+                  match Hashtbl.find_opt c.masks mk with
+                  | Some m_old when m_old = m -> Some m
+                  | _ -> None
+              in
+              match mask with
+              | None -> false
+              | Some mask ->
+                  result_equiv mask r
+                    (Eval.run_chain d ~chain:k.Sim_key.k_chain
+                       ~default:k.Sim_key.k_default
+                       ~protocol:k.Sim_key.k_protocol k.Sim_key.k_route))
+        in
+        if not valid then doomed := k :: !doomed
+      end)
+    c.tbl;
+  if apply then begin
+    List.iter (fun k -> Sim_tbl.remove c.tbl k) !doomed;
+    (* Memoized masks of the affected hosts are recomputed lazily on
+       the next evaluation; a stale mask would canonicalize keys for
+       the new device incorrectly. *)
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun ((h, _) as mk) _ -> if pred h then stale := mk :: !stale)
+      c.masks;
+    List.iter (fun mk -> Hashtbl.remove c.masks mk) !stale
+  end;
+  (!checked, List.length !doomed)
+
+let sim_cache_length c = Sim_tbl.length c.tbl
 
 (* Key-precision accounting (docs/OBSERVABILITY.md): the cache's hit
    rate is bounded by how many distinct keys the workload produces, and
@@ -129,20 +347,31 @@ let chain_eval ctx : Eval.chain_eval =
   match ctx.cache with
   | None -> Eval.run_chain d ~chain ~default ~protocol route
   | Some c -> (
+      let mask =
+        if not c.canonical then -1
+        else
+          let mk = (d.Device.hostname, chain) in
+          match Hashtbl.find_opt c.masks mk with
+          | Some m -> m
+          | None ->
+              let m = Attr.of_chain d chain in
+              Hashtbl.replace c.masks mk m;
+              m
+      in
       let key =
         {
           Sim_key.k_host = d.Device.hostname;
           k_chain = chain;
           k_default = default;
           k_protocol = protocol;
-          k_route = route;
+          k_route = (if mask = -1 then route else canonical_route mask route);
         }
       in
       match Sim_tbl.find_opt c.tbl key with
       | Some r ->
           ctx.cache_hits <- ctx.cache_hits + 1;
           c.c_hits <- c.c_hits + 1;
-          r
+          if mask = -1 then r else patch_result mask route r
       | None ->
           ctx.cache_misses <- ctx.cache_misses + 1;
           c.c_misses <- c.c_misses + 1;

@@ -1,0 +1,89 @@
+(** Incremental coverage engine: config-diff → cone invalidation →
+    delta recompute.
+
+    A {!session} holds everything one analyzed network state left
+    behind: per-test IFGs, per-tested-fact cone label results
+    ({!Netcov_core.Label.run_cone}), per-test aggregate label sets, and
+    a persistent targeted-simulation memo cache. {!update} moves the
+    session to a new configuration version: the registries are diffed
+    ({!Registry_diff}), the sim-memo cache is invalidated precisely by
+    replaying each cached evaluation of a changed device
+    ({!Netcov_core.Rules.sim_cache_revalidate_hosts}), the dirty cone
+    set is computed by walking each old IFG forward from the changed
+    elements ({!Netcov_core.Ifg.reverse_reachable}) and evicted, and
+    only what cannot be reused is recomputed.
+
+    Soundness (see [docs/INCREMENTAL.md]): by default every test is
+    re-materialized against the new state (simulations mostly hit the
+    persistent cache), so the new IFG is always exact; a cone's stored
+    label result is reused when the new cone is positionally identical
+    to the old one (no node in it lies in the descendant closure of a
+    positionally-differing node) or, failing that, when the cone's
+    structural signature — node kinds, facts (config ids translated
+    through the diff's id map) and in-cone wiring — is unchanged.
+    Labeling is a function of that structure, so reused results equal
+    recomputed ones. When the whole update carries a behavior-free
+    witness — only policy-class elements changed, every replayed
+    simulation was reproduced exactly, and the new stable state's
+    hosts, sessions and RIBs equal the old one's — tests with unchanged
+    tested facts skip re-materialization entirely and splice their
+    stored pass wholesale. Either way the incremental report is
+    byte-identical to a from-scratch run (asserted by the
+    [incremental-scratch] differential oracle). A full per-test
+    labeling pass is forced — and its cones are not cached — when a
+    cone overflows the BDD variable cap. *)
+
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+
+type session
+
+(** Volume counters of one {!create} or {!update}, feeding the
+    [incr.*] metrics (docs/OBSERVABILITY.md). *)
+type stats = {
+  s_changed : int;  (** changed elements (old ∩ new, text differs) *)
+  s_added : int;
+  s_removed : int;
+  s_dirty_cones : int;
+      (** stored cones evicted because a changed/removed element was in
+          their old contribution cone *)
+  s_reused : int;  (** cone results spliced from the previous run *)
+  s_relabeled : int;  (** cones relabeled (dirty, new, or sig mismatch) *)
+  s_full_fallbacks : int;
+      (** tests forced to a full {!Label.run} by the per-cone cap *)
+  s_evicted_sim : int;
+      (** sim-cache entries of changed devices whose replayed result
+          (or canonical key space) moved *)
+  s_evicted_labels : int;  (** = [s_dirty_cones] plus stale-test drops *)
+  s_sim_hits : int;  (** sim-cache hits during this pass *)
+  s_sim_misses : int;
+  s_reuse_ratio : float;
+      (** reused / (reused + relabeled), 0 when nothing ran *)
+  s_seconds : float;
+}
+
+(** [create state testeds] runs the cold, from-scratch analysis and
+    returns the primed session. [sim_canon] is
+    {!Netcov.analyze}'s [sim_canon] (default true). *)
+val create :
+  ?sim_canon:bool -> Stable_state.t -> Netcov.tested list -> session * stats
+
+(** [update s state testeds] re-analyzes against the new stable state,
+    reusing everything the config diff did not invalidate. Tests are
+    matched to the previous run by position; extra tests run cold,
+    missing tests are dropped. The resulting {!report} is byte-identical
+    (coverage-wise) to [Netcov.analyze_suite state testeds] merged. *)
+val update : session -> Stable_state.t -> Netcov.tested list -> stats
+
+(** Merged suite report of the session's current state (the same shape
+    {!Netcov.merge_reports} produces). *)
+val report : session -> Netcov.report
+
+val registry : session -> Registry.t
+
+(** The diff computed by the most recent {!update} ([None] after
+    {!create}). *)
+val last_diff : session -> Registry_diff.t option
+
+val summary : stats -> string

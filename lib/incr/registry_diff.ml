@@ -1,0 +1,132 @@
+open Netcov_config
+
+type entry = {
+  e_device : string;
+  e_key : Element.key;
+  e_old_id : Element.id;
+  e_new_id : Element.id;
+  e_lines : int list;
+}
+
+type t = {
+  changed : entry list;
+  added : entry list;
+  removed : entry list;
+  id_map : int array;
+  devices_changed : string list;
+}
+
+(* The text an element owns, in line order. Owned lines are 1-based and
+   not necessarily contiguous. *)
+let owned_text reg (e : Element.t) =
+  let text = Registry.text reg e.Element.device in
+  List.map
+    (fun l -> if l >= 1 && l <= Array.length text then text.(l - 1) else "")
+    e.Element.lines
+
+let diff ~old next =
+  let id_map = Array.make (Registry.n_elements old) (-1) in
+  let changed = ref [] and added = ref [] and removed = ref [] in
+  Registry.iter_elements old (fun oe ->
+      match Registry.find next ~device:oe.Element.device oe.Element.ekey with
+      | None ->
+          removed :=
+            {
+              e_device = oe.Element.device;
+              e_key = oe.Element.ekey;
+              e_old_id = oe.Element.id;
+              e_new_id = -1;
+              e_lines = oe.Element.lines;
+            }
+            :: !removed
+      | Some nid ->
+          id_map.(oe.Element.id) <- nid;
+          let ne = Registry.element next nid in
+          if owned_text old oe <> owned_text next ne then
+            changed :=
+              {
+                e_device = oe.Element.device;
+                e_key = oe.Element.ekey;
+                e_old_id = oe.Element.id;
+                e_new_id = nid;
+                e_lines = ne.Element.lines;
+              }
+              :: !changed);
+  Registry.iter_elements next (fun ne ->
+      match Registry.find old ~device:ne.Element.device ne.Element.ekey with
+      | Some _ -> ()
+      | None ->
+          added :=
+            {
+              e_device = ne.Element.device;
+              e_key = ne.Element.ekey;
+              e_old_id = -1;
+              e_new_id = ne.Element.id;
+              e_lines = ne.Element.lines;
+            }
+            :: !added);
+  (* Device-level change set: drives sim-cache eviction, so it must
+     cover every difference that can alter a policy-chain evaluation —
+     rendered text for internal devices, whole-structure equality for
+     external stubs (their announcements are config too, they just own
+     no coverage elements). *)
+  let by_host devs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun d -> Hashtbl.replace tbl d.Device.hostname d) devs;
+    tbl
+  in
+  let old_devs = by_host (Registry.devices old) in
+  let new_devs = by_host (Registry.devices next) in
+  let devices_changed = ref [] in
+  let mark h = devices_changed := h :: !devices_changed in
+  Hashtbl.iter
+    (fun h od ->
+      match Hashtbl.find_opt new_devs h with
+      | None -> mark h
+      | Some nd ->
+          let differs =
+            if Registry.is_external old h || Registry.is_external next h then
+              Registry.is_external old h <> Registry.is_external next h
+              || od <> nd
+            else Registry.text old h <> Registry.text next h
+          in
+          if differs then mark h)
+    old_devs;
+  Hashtbl.iter
+    (fun h _ -> if not (Hashtbl.mem old_devs h) then mark h)
+    new_devs;
+  {
+    changed = List.rev !changed;
+    added = List.rev !added;
+    removed = List.rev !removed;
+    id_map;
+    devices_changed = List.sort_uniq String.compare !devices_changed;
+  }
+
+let is_empty d =
+  d.changed = [] && d.added = [] && d.removed = [] && d.devices_changed = []
+
+let summary d =
+  let buf = Buffer.create 256 in
+  let section title entries =
+    let n = List.length entries in
+    if n > 0 then begin
+      Buffer.add_string buf (Printf.sprintf "%s: %d element(s)\n" title n);
+      List.filteri (fun i _ -> i < 5) entries
+      |> List.iter (fun e ->
+             Buffer.add_string buf
+               (Printf.sprintf "  %s:%s (%s) lines %s\n" e.e_device
+                  e.e_key.Element.name
+                  (Element.etype_to_string e.e_key.Element.etype)
+                  (String.concat "," (List.map string_of_int e.e_lines))))
+    end
+  in
+  section "changed" d.changed;
+  section "added" d.added;
+  section "removed" d.removed;
+  if d.devices_changed <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "devices changed: %s\n"
+         (String.concat ", " d.devices_changed));
+  if is_empty d then Buffer.add_string buf "configuration unchanged\n";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Structural diff of two configuration registries at the typed-element
+    level ({!Netcov_config.Element}): which elements changed, appeared or
+    disappeared between two versions of the network's configuration, with
+    device and line provenance, plus the old-id → new-id translation the
+    incremental engine ({!Incr}) uses to carry coverage results across
+    the update. *)
+
+open Netcov_config
+
+(** One differing element. For [changed] and [added] entries the line
+    numbers refer to the new registry's rendered text; for [removed]
+    entries to the old registry's. *)
+type entry = {
+  e_device : string;
+  e_key : Element.key;
+  e_old_id : Element.id;  (** [-1] for added elements *)
+  e_new_id : Element.id;  (** [-1] for removed elements *)
+  e_lines : int list;  (** 1-based owned lines, provenance for reports *)
+}
+
+type t = {
+  changed : entry list;
+      (** same (device, key) on both sides, owned text differs *)
+  added : entry list;
+  removed : entry list;
+  id_map : int array;
+      (** old element id → new element id for elements present on both
+          sides (changed or not), [-1] for removed; length
+          [Registry.n_elements old] *)
+  devices_changed : string list;
+      (** devices whose configuration differs at all — rendered text
+          for internal devices, structural equality for external stubs —
+          including devices only present on one side; sorted *)
+}
+
+(** [diff ~old next] matches elements by (device, {!Element.key}).
+    Elements match when both registries bind the key on that device;
+    matched elements are [changed] when the text of their owned lines
+    differs. *)
+val diff : old:Registry.t -> Registry.t -> t
+
+(** No element changed, appeared or disappeared, and no device's
+    configuration differs. *)
+val is_empty : t -> bool
+
+(** Human-readable provenance summary ("device:name (type) lines ..."),
+    a few exemplars per class. *)
+val summary : t -> string

@@ -1,0 +1,478 @@
+(* Units for the incremental engine's building blocks: the backward
+   closure [Ifg.reverse_reachable] (plus its duality with [reachable],
+   checked exhaustively on hand-built graphs and sampled on generated
+   ones), the typed-element registry diff, canonical sim-cache keys and
+   host eviction, per-device coverage deltas, and an identity update
+   through a full [Incr] session. The end-to-end incremental == scratch
+   property lives in the [incremental-scratch] oracle (test_prop.ml). *)
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+open Netcov_incr
+open Netcov_check
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- reverse_reachable on hand-built graphs ----------- *)
+
+let f name = Fact.F_edge name
+
+(* Build a graph from labelled edges [(parent, child); ...]; returns the
+   graph and the node id of each label. *)
+let graph_of edges =
+  let g = Ifg.create () in
+  let node l = fst (Ifg.add_fact g (f l)) in
+  List.iter
+    (fun (p, c) -> Ifg.add_edge g ~parent:(node p) ~child:(node c))
+    edges;
+  (g, node)
+
+let set_of arr =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) arr;
+  List.sort compare !acc
+
+(* (reachable g [x]).(y) iff (reverse_reachable g [y]).(x), all pairs. *)
+let check_duality g =
+  let n = Ifg.n_nodes g in
+  for x = 0 to n - 1 do
+    let fwd = Ifg.reachable g [ x ] in
+    let rev = Ifg.reverse_reachable g [ x ] in
+    for y = 0 to n - 1 do
+      check_bool
+        (Printf.sprintf "dual fwd %d/%d" x y)
+        fwd.(y)
+        (Ifg.reverse_reachable g [ y ]).(x);
+      check_bool
+        (Printf.sprintf "dual rev %d/%d" x y)
+        rev.(y)
+        (Ifg.reachable g [ y ]).(x)
+    done
+  done
+
+let test_chain () =
+  let g, node = graph_of [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+  let a, b, c, d = (node "a", node "b", node "c", node "d") in
+  Alcotest.(check (list int))
+    "descendants of a" (List.sort compare [ a; b; c; d ])
+    (set_of (Ifg.reverse_reachable g [ a ]));
+  Alcotest.(check (list int))
+    "descendants of c" (List.sort compare [ c; d ])
+    (set_of (Ifg.reverse_reachable g [ c ]));
+  Alcotest.(check (list int))
+    "ancestors of d" (List.sort compare [ a; b; c; d ])
+    (set_of (Ifg.reachable g [ d ]));
+  check_duality g
+
+let test_diamond () =
+  let g, node =
+    graph_of [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ]
+  in
+  let a, b, c, d = (node "a", node "b", node "c", node "d") in
+  Alcotest.(check (list int))
+    "a invalidates everything" (List.sort compare [ a; b; c; d ])
+    (set_of (Ifg.reverse_reachable g [ a ]));
+  Alcotest.(check (list int))
+    "one arm only" (List.sort compare [ b; d ])
+    (set_of (Ifg.reverse_reachable g [ b ]));
+  Alcotest.(check (list int))
+    "ancestors of b stop at a" (List.sort compare [ a; b ])
+    (set_of (Ifg.reachable g [ b ]));
+  check_duality g
+
+let test_fan_in () =
+  let g, node = graph_of [ ("x1", "y"); ("x2", "y"); ("x3", "y") ] in
+  let x1, x2, x3, y = (node "x1", node "x2", node "x3", node "y") in
+  Alcotest.(check (list int))
+    "one source" (List.sort compare [ x2; y ])
+    (set_of (Ifg.reverse_reachable g [ x2 ]));
+  Alcotest.(check (list int))
+    "multi-seed union" (List.sort compare [ x1; x3; y ])
+    (set_of (Ifg.reverse_reachable g [ x1; x3 ]));
+  Alcotest.(check (list int))
+    "fan-in cone" (List.sort compare [ x1; x2; x3; y ])
+    (set_of (Ifg.reachable g [ y ]));
+  check_duality g
+
+let test_edge_cases () =
+  let g, node = graph_of [ ("a", "b") ] in
+  check_int "out-of-range seeds ignored" 0
+    (List.length (set_of (Ifg.reverse_reachable g [ 999; -3 ])));
+  check_int "no seeds, empty closure" 0
+    (List.length (set_of (Ifg.reverse_reachable g [])));
+  Alcotest.(check (list int))
+    "sink closes on itself" [ node "b" ]
+    (set_of (Ifg.reverse_reachable g [ node "b" ]))
+
+(* ---------------- duality on materialized Netgen graphs ------------ *)
+
+(* Same duality property on a real IFG: generate a scenario, materialize
+   its tests' cones, then spot-check forward/backward closures against
+   each other on a sample grid (the full quadratic check is reserved for
+   the tiny hand-built graphs above). *)
+let test_netgen_duality () =
+  (* hunt for a seed whose scenario materializes a non-trivial graph *)
+  let rec hunt seed =
+    if seed > 40 then Alcotest.fail "no non-trivial scenario in 40 seeds"
+    else
+      let sc = Gen.generate ~seed Netgen.scenario in
+      let state =
+        Stable_state.compute (Registry.build (Netgen.devices_of sc.Netgen.net))
+      in
+      let facts =
+        List.concat_map
+          (fun spec -> (Netgen.tested_of state spec).Netcov.dp_facts)
+          sc.Netgen.tests
+      in
+      let ctx = Rules.make_ctx state in
+      let g, _roots, _stats = Materialize.run ctx ~tested:facts in
+      if Ifg.n_nodes g > 30 then g else hunt (seed + 1)
+  in
+  let g = hunt 1 in
+  let n = Ifg.n_nodes g in
+  let stride = max 1 (n / 24) in
+  let samples = List.init (n / stride) (fun i -> i * stride) in
+  let rev = List.map (fun s -> (s, Ifg.reverse_reachable g [ s ])) samples in
+  for j = 0 to n - 1 do
+    let fwd = Ifg.reachable g [ j ] in
+    List.iter
+      (fun (s, rev_s) ->
+        check_bool (Printf.sprintf "dual %d/%d" j s) fwd.(s) rev_s.(j))
+      rev
+  done
+
+(* ---------------- registry diff ------------------------------------ *)
+
+let chain_devices = Testnet.chain
+
+let map_device f target devs =
+  List.map
+    (fun (d : Device.t) -> if d.Device.hostname = target then f d else d)
+    devs
+
+let add_static (d : Device.t) =
+  {
+    d with
+    Device.static_routes =
+      {
+        Device.st_prefix = Netcov_types.Prefix.of_string "10.200.0.0/24";
+        st_next_hop = Netcov_types.Ipv4.zero;
+      }
+      :: d.Device.static_routes;
+  }
+
+let edit_interface (d : Device.t) =
+  match d.Device.interfaces with
+  | [] -> d
+  | i :: rest ->
+      {
+        d with
+        Device.interfaces = { i with Device.description = Some "edited" } :: rest;
+      }
+
+let test_diff_identity () =
+  let old = Registry.build (chain_devices ()) in
+  let next = Registry.build (chain_devices ()) in
+  let d = Registry_diff.diff ~old next in
+  check_bool "identical registries diff empty" true (Registry_diff.is_empty d);
+  check_int "id_map covers old registry" (Registry.n_elements old)
+    (Array.length d.Registry_diff.id_map);
+  (* the id map is total and key-preserving on an identity diff *)
+  Registry.iter_elements old (fun e ->
+      let nid = d.Registry_diff.id_map.(e.Element.id) in
+      check_bool "mapped" true (nid >= 0);
+      let e' = Registry.element next nid in
+      check_bool "same device" true (e.Element.device = e'.Element.device);
+      check_bool "same key" true (e.Element.ekey = e'.Element.ekey))
+
+let test_diff_added_removed () =
+  let old = Registry.build (chain_devices ()) in
+  let next = Registry.build (map_device add_static "b" (chain_devices ())) in
+  let d = Registry_diff.diff ~old next in
+  check_int "one added" 1 (List.length d.Registry_diff.added);
+  check_int "nothing removed" 0 (List.length d.Registry_diff.removed);
+  check_int "nothing changed" 0 (List.length d.Registry_diff.changed);
+  let e = List.hd d.Registry_diff.added in
+  check_bool "added on b" true (e.Registry_diff.e_device = "b");
+  check_int "added has no old id" (-1) e.Registry_diff.e_old_id;
+  check_bool "added has a new id" true (e.Registry_diff.e_new_id >= 0);
+  check_bool "added has line provenance" true (e.Registry_diff.e_lines <> []);
+  Alcotest.(check (list string))
+    "only b changed" [ "b" ] d.Registry_diff.devices_changed;
+  (* the reverse diff sees the same element as removed *)
+  let r = Registry_diff.diff ~old:next old in
+  check_int "one removed" 1 (List.length r.Registry_diff.removed);
+  let e = List.hd r.Registry_diff.removed in
+  check_int "removed has no new id" (-1) e.Registry_diff.e_new_id;
+  check_bool "removed id unmapped" true
+    (r.Registry_diff.id_map.(e.Registry_diff.e_old_id) = -1)
+
+let test_diff_changed () =
+  let old = Registry.build (chain_devices ()) in
+  let next = Registry.build (map_device edit_interface "a" (chain_devices ())) in
+  let d = Registry_diff.diff ~old next in
+  check_int "nothing added" 0 (List.length d.Registry_diff.added);
+  check_int "nothing removed" 0 (List.length d.Registry_diff.removed);
+  check_int "one changed" 1 (List.length d.Registry_diff.changed);
+  let e = List.hd d.Registry_diff.changed in
+  check_bool "changed on a" true (e.Registry_diff.e_device = "a");
+  check_bool "changed keeps both ids" true
+    (e.Registry_diff.e_old_id >= 0 && e.Registry_diff.e_new_id >= 0);
+  check_bool "summary names the device" true
+    (let s = Registry_diff.summary d in
+     String.length s > 0)
+
+(* ---------------- canonical sim-cache keys ------------------------- *)
+
+(* Find a generated scenario whose analysis actually exercises the
+   targeted-simulation cache (a policied uplink on a probed path). *)
+let policied_state () =
+  let rec hunt seed =
+    if seed > 80 then Alcotest.fail "no policied scenario in 80 seeds"
+    else
+      let sc = Gen.generate ~seed Netgen.scenario in
+      if sc.Netgen.net.Netgen.policied = [] then hunt (seed + 1)
+      else
+        let state =
+          Stable_state.compute (Registry.build (Netgen.devices_of sc.Netgen.net))
+        in
+        let facts =
+          List.concat_map
+            (fun spec -> (Netgen.tested_of state spec).Netcov.dp_facts)
+            sc.Netgen.tests
+        in
+        let cache = Rules.create_sim_cache () in
+        let ctx = Rules.make_ctx ~cache state in
+        ignore (Materialize.run ctx ~tested:facts);
+        if Rules.sim_cache_length cache > 0 then (sc, state, facts)
+        else hunt (seed + 1)
+  in
+  hunt 1
+
+let test_evict_hosts () =
+  let _sc, state, facts = policied_state () in
+  let cache = Rules.create_sim_cache () in
+  let ctx = Rules.make_ctx ~cache state in
+  ignore (Materialize.run ctx ~tested:facts);
+  let l0 = Rules.sim_cache_length cache in
+  check_bool "cache populated" true (l0 > 0);
+  check_int "no-op predicate evicts nothing" 0
+    (Rules.sim_cache_evict_hosts cache (fun _ -> false));
+  check_int "length unchanged" l0 (Rules.sim_cache_length cache);
+  let all = Rules.sim_cache_evict_hosts cache (fun _ -> true) in
+  check_int "evict-all returns every entry" l0 all;
+  check_int "cache empty after evict-all" 0 (Rules.sim_cache_length cache);
+  (* evicted entries are recomputed, not resurrected: a re-run refills *)
+  let ctx = Rules.make_ctx ~cache state in
+  ignore (Materialize.run ctx ~tested:facts);
+  check_int "refilled to the same population" l0 (Rules.sim_cache_length cache)
+
+let test_revalidate_hosts () =
+  let sc, state, facts = policied_state () in
+  let cache = Rules.create_sim_cache () in
+  let ctx = Rules.make_ctx ~cache state in
+  ignore (Materialize.run ctx ~tested:facts);
+  let l0 = Rules.sim_cache_length cache in
+  check_bool "cache populated" true (l0 > 0);
+  (* replaying every entry against an identical state validates all of
+     them: canonical-representative replay reproduces stored results *)
+  let same =
+    Stable_state.compute (Registry.build (Netgen.devices_of sc.Netgen.net))
+  in
+  let checked, dropped =
+    Rules.sim_cache_revalidate_hosts cache same (fun _ -> true)
+  in
+  check_int "every entry replayed" l0 checked;
+  check_int "identical state drops nothing" 0 dropped;
+  check_int "cache intact" l0 (Rules.sim_cache_length cache);
+  (* a semantics-flipping edit (every policy term now rejects
+     everything) invalidates at least the accepted evaluations *)
+  let broken =
+    List.map
+      (fun (d : Netcov_config.Device.t) ->
+        if d.Device.is_external then d
+        else
+          {
+            d with
+            Device.policies =
+              List.map
+                (fun (p : Policy_ast.policy) ->
+                  {
+                    p with
+                    Policy_ast.terms =
+                      List.map
+                        (fun (t : Policy_ast.term) ->
+                          {
+                            t with
+                            Policy_ast.matches = [];
+                            Policy_ast.actions = [ Policy_ast.Reject ];
+                          })
+                        p.Policy_ast.terms;
+                  })
+                d.Device.policies;
+          })
+      (Netgen.devices_of sc.Netgen.net)
+  in
+  let broken_state = Stable_state.compute (Registry.build broken) in
+  let _, would_drop =
+    Rules.sim_cache_revalidate_hosts ~apply:false cache broken_state (fun _ ->
+        true)
+  in
+  check_bool "dry run reports invalid entries" true (would_drop >= 1);
+  check_int "dry run mutates nothing" l0 (Rules.sim_cache_length cache);
+  let _, dropped =
+    Rules.sim_cache_revalidate_hosts cache broken_state (fun _ -> true)
+  in
+  check_int "apply drops what the dry run reported" would_drop dropped;
+  check_int "invalid entries removed" (l0 - dropped)
+    (Rules.sim_cache_length cache)
+
+let test_canonical_equivalent_and_no_worse () =
+  let _sc, state, facts = policied_state () in
+  let tested = { Netcov.dp_facts = facts; cp_elements = [] } in
+  let canon = Netcov.analyze ~sim_canon:true state tested in
+  let full = Netcov.analyze ~sim_canon:false state tested in
+  check_bool "same coverage" true
+    (Json_export.coverage canon.Netcov.coverage
+    = Json_export.coverage full.Netcov.coverage);
+  check_bool "canonical keys never hit less" true
+    (canon.Netcov.timing.Netcov.sim_cache_hits
+    >= full.Netcov.timing.Netcov.sim_cache_hits)
+
+(* ---------------- per-device coverage deltas ----------------------- *)
+
+let test_by_device () =
+  let state = Testnet.state_of (chain_devices ()) in
+  let reg = Stable_state.registry state in
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "c"; entry })
+      (Stable_state.main_lookup state "c"
+         (Netcov_types.Prefix.of_string "10.10.0.0/24"))
+  in
+  let baseline = Netcov.analyze state Netcov.no_tests in
+  let current =
+    Netcov.analyze state { Netcov.dp_facts = tested; cp_elements = [] }
+  in
+  let d =
+    Coverage_diff.diff ~baseline:baseline.Netcov.coverage
+      current.Netcov.coverage
+  in
+  check_bool "coverage gained" true
+    (not (Element.Id_set.is_empty d.Coverage_diff.gained));
+  let per = Coverage_diff.by_device reg d in
+  check_bool "grouped by device" true (per <> []);
+  check_bool "devices sorted" true
+    (let names = List.map fst per in
+     names = List.sort String.compare names);
+  (* the per-device slices partition the global sets exactly *)
+  let total =
+    List.fold_left
+      (fun acc (dev, delta) ->
+        check_bool (dev ^ " slice non-empty") true
+          (not (Coverage_diff.delta_is_empty delta));
+        Element.Id_set.iter
+          (fun id ->
+            check_bool "owner matches" true
+              ((Registry.element reg id).Element.device = dev))
+          delta.Coverage_diff.d_gained;
+        acc + Element.Id_set.cardinal delta.Coverage_diff.d_gained)
+      0 per
+  in
+  check_int "slices partition gained" (Element.Id_set.cardinal d.Coverage_diff.gained) total;
+  check_bool "empty delta recognized" true
+    (Coverage_diff.delta_is_empty
+       {
+         Coverage_diff.d_gained = Element.Id_set.empty;
+         d_lost = Element.Id_set.empty;
+         d_strengthened = Element.Id_set.empty;
+         d_weakened = Element.Id_set.empty;
+       })
+
+(* ---------------- incremental session ------------------------------ *)
+
+let chain_tested state =
+  let tested =
+    List.map
+      (fun entry -> Fact.F_main_rib { host = "c"; entry })
+      (Stable_state.main_lookup state "c"
+         (Netcov_types.Prefix.of_string "10.10.0.0/24"))
+  in
+  { Netcov.dp_facts = tested; cp_elements = [] }
+
+let test_identity_update () =
+  let state = Testnet.state_of (chain_devices ()) in
+  let session, cold = Incr.create state [ chain_tested state ] in
+  check_bool "cold run labels cones" true (cold.Incr.s_relabeled > 0);
+  let fp0 = Json_export.coverage (Incr.report session).Netcov.coverage in
+  (* same configuration, recomputed: everything must be reused *)
+  let state' = Testnet.state_of (chain_devices ()) in
+  let st = Incr.update session state' [ chain_tested state' ] in
+  check_int "no changed elements" 0 st.Incr.s_changed;
+  check_int "no dirty cones" 0 st.Incr.s_dirty_cones;
+  check_int "nothing relabeled" 0 st.Incr.s_relabeled;
+  check_bool "cones reused" true (st.Incr.s_reused > 0);
+  check_bool "full reuse ratio" true (st.Incr.s_reuse_ratio = 1.0);
+  check_int "no sim evictions" 0 st.Incr.s_evicted_sim;
+  check_bool "identity diff is empty" true
+    (match Incr.last_diff session with
+    | Some d -> Registry_diff.is_empty d
+    | None -> false);
+  check_bool "coverage unchanged" true
+    (fp0 = Json_export.coverage (Incr.report session).Netcov.coverage)
+
+let test_edit_update_matches_scratch () =
+  let state = Testnet.state_of (chain_devices ()) in
+  let session, _ = Incr.create state [ chain_tested state ] in
+  (* live edit: a new static route on b *)
+  let devs' = map_device add_static "b" (chain_devices ()) in
+  let state' = Testnet.state_of devs' in
+  let st = Incr.update session state' [ chain_tested state' ] in
+  check_bool "edit was seen" true
+    (match Incr.last_diff session with
+    | Some d -> not (Registry_diff.is_empty d)
+    | None -> false);
+  check_bool "diff saw the added element" true (st.Incr.s_added >= 1);
+  let merged =
+    Netcov.merge_reports
+      ~registry:(Stable_state.registry state')
+      (Netcov.analyze_suite state' [ chain_tested state' ])
+  in
+  let scratch = Json_export.coverage merged.Netcov.coverage in
+  check_bool "incremental equals scratch" true
+    (Json_export.coverage (Incr.report session).Netcov.coverage = scratch)
+
+let () =
+  Alcotest.run "incr"
+    [
+      ( "reverse-reachable",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "fan-in" `Quick test_fan_in;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "netgen duality" `Quick test_netgen_duality;
+        ] );
+      ( "registry-diff",
+        [
+          Alcotest.test_case "identity" `Quick test_diff_identity;
+          Alcotest.test_case "added/removed" `Quick test_diff_added_removed;
+          Alcotest.test_case "changed" `Quick test_diff_changed;
+        ] );
+      ( "sim-cache",
+        [
+          Alcotest.test_case "host eviction" `Quick test_evict_hosts;
+          Alcotest.test_case "replay revalidation" `Quick test_revalidate_hosts;
+          Alcotest.test_case "canonical keys" `Quick
+            test_canonical_equivalent_and_no_worse;
+        ] );
+      ( "coverage-diff",
+        [ Alcotest.test_case "by device" `Quick test_by_device ] );
+      ( "session",
+        [
+          Alcotest.test_case "identity update" `Quick test_identity_update;
+          Alcotest.test_case "edit matches scratch" `Quick
+            test_edit_update_matches_scratch;
+        ] );
+    ]
