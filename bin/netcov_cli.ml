@@ -5,9 +5,13 @@
      fattree     run the datacenter case study and write coverage reports
      annotate    print one device's annotated configuration
      render      render a workload's configurations to a directory
+     whatif      coverage under single-link failures (fat-tree suite)
+     mutation    compare IFG coverage against mutation-based coverage
+     audit       parse a config directory, report coverage ceiling (ERRORS.md)
      trace       run the Figure 1 example under the tracer, write trace JSON
      parse       syntax-check configuration files (exit 1 on the first error)
      incr        incrementally re-analyze a config change between two dirs
+     serve       run the coverage-as-a-service HTTP daemon (docs/SERVE.md)
      fuzz        run the differential property oracles (docs/TESTING.md)
 
    Most analysis subcommands accept --trace FILE and --metrics FILE (see
@@ -867,6 +871,74 @@ let incr_cmd =
       const run $ verbose $ baseline $ old_dir $ new_dir $ syntax_arg
       $ trace_out $ metrics_out)
 
+let serve_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST"
+          ~doc:"Address to bind (name or dotted quad).")
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let max_networks =
+    Arg.(
+      value & opt int 64
+      & info [ "max-networks" ] ~docv:"N"
+          ~doc:
+            "Maximum number of concurrently registered networks; uploads \
+             beyond it are answered 409 until one is deleted.")
+  in
+  let handlers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "handlers" ] ~docv:"N"
+          ~doc:
+            "Connection-handler domains (default: the pool default, \
+             $(b,NETCOV_DOMAINS) or the core count capped at 8). With 1 the \
+             daemon is single-threaded and connections queue.")
+  in
+  let run verbose host port max_networks handlers metrics =
+    (* serve is long-running and operator-facing: request logs (Info)
+       are on by default, -v raises them to Debug. *)
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+    with_obs ~trace:None ~metrics @@ fun () ->
+    let server =
+      Netcov_serve.Server.create ~host ~port ~max_networks ?handlers ()
+    in
+    let stop _ = Netcov_serve.Server.shutdown server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (* SIGPIPE would kill the process when a peer disappears mid-write *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.printf
+      "netcov serve: listening on http://%s:%d (API reference: \
+       docs/SERVE.md; Ctrl-C for graceful shutdown)\n%!"
+      host
+      (Netcov_serve.Server.port server);
+    Netcov_serve.Server.serve server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the coverage-as-a-service daemon: a long-running HTTP server \
+          that keeps one warm incremental session per uploaded network \
+          (registry, interner, BDD tables and simulation memo cache persist \
+          across requests) and exposes a JSON API — upload configurations, \
+          register test suites, apply configuration deltas and read coverage \
+          reports, plus /metrics and /healthz (API reference in \
+          docs/SERVE.md). SIGINT/SIGTERM shut down gracefully: in-flight \
+          requests finish, new connections are refused.")
+    Term.(
+      const run $ verbose $ host $ port $ max_networks $ handlers
+      $ metrics_out)
+
 let fuzz_cmd =
   let seed =
     Arg.(
@@ -938,6 +1010,7 @@ let () =
             mutation_cmd;
             audit_cmd;
             incr_cmd;
+            serve_cmd;
             trace_cmd;
             parse_cmd;
             fuzz_cmd;

@@ -2,6 +2,23 @@
     external dashboards. No external JSON dependency: the emitter is
     self-contained and the output is stable-ordered (diff-friendly). *)
 
+(** The emitter's building blocks, exposed so other JSON producers in
+    the toolchain (the [netcov serve] API responses) compose documents
+    from the same stable-ordered printer instead of growing a second
+    one. [J_raw] splices pre-encoded JSON — e.g. a {!report} or a
+    {!Diag.list_to_json} — verbatim into a larger document. *)
+type json =
+  | J_str of string
+  | J_int of int
+  | J_float of float  (** emitted with four decimal places *)
+  | J_list of json list
+  | J_obj of (string * json) list
+  | J_raw of string  (** pre-encoded JSON, spliced verbatim *)
+
+(** [to_string j] renders [j] compactly (no whitespace), fields in
+    construction order. *)
+val to_string : json -> string
+
 (** Full report: overall line stats, per-device table, per-element-type
     table and the per-element status list. *)
 val coverage : Coverage.t -> string

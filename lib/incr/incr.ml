@@ -653,6 +653,8 @@ let update s state testeds =
 
 let report s = s.rep
 let registry s = s.reg
+let state s = s.st
+let testeds s = s.testeds
 let last_diff s = s.diff
 
 let summary st =

@@ -82,6 +82,19 @@ val report : session -> Netcov.report
 
 val registry : session -> Registry.t
 
+(** The stable state the session currently holds (the one passed to the
+    most recent {!create} or {!update}). Session-table owners — the
+    [netcov serve] daemon keeps one warm session per registered network
+    — compile newly registered test suites against this state rather
+    than recomputing it. *)
+val state : session -> Stable_state.t
+
+(** The tested list of the most recent {!create} or {!update}, in
+    position order. Because {!update} matches tests to the previous run
+    positionally, a caller growing a suite should pass
+    [testeds s @ extra] to reuse every stored pass of the prefix. *)
+val testeds : session -> Netcov.tested list
+
 (** The diff computed by the most recent {!update} ([None] after
     {!create}). *)
 val last_diff : session -> Registry_diff.t option

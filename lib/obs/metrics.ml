@@ -131,6 +131,10 @@ let observe (h : histogram) v =
   d.hcount <- d.hcount + 1;
   Mutex.unlock h.h_mu
 
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
 let seconds_buckets =
   [ 0.0001; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 60. ]
 

@@ -79,6 +79,12 @@ val histogram :
     sum/count. *)
 val observe : histogram -> float -> unit
 
+(** [time h f] runs [f ()] and observes its wall-clock duration in
+    seconds into [h] — also when [f] raises, so error paths show up in
+    latency histograms (the serve layer's per-route
+    [http.request_seconds] relies on this). *)
+val time : histogram -> (unit -> 'a) -> 'a
+
 (** Default bucket bounds for wall-clock durations, in seconds
     (100 µs .. 60 s). *)
 val seconds_buckets : float list

@@ -198,6 +198,24 @@ let map t f xs =
              results)
       end
 
+let submit t task =
+  match t.shared with
+  | None -> task ()
+  | Some shared ->
+      let guarded () =
+        try task ()
+        with e ->
+          (* Fire-and-forget tasks have no caller to re-raise into; a
+             crash must not take the worker domain down with it. *)
+          Printf.eprintf "netcov: Pool.submit task raised %s\n%!"
+            (Printexc.to_string e)
+      in
+      M.inc m_queued 1;
+      Mutex.lock shared.mutex;
+      Queue.add guarded shared.queue;
+      Condition.signal shared.activity;
+      Mutex.unlock shared.mutex
+
 let teardown t =
   match t.shared with
   | None -> ()

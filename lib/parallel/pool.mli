@@ -51,6 +51,22 @@ val sequential : t
     in input order. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** [submit pool task] enqueues a fire-and-forget task on the pool's
+    shared queue: some worker domain (or a concurrent [map] caller in
+    its help-first drain) eventually runs it. Unlike [map] there is no
+    result and no completion signal; an exception escaping [task] is
+    printed to stderr and swallowed — it must not kill the worker.
+    On a sequential pool the task runs synchronously in the caller.
+
+    This is what [netcov serve] uses to fan connection handling out
+    over the pool: each accepted connection becomes one long-lived
+    task, so at most [domains t] connections are served concurrently
+    and the rest queue. Do not call [map] on a pool that also serves
+    long-blocking submitted tasks — the help-first drain could pick
+    one up and block the mapping caller behind it. [teardown] drains
+    already-queued submitted tasks before returning. *)
+val submit : t -> (unit -> unit) -> unit
+
 (** Signals workers to exit after the queue drains and joins them.
     Idempotent; [map] must not be called afterwards. *)
 val teardown : t -> unit

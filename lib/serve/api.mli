@@ -1,0 +1,52 @@
+(** The daemon's JSON API: route dispatch and handlers over a
+    {!Session_table.t}. Transport-free — {!handle} maps one parsed
+    {!Http.request} to one response, so the full API is exercisable
+    without a socket (the loopback tests still go through real
+    sockets; the unit tests do not have to).
+
+    Routes (full reference with schemas and transcripts in
+    [docs/SERVE.md]):
+
+    - [POST /v1/networks] — upload configurations, parsed leniently;
+      diagnostics ride in the response
+    - [GET /v1/networks] — list registered networks
+    - [GET /v1/networks/:id] — one network's status
+    - [DELETE /v1/networks/:id] — forget a network
+    - [POST /v1/networks/:id/suites] — register test suites
+    - [POST /v1/networks/:id/update] — apply a configuration delta
+      through the warm incremental session
+    - [GET /v1/networks/:id/coverage] — coverage report
+      ([?format=report|coverage|lcov])
+    - [GET /metrics] — the observability registry as JSON
+    - [GET /healthz] — liveness
+
+    Failure semantics: every non-2xx response has the body
+    [{"error":{"code":…,"message":…,"diagnostics":[…]}}] with the
+    [diagnostics] array always present (empty when none apply) —
+    mirroring the always-present sections of partial coverage reports
+    ([docs/ERRORS.md]). Handler exceptions degrade to a 500 with the
+    exception text; they never kill the connection's domain.
+
+    Every call records the per-route [http.requests] counter and
+    [http.request_seconds] histogram ([docs/OBSERVABILITY.md]). *)
+
+type t
+
+(** [create ~table ()] is an API instance serving [table]. *)
+val create : table:Session_table.t -> unit -> t
+
+val table : t -> Session_table.t
+
+(** A response ready for {!Http.write_response}. [route] is the
+    matched route template (e.g. ["/v1/networks/:id/coverage"]) —
+    the label under which the request was counted, and what the
+    request log prints. *)
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  route : string;
+}
+
+(** [handle t req] dispatches and runs one request. Never raises. *)
+val handle : t -> Http.request -> response

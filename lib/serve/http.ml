@@ -1,0 +1,293 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type limits = {
+  max_request_line : int;
+  max_header_bytes : int;
+  max_headers : int;
+  max_body : int;
+}
+
+let default_limits =
+  {
+    max_request_line = 8192;
+    max_header_bytes = 8192;
+    max_headers = 128;
+    max_body = 64 * 1024 * 1024;
+  }
+
+type error =
+  | Eof
+  | Timeout
+  | Too_large of string
+  | Bad_request of string
+
+exception Fail of error
+
+(* ------------------------------------------------------------------ *)
+(* Buffered reader. [fill buf pos len] returns 0 at EOF and raises
+   [Fail Timeout] when the fd's receive timeout expires. Unconsumed
+   bytes stay in [data] across requests (keep-alive pipelining). *)
+
+type reader = {
+  fill : bytes -> int -> int -> int;
+  mutable data : bytes;
+  mutable pos : int;  (* next unread byte *)
+  mutable len : int;  (* bytes valid in [data] *)
+}
+
+let of_fd fd =
+  let fill buf pos len =
+    try Unix.read fd buf pos len with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Fail Timeout)
+    | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  { fill; data = Bytes.create 8192; pos = 0; len = 0 }
+
+let of_string s =
+  let consumed = ref false in
+  let fill buf pos len =
+    if !consumed then 0
+    else begin
+      consumed := true;
+      let n = min len (String.length s) in
+      Bytes.blit_string s 0 buf pos n;
+      (* a string longer than [len] would be silently truncated; the
+         initial buffer below is sized to the string to prevent that *)
+      n
+    end
+  in
+  {
+    fill;
+    data = Bytes.create (max 1 (String.length s));
+    pos = 0;
+    len = 0;
+  }
+
+let refill r =
+  if r.pos > 0 then begin
+    (* compact before growing: long-lived connections reuse the buffer *)
+    Bytes.blit r.data r.pos r.data 0 (r.len - r.pos);
+    r.len <- r.len - r.pos;
+    r.pos <- 0
+  end;
+  if r.len = Bytes.length r.data then begin
+    let bigger = Bytes.create (2 * Bytes.length r.data) in
+    Bytes.blit r.data 0 bigger 0 r.len;
+    r.data <- bigger
+  end;
+  let n = r.fill r.data r.len (Bytes.length r.data - r.len) in
+  r.len <- r.len + n;
+  n > 0
+
+(* One CRLF-terminated line, without the CRLF. [limit] bounds the line
+   length including its terminator. [what] names the limit in errors. *)
+let read_line r ~limit ~what =
+  (* Rescans from [r.pos] after every refill: [refill] compacts the
+     buffer, so absolute indices do not survive it. Lines are bounded
+     by [limit], so the rescan cost is bounded too. *)
+  let rec find_nl () =
+    let i = ref r.pos in
+    while !i < r.len && Bytes.get r.data !i <> '\n' do incr i done;
+    if !i < r.len then Some !i
+    else if r.len - r.pos >= limit then raise (Fail (Too_large what))
+    else if refill r then find_nl ()
+    else None
+  in
+  match find_nl () with
+  | None -> if r.pos = r.len then None else raise (Fail (Bad_request "truncated line"))
+  | Some nl ->
+      if nl + 1 - r.pos > limit then raise (Fail (Too_large what));
+      if nl = r.pos || Bytes.get r.data (nl - 1) <> '\r' then
+        raise (Fail (Bad_request "bare LF in request (CRLF required)"));
+      let line = Bytes.sub_string r.data r.pos (nl - 1 - r.pos) in
+      r.pos <- nl + 1;
+      Some line
+
+let read_exact r n =
+  let out = Buffer.create n in
+  let rec go () =
+    let avail = r.len - r.pos in
+    let take = min avail (n - Buffer.length out) in
+    Buffer.add_subbytes out r.data r.pos take;
+    r.pos <- r.pos + take;
+    if Buffer.length out < n then
+      if refill r then go ()
+      else raise (Fail (Bad_request "truncated body (peer closed early)"))
+  in
+  go ();
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Fail (Bad_request "malformed percent-encoding"))
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' ->
+        if !i + 2 >= n then raise (Fail (Bad_request "malformed percent-encoding"));
+        Buffer.add_char buf (Char.chr ((16 * hex s.[!i + 1]) + hex s.[!i + 2]));
+        i := !i + 2
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let split_target target =
+  let path, qs =
+    match String.index_opt target '?' with
+    | None -> (target, "")
+    | Some i ->
+        ( String.sub target 0 i,
+          String.sub target (i + 1) (String.length target - i - 1) )
+  in
+  let query =
+    if qs = "" then []
+    else
+      String.split_on_char '&' qs
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (percent_decode kv, "")
+             | Some i ->
+                 ( percent_decode (String.sub kv 0 i),
+                   percent_decode
+                     (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+  in
+  (percent_decode path, query)
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      if meth = "" || String.exists (fun c -> c < '!' || c > '~') meth then
+        raise (Fail (Bad_request "malformed method"));
+      if not (String.length version = 8 && String.sub version 0 7 = "HTTP/1.")
+      then raise (Fail (Bad_request "unsupported HTTP version"));
+      if target = "" || target.[0] <> '/' then
+        raise (Fail (Bad_request "target must be an absolute path"));
+      let path, query = split_target target in
+      (String.uppercase_ascii meth, path, query, version)
+  | _ -> raise (Fail (Bad_request "malformed request line"))
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> raise (Fail (Bad_request "malformed header (missing colon)"))
+  | Some i ->
+      let name = String.sub line 0 i in
+      if String.exists (fun c -> c <= ' ' || c > '~') name then
+        raise (Fail (Bad_request "malformed header name"));
+      ( String.lowercase_ascii name,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let find_header headers name =
+  List.assoc_opt (String.lowercase_ascii name) headers
+
+let read_request ?(limits = default_limits) r =
+  try
+    match
+      read_line r ~limit:limits.max_request_line ~what:"request line"
+    with
+    | None -> Error Eof
+    | Some line ->
+        let meth, path, query, version = parse_request_line line in
+        let headers = ref [] in
+        let n = ref 0 in
+        let rec loop () =
+          match
+            read_line r ~limit:limits.max_header_bytes ~what:"header line"
+          with
+          | None -> raise (Fail (Bad_request "truncated headers"))
+          | Some "" -> ()
+          | Some line ->
+              incr n;
+              if !n > limits.max_headers then
+                raise (Fail (Too_large "header count"));
+              headers := parse_header line :: !headers;
+              loop ()
+        in
+        loop ();
+        let headers = List.rev !headers in
+        if find_header headers "transfer-encoding" <> None then
+          raise (Fail (Bad_request "chunked transfer encoding not supported"));
+        let body =
+          match find_header headers "content-length" with
+          | None -> ""
+          | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | None -> raise (Fail (Bad_request "malformed content-length"))
+              | Some n when n < 0 ->
+                  raise (Fail (Bad_request "malformed content-length"))
+              | Some n when n > limits.max_body ->
+                  raise (Fail (Too_large "body"))
+              | Some n -> read_exact r n)
+        in
+        Ok { meth; path; query; version; headers; body }
+  with Fail e -> Error e
+
+let header req name = find_header req.headers name
+let query_param req name = List.assoc_opt name req.query
+
+let keep_alive req =
+  let conn =
+    Option.map String.lowercase_ascii (header req "connection")
+  in
+  match (req.version, conn) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let response ?(content_type = "application/json") ?(extra = []) ~status
+    ~keep_alive body =
+  let buf = Buffer.create (256 + String.length body) in
+  Printf.bprintf buf "HTTP/1.1 %d %s\r\n" status (status_text status);
+  Printf.bprintf buf "content-type: %s\r\n" content_type;
+  Printf.bprintf buf "content-length: %d\r\n" (String.length body);
+  Printf.bprintf buf "connection: %s\r\n"
+    (if keep_alive then "keep-alive" else "close");
+  List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) extra;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let write_response fd ?content_type ?extra ~status ~keep_alive body =
+  let s = response ?content_type ?extra ~status ~keep_alive body in
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done

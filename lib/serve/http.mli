@@ -1,0 +1,102 @@
+(** Minimal HTTP/1.1 request parser and response writer over raw file
+    descriptors — just enough protocol for the [netcov serve] JSON API,
+    with no external dependency (stdlib [Unix] only).
+
+    Scope (documented limits, not accidents): requests are
+    [Content-Length]-framed — [Transfer-Encoding: chunked] is rejected
+    with [Bad_request]; header lines must end in CRLF; [Expect:
+    100-continue] is not acknowledged. Responses always carry an
+    explicit [Content-Length]. Keep-alive follows HTTP/1.1 defaults
+    (persistent unless [Connection: close]; HTTP/1.0 only with
+    [Connection: keep-alive]).
+
+    Every size limit is explicit in {!limits} and enforced while
+    reading, so a hostile peer can neither balloon memory nor stall the
+    parser past the socket's receive timeout (failure semantics in
+    [docs/SERVE.md]). *)
+
+(** A parsed request. Header names are lowercased; values are trimmed.
+    [path] is the percent-decoded target without its query string;
+    [query] the decoded [k=v] pairs after [?], in order. *)
+type request = {
+  meth : string;  (** verb, uppercased: ["GET"], ["POST"], … *)
+  path : string;
+  query : (string * string) list;
+  version : string;  (** ["HTTP/1.0"] or ["HTTP/1.1"] *)
+  headers : (string * string) list;
+  body : string;
+}
+
+(** Parser size limits, enforced during the read. *)
+type limits = {
+  max_request_line : int;  (** bytes, request line incl. CRLF *)
+  max_header_bytes : int;  (** bytes, one header line incl. CRLF *)
+  max_headers : int;  (** header count *)
+  max_body : int;  (** bytes, declared [Content-Length] *)
+}
+
+(** 8 KiB request line and header lines, 128 headers, 64 MiB body —
+    room for a few thousand uploaded router configurations. *)
+val default_limits : limits
+
+(** Why a request could not be parsed. [Eof] is the peer closing
+    between requests (the clean end of a keep-alive connection);
+    [Timeout] is the socket receive timeout expiring mid-read;
+    [Too_large] names the exceeded limit (HTTP 413/431); [Bad_request]
+    is malformed syntax (HTTP 400). *)
+type error =
+  | Eof
+  | Timeout
+  | Too_large of string
+  | Bad_request of string
+
+(** A buffered byte source. {!of_fd} reads from a socket (honouring its
+    [SO_RCVTIMEO]); {!of_string} feeds canned bytes, which is how the
+    parser unit tests drive malformed inputs. One reader must serve all
+    requests of a connection — buffered bytes carry over. *)
+type reader
+
+val of_fd : Unix.file_descr -> reader
+val of_string : string -> reader
+
+(** [read_request r] parses the next request off the reader. *)
+val read_request : ?limits:limits -> reader -> (request, error) result
+
+(** [header req name] is the value of header [name]
+    (case-insensitive). *)
+val header : request -> string -> string option
+
+(** [query_param req name] is the first query-string value of [name]. *)
+val query_param : request -> string -> string option
+
+(** Whether the connection should persist after answering [req]. *)
+val keep_alive : request -> bool
+
+(** [status_text 404] is ["Not Found"] (the handful of codes the API
+    uses; anything unknown renders as ["Status"]). *)
+val status_text : int -> string
+
+(** [response ~status ~keep_alive body] is the serialized response:
+    status line, [Content-Type] (default [application/json]),
+    [Content-Length], [Connection], [extra] headers verbatim, then
+    [body]. Exposed for the writer unit tests. *)
+val response :
+  ?content_type:string ->
+  ?extra:(string * string) list ->
+  status:int ->
+  keep_alive:bool ->
+  string ->
+  string
+
+(** [write_response fd …] writes {!response} to [fd], looping over
+    partial writes. Raises [Unix.Unix_error] (e.g. [EPIPE]) when the
+    peer is gone; the connection loop treats that as a closed
+    connection. *)
+val write_response :
+  Unix.file_descr ->
+  ?content_type:string ->
+  ?extra:(string * string) list ->
+  status:int ->
+  keep_alive:bool ->
+  string ->
+  unit

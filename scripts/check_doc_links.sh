@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fail on broken relative links in the markdown docs.
+#
+# Scans README.md, DESIGN.md and docs/*.md for inline markdown links
+# [text](target) and checks that every relative target resolves to an
+# existing file or directory (relative to the linking file). External
+# links (http/https/mailto) and pure-anchor links (#section) are
+# skipped; a "path#anchor" target is checked for the path part only —
+# anchor names are not validated.
+#
+# Usage: scripts/check_doc_links.sh   (from the repository root)
+set -u
+
+fail=0
+checked=0
+
+for doc in README.md DESIGN.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # one "lineno:target" per inline link; grep exits 1 on no match
+  links=$(grep -no -E '\]\([^)]+\)' "$doc" | sed -E 's/\]\(([^)]+)\)/\1/') || true
+  while IFS=: read -r lineno target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "$doc:$lineno: broken link: $target" >&2
+      fail=1
+    fi
+  done <<EOF
+$links
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check FAILED" >&2
+  exit 1
+fi
+echo "doc link check OK ($checked relative links resolved)"
