@@ -256,7 +256,10 @@ type network = {
   policied : int list;
 }
 
-let lan i = Prefix.make (Ipv4.of_octets 10 64 i 0) 24
+(* Index spills into the second octet past 255 so mega-networks
+   (Netgen.balanced with ~1000 routers) keep distinct addresses; for
+   [i < 256] the values are what they always were. *)
+let lan i = Prefix.make (Ipv4.of_octets 10 (64 + (i / 256)) (i mod 256) 0) 24
 let host i = Printf.sprintf "r%d" i
 
 type test_spec = { probes : (int * int) list; cp_picks : int list }
@@ -313,9 +316,41 @@ let uplink_policy i n_routers =
       ];
   }
 
+(* A deterministic complete [fanout]-ary tree: the mega-workload shape
+   behind the netgen-1000 bench rows. No randomness — every [i >= 1]
+   hangs off [(i - 1) / fanout], and every [policy_every]-th router
+   carries the uplink policy chain. *)
+let balanced ?(multipath = 1) ?(policy_every = 7) ~fanout n =
+  if n < 1 then invalid_arg "Netgen.balanced: need at least one router";
+  if fanout < 1 then invalid_arg "Netgen.balanced: fanout must be >= 1";
+  if policy_every < 1 then invalid_arg "Netgen.balanced: policy_every must be >= 1";
+  {
+    n_routers = n;
+    parent = Array.init n (fun i -> if i = 0 then 0 else (i - 1) / fanout);
+    multipath;
+    policied =
+      List.filter
+        (fun i -> i > 0 && i mod policy_every = 1)
+        (List.init n Fun.id);
+  }
+
+(* Deterministic probe striding by coprime steps: spreads sources and
+   destinations over the whole tree without randomness, so bench runs
+   are reproducible and coverage is comparable across schedulers. *)
+let balanced_specs ?(n_tests = 32) ?(probes_per_test = 8) (net : network) =
+  let n = net.n_routers in
+  List.init n_tests (fun t ->
+      {
+        probes =
+          List.init probes_per_test (fun p ->
+              ((t * 37 + p * 11) mod n, (t * 53 + p * 29 + 1) mod n));
+        cp_picks = List.init 4 (fun p -> t * 97 + p * 13);
+      })
+
 let devices_of (s : network) =
-  (* link i<->parent(i) gets subnet 192.168.i.0/30 *)
-  let link_subnet i = Ipv4.of_octets 192 168 i 0 in
+  (* link i<->parent(i) gets subnet 192.168.i.0/30, spilling into the
+     second octet past 255 (mega-networks) *)
+  let link_subnet i = Ipv4.of_octets 192 (168 + (i / 256)) (i mod 256) 0 in
   let asn i = 65001 + i in
   List.init s.n_routers (fun i ->
       let up_iface =
@@ -379,7 +414,10 @@ let devices_of (s : network) =
               pl_entries =
                 [
                   {
-                    Device.ple_prefix = Prefix.make (Ipv4.of_octets 10 64 0 0) 16;
+                    (* /10 covers the spilled LAN octets of
+                       mega-networks; matches exactly the same routes
+                       as the old /16 on small ones *)
+                    Device.ple_prefix = Prefix.make (Ipv4.of_octets 10 64 0 0) 10;
                     ple_ge = Some 24;
                     ple_le = Some 24;
                   };

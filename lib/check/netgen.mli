@@ -38,6 +38,13 @@ val host : int -> string
 
 val devices_of : network -> Device.t list
 
+(** [balanced ~fanout n] is a deterministic complete [fanout]-ary tree
+    of [n] routers (no randomness): router [i >= 1] hangs off
+    [(i - 1) / fanout]; every [policy_every]-th router (default 7)
+    applies the uplink import policy. The netgen-1000 mega-workload of
+    BENCH_parallel.json is [balanced ~fanout:4 1000]. *)
+val balanced : ?multipath:int -> ?policy_every:int -> fanout:int -> int -> network
+
 (** One test, symbolically: [probes] are (router, LAN) main-RIB
     lookups, [cp_picks] are raw draws mapped onto element ids modulo
     the registry size at materialization time. *)
@@ -48,6 +55,12 @@ type scenario = { net : network; tests : test_spec list }
 
 val network : network Gen.t
 val scenario : scenario Gen.t
+
+(** Deterministic test specs for a {!balanced} network: [n_tests]
+    (default 32) specs of [probes_per_test] (default 8) probes each,
+    strided over the tree by coprime steps. *)
+val balanced_specs :
+  ?n_tests:int -> ?probes_per_test:int -> network -> test_spec list
 
 (** Materialize a symbolic test against a computed stable state. *)
 val tested_of :

@@ -3,7 +3,16 @@
     rule firing never build or hash key strings. Ids are dense
     ([0 .. length-1], in first-intern order) and stable for the
     lifetime of the table; the reverse direction ({!fact}) serves the
-    export/debug boundary. *)
+    export/debug boundary.
+
+    The forward direction is hash-sharded (independent mutex+table
+    pairs, a fact's shard chosen by its identity hash) so concurrent
+    interning from the pool's domains rarely contends on a lock; the
+    [intern.lock.contended] metric counts the collisions that remain.
+    The reverse direction ({!fact}, {!iter}, {!length}) is lock-free:
+    a chunked reverse array plus a dense publication watermark, so the
+    per-labeling-step id lookups in the IFG never serialize across
+    domains. See docs/PERFORMANCE.md. *)
 
 (** How facts are identified.
 
@@ -32,7 +41,7 @@ val intern : t -> Fact.t -> int
 (** [find t f] is [f]'s id if already interned. *)
 val find : t -> Fact.t -> int option
 
-(** [fact t id] is the fact with identity [id].
+(** [fact t id] is the fact with identity [id]. Lock-free.
     @raise Invalid_argument when [id] was never assigned. *)
 val fact : t -> int -> Fact.t
 

@@ -87,17 +87,6 @@ let m_bdd_misses =
   M.counter M.default ~help:"BDD apply-cache misses" ~unit_:"lookups"
     "bdd.cache.misses"
 
-(* Split [xs] into chunks of at most [size] elements, preserving
-   order. *)
-let chunks size xs =
-  let rec go acc cur k = function
-    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-    | x :: rest ->
-        if k >= size then go (List.rev (x :: cur) :: acc) [] 0 rest
-        else go acc (x :: cur) (k + 1) rest
-  in
-  go [] [] 0 xs
-
 type cone_result = {
   c_covered : Element.Id_set.t;
   c_strong : Element.Id_set.t;
@@ -317,17 +306,14 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
       end
     in
     let work = List.filter (fun t -> tainted.(t)) tested in
-    let n_chunks = 4 * Netcov_parallel.Pool.domains pool in
-    let chunk_size = max 1 ((List.length work + n_chunks - 1) / n_chunks) in
-    let label_chunk ts =
-      List.fold_left
-        (fun (s, v, n) t ->
-          let s', v', n' = label_one t in
-          (Element.Id_set.union s s', max v v', max n n'))
-        (Element.Id_set.empty, 0, 0)
-        ts
-    in
-    Netcov_parallel.Pool.map pool label_chunk (chunks chunk_size work)
+    (* One pool task per cone. Static chunking (the previous scheme,
+       4 chunks per domain) serialized every cone of a chunk behind
+       its slowest sibling, so one deep cone pinned a domain while the
+       rest idled; with per-cone tasks the work-stealing deques keep
+       every domain busy until the last cone finishes. The per-cone
+       merge below is a set union / max fold, order independent, so
+       coverage stays byte-identical at any domain count. *)
+    Netcov_parallel.Pool.map pool label_one work
     |> List.iter (fun (s, v, n) ->
            strong := Element.Id_set.union !strong s;
            total_vars := max !total_vars v;

@@ -219,9 +219,10 @@ let analyze_suite ?pool ?(sim_cache = true) ?(sim_canon = true) ?identity
     state testeds =
   let run pool =
     (* The pool is also handed to each per-test labeling pass: nested
-       fan-out is safe (callers help drain the shared queue), and it
-       keeps every domain busy when the suite has fewer tests than the
-       pool has domains. *)
+       fan-out is safe (a mapping caller executes from its own deque and
+       steals from the others, it never blocks on its batch), and
+       cone-granularity tasks keep every domain busy even when the
+       suite has fewer tests than the pool has domains. *)
     Pool.map pool
       (fun tested -> analyze ~pool ~sim_cache ~sim_canon ?identity state tested)
       testeds

@@ -1,0 +1,20 @@
+(** Test suite for the multi-AS WAN workload ({!Netcov_workloads.Wan}):
+    route-reflection health, cross-AS transit reachability, and border
+    export policy evaluation. The rr-wan mega-workload rows of
+    BENCH_parallel.json run this suite. *)
+
+open Netcov_workloads
+
+(** Every client holds the reflected routes for its own AS's LANs. *)
+val rr_client_routes : Wan.t -> Nettest.t
+
+(** From a sample router in every AS, trace to a LAN of every other AS
+    (transit through intermediate ASes' border policies). *)
+val wan_pingmesh : Wan.t -> Nettest.t
+
+(** Every border router exports its own LAN over each inter-AS session
+    (direct export-chain evaluation; marks policy elements
+    control-plane tested). *)
+val border_export : Wan.t -> Nettest.t
+
+val suite : Wan.t -> Nettest.t list

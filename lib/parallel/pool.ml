@@ -1,17 +1,36 @@
 module M = Netcov_obs.Metrics
 module T = Netcov_obs.Trace
+module Diag = Netcov_diag.Diag
+
+let src = Logs.Src.create "netcov.pool" ~doc:"domain work pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 (* Pool scheduling metrics (docs/OBSERVABILITY.md). Sequential pools
-   bypass the queue entirely and record nothing. *)
+   bypass the scheduler entirely and record only submit failures. *)
 let m_maps =
   M.counter M.default ~help:"parallel Pool.map calls" ~unit_:"calls" "pool.maps"
 
 let m_queued =
-  M.counter M.default ~help:"tasks pushed to the shared pool queue"
+  M.counter M.default ~help:"tasks pushed to the pool (map items + submits)"
     ~unit_:"tasks" "pool.tasks.queued"
 
-(* The caller of [map] draining tasks itself is the help-first "steal"
-   path; worker counters are registered per worker index at spawn. *)
+let m_stolen =
+  M.counter M.default
+    ~help:"tasks taken from another domain's deque (work stealing)"
+    ~unit_:"tasks" "pool.tasks.stolen"
+
+let m_sleeps =
+  M.counter M.default
+    ~help:"times a domain found no runnable task and blocked"
+    ~unit_:"sleeps" "pool.sleeps"
+
+let m_failed =
+  M.counter M.default ~help:"Pool.submit tasks that raised" ~unit_:"tasks"
+    "pool.tasks.failed"
+
+(* The caller of [map] draining tasks itself is the help-first path;
+   worker counters are registered per worker index at spawn. *)
 let m_exec_caller =
   M.counter M.default ~help:"tasks executed by the calling domain (help-first)"
     ~unit_:"tasks"
@@ -26,17 +45,99 @@ let exec_worker_counter i =
 
 type task = unit -> unit
 
-(* Worker domains block on [activity]; [map] pushes one task per item
-   and then helps drain the queue itself. [activity] signals both "a
-   task was queued" and "a task completed", so idle helpers block on it
-   instead of spinning (spinning starves the workers when domains
-   outnumber hardware cores). Tasks never raise: exceptions are
-   captured per-map and re-raised by the caller. *)
+let no_task : task = fun () -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain deques.
+
+   Each participating domain owns one deque slot: workers get slots
+   [0 .. n-2] and every non-worker caller shares the last slot. The
+   owner pushes and pops at the tail (LIFO: the freshest task is the
+   one whose data is hottest, and nested [map]s drain their own items
+   first); thieves steal from the head (FIFO: the oldest task is the
+   best candidate to be a large unstarted subtree). A plain mutex per
+   deque keeps the memory-model reasoning trivial; the point of the
+   design is not lock-freedom but that [n] pushers contend on [n]
+   deques instead of one shared queue. *)
+type deque = {
+  dq_mutex : Mutex.t;
+  mutable buf : task array;  (* power-of-two capacity ring *)
+  mutable head : int;  (* next steal index (free-running) *)
+  mutable tail : int;  (* next push index (free-running) *)
+}
+
+let deque_create () =
+  { dq_mutex = Mutex.create (); buf = Array.make 64 no_task; head = 0; tail = 0 }
+
+let dq_grow d =
+  let cap = Array.length d.buf in
+  if d.tail - d.head >= cap then begin
+    let bigger = Array.make (cap * 2) no_task in
+    for i = d.head to d.tail - 1 do
+      bigger.(i land ((cap * 2) - 1)) <- d.buf.(i land (cap - 1))
+    done;
+    d.buf <- bigger
+  end
+
+let dq_push d task =
+  Mutex.lock d.dq_mutex;
+  dq_grow d;
+  d.buf.(d.tail land (Array.length d.buf - 1)) <- task;
+  d.tail <- d.tail + 1;
+  Mutex.unlock d.dq_mutex
+
+let dq_pop_back d =
+  Mutex.lock d.dq_mutex;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      d.tail <- d.tail - 1;
+      let i = d.tail land (Array.length d.buf - 1) in
+      let t = d.buf.(i) in
+      d.buf.(i) <- no_task;
+      Some t
+    end
+  in
+  Mutex.unlock d.dq_mutex;
+  r
+
+let dq_steal_front d =
+  Mutex.lock d.dq_mutex;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      let i = d.head land (Array.length d.buf - 1) in
+      let t = d.buf.(i) in
+      d.buf.(i) <- no_task;
+      d.head <- d.head + 1;
+      Some t
+    end
+  in
+  Mutex.unlock d.dq_mutex;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Shared pool state.
+
+   [dq_work] counts tasks resident in deques (not submits, which live
+   on [submit_q] under [mutex]); [waiters] counts domains blocked (or
+   about to block) on [activity]. Together they implement the classic
+   Dekker-style sleep protocol over OCaml's SC atomics: a producer
+   increments [dq_work] {e then} reads [waiters]; a sleeper increments
+   [waiters] {e then} re-reads [dq_work] before waiting. Whichever
+   order the two interleave in, either the producer sees the waiter
+   (and broadcasts under the mutex) or the sleeper sees the work (and
+   skips the wait) — no lost wakeups, and the uncontended fast path
+   touches no mutex at all. *)
 type shared = {
-  queue : task Queue.t;
-  mutex : Mutex.t;
+  id : int;  (* distinguishes pools in domain-local slot lookup *)
+  deques : deque array;  (* length n_domains; last slot = callers *)
+  submit_q : task Queue.t;  (* fire-and-forget tasks, serve's path *)
+  mutex : Mutex.t;  (* guards submit_q, closing, and [activity] *)
   activity : Condition.t;
   mutable closing : bool;
+  dq_work : int Atomic.t;
+  waiters : int Atomic.t;
 }
 
 type t = {
@@ -44,7 +145,51 @@ type t = {
   shared : shared option;  (* [None]: sequential pool *)
   mutable workers : unit Domain.t list;
   mutable torn_down : bool;
+  on_failure : (Diag.t -> unit) option Atomic.t;
 }
+
+let pool_ids = Atomic.make 0
+
+(* Which deque slot the current domain owns, per pool. Workers record
+   their slot at spawn; any other domain (the pool's creator, a test
+   runner thread) maps and steals through the shared caller slot. *)
+let slot_key : (int * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let caller_slot shared = Array.length shared.deques - 1
+
+let slot_of shared =
+  match Domain.DLS.get slot_key with
+  | Some (id, s) when id = shared.id -> s
+  | _ -> caller_slot shared
+
+(* Producer side of the sleep protocol: account for [n] new deque
+   tasks, then wake sleepers iff there are any. *)
+let announce_work shared n =
+  ignore (Atomic.fetch_and_add shared.dq_work n);
+  if Atomic.get shared.waiters > 0 then begin
+    Mutex.lock shared.mutex;
+    Condition.broadcast shared.activity;
+    Mutex.unlock shared.mutex
+  end
+
+(* Take one deque task: own slot LIFO first, then round-robin steals.
+   Decrements [dq_work] exactly when a task is taken, so [dq_work] > 0
+   always means some deque holds a runnable task. *)
+let find_task shared slot =
+  let n = Array.length shared.deques in
+  let found = ref (dq_pop_back shared.deques.(slot)) in
+  let i = ref 1 in
+  while !found = None && !i < n do
+    (match dq_steal_front shared.deques.((slot + !i) mod n) with
+    | Some _ as r ->
+        M.inc m_stolen 1;
+        found := r
+    | None -> ());
+    incr i
+  done;
+  (match !found with Some _ -> Atomic.decr shared.dq_work | None -> ());
+  !found
 
 (* An invalid NETCOV_DOMAINS would otherwise be indistinguishable from
    an unset one — the user asked for a domain count and silently got
@@ -67,30 +212,84 @@ let env_domains () =
 
 let default_domains () =
   match env_domains () with
-  | Some n -> n
-  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+  | Some n ->
+      Log.debug (fun m -> m "domain count %d (NETCOV_DOMAINS)" n);
+      n
+  | None ->
+      let n = max 1 (Domain.recommended_domain_count ()) in
+      Log.debug (fun m ->
+          m "domain count %d (Domain.recommended_domain_count)" n);
+      n
 
 let domains t = t.n_domains
 
 let sequential =
-  { n_domains = 1; shared = None; workers = []; torn_down = false }
+  {
+    n_domains = 1;
+    shared = None;
+    workers = [];
+    torn_down = false;
+    on_failure = Atomic.make None;
+  }
+
+let set_failure_handler t handler =
+  Atomic.set t.on_failure (Some handler)
+
+let report_submit_failure t exn bt =
+  M.inc m_failed 1;
+  let message =
+    Printf.sprintf "Pool.submit task raised %s" (Printexc.to_string exn)
+  in
+  match Atomic.get t.on_failure with
+  | Some handler -> (
+      let diag = Diag.error Diag.Internal message in
+      try handler diag
+      with _ ->
+        (* a crashing handler must not take the worker down either *)
+        Printf.eprintf "netcov: %s (and the failure handler raised)\n%!"
+          message)
+  | None ->
+      Printf.eprintf "netcov: %s\n%s%!" message
+        (Printexc.raw_backtrace_to_string bt)
 
 let worker_loop ~index shared =
+  Domain.DLS.set slot_key (Some (shared.id, index));
   let executed = exec_worker_counter index in
   let rec loop () =
-    Mutex.lock shared.mutex;
-    while Queue.is_empty shared.queue && not shared.closing do
-      Condition.wait shared.activity shared.mutex
-    done;
-    if Queue.is_empty shared.queue then Mutex.unlock shared.mutex
-      (* closing, and nothing left to drain *)
-    else begin
-      let task = Queue.pop shared.queue in
-      Mutex.unlock shared.mutex;
-      task ();
-      M.inc executed 1;
-      loop ()
-    end
+    match find_task shared index with
+    | Some task ->
+        task ();
+        M.inc executed 1;
+        loop ()
+    | None ->
+        Mutex.lock shared.mutex;
+        if not (Queue.is_empty shared.submit_q) then begin
+          let task = Queue.pop shared.submit_q in
+          Mutex.unlock shared.mutex;
+          task ();
+          M.inc executed 1;
+          loop ()
+        end
+        else if shared.closing && Atomic.get shared.dq_work = 0 then
+          (* nothing left to drain anywhere: exit *)
+          Mutex.unlock shared.mutex
+        else begin
+          Atomic.incr shared.waiters;
+          (* Re-check after registering as a waiter (Dekker, see
+             [shared]); spurious wakeups are fine — the outer loop
+             re-examines everything. *)
+          if
+            Atomic.get shared.dq_work = 0
+            && Queue.is_empty shared.submit_q
+            && not shared.closing
+          then begin
+            M.inc m_sleeps 1;
+            Condition.wait shared.activity shared.mutex
+          end;
+          Atomic.decr shared.waiters;
+          Mutex.unlock shared.mutex;
+          loop ()
+        end
   in
   loop ()
 
@@ -98,30 +297,39 @@ let create ?domains () =
   let n =
     max 1 (match domains with Some n -> n | None -> default_domains ())
   in
-  if n <= 1 then { n_domains = 1; shared = None; workers = []; torn_down = false }
+  if n <= 1 then
+    {
+      n_domains = 1;
+      shared = None;
+      workers = [];
+      torn_down = false;
+      on_failure = Atomic.make None;
+    }
   else begin
     let shared =
       {
-        queue = Queue.create ();
+        id = Atomic.fetch_and_add pool_ids 1;
+        deques = Array.init n (fun _ -> deque_create ());
+        submit_q = Queue.create ();
         mutex = Mutex.create ();
         activity = Condition.create ();
         closing = false;
+        dq_work = Atomic.make 0;
+        waiters = Atomic.make 0;
       }
     in
     let workers =
       List.init (n - 1) (fun i ->
           Domain.spawn (fun () -> worker_loop ~index:i shared))
     in
-    { n_domains = n; shared = Some shared; workers; torn_down = false }
+    {
+      n_domains = n;
+      shared = Some shared;
+      workers;
+      torn_down = false;
+      on_failure = Atomic.make None;
+    }
   end
-
-let try_pop shared =
-  Mutex.lock shared.mutex;
-  let t =
-    if Queue.is_empty shared.queue then None else Some (Queue.pop shared.queue)
-  in
-  Mutex.unlock shared.mutex;
-  t
 
 let map t f xs =
   match t.shared with
@@ -151,37 +359,52 @@ let map t f xs =
              | exception e ->
                  let bt = Printexc.get_raw_backtrace () in
                  ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-          (* the release fence publishing results.(i) to the caller *)
+          (* the release fence publishing results.(i) to the caller;
+             also the producer side of the caller's sleep predicate
+             ([remaining = 0] ends the drain), hence the waiter check *)
           Atomic.decr remaining;
-          (* wake helpers blocked waiting for this map to finish *)
-          Mutex.lock shared.mutex;
-          Condition.broadcast shared.activity;
-          Mutex.unlock shared.mutex
+          if Atomic.get shared.waiters > 0 then begin
+            Mutex.lock shared.mutex;
+            Condition.broadcast shared.activity;
+            Mutex.unlock shared.mutex
+          end
         in
-        Mutex.lock shared.mutex;
+        (* Every item goes to the calling domain's own deque: nested
+           maps running on different workers push to different deques,
+           which is exactly the contention the per-domain design
+           removes. Thieves pull from the head, so under stealing the
+           oldest items fan out first while the owner works LIFO. *)
+        let slot = slot_of shared in
+        let dq = shared.deques.(slot) in
         for i = 0 to n - 1 do
-          Queue.add (fun () -> run_item i) shared.queue
+          dq_push dq (fun () -> run_item i)
         done;
-        Condition.broadcast shared.activity;
-        Mutex.unlock shared.mutex;
+        announce_work shared n;
         (* Help until every item of THIS map has finished. Tasks from
            other (nested) maps may be executed along the way — that is
-           what makes nested [map] deadlock-free. With the queue empty
-           but items still in flight, block on [activity] rather than
-           spin: completions and nested pushes both broadcast it under
-           the mutex, so no wakeup can be missed. *)
-        while Atomic.get remaining > 0 do
-          match try_pop shared with
-          | Some task ->
-              task ();
-              M.inc m_exec_caller 1
-          | None ->
-              Mutex.lock shared.mutex;
-              while Queue.is_empty shared.queue && Atomic.get remaining > 0 do
-                Condition.wait shared.activity shared.mutex
-              done;
-              Mutex.unlock shared.mutex
-        done;
+           what makes nested [map] deadlock-free. Submitted tasks are
+           never picked up here: they may block indefinitely (serve's
+           connection handlers) and belong to the workers. *)
+        let rec drain () =
+          if Atomic.get remaining > 0 then begin
+            (match find_task shared slot with
+            | Some task ->
+                task ();
+                M.inc m_exec_caller 1
+            | None ->
+                Mutex.lock shared.mutex;
+                Atomic.incr shared.waiters;
+                if Atomic.get shared.dq_work = 0 && Atomic.get remaining > 0
+                then begin
+                  M.inc m_sleeps 1;
+                  Condition.wait shared.activity shared.mutex
+                end;
+                Atomic.decr shared.waiters;
+                Mutex.unlock shared.mutex);
+            drain ()
+          end
+        in
+        drain ();
         (match Atomic.get failure with
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ());
@@ -199,21 +422,22 @@ let map t f xs =
       end
 
 let submit t task =
+  let guarded () =
+    try task ()
+    with e ->
+      (* Fire-and-forget tasks have no caller to re-raise into; a
+         crash must not take the worker domain (or, on a sequential
+         pool, the submitting caller) down with it. *)
+      let bt = Printexc.get_raw_backtrace () in
+      report_submit_failure t e bt
+  in
   match t.shared with
-  | None -> task ()
+  | None -> guarded ()
   | Some shared ->
-      let guarded () =
-        try task ()
-        with e ->
-          (* Fire-and-forget tasks have no caller to re-raise into; a
-             crash must not take the worker domain down with it. *)
-          Printf.eprintf "netcov: Pool.submit task raised %s\n%!"
-            (Printexc.to_string e)
-      in
       M.inc m_queued 1;
       Mutex.lock shared.mutex;
-      Queue.add guarded shared.queue;
-      Condition.signal shared.activity;
+      Queue.add guarded shared.submit_q;
+      Condition.broadcast shared.activity;
       Mutex.unlock shared.mutex
 
 let teardown t =

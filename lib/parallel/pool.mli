@@ -1,6 +1,10 @@
-(** A small fixed-size domain work pool (OCaml 5 [Domain]s), dependency
-    free. Built for coarse-grained fan-out: per-test coverage analyses
-    and per-cone labeling passes, which are independent of each other.
+(** A fixed-size domain work pool (OCaml 5 [Domain]s) scheduling at
+    task granularity: each participating domain owns a deque, owners
+    push and pop LIFO, and idle domains steal FIFO from the others
+    (help-first work stealing). Built for the coverage pipeline's
+    nested fan-out — per-test analyses that each fan out per-cone
+    labeling — where a long cone must not serialize a domain and
+    concurrent producers must not contend on one shared queue.
 
     Properties:
 
@@ -13,7 +17,9 @@
       — drained without running the task function.
     - {b Help-first scheduling}: the caller of [map] executes queued
       tasks itself while waiting, so a task may itself call [map] on the
-      same pool (nested fan-out) without deadlock or extra domains.
+      same pool (nested fan-out) without deadlock or extra domains. A
+      nested map pushes to the executing domain's own deque and drains
+      it LIFO, so the deepest fan-out stays local and cache-warm.
     - {b Sequential fallback}: a pool with [domains <= 1] spawns no
       domains and [map] degenerates to [List.map]. Setting the
       [NETCOV_DOMAINS] environment variable overrides the default
@@ -21,23 +27,28 @@
       everywhere a default-sized pool is used).
 
     Parallel [map] calls are wrapped in a [pool.map] trace span and
-    counted in the [pool.*] metrics, with per-executor task counts
-    under [pool.tasks.executed{executor=...}] — the data behind the
-    scheduling-overhead analysis in [docs/OBSERVABILITY.md]. A
-    sequential pool records nothing. *)
+    counted in the [pool.*] metrics: per-executor task counts under
+    [pool.tasks.executed{executor=...}], cross-deque steals under
+    [pool.tasks.stolen], blocking under [pool.sleeps], and submit
+    failures under [pool.tasks.failed] — the data behind the
+    scheduling analysis in [docs/OBSERVABILITY.md]. A sequential pool
+    records only submit failures. *)
 
 type t
 
 (** Domain count used by [create] when [?domains] is omitted: the
     [NETCOV_DOMAINS] environment variable when set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()] capped at
-    8. A set-but-invalid [NETCOV_DOMAINS] falls back to the default
-    and warns once on stderr, naming the rejected value. *)
+    integer, otherwise [Domain.recommended_domain_count ()] — the full
+    hardware parallelism, uncapped. The chosen count and its source
+    are logged at debug level on the [netcov.pool] source. A
+    set-but-invalid [NETCOV_DOMAINS] falls back to the default and
+    warns once on stderr, naming the rejected value. *)
 val default_domains : unit -> int
 
 (** [create ~domains ()] spawns [domains - 1] worker domains (the
-    caller participates as the last worker during [map]). [domains] is
-    clamped to at least 1; when omitted it is [default_domains ()]. *)
+    caller participates as the last deque owner during [map]).
+    [domains] is clamped to at least 1; when omitted it is
+    [default_domains ()]. *)
 val create : ?domains:int -> unit -> t
 
 (** Number of domains participating in [map] (workers + caller). *)
@@ -52,23 +63,37 @@ val sequential : t
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [submit pool task] enqueues a fire-and-forget task on the pool's
-    shared queue: some worker domain (or a concurrent [map] caller in
-    its help-first drain) eventually runs it. Unlike [map] there is no
-    result and no completion signal; an exception escaping [task] is
-    printed to stderr and swallowed — it must not kill the worker.
-    On a sequential pool the task runs synchronously in the caller.
+    shared submit queue: some worker domain eventually runs it. Unlike
+    [map] there is no result and no completion signal. An exception
+    escaping [task] must not kill the worker: it is counted in
+    [pool.tasks.failed] and routed to the handler installed with
+    {!set_failure_handler} as a [Diag.Internal] error diagnostic (or
+    printed to stderr when no handler is installed). On a sequential
+    pool the task runs synchronously in the caller, with the same
+    failure containment.
 
     This is what [netcov serve] uses to fan connection handling out
     over the pool: each accepted connection becomes one long-lived
-    task, so at most [domains t] connections are served concurrently
-    and the rest queue. Do not call [map] on a pool that also serves
-    long-blocking submitted tasks — the help-first drain could pick
-    one up and block the mapping caller behind it. [teardown] drains
+    task, so at most [domains t - 1] connections are served
+    concurrently and the rest queue. Submitted tasks live on a
+    separate queue from [map] items: a concurrent [map]'s help-first
+    drain never picks one up (so a mapping caller cannot block behind
+    a long-lived connection), and workers prefer deque work, so map
+    items jump ahead of queued submits. [teardown] drains
     already-queued submitted tasks before returning. *)
 val submit : t -> (unit -> unit) -> unit
 
-(** Signals workers to exit after the queue drains and joins them.
-    Idempotent; [map] must not be called afterwards. *)
+(** [set_failure_handler pool h] routes subsequent {!submit} task
+    failures to [h] instead of stderr. [h] runs on the domain where
+    the task failed and must be domain-safe; an exception escaping [h]
+    is swallowed (with a stderr note). Intended for hosts like
+    [netcov serve] that surface pool failures through their own
+    diagnostics channel. *)
+val set_failure_handler : t -> (Netcov_diag.Diag.t -> unit) -> unit
+
+(** Signals workers to exit after all deques and the submit queue
+    drain, then joins them. Idempotent; [map] must not be called
+    afterwards. *)
 val teardown : t -> unit
 
 (** [with_pool ~domains f] runs [f] with a fresh pool and guarantees

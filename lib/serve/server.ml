@@ -52,19 +52,31 @@ let create ?(host = "127.0.0.1") ?(port = 8080) ?(max_networks = 64) ?handlers
   in
   let pipe_r, pipe_w = Unix.pipe () in
   let table = Session_table.create ~max_networks () in
-  {
-    listen_fd = fd;
-    bound_port;
-    api = Api.create ~table ();
-    pool = Pool.create ?domains:handlers ();
-    idle_timeout_s;
-    stop = Atomic.make false;
-    pipe_r;
-    pipe_w;
-    conns = Hashtbl.create 64;
-    conns_mu = Mutex.create ();
-    log_mu = Mutex.create ();
-  }
+  let t =
+    {
+      listen_fd = fd;
+      bound_port;
+      api = Api.create ~table ();
+      pool = Pool.create ?domains:handlers ();
+      idle_timeout_s;
+      stop = Atomic.make false;
+      pipe_r;
+      pipe_w;
+      conns = Hashtbl.create 64;
+      conns_mu = Mutex.create ();
+      log_mu = Mutex.create ();
+    }
+  in
+  (* A connection task that escapes [handle_conn]'s own containment
+     must surface in the daemon's log stream (and the
+     pool.tasks.failed metric), not a bare stderr line. *)
+  Pool.set_failure_handler t.pool (fun d ->
+      Mutex.lock t.log_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.log_mu)
+        (fun () ->
+          Log.err (fun m -> m "%s" (Netcov_core.Diag.to_string d))));
+  t
 
 let port t = t.bound_port
 let api t = t.api

@@ -1,0 +1,333 @@
+open Netcov_types
+open Netcov_config
+
+(* Multi-AS wide-area network: [n_ases] autonomous systems, each a
+   ring-plus-chords IGP backbone of [routers_per_as] routers whose iBGP
+   runs over [n_rr] route reflectors (never a full mesh — this is the
+   workload that exercises the reflector code paths at scale), joined
+   into a ring of ASes (plus skip-chords) by eBGP border sessions with
+   import/export policy chains. Every router originates its /24 LAN,
+   so every LAN transits multiple ASes to reach the far side of the
+   ring — cone depth the single-AS workloads never produce. *)
+
+type session = {
+  ss_local : string;
+  ss_remote : string;
+  ss_local_ip : Ipv4.t;
+  ss_remote_ip : Ipv4.t;
+}
+
+type t = {
+  devices : Device.t list;
+  n_ases : int;
+  routers_per_as : int;
+  n_rr : int;
+  routers : (int * string) list;
+  reflectors : string list;
+  clients : string list;
+  borders : session list;
+  lans : (string * Prefix.t) list;
+}
+
+let asn a = 65100 + a
+let host a r = Printf.sprintf "as%d-r%d" a r
+let loopback a r = Ipv4.of_octets 10 (100 + a) 0 (r + 1)
+let lan a r = Prefix.make (Ipv4.of_octets 10 a r 0) 24
+
+(* One direction of policy structure per border session: a shared
+   sanity chain, then a per-remote-AS preference policy. *)
+let wan_in : Policy_ast.policy =
+  {
+    pol_name = "WAN-IN";
+    terms =
+      [
+        {
+          term_name = "block-bogons";
+          matches = [ Policy_ast.Match_prefix_list "WAN-BOGONS" ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "block-default";
+          matches = [ Policy_ast.Match_prefix (Prefix.default, Policy_ast.Exact) ];
+          actions = [ Policy_ast.Reject ];
+        };
+        { term_name = "accept"; matches = []; actions = [ Policy_ast.Accept ] };
+      ];
+  }
+
+let pref_policy remote_a =
+  {
+    Policy_ast.pol_name = Printf.sprintf "PREF-AS%d" (asn remote_a);
+    terms =
+      [
+        {
+          term_name = "lans";
+          matches = [ Policy_ast.Match_prefix_list "AS-LANS" ];
+          actions =
+            [
+              Policy_ast.Set_local_pref (95 + (remote_a * 3 mod 20));
+              Policy_ast.Accept;
+            ];
+        };
+        { term_name = "rest"; matches = []; actions = [ Policy_ast.Accept ] };
+      ];
+  }
+
+let no_export_tag = Community.make 65535 666
+
+let wan_out : Policy_ast.policy =
+  {
+    pol_name = "WAN-OUT";
+    terms =
+      [
+        {
+          term_name = "keep-local";
+          matches = [ Policy_ast.Match_community no_export_tag ];
+          actions = [ Policy_ast.Reject ];
+        };
+        {
+          term_name = "lans";
+          matches = [ Policy_ast.Match_prefix_list "AS-LANS" ];
+          actions = [ Policy_ast.Accept ];
+        };
+        { term_name = "deny-rest"; matches = []; actions = [ Policy_ast.Reject ] };
+      ];
+  }
+
+let bogons =
+  List.map Prefix.of_string
+    [ "0.0.0.0/8"; "127.0.0.0/8"; "169.254.0.0/16"; "192.0.2.0/24" ]
+
+let generate ?(n_ases = 6) ?(routers_per_as = 10) ?(n_rr = 2) ?(multipath = 1)
+    () =
+  if n_ases < 3 then invalid_arg "Wan.generate: need at least 3 ASes";
+  if routers_per_as < 4 then
+    invalid_arg "Wan.generate: need at least 4 routers per AS";
+  if n_rr < 1 || n_rr >= routers_per_as then
+    invalid_arg "Wan.generate: n_rr out of range";
+  let n = routers_per_as in
+  (* intra-AS links: a ring plus half-spanning chords *)
+  let intra_links =
+    List.init n (fun i -> (i, (i + 1) mod n))
+    @ (if n >= 6 then List.init (n / 2) (fun i -> (i, i + (n / 2))) else [])
+    |> List.filter (fun (i, j) -> i <> j)
+    |> List.sort_uniq compare
+  in
+  (* link l of AS a lives in 172.(16+a').(l).0/30 where a' wraps to
+     keep the second octet in range for many ASes *)
+  let intra_subnet a l = Ipv4.of_octets (172 + (a / 16)) (16 + (a mod 16)) l 0 in
+  let link_idx =
+    List.mapi (fun l (i, j) -> ((i, j), l)) intra_links
+  in
+  (* inter-AS eBGP: a ring of ASes plus skip-2 chords; AS a's exit
+     router is its last, the entry router its second-to-last *)
+  let border_pairs =
+    List.init n_ases (fun a -> (a, (a + 1) mod n_ases))
+    @
+    if n_ases > 4 then
+      List.filteri (fun a _ -> a mod 2 = 0) (List.init n_ases Fun.id)
+      |> List.map (fun a -> (a, (a + 2) mod n_ases))
+    else []
+  in
+  let borders =
+    List.mapi
+      (fun g (a, b) ->
+        let base = Ipv4.of_octets 192 (168 + (g / 250)) (g mod 250) 0 in
+        {
+          ss_local = host a (n - 1);
+          ss_remote = host b (n - 2);
+          ss_local_ip = Ipv4.succ base;
+          ss_remote_ip = Ipv4.add base 2;
+        })
+      border_pairs
+  in
+  let make_router a r =
+    let name = host a r in
+    let lo = loopback a r in
+    let loopback_iface =
+      Device.interface ~address:(lo, 32) ~description:"loopback"
+        ~igp_enabled:true ~igp_metric:0 "lo0"
+    in
+    let lan_iface =
+      Device.interface
+        ~address:(Prefix.first_host (lan a r), 24)
+        ~description:"customer LAN" "ge-0/1/0"
+    in
+    let backbone_ifaces =
+      List.filter_map
+        (fun ((i, j), l) ->
+          let addr =
+            if i = r then Some (Ipv4.succ (intra_subnet a l))
+            else if j = r then Some (Ipv4.add (intra_subnet a l) 2)
+            else None
+          in
+          Option.map
+            (fun ip ->
+              Device.interface ~address:(ip, 30)
+                ~description:(Printf.sprintf "backbone r%d--r%d" i j)
+                ~igp_enabled:true ~igp_metric:10
+                (Printf.sprintf "xe-0/0/%d" l))
+            addr)
+        link_idx
+    in
+    (* (my session address, the peer's, the peer's AS index) *)
+    let my_borders =
+      List.concat
+        (List.map2
+           (fun s (pa, pb) ->
+             if s.ss_local = name then
+               [ (s.ss_local_ip, s.ss_remote_ip, pb) ]
+             else if s.ss_remote = name then
+               [ (s.ss_remote_ip, s.ss_local_ip, pa) ]
+             else [])
+           borders border_pairs)
+    in
+    let border_ifaces =
+      List.mapi
+        (fun i (my_ip, _, remote_a) ->
+          Device.interface ~address:(my_ip, 30)
+            ~description:(Printf.sprintf "to AS%d" (asn remote_a))
+            (Printf.sprintf "xe-1/0/%d" i))
+        my_borders
+    in
+    let is_rr = r < n_rr in
+    let is_border = my_borders <> [] in
+    (* Only border routers rewrite next-hop-self into iBGP, so
+       eBGP-learned routes carry the egress border's loopback and every
+       router resolves them to the same exit via the IGP. Reflectors
+       must NOT rewrite (RFC 4456): reflecting with next-hop-self makes
+       clients forward to the reflector whose own best points back,
+       i.e. hop-by-hop micro-loops. *)
+    let ibgp_neighbor ?(client = false) other =
+      {
+        Device.nb_ip = loopback a other;
+        nb_remote_as = asn a;
+        nb_group = Some "IBGP";
+        nb_import = [];
+        nb_export = [];
+        nb_local_addr = Some lo;
+        nb_next_hop_self = is_border;
+        nb_rr_client = client;
+        nb_description =
+          Some
+            ((if client then "iBGP client " else "iBGP to ") ^ host a other);
+      }
+    in
+    let ibgp_neighbors =
+      List.concat
+        (List.init n (fun other ->
+             if other = r then []
+             else if is_rr then
+               (* reflectors mesh among themselves and serve the rest
+                  as clients *)
+               [ ibgp_neighbor ~client:(other >= n_rr) other ]
+             else if other < n_rr then [ ibgp_neighbor other ]
+             else []))
+    in
+    let ebgp_neighbors =
+      List.map
+        (fun (_, peer_ip, remote_a) ->
+          {
+            Device.nb_ip = peer_ip;
+            nb_remote_as = asn remote_a;
+            nb_group = Some "WAN";
+            nb_import = [ Printf.sprintf "PREF-AS%d" (asn remote_a) ];
+            nb_export = [];
+            nb_local_addr = None;
+            nb_next_hop_self = false;
+            nb_rr_client = false;
+            nb_description = Some (Printf.sprintf "eBGP to AS%d" (asn remote_a));
+          })
+        my_borders
+    in
+    let groups =
+      {
+        Device.pg_name = "IBGP";
+        pg_remote_as = Some (asn a);
+        pg_import = [];
+        pg_export = [];
+        pg_local_pref = None;
+        pg_description = Some "route-reflection mesh";
+      }
+      ::
+      (if is_border then
+         [
+           {
+             Device.pg_name = "WAN";
+             pg_remote_as = None;
+             pg_import = [ "WAN-IN" ];
+             pg_export = [ "WAN-OUT" ];
+             pg_local_pref = None;
+             pg_description = Some "inter-AS sessions";
+           };
+         ]
+       else [])
+    in
+    let prefix_lists =
+      if is_border then
+        [
+          {
+            Device.pl_name = "WAN-BOGONS";
+            pl_entries =
+              List.map
+                (fun p ->
+                  { Device.ple_prefix = p; ple_ge = None; ple_le = Some 32 })
+                bogons;
+          };
+          {
+            Device.pl_name = "AS-LANS";
+            pl_entries =
+              [
+                {
+                  Device.ple_prefix = Prefix.make (Ipv4.of_octets 10 0 0 0) 8;
+                  ple_ge = Some 24;
+                  ple_le = Some 24;
+                };
+              ];
+          };
+        ]
+      else []
+    in
+    let policies =
+      if is_border then
+        wan_in :: wan_out
+        :: List.sort_uniq compare
+             (List.map (fun (_, _, remote_a) -> pref_policy remote_a) my_borders)
+      else []
+    in
+    Device.make ~syntax:Device.Junos
+      ~interfaces:
+        ((loopback_iface :: lan_iface :: backbone_ifaces) @ border_ifaces)
+      ~prefix_lists ~policies
+      ~bgp:
+        {
+          Device.local_as = asn a;
+          router_id = lo;
+          networks = [ lan a r ];
+          aggregates = [];
+          redistributes = [];
+          groups;
+          neighbors = ibgp_neighbors @ ebgp_neighbors;
+          multipath;
+        }
+      name
+  in
+  let indices =
+    List.concat (List.init n_ases (fun a -> List.init n (fun r -> (a, r))))
+  in
+  {
+    devices = List.map (fun (a, r) -> make_router a r) indices;
+    n_ases;
+    routers_per_as = n;
+    n_rr;
+    routers = List.map (fun (a, r) -> (a, host a r)) indices;
+    reflectors =
+      List.concat
+        (List.init n_ases (fun a -> List.init n_rr (fun r -> host a r)));
+    clients =
+      List.concat
+        (List.init n_ases (fun a ->
+             List.init (n - n_rr) (fun r -> host a (r + n_rr))));
+    borders;
+    lans = List.map (fun (a, r) -> (host a r, lan a r)) indices;
+  }

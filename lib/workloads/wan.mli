@@ -1,0 +1,41 @@
+(** Synthetic multi-AS wide-area network: [n_ases] autonomous systems,
+    each a ring-plus-chords IGP backbone whose iBGP runs over [n_rr]
+    route reflectors (clients peer only with the reflectors, reflectors
+    mesh among themselves; border routers set next-hop-self), joined into a ring of
+    ASes plus skip-chords by eBGP border sessions carrying
+    import/export policy chains (bogon filtering, per-remote-AS
+    local-pref, a LANs-only export allow list). Every router originates
+    its /24 LAN, so remote LANs transit several ASes and reflectors —
+    the deep-cone mega-workload behind the rr-wan rows of
+    BENCH_parallel.json. JunOS-style configurations, no external
+    stubs: every device is part of the coverage domain. *)
+
+open Netcov_types
+open Netcov_config
+
+(** One inter-AS eBGP session (single direction of description; the
+    configuration exists on both ends). *)
+type session = {
+  ss_local : string;  (** hostname on the lower-indexed AS *)
+  ss_remote : string;
+  ss_local_ip : Ipv4.t;
+  ss_remote_ip : Ipv4.t;
+}
+
+type t = {
+  devices : Device.t list;
+  n_ases : int;
+  routers_per_as : int;
+  n_rr : int;
+  routers : (int * string) list;  (** (AS index, hostname), all routers *)
+  reflectors : string list;
+  clients : string list;  (** non-reflector routers *)
+  borders : session list;  (** inter-AS sessions *)
+  lans : (string * Prefix.t) list;  (** originated /24 per router *)
+}
+
+(** [generate ()] builds the network. Defaults: 6 ASes of 10 routers
+    with 2 reflectors each. [n_ases >= 3], [routers_per_as >= 4],
+    [1 <= n_rr < routers_per_as]. Deterministic: no randomness. *)
+val generate :
+  ?n_ases:int -> ?routers_per_as:int -> ?n_rr:int -> ?multipath:int -> unit -> t

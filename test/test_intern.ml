@@ -124,6 +124,53 @@ let test_concurrent_intern () =
   check_int "ids are dense" (Array.length facts) (List.length ids);
   check_int "ids start at zero" 0 (List.hd ids)
 
+(* Sharded-interner invariant: readers use the lock-free reverse path
+   ([fact]/[length]) while writers are still interning. A reader may
+   trail behind [next], but every id below the published watermark must
+   resolve, the watermark only grows, and the final table is dense. *)
+let test_concurrent_reads_during_intern () =
+  let t = Intern.create () in
+  let n = 2000 in
+  let facts = Array.of_list (distinct_facts n) in
+  let stop = Atomic.make false in
+  let reader () =
+    let checked = ref 0 in
+    let last_len = ref 0 in
+    while not (Atomic.get stop) do
+      let len = Intern.length t in
+      if len < !last_len then failwith "published watermark went backwards";
+      last_len := len;
+      for id = 0 to len - 1 do
+        (* must never raise / read an unwritten slot *)
+        ignore (Sys.opaque_identity (Intern.fact t id));
+        incr checked
+      done
+    done;
+    !checked
+  in
+  let writer offset () =
+    Array.iteri
+      (fun i _ -> ignore (Intern.intern t facts.((i + offset) mod n)))
+      facts
+  in
+  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+  let writers = List.init 2 (fun d -> Domain.spawn (writer (d * (n / 2)))) in
+  List.iter Domain.join writers;
+  Atomic.set stop true;
+  let reads = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  check_bool "readers made progress" true (reads > 0);
+  check_int "dense after concurrent interning" n (Intern.length t);
+  for id = 0 to n - 1 do
+    ignore (Intern.fact t id)
+  done;
+  (* every fact still round-trips *)
+  Array.iter
+    (fun f ->
+      match Intern.find t f with
+      | Some id -> check_bool "find -> fact" true (Fact.equal (Intern.fact t id) f)
+      | None -> Alcotest.fail "fact lost during concurrent interning")
+    facts
+
 let () =
   Alcotest.run "intern"
     [
@@ -137,5 +184,7 @@ let () =
           Alcotest.test_case "modes assign same ids" `Quick
             test_modes_assign_same_ids;
           Alcotest.test_case "concurrent intern" `Quick test_concurrent_intern;
+          Alcotest.test_case "lock-free reads during intern" `Quick
+            test_concurrent_reads_during_intern;
         ] );
     ]

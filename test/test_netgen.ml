@@ -133,6 +133,48 @@ let prop_deterministic_state =
       && Stable_state.total_bgp_entries s1 = Stable_state.total_bgp_entries s2
       && Stable_state.rounds s1 = Stable_state.rounds s2)
 
+(* ---------------- deterministic balanced mega-trees ---------------- *)
+
+(* The netgen-1000 bench workload is Netcov_check.Netgen.balanced; these
+   check its structure (including the >255-router octet spill) and that
+   its deterministic specs materialize into a working analysis, without
+   paying a 1000-router simulation in the test suite. *)
+module Cgen = Netcov_check.Netgen
+
+let test_balanced_structure () =
+  let net = Cgen.balanced ~fanout:4 600 in
+  Alcotest.(check int) "router count" 600 net.Cgen.n_routers;
+  for i = 1 to 599 do
+    if net.Cgen.parent.(i) <> (i - 1) / 4 then
+      Alcotest.failf "parent of %d is %d, expected %d" i net.Cgen.parent.(i)
+        ((i - 1) / 4)
+  done;
+  List.iter
+    (fun i ->
+      if not (i > 0 && i mod 7 = 1) then
+        Alcotest.failf "unexpected policied router %d" i)
+    net.Cgen.policied;
+  (* the octet spill keeps LANs (and so router ids) distinct past 255 *)
+  let lans = List.init 600 Cgen.lan in
+  Alcotest.(check int) "distinct LAN prefixes" 600
+    (List.length (List.sort_uniq Prefix.compare lans));
+  Alcotest.(check int) "device per router" 600
+    (List.length (Cgen.devices_of net))
+
+let test_balanced_specs_analyze () =
+  let net = Cgen.balanced ~fanout:3 40 in
+  let state = Stable_state.compute (Registry.build (Cgen.devices_of net)) in
+  let specs = Cgen.balanced_specs ~n_tests:8 ~probes_per_test:4 net in
+  Alcotest.(check int) "spec count" 8 (List.length specs);
+  Alcotest.(check bool) "specs are deterministic" true
+    (specs = Cgen.balanced_specs ~n_tests:8 ~probes_per_test:4 net);
+  let testeds = List.map (Cgen.tested_of state) specs in
+  Alcotest.(check bool) "probes hit the RIB" true
+    (List.exists (fun (t : Netcov.tested) -> t.Netcov.dp_facts <> []) testeds);
+  let merged = Netcov.merge_reports (Netcov.analyze_suite state testeds) in
+  Alcotest.(check bool) "some coverage" true
+    (Coverage.pct (Coverage.line_stats merged.Netcov.coverage) > 0.)
+
 let () =
   Alcotest.run "netgen"
     [
@@ -146,4 +188,11 @@ let () =
             prop_coverage_total;
             prop_deterministic_state;
           ] );
+      ( "balanced",
+        [
+          Alcotest.test_case "structure + octet spill" `Quick
+            test_balanced_structure;
+          Alcotest.test_case "deterministic specs analyze" `Quick
+            test_balanced_specs_analyze;
+        ] );
     ]

@@ -81,6 +81,121 @@ let test_nested_map () =
       check_int "nested maps on one pool" (((64 * 63) / 2) + 64)
         (List.fold_left ( + ) 0 summed))
 
+(* Deque scheduler stress: every outer task nests its own inner map
+   while all domains are saturated, so inner items land on busy
+   domains' own deques and finish via owner pops and steals in some
+   interleaving. Results must still come back complete and in order. *)
+let test_nested_map_under_contention () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      for _round = 1 to 5 do
+        let expected = ref [] in
+        let rows =
+          List.init 32 (fun i -> List.init (1 + (i mod 7)) (fun j -> i + j))
+        in
+        List.iter
+          (fun row ->
+            expected := List.fold_left ( + ) 0 (List.map (fun x -> x * x) row)
+                        :: !expected)
+          rows;
+        let got =
+          Pool.map pool
+            (fun row ->
+              (* a little real work, then a nested fan-out *)
+              let spin = ref 0 in
+              for i = 1 to 1000 do spin := !spin + i done;
+              ignore (Sys.opaque_identity !spin);
+              List.fold_left ( + ) 0 (Pool.map pool (fun x -> x * x) row))
+            rows
+        in
+        check_ints "contended nested maps complete in order"
+          (List.rev !expected) got
+      done)
+
+(* The steal path must never change results: the same map on 1, 2 and
+   4 domains, repeated, is byte-identical (work stealing only reorders
+   execution, never placement of results). *)
+let test_steal_determinism () =
+  let xs = List.init 500 (fun i -> i * 13 mod 271) in
+  let f x = (x * x * 7) mod 1009 in
+  let reference = List.map f xs in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          for run = 1 to 3 do
+            check_ints
+              (Printf.sprintf "domains=%d run %d matches List.map" domains run)
+              reference
+              (Pool.map pool f xs)
+          done))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Submit: failure routing and teardown draining                       *)
+(* ------------------------------------------------------------------ *)
+
+let failed_count () =
+  match Netcov_obs.Metrics.value Netcov_obs.Metrics.default "pool.tasks.failed" with
+  | Some (Netcov_obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+let await ?(timeout_s = 5.) cond =
+  let t0 = Unix.gettimeofday () in
+  while (not (cond ())) && Unix.gettimeofday () -. t0 < timeout_s do
+    Domain.cpu_relax ()
+  done;
+  cond ()
+
+(* A submit task that raises must not vanish: the failure lands in
+   pool.tasks.failed and in the installed handler as an [Internal]
+   diagnostic, on parallel and sequential pools alike. *)
+let test_submit_failure_routing () =
+  let check_on pool =
+    let seen = Atomic.make [] in
+    Pool.set_failure_handler pool (fun d ->
+        let rec push () =
+          let cur = Atomic.get seen in
+          if not (Atomic.compare_and_set seen cur (d :: cur)) then push ()
+        in
+        push ());
+    let before = failed_count () in
+    Pool.submit pool (fun () -> raise (Boom 7));
+    Pool.submit pool (fun () -> failwith "second failure");
+    check_bool "both failures counted" true
+      (await (fun () -> failed_count () - before >= 2));
+    check_bool "handler saw both diagnostics" true
+      (await (fun () -> List.length (Atomic.get seen) >= 2));
+    let contains ~needle hay =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    List.iter
+      (fun d ->
+        let s = Netcov_core.Diag.to_string d in
+        check_bool "diagnostic mentions the submit task" true
+          (contains ~needle:"Pool.submit task raised" s))
+      (Atomic.get seen)
+  in
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.teardown pool) (fun () -> check_on pool);
+  check_on Pool.sequential
+
+(* Teardown's contract: tasks already submitted run to completion, even
+   when they are still queued (or sleeping) when teardown starts. *)
+let test_teardown_drains_in_flight_submits () =
+  let ran = Atomic.make 0 in
+  let pool = Pool.create ~domains:2 () in
+  for _i = 1 to 20 do
+    Pool.submit pool (fun () ->
+        Unix.sleepf 0.005;
+        Atomic.incr ran)
+  done;
+  Pool.teardown pool;
+  check_int "every queued submit ran before teardown returned" 20
+    (Atomic.get ran);
+  (* teardown is idempotent *)
+  Pool.teardown pool
+
 (* ------------------------------------------------------------------ *)
 (* Determinism of the coverage pipeline                                *)
 (* ------------------------------------------------------------------ *)
@@ -208,9 +323,8 @@ let test_env_domains () =
      is valid-but-ignored afterwards. *)
   Unix.putenv "NETCOV_DOMAINS" "3";
   check_int "valid value is honoured" 3 (Pool.default_domains ());
-  let fallback =
-    max 1 (min 8 (Domain.recommended_domain_count ()))
-  in
+  (* no cap: the default is whatever the hardware recommends *)
+  let fallback = max 1 (Domain.recommended_domain_count ()) in
   List.iter
     (fun bad ->
       Unix.putenv "NETCOV_DOMAINS" bad;
@@ -252,6 +366,17 @@ let () =
           Alcotest.test_case "failure reports original exception" `Quick
             test_failure_reports_original_exception;
           Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "nested map under contention" `Quick
+            test_nested_map_under_contention;
+          Alcotest.test_case "steal-path determinism" `Quick
+            test_steal_determinism;
+        ] );
+      ( "submit",
+        [
+          Alcotest.test_case "failure routing" `Quick
+            test_submit_failure_routing;
+          Alcotest.test_case "teardown drains in-flight submits" `Quick
+            test_teardown_drains_in_flight_submits;
         ] );
       ( "determinism",
         [

@@ -152,6 +152,44 @@ let test_fattree_simulates () =
         (Netcov_sim.Stable_state.bgp_lookup_best state s ft.aggregate_prefix <> []))
     ft.spines
 
+let test_wan_structure () =
+  let w = Wan.generate ~n_ases:4 ~routers_per_as:6 ~n_rr:2 () in
+  check_int "devices" 24 (List.length w.Wan.devices);
+  check_int "reflectors" 8 (List.length w.Wan.reflectors);
+  check_int "clients" 16 (List.length w.Wan.clients);
+  check_int "one LAN per router" 24 (List.length w.Wan.lans);
+  (* ring of 4 ASes, no chords below 5 ASes *)
+  check_int "border sessions" 4 (List.length w.Wan.borders);
+  (* deterministic *)
+  let w2 = Wan.generate ~n_ases:4 ~routers_per_as:6 ~n_rr:2 () in
+  let text net =
+    String.concat "\n"
+      (List.map (fun (d : Device.t) -> Emit_junos.to_string d) net.Wan.devices)
+  in
+  check_bool "same emit" true (String.equal (text w) (text w2));
+  Alcotest.check_raises "too few ASes rejected"
+    (Invalid_argument "Wan.generate: need at least 3 ASes") (fun () ->
+      ignore (Wan.generate ~n_ases:2 ()))
+
+(* End-to-end: the WAN converges and its own suite is green — route
+   reflection reaches every client, cross-AS transit forwards (this is
+   the test that catches next-hop-self micro-loops), borders export. *)
+let test_wan_suite_green () =
+  let w = Wan.generate ~n_ases:4 ~routers_per_as:6 ~n_rr:2 () in
+  let state = Netcov_sim.Stable_state.compute (Registry.build w.Wan.devices) in
+  check_bool "converged" true (Netcov_sim.Stable_state.rounds state < 40);
+  List.iter
+    (fun ((t : Netcov_nettest.Nettest.t), (r : Netcov_nettest.Nettest.result)) ->
+      check_int
+        (t.Netcov_nettest.Nettest.name ^ " has no failures")
+        0
+        (List.length r.Netcov_nettest.Nettest.outcome.Netcov_nettest.Nettest.failures);
+      check_bool
+        (t.Netcov_nettest.Nettest.name ^ " ran checks")
+        true
+        (r.Netcov_nettest.Nettest.outcome.Netcov_nettest.Nettest.checks > 0))
+    (Netcov_nettest.Nettest.run_suite state (Netcov_nettest.Wan_suite.suite w))
+
 let test_config_text_scale () =
   let net = Internet2.generate Internet2.default_params in
   let reg = Registry.build net.devices in
@@ -181,5 +219,10 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_fattree_structure;
           Alcotest.test_case "simulates" `Slow test_fattree_simulates;
+        ] );
+      ( "wan",
+        [
+          Alcotest.test_case "structure" `Quick test_wan_structure;
+          Alcotest.test_case "suite green" `Slow test_wan_suite_green;
         ] );
     ]
