@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (sections 6-8). Run with no argument for everything, or pass
    one of: fig6b fig7 fig8 fig9 fig10a fig10b fig11a fig11b table2
-   ablation mutation whatif rr scaling intern incr kernels.
+   ablation mutation whatif rr scaling label intern incr kernels.
 
    Flags: --smoke shrinks workloads to a seconds-scale budget (CI),
    --oversubscribe re-enables scaling rows with more domains than
@@ -580,8 +580,12 @@ let counter_value name =
   | _ -> 0
 
 (* Process-wide allocation high-water mark. [top_heap_words] is
-   monotone over the process lifetime, so a per-row reading is an
-   upper bound on that row (the JSON note says so). *)
+   monotone over the process lifetime and never reset (not even by
+   [Gc.compact]), so an absolute per-row reading is only an upper
+   bound: a row that runs after a bigger workload inherits its
+   watermark. Rows therefore also report the *delta* — how much the
+   row itself raised the watermark; 0 means the row fit in heap the
+   process had already grown. *)
 let peak_heap_mb () =
   float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
   /. (1024. *. 1024.)
@@ -595,7 +599,8 @@ type scaling_row = {
   sr_stolen : int;  (** pool.tasks.stolen delta over the run *)
   sr_sleeps : int;  (** pool.sleeps delta over the run *)
   sr_contended : int;  (** intern.lock.contended delta over the run *)
-  sr_peak_mb : float;
+  sr_peak_mb : float;  (** process-wide watermark after the run *)
+  sr_peak_delta_mb : float;  (** how much this row raised it *)
 }
 
 (* One workload at each domain count, with scheduler/interner
@@ -611,22 +616,25 @@ let run_scaling_rows ~cores ~domain_counts state testeds =
     let st0 = counter_value "pool.tasks.stolen" in
     let sl0 = counter_value "pool.sleeps" in
     let ct0 = counter_value "intern.lock.contended" in
+    let p0 = peak_heap_mb () in
     let r =
       Pool.with_pool ~domains (fun pool ->
           timed (fun () -> Netcov.analyze_suite ~pool state testeds))
     in
+    let peak = peak_heap_mb () in
     ( r,
       counter_value "pool.tasks.stolen" - st0,
       counter_value "pool.sleeps" - sl0,
       counter_value "intern.lock.contended" - ct0,
-      peak_heap_mb () )
+      peak,
+      peak -. p0 )
   in
   let runs = List.map (fun d -> (d, run_at d)) domain_counts in
-  let base, _, _, _, _ = List.assoc 1 runs in
+  let base, _, _, _, _, _ = List.assoc 1 runs in
   let reference = cov_of base in
   let base_wall = snd base in
   List.map
-    (fun (d, (((_, wall) as r), stolen, sleeps, contended, peak)) ->
+    (fun (d, (((_, wall) as r), stolen, sleeps, contended, peak, delta)) ->
       {
         sr_domains = d;
         sr_wall = wall;
@@ -637,24 +645,120 @@ let run_scaling_rows ~cores ~domain_counts state testeds =
         sr_sleeps = sleeps;
         sr_contended = contended;
         sr_peak_mb = peak;
+        sr_peak_delta_mb = delta;
       })
     runs
 
 let print_scaling_row r =
   Printf.printf
     "  domains=%d  wall %7.3fs  speedup %5.2fx  identical-report %b  \
-     stolen=%d sleeps=%d intern-contended=%d  peak %.0fMB%s\n"
+     stolen=%d sleeps=%d intern-contended=%d  peak %.0fMB (+%.0fMB)%s\n"
     r.sr_domains r.sr_wall r.sr_speedup r.sr_identical r.sr_stolen r.sr_sleeps
-    r.sr_contended r.sr_peak_mb
+    r.sr_contended r.sr_peak_mb r.sr_peak_delta_mb
     (if r.sr_oversubscribed then "  [oversubscribed: > hardware cores]" else "")
 
 let row_json r =
   Printf.sprintf
     "{\"domains\": %d, \"wall_s\": %.4f, \"speedup\": %.3f, \"identical\": \
      %b, \"oversubscribed\": %b, \"tasks_stolen\": %d, \"sleeps\": %d, \
-     \"intern_lock_contended\": %d, \"peak_heap_mb\": %.1f}"
+     \"intern_lock_contended\": %d, \"peak_heap_mb\": %.1f, \
+     \"peak_heap_delta_mb\": %.1f}"
     r.sr_domains r.sr_wall r.sr_speedup r.sr_identical r.sr_oversubscribed
-    r.sr_stolen r.sr_sleeps r.sr_contended r.sr_peak_mb
+    r.sr_stolen r.sr_sleeps r.sr_contended r.sr_peak_mb r.sr_peak_delta_mb
+
+(* ------------------------------------------------------------------ *)
+(* Labeling engine: shared per-domain arena vs fresh-manager-per-cone  *)
+(* ------------------------------------------------------------------ *)
+
+type label_row = {
+  lb_name : string;
+  lb_tests : int;
+  lb_fresh_wall : float;  (** materialize+label suite wall, fresh engine *)
+  lb_arena_wall : float;  (** same suite, shared-arena engine *)
+  lb_fresh_label_s : float;  (** labeling-only seconds, fresh engine *)
+  lb_arena_label_s : float;
+  lb_identical : bool;  (** byte-identical coverage JSON *)
+  lb_gamma_hits : int;  (** cross-cone gamma memo hits, arena run *)
+  lb_gamma_misses : int;
+  lb_arena_nodes : int;  (** arena size after the run, before trim *)
+  lb_peak_delta_mb : float;
+      (** watermark raise of the arena run, measured after the fresh
+          run: > 0 means the shared engine needed more heap than the
+          fresh-per-cone engine ever did *)
+}
+
+let label_speedup r = r.lb_fresh_label_s /. max 1e-9 r.lb_arena_label_s
+
+let label_hit_rate r =
+  float_of_int r.lb_gamma_hits
+  /. float_of_int (max 1 (r.lb_gamma_hits + r.lb_gamma_misses))
+
+(* Both engines run the identical suite sequentially (one domain, so
+   one arena) to isolate the labeling engine from scheduling. The
+   fresh (legacy) engine runs first: since [top_heap_words] is
+   monotone, the arena run's watermark delta then directly answers
+   "did the shared arena cost more heap than fresh-per-cone managers"
+   — 0 means no. The arena is trimmed before and after each row so
+   node counts are attributable and rows stay independent. *)
+let run_label_row name state testeds =
+  Label.trim_arena ();
+  let run ~arena =
+    timed (fun () ->
+        Netcov.analyze_suite ~pool:Pool.sequential ~label_arena:arena state
+          testeds)
+  in
+  let fresh_reports, fresh_wall = run ~arena:false in
+  let h0 = counter_value "bdd.gamma.hits" in
+  let m0 = counter_value "bdd.gamma.misses" in
+  let p0 = peak_heap_mb () in
+  let arena_reports, arena_wall = run ~arena:true in
+  let arena_nodes = Label.arena_node_count () in
+  let peak_delta = peak_heap_mb () -. p0 in
+  let label_s reports =
+    (Netcov.merge_reports reports).Netcov.timing.Netcov.label_s
+  in
+  let cov reports =
+    Json_export.coverage (Netcov.merge_reports reports).Netcov.coverage
+  in
+  let row =
+    {
+      lb_name = name;
+      lb_tests = List.length testeds;
+      lb_fresh_wall = fresh_wall;
+      lb_arena_wall = arena_wall;
+      lb_fresh_label_s = label_s fresh_reports;
+      lb_arena_label_s = label_s arena_reports;
+      lb_identical = String.equal (cov fresh_reports) (cov arena_reports);
+      lb_gamma_hits = counter_value "bdd.gamma.hits" - h0;
+      lb_gamma_misses = counter_value "bdd.gamma.misses" - m0;
+      lb_arena_nodes = arena_nodes;
+      lb_peak_delta_mb = peak_delta;
+    }
+  in
+  Label.trim_arena ();
+  row
+
+let print_label_row r =
+  Printf.printf
+    "  %-12s %3d tests  label %7.3fs fresh -> %7.3fs arena (%5.2fx)  wall \
+     %7.3fs -> %7.3fs  gamma %d/%d (%.1f%% hit)  arena-nodes %d  \
+     heap-delta %+.0fMB  identical %b\n"
+    r.lb_name r.lb_tests r.lb_fresh_label_s r.lb_arena_label_s
+    (label_speedup r) r.lb_fresh_wall r.lb_arena_wall r.lb_gamma_hits
+    (r.lb_gamma_hits + r.lb_gamma_misses)
+    (100. *. label_hit_rate r)
+    r.lb_arena_nodes r.lb_peak_delta_mb r.lb_identical
+
+let label_row_json r =
+  Printf.sprintf
+    "{\"name\": %S, \"tests\": %d, \"fresh_wall_s\": %.4f, \"arena_wall_s\": \
+     %.4f, \"fresh_label_s\": %.4f, \"arena_label_s\": %.4f, \
+     \"label_speedup\": %.3f, \"identical\": %b, \"gamma_hits\": %d, \
+     \"gamma_misses\": %d, \"gamma_hit_rate\": %.4f, \"arena_nodes\": %d, \
+     \"peak_heap_delta_mb\": %.1f}"
+    r.lb_name r.lb_tests r.lb_fresh_wall r.lb_arena_wall r.lb_fresh_label_s
+    r.lb_arena_label_s (label_speedup r) r.lb_identical r.lb_gamma_hits
+    r.lb_gamma_misses (label_hit_rate r) r.lb_arena_nodes r.lb_peak_delta_mb
 
 (* CI gate (@bench-scaling-smoke): identical coverage across domain
    counts is always asserted; the 2-domain speedup only where the
@@ -777,6 +881,11 @@ let scaling_full () =
           (List.length devices, sim_s, state, testeds) );
     ]
   in
+  (* Labeling-engine rows ride along while each mega state is still
+     alive (building fattree-k16 twice would double the bench's
+     dominant cost); internet2/fattree-k8 rows are added below from
+     the shared envs. *)
+  let label_extra = ref [] in
   let mega =
     List.map
       (fun (name, make) ->
@@ -787,9 +896,33 @@ let scaling_full () =
           run_scaling_rows ~cores ~domain_counts:mega_counts state testeds
         in
         List.iter print_scaling_row rows;
+        if List.mem name [ "fattree-k16"; "rr-wan" ] then
+          label_extra := run_label_row name state testeds :: !label_extra;
         (name, n_devices, List.length testeds, sim_s, rows))
       mega_specs
   in
+  Printf.printf
+    "labeling engine (shared per-domain arena vs fresh-manager-per-cone, \
+     sequential):\n";
+  let label_rows =
+    run_label_row "internet2" (Lazy.force i2_env).state
+      (List.map
+         (fun t -> t.result.Nettest.tested)
+         (Lazy.force i2_env).tests)
+    :: run_label_row "fattree-k8" env.ft_state testeds
+    :: List.rev !label_extra
+  in
+  List.iter print_label_row label_rows;
+  List.iter
+    (fun r ->
+      if not r.lb_identical then begin
+        Printf.eprintf
+          "label engine REGRESSION: %s coverage differs between arena and \
+           fresh engines\n"
+          r.lb_name;
+        exit 1
+      end)
+    label_rows;
   (* Memo-cache effect, measured sequentially on the Internet2 suite
      (its iBGP full mesh shares policy chains across sessions). The
      canonical-key runs strip pass-through route attributes from the
@@ -833,6 +966,17 @@ let scaling_full () =
      %.1f%% with canonical keys (wall %.3fs -> %.3fs)\n"
     (100. *. fk_rate) fk_hits (fk_hits + fk_misses) (100. *. hit_rate)
     full_wall on_wall;
+  (* The memo cache must never cost more than it saves: keys carry a
+     precomputed hash and probe without re-canonicalizing the route
+     (lib/core/rules.ml), so the cached run has to stay within noise
+     of the uncached one even on hit-hostile workloads. *)
+  let cache_regression = on_wall > off_wall *. 1.05 in
+  if cache_regression then
+    Printf.eprintf
+      "sim cache REGRESSION: cached run %.3fs vs uncached %.3fs (%.2fx > \
+       1.05x) — the memo cache is costing more than it saves\n"
+      on_wall off_wall
+      (on_wall /. max 1e-9 off_wall);
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"workload\": \"fattree-k8-suite\",\n";
@@ -844,17 +988,20 @@ let scaling_full () =
     "  \"note\": \"domain counts above hardware cores are skipped unless \
      --oversubscribe is passed; rows with oversubscribed=true measure \
      scheduling overhead, not scaling. peak_heap_mb is the process-wide \
-     GC high-water mark at the end of the row, monotone over the run, so \
-     it is an upper bound per row\",\n";
-  let emit_rows indent rows =
+     GC high-water mark at the end of the row — monotone over the whole \
+     run, so later rows inherit earlier rows' watermark and the absolute \
+     value is only an upper bound; peak_heap_delta_mb is how much the row \
+     itself raised the watermark (0 = the row fit in heap the process had \
+     already grown)\",\n";
+  let emit_rows indent to_json rows =
     List.iteri
       (fun i r ->
-        Printf.bprintf buf "%s%s%s\n" indent (row_json r)
+        Printf.bprintf buf "%s%s%s\n" indent (to_json r)
           (if i < List.length rows - 1 then "," else ""))
       rows
   in
   Buffer.add_string buf "  \"domain_runs\": [\n";
-  emit_rows "    " rows;
+  emit_rows "    " row_json rows;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"mega_workloads\": [\n";
   List.iteri
@@ -863,25 +1010,37 @@ let scaling_full () =
         "    {\"name\": %S, \"devices\": %d, \"tests\": %d, \"sim_s\": \
          %.2f, \"rows\": [\n"
         name n_devices n_tests sim_s;
-      emit_rows "      " mrows;
+      emit_rows "      " row_json mrows;
       Printf.bprintf buf "    ]}%s\n"
         (if i < List.length mega - 1 then "," else ""))
     mega;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    "  \"label_engine\": {\"note\": \"shared per-domain BDD arena + \
+     cross-cone gamma memo + single-pass essential variables vs the \
+     legacy fresh-manager-per-cone engine, both sequential on one \
+     domain; coverage is byte-identical in every row; \
+     peak_heap_delta_mb is the watermark raise of the arena run \
+     measured after the fresh run (0 = the shared arena never needed \
+     more heap than fresh-per-cone managers did)\", \"rows\": [\n";
+  emit_rows "    " label_row_json label_rows;
+  Buffer.add_string buf "  ]},\n";
   Printf.bprintf buf
     "  \"sim_cache\": {\"workload\": \"internet2-suite\", \"note\": \
      \"re-measured on this run: full_key is the historical full-route \
-     cache key, canonical strips pass-through attributes\", \"hits\": %d, \
+     cache key, canonical strips pass-through attributes; keys carry a \
+     precomputed hash, so regression (cached wall > 1.05x uncached) \
+     must stay false\", \"hits\": %d, \
      \"misses\": %d, \"hit_rate\": %.4f, \"wall_on_s\": %.4f, \"wall_off_s\": \
-     %.4f, \"speedup\": %.3f, \"identical\": %b,\n\
+     %.4f, \"speedup\": %.3f, \"identical\": %b, \"regression\": %b,\n\
     \    \"full_key\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
      \"wall_s\": %.4f},\n\
     \    \"canonical\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
      \"wall_s\": %.4f}}\n"
     hits misses hit_rate on_wall off_wall
     (off_wall /. max 1e-9 on_wall)
-    cache_identical fk_hits fk_misses fk_rate full_wall hits misses hit_rate
-    on_wall;
+    cache_identical cache_regression fk_hits fk_misses fk_rate full_wall hits
+    misses hit_rate on_wall;
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_parallel.json" in
   output_string oc (Buffer.contents buf);
@@ -889,6 +1048,98 @@ let scaling_full () =
   Printf.printf "wrote BENCH_parallel.json\n"
 
 let scaling () = if !smoke then scaling_smoke () else scaling_full ()
+
+(* CI gate (@bench-label-smoke): the shared-arena labeling engine must
+   produce byte-identical coverage to the legacy fresh-per-cone engine
+   on internet2 and fattree-k8, and label fattree-k8 at least 1.5x
+   faster. The speedup compares labeling-only seconds (materialize and
+   simulation are engine-independent) and takes the best of two
+   fattree-k8 runs to stay robust on noisy shared runners; identity is
+   asserted on every run. *)
+let label_smoke () =
+  section "Label engine smoke: arena vs fresh byte-identity + speedup gate";
+  let i2 = Lazy.force i2_env in
+  let i2_testeds = List.map (fun t -> t.result.Nettest.tested) i2.tests in
+  let ft = Lazy.force ft_env in
+  let ft_testeds = List.map (fun t -> t.result.Nettest.tested) ft.ft_tests in
+  let rows =
+    [
+      run_label_row "internet2" i2.state i2_testeds;
+      run_label_row "fattree-k8" ft.ft_state ft_testeds;
+      run_label_row "fattree-k8" ft.ft_state ft_testeds;
+    ]
+  in
+  List.iter print_label_row rows;
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      if not r.lb_identical then
+        failures :=
+          Printf.sprintf "%s: arena coverage differs from the fresh engine"
+            r.lb_name
+          :: !failures)
+    rows;
+  let best =
+    List.fold_left
+      (fun acc r ->
+        if String.equal r.lb_name "fattree-k8" then
+          Float.max acc (label_speedup r)
+        else acc)
+      0. rows
+  in
+  if best < 1.5 then
+    failures :=
+      Printf.sprintf
+        "fattree-k8 labeling speedup %.2fx < 1.5x (best of two runs)" best
+      :: !failures;
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "label smoke failure: %s\n") !failures;
+    exit 1
+  end;
+  Printf.printf "label smoke ok (best fattree-k8 labeling speedup %.2fx)\n"
+    best
+
+let label_full () =
+  section "Labeling engine: shared per-domain arena vs fresh-manager-per-cone";
+  let i2 = Lazy.force i2_env in
+  let ft = Lazy.force ft_env in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  add
+    (run_label_row "internet2" i2.state
+       (List.map (fun t -> t.result.Nettest.tested) i2.tests));
+  add
+    (run_label_row "fattree-k8" ft.ft_state
+       (List.map (fun t -> t.result.Nettest.tested) ft.ft_tests));
+  (* Scope the mega states so each is collectible before the next one
+     is built. *)
+  (let e = make_ft_env 16 in
+   add
+     (run_label_row "fattree-k16" e.ft_state
+        (List.map (fun t -> t.result.Nettest.tested) e.ft_tests)));
+  (let w = Wan.generate () in
+   let state = Stable_state.compute (Registry.build w.Wan.devices) in
+   let testeds =
+     List.map
+       (fun (_, r) -> r.Nettest.tested)
+       (Nettest.run_suite state (Wan_suite.suite w))
+   in
+   add (run_label_row "rr-wan" state testeds));
+  let rows = List.rev !rows in
+  List.iter print_label_row rows;
+  if List.exists (fun r -> not r.lb_identical) rows then begin
+    List.iter
+      (fun r ->
+        if not r.lb_identical then
+          Printf.eprintf
+            "label engine REGRESSION: %s coverage differs between arena and \
+             fresh engines\n"
+            r.lb_name)
+      rows;
+    exit 1
+  end
+
+let label_bench () = if !smoke then label_smoke () else label_full ()
 
 (* ------------------------------------------------------------------ *)
 (* Interned fact identities (BENCH_intern.json)                        *)
@@ -1319,6 +1570,7 @@ let experiments =
     ("whatif", whatif);
     ("rr", rr);
     ("scaling", scaling);
+    ("label", label_bench);
     ("intern", intern_bench);
     ("incr", incr_bench);
     ("kernels", kernels);

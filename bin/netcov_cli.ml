@@ -991,7 +991,8 @@ let fuzz_cmd =
          "Run the differential property oracles (emit/parse roundtrip, \
           parallel determinism, sim-cache equivalence, BDD vs truth table, \
           coverage monotonicity/merge, intern-reference, fault-isolation, \
-          incremental-scratch) on random networks. Exits 1 and prints a shrunk counterexample \
+          incremental-scratch, label-arena) on random networks. Exits 1 and \
+          prints a shrunk counterexample \
           plus a reproduction seed on any divergence. See docs/TESTING.md.")
     Term.(const run $ verbose $ seed $ iters $ oracles)
 

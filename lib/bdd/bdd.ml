@@ -2,12 +2,26 @@
    TRUE terminals. Structural uniqueness is enforced through the unique
    table, so equality of handles is integer equality.
 
-   The apply cache is a direct-mapped array keyed by a single packed
-   int: 3 bits of op code, 29 bits per operand (node id or variable
-   index). A colliding insert overwrites its slot, so eviction is O(1)
-   and always discards the older of the two entries — unlike the
-   previous [Hashtbl.reset]-when-full scheme, which dropped the entire
-   cache mid-operation and forced repeated cold restarts. *)
+   The manager is built to be *persistent*: the labeling engine keeps
+   one arena per worker domain alive across many cones and suites
+   (lib/core/label.ml) instead of creating a throwaway manager per
+   cone. Three features support that lifecycle:
+
+   - The apply cache is two-way set-associative and resizes with the
+     node store: a colliding insert evicts only the older of its set's
+     two entries (direct mapping thrashed once distinct live pairs
+     outnumbered slots), and the set count doubles as the arena grows
+     so long-lived arenas keep a cache proportional to their working
+     set instead of the cone-sized default.
+   - [trim] is a mark-compact GC over caller-supplied roots, so an
+     arena can be cut back to its live nodes (or fully reset) between
+     suites rather than growing monotonically.
+   - [essential_vars] computes every necessary variable of a node in
+     one bottom-up pass, replacing the per-variable [is_necessary]
+     restrict loop (kept as the differential reference).
+
+   Cache keys are a single packed int: 3 bits of op code, 29 bits per
+   operand (node id or variable index). *)
 
 type node = int
 
@@ -17,11 +31,15 @@ type manager = {
   mutable hi : int array;
   mutable next : int;
   unique : (int * int * int, int) Hashtbl.t;
-  cache_key : int array;  (* packed key per slot; -1 = empty *)
-  cache_val : int array;
-  cache_mask : int;
+  (* Two ways per set: a set s owns entries 2s and 2s+1, way 0 the
+     most recently used. -1 = empty. *)
+  mutable cache_key : int array;
+  mutable cache_val : int array;
+  mutable cache_mask : int;  (* set-index mask *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  cache_floor : int;  (* entries a trim shrinks back to, from [create] *)
+  mutable trims : int;
 }
 
 let terminal_var = max_int
@@ -35,11 +53,22 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 256
 
-(* Default slot count keeps manager creation cheap (the labeler makes
-   one manager per tested-fact cone): 2^12 slots = two 32 KiB arrays. *)
+(* The apply cache stops doubling at 2^21 entries (two 16 MiB arrays):
+   beyond that, extra capacity buys little over the lossy eviction. *)
+let max_cache_entries = 1 lsl 21
+
+let mk_cache entries =
+  let e = round_pow2 (max 256 (min max_cache_entries entries)) in
+  (Array.make e (-1), Array.make e 0, (e / 2) - 1)
+
+(* Default slot count keeps manager creation cheap: 2^12 entries = two
+   32 KiB arrays — it grows with the arena anyway. A persistent arena
+   should pass a larger [cache_size]: the apply working set of many
+   cones sharing hash-consed nodes is far bigger than the node count,
+   and [cache_size] is also the floor a [trim] shrinks back to. *)
 let create ?(cache_size = 1 lsl 12) () =
   let n = 1024 in
-  let csize = round_pow2 (max 256 cache_size) in
+  let ck, cv, cm = mk_cache cache_size in
   let m =
     {
       var_ = Array.make n 0;
@@ -47,11 +76,13 @@ let create ?(cache_size = 1 lsl 12) () =
       hi = Array.make n 0;
       next = 2;
       unique = Hashtbl.create 4096;
-      cache_key = Array.make csize (-1);
-      cache_val = Array.make csize 0;
-      cache_mask = csize - 1;
+      cache_key = ck;
+      cache_val = cv;
+      cache_mask = cm;
       cache_hits = 0;
       cache_misses = 0;
+      cache_floor = round_pow2 (max 256 (min max_cache_entries cache_size));
+      trims = 0;
     }
   in
   m.var_.(0) <- terminal_var;
@@ -61,13 +92,65 @@ let create ?(cache_size = 1 lsl 12) () =
 type cache_stats = { hits : int; misses : int; slots : int }
 
 let cache_stats m =
-  { hits = m.cache_hits; misses = m.cache_misses; slots = m.cache_mask + 1 }
+  {
+    hits = m.cache_hits;
+    misses = m.cache_misses;
+    slots = Array.length m.cache_key;
+  }
 
 let bdd_false (_ : manager) = 0
 let bdd_true (_ : manager) = 1
 let is_false n = n = 0
 let is_true n = n = 1
 let equal (a : node) (b : node) = a = b
+
+let slot m key =
+  let h = (key * 0x9E3779B1) land max_int in
+  (h lxor (h lsr 17)) land m.cache_mask
+
+(* Insert without touching the hit/miss counters (also used when
+   rehashing into a resized cache). Way 0 gets the new entry; the
+   previous way-0 occupant is demoted, evicting way 1. *)
+let cache_add m key v =
+  let i = slot m key * 2 in
+  if m.cache_key.(i) <> key then begin
+    m.cache_key.(i + 1) <- m.cache_key.(i);
+    m.cache_val.(i + 1) <- m.cache_val.(i)
+  end;
+  m.cache_key.(i) <- key;
+  m.cache_val.(i) <- v;
+  v
+
+let cache_find m key =
+  let i = slot m key * 2 in
+  if m.cache_key.(i) = key then begin
+    m.cache_hits <- m.cache_hits + 1;
+    Some m.cache_val.(i)
+  end
+  else if m.cache_key.(i + 1) = key then begin
+    (* promote to way 0 *)
+    let v = m.cache_val.(i + 1) in
+    m.cache_key.(i + 1) <- m.cache_key.(i);
+    m.cache_val.(i + 1) <- m.cache_val.(i);
+    m.cache_key.(i) <- key;
+    m.cache_val.(i) <- v;
+    m.cache_hits <- m.cache_hits + 1;
+    Some v
+  end
+  else begin
+    m.cache_misses <- m.cache_misses + 1;
+    None
+  end
+
+let resize_cache m entries =
+  let old_key = m.cache_key and old_val = m.cache_val in
+  let ck, cv, cm = mk_cache entries in
+  m.cache_key <- ck;
+  m.cache_val <- cv;
+  m.cache_mask <- cm;
+  Array.iteri
+    (fun i key -> if key >= 0 then ignore (cache_add m key old_val.(i)))
+    old_key
 
 let grow m =
   let cap = Array.length m.var_ in
@@ -77,7 +160,13 @@ let grow m =
     m.var_ <- copy m.var_;
     m.lo <- copy m.lo;
     m.hi <- copy m.hi
-  end
+  end;
+  (* Keep at least one cache entry per node (up to the cap): a
+     persistent arena's working set scales with its node count, and a
+     cone-sized cache under a million-node arena would thrash. *)
+  let entries = Array.length m.cache_key in
+  if m.next >= entries && entries < max_cache_entries then
+    resize_cache m (entries * 2)
 
 let mk m v lo hi =
   if lo = hi then lo
@@ -102,27 +191,6 @@ let var m i =
 
 (* Single-int cache key: | b:29 | a:29 | op:3 |. *)
 let pack op a b = (b lsl 32) lor (a lsl 3) lor op
-
-let slot m key =
-  let h = (key * 0x9E3779B1) land max_int in
-  (h lxor (h lsr 17)) land m.cache_mask
-
-let cache_find m key =
-  let i = slot m key in
-  if m.cache_key.(i) = key then begin
-    m.cache_hits <- m.cache_hits + 1;
-    Some m.cache_val.(i)
-  end
-  else begin
-    m.cache_misses <- m.cache_misses + 1;
-    None
-  end
-
-let cache_add m key v =
-  let i = slot m key in
-  m.cache_key.(i) <- key;
-  m.cache_val.(i) <- v;
-  v
 
 (* op codes for the apply cache *)
 let op_and = 0
@@ -222,6 +290,79 @@ let support m n =
   go n;
   List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
 
+(* Every necessary variable of [n] in one bottom-up pass.
+
+   v is necessary for f when f|v<-0 = false. Over the ROBDD structure
+   this satisfies a local recurrence: for an internal node
+   n = (v_n, lo, hi),
+
+     ess(n) = (ess(lo) /\ ess(hi)) \/ { v_n when lo = FALSE }
+
+   with ess(FALSE) = all variables and ess(TRUE) = {} — for v = v_n
+   the cofactor is lo itself (lo = FALSE iff necessary; v_n cannot
+   appear in lo or hi by variable ordering, so the intersection never
+   contributes it), and for v > v_n the cofactor
+   mk(v_n, lo|v<-0, hi|v<-0) is FALSE iff both branch cofactors are.
+   Variables above v_n (absent from n's support) are never necessary
+   for a non-FALSE node, so bitsets over the node's support suffice.
+
+   One DFS collects the reachable nodes and the support; a second pass
+   in ascending node-id order (children are always created before
+   their parents, so ids are topologically sorted) folds the bitsets —
+   linear in reachable nodes, versus support × restrict traversals for
+   the per-variable loop. Terminals return [], matching what the
+   restrict-based loop over an empty support computed. *)
+let essential_vars m root =
+  if root < 2 then []
+  else begin
+    let seen = Hashtbl.create 256 in
+    let order = ref [] in
+    let rec go n =
+      if n >= 2 && not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        go m.lo.(n);
+        go m.hi.(n);
+        (* children first: ids prepend in post-order *)
+        order := n :: !order
+      end
+    in
+    go root;
+    let nodes = List.rev !order in
+    (* dense indexing of the support *)
+    let support_vars =
+      let vars = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace vars m.var_.(n) ()) nodes;
+      List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+    in
+    let idx = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.add idx v i) support_vars;
+    let nv = List.length support_vars in
+    let words = (nv + 62) / 63 in
+    let full = Array.make words (-1) in
+    let empty = Array.make words 0 in
+    let ess = Hashtbl.create 256 in
+    let ess_of n =
+      if n = 0 then full else if n = 1 then empty else Hashtbl.find ess n
+    in
+    List.iter
+      (fun n ->
+        let el = ess_of m.lo.(n) and eh = ess_of m.hi.(n) in
+        let e = Array.make words 0 in
+        for w = 0 to words - 1 do
+          e.(w) <- el.(w) land eh.(w)
+        done;
+        if m.lo.(n) = 0 then begin
+          let i = Hashtbl.find idx m.var_.(n) in
+          e.(i / 63) <- e.(i / 63) lor (1 lsl (i mod 63))
+        end;
+        Hashtbl.add ess n e)
+      nodes;
+    let e = ess_of root in
+    List.filteri
+      (fun i _ -> e.(i / 63) land (1 lsl (i mod 63)) <> 0)
+      support_vars
+  end
+
 let eval m n assignment =
   let rec go n =
     if n = 0 then false
@@ -232,6 +373,63 @@ let eval m n assignment =
   go n
 
 let node_count m = m.next
+let trims m = m.trims
+
+(* Mark-compact GC. Every node reachable from [roots] survives under a
+   fresh dense id (ascending old-id order, so children keep smaller ids
+   than parents); everything else is freed by shrinking the node
+   arrays. The unique table is rebuilt and the apply cache flushed —
+   both held stale ids. Handles not in [roots] are invalidated. *)
+let trim m roots =
+  let mark = Array.make m.next false in
+  mark.(0) <- true;
+  mark.(1) <- true;
+  let rec go n =
+    if not mark.(n) then begin
+      mark.(n) <- true;
+      go m.lo.(n);
+      go m.hi.(n)
+    end
+  in
+  List.iter
+    (fun r ->
+      if r < 0 || r >= m.next then invalid_arg "Bdd.trim: foreign node";
+      go r)
+    roots;
+  let remap = Array.make m.next (-1) in
+  remap.(0) <- 0;
+  remap.(1) <- 1;
+  let nxt = ref 2 in
+  for n = 2 to m.next - 1 do
+    if mark.(n) then begin
+      let id = !nxt in
+      incr nxt;
+      (* in-place: id <= n and lo/hi < n are already remapped *)
+      m.var_.(id) <- m.var_.(n);
+      m.lo.(id) <- remap.(m.lo.(n));
+      m.hi.(id) <- remap.(m.hi.(n));
+      remap.(n) <- id
+    end
+  done;
+  m.next <- !nxt;
+  let cap = max 1024 (round_pow2 m.next) in
+  if cap < Array.length m.var_ then begin
+    m.var_ <- Array.sub m.var_ 0 cap;
+    m.lo <- Array.sub m.lo 0 cap;
+    m.hi <- Array.sub m.hi 0 cap
+  end;
+  Hashtbl.reset m.unique;
+  for id = 2 to m.next - 1 do
+    Hashtbl.add m.unique (m.var_.(id), m.lo.(id), m.hi.(id)) id
+  done;
+  let ck, cv, cm = mk_cache (max m.cache_floor (2 * m.next)) in
+  m.cache_key <- ck;
+  m.cache_val <- cv;
+  m.cache_mask <- cm;
+  m.trims <- m.trims + 1;
+  List.map (fun r -> remap.(r)) roots
+
+let reset m = ignore (trim m [])
 
 let any_sat m n =
   let rec go n acc =

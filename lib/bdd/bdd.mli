@@ -1,22 +1,31 @@
 (** Reduced ordered binary decision diagrams with hash-consing and an
     apply cache — the CUDD stand-in used by the strong/weak coverage
     labeling (§4.3). Variables are non-negative integers ordered by
-    index. *)
+    index.
+
+    Managers are built to live long: the labeling engine keeps one
+    arena per worker domain across cones and suites (see
+    [lib/core/label.ml]), relying on {!trim}/{!reset} to cut it back
+    and on the apply cache resizing with the node store. *)
 
 type manager
 
-(** A node handle, valid only with the manager that created it. *)
+(** A node handle, valid only with the manager that created it, and
+    only until the next {!trim}/{!reset} of that manager that does not
+    list it as a root. *)
 type node
 
-(** [create ()] makes a fresh manager. [cache_size] tunes the apply
-    cache slot count (default 1 shl 12; rounded up to a power of two).
-    The cache is direct-mapped with single-int packed keys: a colliding
-    insert evicts only its own slot, keeping recent results warm
-    instead of flushing the whole cache when full. *)
+(** [create ()] makes a fresh manager. [cache_size] tunes the initial
+    apply-cache entry count (default 1 shl 12; rounded up to a power of
+    two). The cache is two-way set-associative with single-int packed
+    keys — a colliding insert evicts only the older entry of its set —
+    and doubles alongside the node store (up to two 16 MiB arrays) so
+    persistent arenas keep a cache proportional to their working set. *)
 val create : ?cache_size:int -> unit -> manager
 
 (** Apply-cache effectiveness counters, cumulative for the manager's
-    lifetime. [slots] is the fixed slot count. *)
+    lifetime (they survive {!trim}). [slots] is the current entry
+    count. *)
 type cache_stats = { hits : int; misses : int; slots : int }
 
 val cache_stats : manager -> cache_stats
@@ -46,18 +55,43 @@ val is_false : node -> bool
 val equal : node -> node -> bool
 
 (** [is_necessary m n ~var] is true iff setting [var] to false forces
-    [n] to false — [¬var ⇒ ¬n], the necessity test of §4.3. *)
+    [n] to false — [¬var ⇒ ¬n], the necessity test of §4.3. Kept as
+    the differential reference for {!essential_vars}. *)
 val is_necessary : manager -> node -> var:int -> bool
 
 (** Variables appearing in the BDD (the support). *)
 val support : manager -> node -> int list
 
+(** [essential_vars m n] is every variable [v] with
+    [is_necessary m n ~var:v], in ascending order, computed in a single
+    bottom-up pass linear in the nodes reachable from [n] (bitset per
+    node over [n]'s support) instead of one restrict traversal per
+    support variable. Terminals yield [[]] — matching the restrict
+    loop over their empty support, even though every variable is
+    vacuously necessary for FALSE. *)
+val essential_vars : manager -> node -> int list
+
 (** [eval m n assignment] evaluates under a total assignment function. *)
 val eval : manager -> node -> (int -> bool) -> bool
 
 (** Number of unique nodes allocated so far (diagnostics, perf
-    reporting). *)
+    reporting). Decreases only at {!trim}/{!reset}. *)
 val node_count : manager -> int
+
+(** [trim m roots] garbage-collects the manager: every node reachable
+    from [roots] is kept (compacted in place, unique table rebuilt,
+    apply cache flushed, node arrays shrunk) and the surviving handles
+    are returned in input order. All other handles — including any
+    cached outside — are invalidated. Raises [Invalid_argument] on a
+    handle outside the manager. *)
+val trim : manager -> node list -> node list
+
+(** [reset m] is [trim m []]: drop every node and shrink back to the
+    creation footprint. *)
+val reset : manager -> unit
+
+(** Number of {!trim}/{!reset} calls so far. *)
+val trims : manager -> int
 
 (** [any_sat m n] is a satisfying partial assignment as
     [(var, value)] pairs, or [None] when unsatisfiable. *)

@@ -58,9 +58,9 @@ module Log = (val Logs.src_log src : Logs.LOG)
 module M = Netcov_obs.Metrics
 module T = Netcov_obs.Trace
 
-(* Labeling metrics (docs/OBSERVABILITY.md). BDD apply-cache counters are
-   flushed here in bulk from each cone's manager, so the BDD hot path
-   keeps its local counters only. *)
+(* Labeling metrics (docs/OBSERVABILITY.md). BDD apply-cache counters
+   are flushed here per cone as deltas of the arena's cumulative
+   counters, so the BDD hot path keeps its local counters only. *)
 let m_runs = M.counter M.default ~help:"labeling passes" ~unit_:"runs" "label.runs"
 
 let m_seconds =
@@ -76,8 +76,8 @@ let m_cone_vars =
     ~buckets:M.size_buckets "label.cone_vars"
 
 let m_bdd_nodes =
-  M.histogram M.default ~help:"BDD nodes allocated per cone" ~unit_:"nodes"
-    ~buckets:M.size_buckets "bdd.nodes"
+  M.histogram M.default ~help:"BDD arena nodes after labeling a cone"
+    ~unit_:"nodes" ~buckets:M.size_buckets "bdd.nodes"
 
 let m_bdd_hits =
   M.counter M.default ~help:"BDD apply-cache hits" ~unit_:"lookups"
@@ -87,6 +87,159 @@ let m_bdd_misses =
   M.counter M.default ~help:"BDD apply-cache misses" ~unit_:"lookups"
     "bdd.cache.misses"
 
+let m_gamma_hits =
+  M.counter M.default
+    ~help:"gamma-memo hits while translating IFG cones to BDDs"
+    ~unit_:"lookups" "bdd.gamma.hits"
+
+let m_gamma_misses =
+  M.counter M.default
+    ~help:"gamma-memo misses (IFG nodes translated to BDD)"
+    ~unit_:"lookups" "bdd.gamma.misses"
+
+let m_arena_nodes =
+  M.gauge M.default
+    ~help:"node count of the most recently used per-domain BDD arena"
+    ~unit_:"nodes" "bdd.arena.nodes"
+
+let m_arena_trims =
+  M.counter M.default
+    ~help:"per-domain BDD arena trims (watermark or explicit)"
+    ~unit_:"trims" "bdd.arena.trims"
+
+(* -------------------------------------------------------------------- *)
+(* Per-domain BDD arena                                                  *)
+(* -------------------------------------------------------------------- *)
+
+(* One persistent hash-consed node store per worker domain, reused
+   across cones, labeling passes and suites, instead of a throwaway
+   manager per cone. Domain-local (Domain.DLS, same pattern as the
+   pool's slot key), so there is no locking on the BDD hot path.
+
+   [a_gamma] is the cross-cone gamma memo: IFG node id -> the BDD of
+   the node's derivability predicate as first translated by some cone
+   of the current pass, keyed under the owning pass's context stamp
+   (below), together with the variable index the owning cone assigned
+   to the node. Variable numbering is strictly per-cone (see
+   [label_one_shared] for why a pass-global numbering is ruled out),
+   so an entry is only reused after validating that the borrowing
+   cone's numbering agrees with the owner's over the node's entire
+   ancestry — exact reuse, never a heuristic.
+
+   All per-cone state lives in graph-indexed scratch arrays stamped
+   per traversal, not in per-cone hash tables: on the labeling hot
+   path every lookup is an array read plus a stamp compare, and a cone
+   costs zero allocation beyond the BDD nodes it actually creates.
+   The cross-cone memo itself is array-backed too, validated by the
+   owning pass's context stamp, so entries of finished passes are
+   simply never read again — there is no memo to grow or clear.
+
+   Lifecycle: no BDD handle ever crosses a pool-task boundary (cone
+   tasks return element-id sets), so the arena may be trimmed whenever
+   no task is mid-flight on this domain. Each labeling task checks the
+   watermark at entry — before it takes any handle — and resets the
+   manager when the node store has outgrown it, bounding the
+   per-domain footprint instead of growing monotonically. A trim
+   recycles node ids, so it also invalidates the memo arrays (stale
+   ids under a still-live context stamp must not be read back). *)
+type arena = {
+  a_mgr : Bdd.manager;
+  (* scratch, indexed by IFG node id; a slot is live only when its
+     stamp cell matches the current traversal stamp *)
+  mutable a_seen : int array;  (* cone-membership DFS stamp *)
+  mutable a_tstamp : int array;  (* translation stamp *)
+  mutable a_var : int array;  (* cone-local var of nid, under a_tstamp *)
+  mutable a_bdd : Bdd.node array;  (* private gamma, under a_tstamp *)
+  mutable a_ok : bool array;  (* gamma validated/shareable, under a_tstamp *)
+  (* cross-cone memo, live while a_gctx matches the pass context *)
+  mutable a_gctx : int array;
+  mutable a_gvar : int array;
+  mutable a_gbdd : Bdd.node array;
+  mutable a_stamp : int;
+}
+
+(* Arena apply-cache size: the cross-cone working set of a pass is far
+   larger than the arena's node count (hash-consing means one node
+   participates in many distinct apply pairs), so the node-proportional
+   default thrashes — worse, a gamma-memo hit hands a cone a borrowed
+   BDD whose internal apply subresults the borrower never computed, so
+   the cone's top-level product applies re-expand from scratch unless
+   those pairs survive in the shared cache (fattree-k12 measured 91M
+   apply lookups at 2^18 entries vs 79K at 2^21). Two 16 MiB arrays
+   per domain, preserved across trims. *)
+let arena_cache_size = 1 lsl 21
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        a_mgr = Bdd.create ~cache_size:arena_cache_size ();
+        a_seen = [||];
+        a_tstamp = [||];
+        a_var = [||];
+        a_bdd = [||];
+        a_ok = [||];
+        a_gctx = [||];
+        a_gvar = [||];
+        a_gbdd = [||];
+        a_stamp = 0;
+      })
+
+(* Grow the scratch to cover [n] IFG nodes. Fresh stamp cells start at
+   0 / -1, which no live stamp ever equals, so old arrays need no
+   copying. *)
+let ensure_scratch a n =
+  if Array.length a.a_seen < n then begin
+    let zero = Bdd.bdd_false a.a_mgr in
+    a.a_seen <- Array.make n 0;
+    a.a_tstamp <- Array.make n 0;
+    a.a_var <- Array.make n (-1);
+    a.a_bdd <- Array.make n zero;
+    a.a_ok <- Array.make n false;
+    a.a_gctx <- Array.make n (-1);
+    a.a_gvar <- Array.make n (-1);
+    a.a_gbdd <- Array.make n zero
+  end
+
+(* Default: ~1M nodes per domain. Three 8 MiB node arrays plus the
+   unique table and apply cache — tens of MiB per domain, far below
+   the GiB-scale peak of per-cone managers on fattree-k16. *)
+let default_watermark = 1 lsl 20
+let arena_watermark = Atomic.make default_watermark
+
+let set_arena_watermark n =
+  if n < 2 then invalid_arg "Label.set_arena_watermark";
+  Atomic.set arena_watermark n
+
+let do_trim a =
+  Bdd.reset a.a_mgr;
+  (* node ids recycle across a reset: entries of still-live passes
+     must not resolve to recycled ids *)
+  Array.fill a.a_gctx 0 (Array.length a.a_gctx) (-1);
+  M.inc m_arena_trims 1
+
+(* Fetch this domain's arena, trimming first if it is over the
+   watermark. Only called at task entry, when no handle is live. *)
+let get_arena () =
+  let a = Domain.DLS.get arena_key in
+  if Bdd.node_count a.a_mgr > Atomic.get arena_watermark then do_trim a;
+  a
+
+let trim_arena () =
+  let a = Domain.DLS.get arena_key in
+  if Bdd.node_count a.a_mgr > 2 then do_trim a;
+  M.set m_arena_nodes (float_of_int (Bdd.node_count a.a_mgr))
+
+let arena_node_count () =
+  Bdd.node_count (Domain.DLS.get arena_key).a_mgr
+
+(* Context stamp, one per labeling pass. Gamma BDDs are only shareable
+   within a pass (the candidate set is per-pass), so memo slots carry
+   the stamp of the pass that wrote them; entries of finished passes
+   are never read again. Stamps also isolate passes that interleave on
+   one domain when suite-level tasks nest — an interleaved pass evicts
+   slot by slot, costing misses, never wrong reuse. *)
+let ctx_counter = Atomic.make 0
+
 type cone_result = {
   c_covered : Element.Id_set.t;
   c_strong : Element.Id_set.t;
@@ -94,6 +247,15 @@ type cone_result = {
   c_bdd_nodes : int;
   c_capped : bool;
 }
+
+(* Flush the arena's apply-cache counter movement of one cone into the
+   global metrics and report the arena size. *)
+let flush_bdd_metrics m (before : Bdd.cache_stats) =
+  let after = Bdd.cache_stats m in
+  M.inc m_bdd_hits (after.Bdd.hits - before.Bdd.hits);
+  M.inc m_bdd_misses (after.Bdd.misses - before.Bdd.misses);
+  M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
+  M.set m_arena_nodes (float_of_int (Bdd.node_count m))
 
 (* Isolated labeling of one tested fact's cone, independent of every
    other cone: the candidate set is the cone's config nodes minus the
@@ -106,7 +268,13 @@ type cone_result = {
    The only divergence window is [max_cone_vars]: isolated candidate
    sets are supersets of the global ones, so a cone whose config count
    exceeds the cap could cap differently; [c_capped] reports it and
-   callers must fall back to {!run}. *)
+   callers must fall back to {!run}.
+
+   The per-root candidate set means gamma BDDs are not shareable
+   across roots; what is shared with other passes on this domain is
+   the arena manager itself — hash-consed nodes and a warm apply
+   cache, no per-cone allocation (stale cache entries stay valid:
+   nodes are immutable until a trim, which flushes the cache). *)
 let run_cone g ~root =
   T.with_span "label.cone" @@ fun () ->
   M.inc m_cones 1;
@@ -139,7 +307,9 @@ let run_cone g ~root =
   let strong, bdd_nodes =
     if !n_vars = 0 then (pre_strong, 0)
     else begin
-      let m = Bdd.create () in
+      let a = get_arena () in
+      let m = a.a_mgr in
+      let before = Bdd.cache_stats m in
       let gamma = Hashtbl.create 256 in
       let rec compute id =
         match Hashtbl.find_opt gamma id with
@@ -168,15 +338,11 @@ let run_cone g ~root =
       let cone_strong = ref pre_strong in
       List.iter
         (fun v ->
-          if Bdd.is_necessary m b ~var:v then
-            match Hashtbl.find_opt eid_of_var v with
-            | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
-            | None -> ())
-        (Bdd.support m b);
-      let cs = Bdd.cache_stats m in
-      M.inc m_bdd_hits cs.Bdd.hits;
-      M.inc m_bdd_misses cs.Bdd.misses;
-      M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
+          match Hashtbl.find_opt eid_of_var v with
+          | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
+          | None -> ())
+        (Bdd.essential_vars m b);
+      flush_bdd_metrics m before;
       (!cone_strong, Bdd.node_count m)
     end
   in
@@ -188,8 +354,201 @@ let run_cone g ~root =
     c_capped = capped;
   }
 
-let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
-    g ~tested =
+(* -------------------------------------------------------------------- *)
+(* Global labeling pass                                                  *)
+(* -------------------------------------------------------------------- *)
+
+(* Legacy fresh-per-cone labeling of one cone: private manager, private
+   cone-discovery variable numbering, restrict-based necessity over the
+   support. This is the differential reference for the arena engine
+   (the `label-arena` oracle and @bench-label-smoke compare against it)
+   and the exact-compatibility path for capped cones, whose "first
+   [max_cone_vars] candidates in cone-discovery order" subset depends
+   on the per-cone numbering. *)
+let label_one_fresh ~g ~candidate ~order =
+  (* var assignment local to this cone *)
+  let var_of_node = Hashtbl.create 64 in
+  let eid_of_var = Hashtbl.create 64 in
+  let n_vars = ref 0 in
+  List.iter
+    (fun nid ->
+      match Hashtbl.find_opt candidate nid with
+      | Some eid when !n_vars < max_cone_vars ->
+          Hashtbl.replace var_of_node nid !n_vars;
+          Hashtbl.replace eid_of_var !n_vars eid;
+          incr n_vars
+      | Some _ ->
+          Log.warn (fun m ->
+              m "cone of tested fact exceeds %d variables; leaving \
+                 remainder weak"
+                max_cone_vars)
+      | None -> ())
+    order;
+  M.observe m_cone_vars (float_of_int !n_vars);
+  if !n_vars = 0 then (Element.Id_set.empty, 0, 0)
+  else begin
+    let m = Bdd.create () in
+    let gamma = Hashtbl.create 256 in
+    let rec compute id =
+      match Hashtbl.find_opt gamma id with
+      | Some b -> b
+      | None ->
+          (* mark before recursing: a back edge (impossible in a
+             well-formed IFG) contributes true *)
+          Hashtbl.replace gamma id (Bdd.bdd_true m);
+          let b =
+            if Ifg.is_disj g id then
+              Ifg.fold_parents g id
+                (fun acc p -> Bdd.bdd_or m acc (compute p))
+                (Bdd.bdd_false m)
+            else
+              let self =
+                match Hashtbl.find_opt var_of_node id with
+                | Some v -> Bdd.var m v
+                | None -> Bdd.bdd_true m
+              in
+              Ifg.fold_parents g id
+                (fun acc p -> Bdd.bdd_and m acc (compute p))
+                self
+          in
+          Hashtbl.replace gamma id b;
+          b
+    in
+    let b = compute (List.hd order) in
+    let cone_strong = ref Element.Id_set.empty in
+    List.iter
+      (fun v ->
+        if Bdd.is_necessary m b ~var:v then
+          match Hashtbl.find_opt eid_of_var v with
+          | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
+          | None -> ())
+      (Bdd.support m b);
+    let cs = Bdd.cache_stats m in
+    M.inc m_bdd_hits cs.Bdd.hits;
+    M.inc m_bdd_misses cs.Bdd.misses;
+    M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
+    (!cone_strong, !n_vars, Bdd.node_count m)
+  end
+
+(* Shared-arena labeling of one cone.
+
+   Variable numbering is per-cone, in cone-discovery order — exactly
+   the fresh engine's numbering. A pass-global numbering was tried and
+   ruled out: it scatters the variables of a later cone's contribution
+   chains across the order established by earlier cones, and BDDs of
+   nested disjunction-of-chain predicates (ECMP fabrics, iBGP meshes)
+   are exponential under such interleavings. Only the cone's own
+   discovery order is known to keep them linear, so every cone keeps
+   its own order and the cross-cone memo must prove order agreement
+   before reuse.
+
+   The proof is the [ok] flag threaded through [compute]: a shared
+   entry for node [n] is reusable iff its recorded variable index
+   equals this cone's index for [n] and every parent recursively
+   validated. Entries are only ever written with all-validated
+   ancestry, so a validated entry's BDD is definitionally the node the
+   borrowing cone would have hash-consed itself — reuse is exact, and
+   the per-cone results (hence reports) stay byte-identical to the
+   fresh engine at any domain count. Validation walks the ancestry
+   with integer comparisons only; what a hit saves is the BDD apply
+   work, which dominates translation.
+
+   What is always shared, even when validation fails: the arena
+   manager itself — hash-consed nodes (structurally identical BDDs of
+   symmetric cones collapse to the same node ids) and a warm apply
+   cache, with none of the per-cone allocate/collect churn of fresh
+   managers. *)
+
+let label_one_shared ~a ~g ~ctx ~candidate ~n_vars t =
+  let m = a.a_mgr in
+  let before = Bdd.cache_stats m in
+  let eid_of_var = Array.make n_vars (-1) in
+  let nv = ref 0 in
+  let hits = ref 0 and misses = ref 0 in
+  a.a_stamp <- a.a_stamp + 1;
+  let stamp = a.a_stamp in
+  let tstamp = a.a_tstamp
+  and avar = a.a_var
+  and abdd = a.a_bdd
+  and aok = a.a_ok
+  and gctx = a.a_gctx
+  and gvar = a.a_gvar
+  and gbdd = a.a_gbdd in
+  (* One pre-order recursion does numbering and translation: a node's
+     cone-local variable is assigned at first visit, before its
+     parents are entered — the same order in which the fresh engine's
+     discovery list hands out variables, so the numbering (and with it
+     every BDD) is identical to [label_one_fresh]'s. Back edges
+     (impossible in a well-formed IFG) read the in-progress marker
+     (true, unvalidated) and stay out of the shared memo. *)
+  let rec compute id =
+    if tstamp.(id) = stamp then (abdd.(id), aok.(id))
+    else begin
+      tstamp.(id) <- stamp;
+      abdd.(id) <- Bdd.bdd_true m;
+      aok.(id) <- false;
+      let vself =
+        match Hashtbl.find_opt candidate id with
+        | Some eid ->
+            let v = !nv in
+            eid_of_var.(v) <- eid;
+            incr nv;
+            v
+        | None -> -1
+      in
+      avar.(id) <- vself;
+      let parents_ok =
+        Ifg.fold_parents g id (fun acc p -> snd (compute p) && acc) true
+      in
+      let b, ok =
+        if parents_ok && gctx.(id) = ctx && gvar.(id) = vself then begin
+          incr hits;
+          (gbdd.(id), true)
+        end
+        else begin
+          incr misses;
+          let b =
+            if Ifg.is_disj g id then
+              Ifg.fold_parents g id
+                (fun acc p -> Bdd.bdd_or m acc (fst (compute p)))
+                (Bdd.bdd_false m)
+            else
+              let self =
+                if vself >= 0 then Bdd.var m vself else Bdd.bdd_true m
+              in
+              Ifg.fold_parents g id
+                (fun acc p -> Bdd.bdd_and m acc (fst (compute p)))
+                self
+          in
+          let ok =
+            parents_ok && gctx.(id) <> ctx
+            && begin
+                 gctx.(id) <- ctx;
+                 gvar.(id) <- vself;
+                 gbdd.(id) <- b;
+                 true
+               end
+          in
+          (b, ok)
+        end
+      in
+      abdd.(id) <- b;
+      aok.(id) <- ok;
+      (b, ok)
+    end
+  in
+  let b = fst (compute t) in
+  let cone_strong = ref Element.Id_set.empty in
+  List.iter
+    (fun v -> cone_strong := Element.Id_set.add eid_of_var.(v) !cone_strong)
+    (Bdd.essential_vars m b);
+  M.inc m_gamma_hits !hits;
+  M.inc m_gamma_misses !misses;
+  flush_bdd_metrics m before;
+  (!cone_strong, n_vars, Bdd.node_count m)
+
+let run ?(disjfree_heuristic = true) ?(arena = true)
+    ?(pool = Netcov_parallel.Pool.sequential) g ~tested =
   T.with_span "label" ~args:[ ("tested", T.I (List.length tested)) ]
   @@ fun () ->
   let t0 = Timing.now () in
@@ -225,94 +584,56 @@ let run ?(disjfree_heuristic = true) ?(pool = Netcov_parallel.Pool.sequential)
       end
     in
     Hashtbl.iter (fun nid _ -> taint nid) candidate;
-    (* Predicates are built per tested fact over its ancestor cone, with
-       BDD variables numbered in cone-discovery order so that each
-       contribution chain occupies adjacent levels — this keeps the
-       BDDs of OR-of-chain predicates (aggregates, ECMP) small.
-
-       Cones are mutually independent — each gets its own BDD manager
-       and variable numbering — so they fan out over the pool (the
-       graph, [candidate] and [tainted] are only read from here on).
-       The per-cone strong sets merge by set union, which is order
-       independent, so the merged result is identical at any domain
-       count. *)
+    let ctx = Atomic.fetch_and_add ctx_counter 1 in
+    (* Predicates are built per tested fact over its ancestor cone.
+       Cones are mutually independent given the shared per-domain
+       arena — the graph, [candidate] and [tainted] are only read
+       from here on — so they fan out over the pool, one task per
+       cone (work-stealing keeps every domain busy until the last
+       cone finishes). The per-cone merge below is a set union / max
+       fold, order independent, so the merged result is identical at
+       any domain count; and the arena engine's per-cone strong sets
+       equal the fresh engine's (see [label_one_shared]), so it is
+       also identical across engines. *)
     let label_one t =
       T.with_span "label.cone" @@ fun () ->
       M.inc m_cones 1;
-      let in_cone, order = cone g t in
-      ignore in_cone;
-      (* var assignment local to this cone *)
-      let var_of_node = Hashtbl.create 64 in
-      let eid_of_var = Hashtbl.create 64 in
-      let n_vars = ref 0 in
-      List.iter
-        (fun nid ->
-          match Hashtbl.find_opt candidate nid with
-          | Some eid when !n_vars < max_cone_vars ->
-              Hashtbl.replace var_of_node nid !n_vars;
-              Hashtbl.replace eid_of_var !n_vars eid;
-              incr n_vars
-          | Some _ ->
-              Log.warn (fun m ->
-                  m "cone of tested fact exceeds %d variables; leaving \
-                     remainder weak"
-                    max_cone_vars)
-          | None -> ())
-        order;
-      M.observe m_cone_vars (float_of_int !n_vars);
-      if !n_vars = 0 then (Element.Id_set.empty, 0, 0)
+      if not arena then begin
+        let _, order = cone g t in
+        label_one_fresh ~g ~candidate ~order
+      end
       else begin
-        let m = Bdd.create () in
-        let gamma = Hashtbl.create 256 in
-        let rec compute id =
-          match Hashtbl.find_opt gamma id with
-          | Some b -> b
-          | None ->
-              (* mark before recursing: a back edge (impossible in a
-                 well-formed IFG) contributes true *)
-              Hashtbl.replace gamma id (Bdd.bdd_true m);
-              let b =
-                if Ifg.is_disj g id then
-                  Ifg.fold_parents g id
-                    (fun acc p -> Bdd.bdd_or m acc (compute p))
-                    (Bdd.bdd_false m)
-                else
-                  let self =
-                    match Hashtbl.find_opt var_of_node id with
-                    | Some v -> Bdd.var m v
-                    | None -> Bdd.bdd_true m
-                  in
-                  Ifg.fold_parents g id
-                    (fun acc p -> Bdd.bdd_and m acc (compute p))
-                    self
-              in
-              Hashtbl.replace gamma id b;
-              b
+        let a = get_arena () in
+        ensure_scratch a (Ifg.n_nodes g);
+        (* allocation-free candidate count of the cone (cap check) *)
+        a.a_stamp <- a.a_stamp + 1;
+        let stamp = a.a_stamp in
+        let seen = a.a_seen in
+        let n_vars = ref 0 in
+        let rec count id =
+          if seen.(id) <> stamp then begin
+            seen.(id) <- stamp;
+            if Hashtbl.mem candidate id then incr n_vars;
+            Ifg.iter_parents g id count
+          end
         in
-        let b = compute t in
-        let cone_strong = ref Element.Id_set.empty in
-        List.iter
-          (fun v ->
-            if Bdd.is_necessary m b ~var:v then
-              match Hashtbl.find_opt eid_of_var v with
-              | Some eid -> cone_strong := Element.Id_set.add eid !cone_strong
-              | None -> ())
-          (Bdd.support m b);
-        let cs = Bdd.cache_stats m in
-        M.inc m_bdd_hits cs.Bdd.hits;
-        M.inc m_bdd_misses cs.Bdd.misses;
-        M.observe m_bdd_nodes (float_of_int (Bdd.node_count m));
-        (!cone_strong, !n_vars, Bdd.node_count m)
+        count t;
+        let n_vars = !n_vars in
+        if n_vars > max_cone_vars then begin
+          (* The cap subset ("first max_cone_vars candidates in
+             cone-discovery order") keeps its exact legacy semantics
+             on the fresh path. *)
+          let _, order = cone g t in
+          label_one_fresh ~g ~candidate ~order
+        end
+        else begin
+          M.observe m_cone_vars (float_of_int n_vars);
+          if n_vars = 0 then (Element.Id_set.empty, 0, 0)
+          else label_one_shared ~a ~g ~ctx ~candidate ~n_vars t
+        end
       end
     in
     let work = List.filter (fun t -> tainted.(t)) tested in
-    (* One pool task per cone. Static chunking (the previous scheme,
-       4 chunks per domain) serialized every cone of a chunk behind
-       its slowest sibling, so one deep cone pinned a domain while the
-       rest idled; with per-cone tasks the work-stealing deques keep
-       every domain busy until the last cone finishes. The per-cone
-       merge below is a set union / max fold, order independent, so
-       coverage stays byte-identical at any domain count. *)
     Netcov_parallel.Pool.map pool label_one work
     |> List.iter (fun (s, v, n) ->
            strong := Element.Id_set.union !strong s;

@@ -13,9 +13,23 @@
     pre-classified strong and their variables replaced by constant true
     (the paper's variable-reduction heuristic).
 
+    The BDD work runs in a {e persistent per-domain arena}: one
+    hash-consed node store per worker domain (Domain-local, no locks)
+    reused across cones, passes and suites, with a cross-cone gamma
+    memo so the shared ancestry of overlapping cones is translated to
+    BDD once per domain, and a single bottom-up essential-variables
+    pass ([Bdd.essential_vars]) instead of one restrict traversal per
+    support variable. Arenas are trimmed automatically at a node-count
+    watermark (and explicitly via {!trim_arena}), so warm sessions
+    ([lib/incr], [netcov serve]) keep a bounded footprint. The legacy
+    fresh-manager-per-cone engine is retained ([run ~arena:false]) as
+    the differential reference; both engines produce byte-identical
+    reports (docs/PERFORMANCE.md, "labeling engine").
+
     Each pass is wrapped in a [label] trace span with one [label.cone]
     child span per labeled cone; volumes land in the [label.*] and
-    [bdd.*] metrics ([docs/OBSERVABILITY.md]). *)
+    [bdd.*] metrics — including [bdd.gamma.hits]/[bdd.gamma.misses] and
+    [bdd.arena.nodes]/[bdd.arena.trims] ([docs/OBSERVABILITY.md]). *)
 
 open Netcov_config
 
@@ -26,6 +40,9 @@ type result = {
   weak : Element.Id_set.t;
   vars : int;  (** BDD variables after the heuristic *)
   bdd_nodes : int;
+      (** max BDD node count observed after labeling a cone: the
+          per-domain arena's size under [~arena:true], the largest
+          private manager under [~arena:false] *)
   seconds : float;
 }
 
@@ -33,12 +50,18 @@ type result = {
     variable-reduction heuristic; disabling it is exposed for the
     ablation benchmark only — results are identical.
 
+    [arena] (default true) selects the shared per-domain arena engine;
+    [~arena:false] is the legacy fresh-manager-per-cone engine kept as
+    the differential reference — results are byte-identical (the
+    `label-arena` oracle and [@bench-label-smoke] assert it).
+
     [pool] fans the per-tested-fact cone predicates out across domains
-    (each cone already owns a private BDD manager); results are
-    identical at any domain count because per-cone strong sets merge by
-    set union. Default: sequential. *)
+    (each domain owns a private arena); results are identical at any
+    domain count because per-cone strong sets merge by set union.
+    Default: sequential. *)
 val run :
   ?disjfree_heuristic:bool ->
+  ?arena:bool ->
   ?pool:Netcov_parallel.Pool.t ->
   Ifg.t ->
   tested:Ifg.node_id list ->
@@ -62,5 +85,23 @@ type cone_result = {
     [c_strong] equals {!run}'s [covered] / [strong] (unless a cone is
     [c_capped]): necessity of a monotone predicate's variable is
     invariant under fixing sibling-cone variables to true. This is the
-    unit of reuse for the incremental engine (lib/incr). *)
+    unit of reuse for the incremental engine (lib/incr).
+
+    Runs in the calling domain's persistent arena (the root-specific
+    candidate set keeps gamma private per call, but hash-consed nodes
+    and the warm apply cache are shared with every other pass on this
+    domain). *)
 val run_cone : Ifg.t -> root:Ifg.node_id -> cone_result
+
+(** Trim the calling domain's BDD arena now: drop all nodes, the gamma
+    memo and the apply cache, shrinking back to the creation footprint.
+    Safe whenever no labeling call is active on this domain. Arenas
+    also self-trim at the watermark on entry to any labeling task. *)
+val trim_arena : unit -> unit
+
+(** Node count of the calling domain's arena (tests, diagnostics). *)
+val arena_node_count : unit -> int
+
+(** Override the per-domain auto-trim watermark (nodes; default
+    [1 lsl 20]). Raises [Invalid_argument] on values < 2. *)
+val set_arena_watermark : int -> unit

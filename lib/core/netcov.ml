@@ -83,8 +83,8 @@ let record_cache_breakdown cache =
             b.Rules.kb_defaults b.Rules.kb_protocols b.Rules.kb_routes))
     cache
 
-let analyze ?pool ?(sim_cache = true) ?(sim_canon = true) ?identity ?diags
-    state tested =
+let analyze ?pool ?(sim_cache = true) ?(sim_canon = true) ?(label_arena = true)
+    ?identity ?diags state tested =
   T.with_span "analyze"
     ~args:
       [
@@ -104,7 +104,7 @@ let analyze ?pool ?(sim_cache = true) ?(sim_canon = true) ?identity ?diags
     Materialize.run ?mode:identity ctx ~tested:tested.dp_facts
   in
   record_cache_breakdown cache;
-  let label = Label.run ~pool g ~tested:tested_ids in
+  let label = Label.run ~arena:label_arena ~pool g ~tested:tested_ids in
   let coverage =
     T.with_span "aggregate" @@ fun () ->
     Coverage.of_sets reg ~strong:label.Label.strong ~weak:label.Label.weak
@@ -215,8 +215,8 @@ let merge_reports ?wall_s ?registry = function
       | None -> merged
       | Some w -> { merged with timing = { merged.timing with total_s = w } }
 
-let analyze_suite ?pool ?(sim_cache = true) ?(sim_canon = true) ?identity
-    state testeds =
+let analyze_suite ?pool ?(sim_cache = true) ?(sim_canon = true)
+    ?(label_arena = true) ?identity state testeds =
   let run pool =
     (* The pool is also handed to each per-test labeling pass: nested
        fan-out is safe (a mapping caller executes from its own deque and
@@ -224,7 +224,8 @@ let analyze_suite ?pool ?(sim_cache = true) ?(sim_canon = true) ?identity
        cone-granularity tasks keep every domain busy even when the
        suite has fewer tests than the pool has domains. *)
     Pool.map pool
-      (fun tested -> analyze ~pool ~sim_cache ~sim_canon ?identity state tested)
+      (fun tested ->
+        analyze ~pool ~sim_cache ~sim_canon ~label_arena ?identity state tested)
       testeds
   in
   match pool with Some p -> run p | None -> Pool.with_pool run

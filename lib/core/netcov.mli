@@ -66,8 +66,11 @@ type report = {
     simulations within this analysis; [sim_canon] (default true) keys
     that memo cache by canonicalized routes — attributes the policy
     chain neither reads nor writes are stripped from the key (see
-    {!Rules.create_sim_cache}). [identity] selects the IFG's
-    fact-identity mode (default {!Intern.Structural};
+    {!Rules.create_sim_cache}). [label_arena] (default true) selects
+    the shared per-domain BDD arena for the labeling pass;
+    [~label_arena:false] is the legacy fresh-manager-per-cone engine
+    kept as the differential reference (see {!Label.run}). [identity]
+    selects the IFG's fact-identity mode (default {!Intern.Structural};
     {!Intern.By_key} is the string-keyed reference for differential
     testing). None of these options changes the report, only the wall
     time.
@@ -81,6 +84,7 @@ val analyze :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
   ?sim_canon:bool ->
+  ?label_arena:bool ->
   ?identity:Intern.mode ->
   ?diags:(Diag.t -> unit) ->
   Netcov_sim.Stable_state.t ->
@@ -99,6 +103,7 @@ val analyze_suite :
   ?pool:Netcov_parallel.Pool.t ->
   ?sim_cache:bool ->
   ?sim_canon:bool ->
+  ?label_arena:bool ->
   ?identity:Intern.mode ->
   Netcov_sim.Stable_state.t ->
   tested list ->

@@ -12,38 +12,6 @@ open Netcov_policy
    hit rates are substantial even within a single analysis. Caches are
    created per analysis context (hence domain-local under the parallel
    pipeline) and need no locking. *)
-(* The key is structural, not a formatted string: building strings per
-   lookup costs more than the evaluations the cache saves. [Route.bgp]
-   is pure data and already canonical field-wise; the community set's
-   internal tree shape can differ for equal sets, which at worst turns
-   a hit into a miss, never a wrong result. *)
-module Sim_key = struct
-  type t = {
-    k_host : string;
-    k_chain : string list;
-    k_default : Eval.verdict;
-    k_protocol : Route.protocol;
-    k_route : Route.bgp;
-  }
-
-  let equal = ( = )
-
-  (* Explicit field-wise hash: the generic hash's default
-     meaningful-node budget (10) would stop before reaching the route
-     fields, hashing every route of a (device, chain) pair into one
-     bucket, and raising the budget re-walks the whole key each
-     lookup. [Route.hash_bgp] folds the route once, canonically. *)
-  let hash k =
-    let mix h v = (h * 31) + v + 1 in
-    let h = Hashtbl.hash k.k_host in
-    let h = List.fold_left (fun h s -> mix h (Hashtbl.hash s)) h k.k_chain in
-    let h = mix h (Hashtbl.hash k.k_default) in
-    let h = mix h (Hashtbl.hash k.k_protocol) in
-    mix h (Route.hash_bgp k.k_route) land max_int
-end
-
-module Sim_tbl = Hashtbl.Make (Sim_key)
-
 (* Key canonicalization: a policy chain only reads the route attributes
    its match conditions name, and only rewrites the ones its actions
    set. Every other attribute passes through the evaluation untouched —
@@ -152,13 +120,104 @@ let patch_result mask (input : Route.bgp) (r : Eval.result) =
       in
       { r with Eval.route = Some out }
 
+(* The key is structural, not a formatted string: building strings per
+   lookup costs more than the evaluations the cache saves.
+
+   The route is stored RAW and compared/hashed under the memoized
+   attribute mask: the previous scheme rebuilt a canonicalized route
+   record ([canonical_route]) on EVERY lookup, hit or miss, and that
+   per-probe allocation made the canonical cache a measured net
+   slowdown (BENCH_parallel.json sim_cache.speedup 0.877). Mask-aware
+   equality/hashing give the same hit/miss behavior — kept attributes
+   equal iff the canonical routes are equal — with zero allocation on
+   the probe path, and [k_hash] is precomputed at key construction so
+   the table never re-walks the key. *)
+module Sim_key = struct
+  type t = {
+    k_host : string;
+    k_chain : string list;
+    k_default : Eval.verdict;
+    k_protocol : Route.protocol;
+    k_route : Route.bgp;  (* raw input; compared modulo [k_mask] *)
+    k_mask : int;  (* read/write attribute mask; -1 = full key *)
+    k_hash : int;  (* precomputed, consistent with [equal] *)
+  }
+
+  (* Mask-aware route equality. Stripped attributes are pass-through
+     for the chain, so ignoring them is exactly what comparing the
+     canonical routes did. The community set compares via [Set.equal]
+     (tree shape may differ between equal sets); the full-key path
+     keeps the historical structural compare, where a shape mismatch
+     at worst turns a hit into a miss, never a wrong result. *)
+  let route_equal mask (a : Route.bgp) (b : Route.bgp) =
+    if mask = -1 then a = b
+    else
+      let keep x = mask land x <> 0 in
+      ((not (keep Attr.prefix)) || a.Route.prefix = b.Route.prefix)
+      && ((not (keep Attr.next_hop)) || a.Route.next_hop = b.Route.next_hop)
+      && ((not (keep Attr.as_path)) || a.Route.as_path = b.Route.as_path)
+      && ((not (keep Attr.local_pref))
+         || a.Route.local_pref = b.Route.local_pref)
+      && ((not (keep Attr.med)) || a.Route.med = b.Route.med)
+      && ((not (keep Attr.communities))
+         || Community.Set.equal a.Route.communities b.Route.communities)
+
+  let mix h v = (h * 31) + v + 1
+
+  (* Explicit field-wise hash covering exactly the fields [route_equal]
+     compares (the generic hash's meaningful-node budget would stop
+     before the route fields); the community set folds element-wise
+     (in-order, hence canonical) because tree shape may differ between
+     equal sets. *)
+  let route_hash mask (r : Route.bgp) =
+    if mask = -1 then Route.hash_bgp r
+    else
+      let keep x = mask land x <> 0 in
+      let h = if keep Attr.prefix then Prefix.hash r.Route.prefix else 0 in
+      let h =
+        mix h (if keep Attr.next_hop then Ipv4.hash r.Route.next_hop else 0)
+      in
+      let h =
+        mix h (if keep Attr.as_path then As_path.hash r.Route.as_path else 0)
+      in
+      let h = mix h (if keep Attr.local_pref then r.Route.local_pref else 0) in
+      let h = mix h (if keep Attr.med then r.Route.med else 0) in
+      if keep Attr.communities then
+        Community.Set.fold
+          (fun c h -> mix h (Community.hash c))
+          r.Route.communities h
+      else h
+
+  (* Host+chain hash component, memoized per (host, chain) alongside
+     the attribute mask so the per-lookup work is default + protocol +
+     masked route only. *)
+  let base_hash host chain =
+    List.fold_left (fun h s -> mix h (Hashtbl.hash s)) (Hashtbl.hash host) chain
+
+  let make_hash ~base ~default ~protocol ~mask route =
+    let h = mix base (Hashtbl.hash default) in
+    let h = mix h (Hashtbl.hash protocol) in
+    mix h (route_hash mask route) land max_int
+
+  let equal a b =
+    a.k_hash = b.k_hash && a.k_mask = b.k_mask && a.k_default = b.k_default
+    && a.k_protocol = b.k_protocol && a.k_host = b.k_host
+    && a.k_chain = b.k_chain
+    && route_equal a.k_mask a.k_route b.k_route
+
+  let hash k = k.k_hash
+end
+
+module Sim_tbl = Hashtbl.Make (Sim_key)
+
 type sim_cache = {
   tbl : Eval.result Sim_tbl.t;
   mutable c_hits : int;
   mutable c_misses : int;
   canonical : bool;
-  (* (host, chain) -> read/write attribute mask, lazily computed *)
-  masks : (string * string list, int) Hashtbl.t;
+  (* (host, chain) -> (read/write attribute mask, host+chain hash),
+     lazily computed *)
+  masks : (string * string list, int * int) Hashtbl.t;
 }
 
 let create_sim_cache ?(canonical = true) () =
@@ -194,14 +253,15 @@ let sim_cache_evict_hosts c pred =
    [sim_cache_evict_hosts]: instead of dropping every entry of a changed
    host, re-run each cached evaluation against the host's *new* device
    and keep the entries whose results are unchanged. Sound for
-   canonical keys because the replay input is the canonical
-   representative of the key's equivalence class: when the chain's
-   read/write attribute mask is unchanged, both the old and the new
-   chain treat the stripped attributes as pass-through, so equality on
-   the representative implies equality on every member of the class
-   (the kept attributes of the output depend only on the kept
-   attributes of the input). A changed mask shifts the key space
-   itself, so those entries are dropped unconditionally. *)
+   canonical keys because the replay input — the key's stored raw
+   route — is a representative of the key's equivalence class: when
+   the chain's read/write attribute mask is unchanged, both the old
+   and the new chain treat the stripped attributes as pass-through, so
+   equality modulo the mask on the representative implies equality on
+   every member of the class (the kept attributes of the output depend
+   only on the kept attributes of the input). A changed mask shifts
+   the key space itself, so those entries are dropped
+   unconditionally. *)
 
 let result_equiv mask (a : Eval.result) (b : Eval.result) =
   a.Eval.verdict = b.Eval.verdict
@@ -242,7 +302,7 @@ let sim_cache_revalidate_hosts ?(apply = true) c state pred =
                   let mk = (k.Sim_key.k_host, k.Sim_key.k_chain) in
                   let m = new_mask d mk in
                   match Hashtbl.find_opt c.masks mk with
-                  | Some m_old when m_old = m -> Some m
+                  | Some (m_old, _) when m_old = m -> Some m
                   | _ -> None
               in
               match mask with
@@ -274,7 +334,10 @@ let sim_cache_length c = Sim_tbl.length c.tbl
 (* Key-precision accounting (docs/OBSERVABILITY.md): the cache's hit
    rate is bounded by how many distinct keys the workload produces, and
    the per-field distinct counts show which component fragments the key
-   space. Debug-path only — walks the whole table. *)
+   space. [kb_routes] counts the stored raw representatives (one per
+   entry's first probe), so equal-under-mask routes of *different*
+   (host, chain) pairs may count separately. Debug-path only — walks
+   the whole table. *)
 type key_breakdown = {
   kb_keys : int;
   kb_hosts : int;
@@ -347,16 +410,20 @@ let chain_eval ctx : Eval.chain_eval =
   match ctx.cache with
   | None -> Eval.run_chain d ~chain ~default ~protocol route
   | Some c -> (
-      let mask =
-        if not c.canonical then -1
+      let mask, base =
+        if not c.canonical then
+          (-1, Sim_key.base_hash d.Device.hostname chain)
         else
           let mk = (d.Device.hostname, chain) in
           match Hashtbl.find_opt c.masks mk with
-          | Some m -> m
+          | Some mb -> mb
           | None ->
-              let m = Attr.of_chain d chain in
-              Hashtbl.replace c.masks mk m;
-              m
+              let mb =
+                ( Attr.of_chain d chain,
+                  Sim_key.base_hash d.Device.hostname chain )
+              in
+              Hashtbl.replace c.masks mk mb;
+              mb
       in
       let key =
         {
@@ -364,7 +431,9 @@ let chain_eval ctx : Eval.chain_eval =
           k_chain = chain;
           k_default = default;
           k_protocol = protocol;
-          k_route = (if mask = -1 then route else canonical_route mask route);
+          k_route = route;
+          k_mask = mask;
+          k_hash = Sim_key.make_hash ~base ~default ~protocol ~mask route;
         }
       in
       match Sim_tbl.find_opt c.tbl key with

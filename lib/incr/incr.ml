@@ -219,7 +219,14 @@ let id_map_is_identity m =
    splice stored cone labels where the materialized graph proves them
    still valid and relabel the rest. [same_tested] says the test's
    tested facts are unchanged since the stored pass, which unlocks
-   wholesale reuse when the whole graph is positionally identical. *)
+   wholesale reuse when the whole graph is positionally identical.
+
+   Relabeling ([Label.run_cone] / the capped [Label.run] fallback) runs
+   in the calling domain's persistent BDD arena: across warm updates of
+   a long-lived session (netcov serve) the hash-consed node store and
+   apply cache stay hot, and the arena self-trims at its watermark so
+   an idle warm session holds a bounded BDD footprint rather than the
+   union of everything it ever labeled (lib/core/label.mli). *)
 let run_test cache state reg ~old ~id_map ~same_tested ~dead acc
     (tested : Netcov.tested) =
   let t0 = Timing.now () in

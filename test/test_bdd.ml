@@ -207,6 +207,83 @@ let prop_necessity_semantics =
       in
       Bdd.is_necessary m b ~var:v = semantic)
 
+(* ------------------------------------------------------------------ *)
+(* essential_vars: single bottom-up pass vs the restrict reference     *)
+(* ------------------------------------------------------------------ *)
+
+let test_essential_vars () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  (* f = a and (b or c): only a is essential *)
+  let f = Bdd.bdd_and m a (Bdd.bdd_or m b c) in
+  Alcotest.(check (list int)) "only a essential" [ 0 ] (Bdd.essential_vars m f);
+  Alcotest.(check (list int)) "conjunction: all essential" [ 0; 1; 2 ]
+    (Bdd.essential_vars m (Bdd.bdd_and m (Bdd.bdd_and m a b) c));
+  Alcotest.(check (list int)) "disjunction: none essential" []
+    (Bdd.essential_vars m (Bdd.bdd_or m a b));
+  (* terminals have empty support, so nothing is reported essential —
+     the same answer the restrict loop gives when iterated over an
+     empty support *)
+  Alcotest.(check (list int)) "true terminal" []
+    (Bdd.essential_vars m (Bdd.bdd_true m));
+  Alcotest.(check (list int)) "false terminal" []
+    (Bdd.essential_vars m (Bdd.bdd_false m));
+  (* a tautology's support is empty even though it mentions a *)
+  Alcotest.(check (list int)) "tautology" []
+    (Bdd.essential_vars m (Bdd.bdd_or m a (Bdd.bdd_not m a)))
+
+let prop_essential_vs_restrict =
+  QCheck.Test.make
+    ~name:"essential_vars = support filtered by is_necessary" ~count:300
+    (QCheck.make (gen_formula 16))
+    (fun f ->
+      let m = Bdd.create () in
+      let b = build m f in
+      let reference =
+        List.filter (fun v -> Bdd.is_necessary m b ~var:v) (Bdd.support m b)
+      in
+      Bdd.essential_vars m b = reference)
+
+(* ------------------------------------------------------------------ *)
+(* Arena lifecycle: trim / reset                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trim () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let keep = Bdd.bdd_and m a (Bdd.bdd_or m b c) in
+  (* garbage unreachable from [keep] *)
+  ignore (Bdd.bdd_xor m (Bdd.bdd_xor m a b) c);
+  ignore (Bdd.bdd_or m (Bdd.bdd_not m a) c);
+  let before = Bdd.node_count m in
+  let trims0 = Bdd.trims m in
+  match Bdd.trim m [ keep ] with
+  | [ keep' ] ->
+      check_bool "node count shrinks" true (Bdd.node_count m < before);
+      check_bool "trim counted" true (Bdd.trims m = trims0 + 1);
+      List.iter
+        (fun env ->
+          check_bool "truth table preserved across trim" true
+            (Bdd.eval m keep' env = (env 0 && (env 1 || env 2))))
+        all_envs;
+      (* the manager stays usable and rebuilding the same formula
+         re-interns to the remapped node *)
+      let a' = Bdd.var m 0 and b' = Bdd.var m 1 and c' = Bdd.var m 2 in
+      check_bool "rebuild re-interns to the kept node" true
+        (Bdd.equal keep' (Bdd.bdd_and m a' (Bdd.bdd_or m b' c')))
+  | _ -> Alcotest.fail "trim returned the wrong number of roots"
+
+let test_reset () =
+  let m = Bdd.create () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  ignore (Bdd.bdd_xor m a b);
+  check_bool "nodes allocated" true (Bdd.node_count m > 2);
+  Bdd.reset m;
+  check_bool "only terminals survive reset" true (Bdd.node_count m = 2);
+  let a = Bdd.var m 0 in
+  check_bool "usable after reset" true
+    (Bdd.is_false (Bdd.bdd_and m a (Bdd.bdd_not m a)))
+
 let () =
   Alcotest.run "bdd"
     [
@@ -222,6 +299,9 @@ let () =
           Alcotest.test_case "restrict terminals" `Quick test_restrict_terminals;
           Alcotest.test_case "restrict uncached var" `Quick
             test_restrict_uncached_var;
+          Alcotest.test_case "essential vars" `Quick test_essential_vars;
+          Alcotest.test_case "trim" `Quick test_trim;
+          Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
@@ -231,5 +311,6 @@ let () =
             prop_necessity_semantics;
             prop_restrict_vs_eval;
             prop_any_sat_sound_complete;
+            prop_essential_vs_restrict;
           ] );
     ]

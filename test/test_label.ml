@@ -126,6 +126,148 @@ let test_nested_disjunctions () =
   Alcotest.check eq_set "all weak" (set_of [ 1; 2; 3 ]) r.Label.weak;
   Alcotest.check eq_set "none strong" Element.Id_set.empty r.Label.strong
 
+(* ------------------------------------------------------------------ *)
+(* Shared-arena engine vs the fresh-per-cone reference                 *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Netcov_parallel.Pool
+
+(* Every scenario above, as (name, graph, tested roots) for the
+   engine-equality sweep. Graphs are rebuilt per call: Ifg.t is
+   mutable and labeling consumes it per pass. *)
+let scenarios () =
+  let build make =
+    let g = Ifg.create () in
+    let add x = fst (Ifg.add_fact g x) in
+    (g, make g add)
+  in
+  [
+    ("figure5", (let g, f1 = figure5 () in (g, [ f1 ])));
+    ( "conjunctive",
+      build (fun g add ->
+          let t = add (f "t") and m = add (f "m") in
+          let c1 = add (cfg 1) and c2 = add (cfg 2) in
+          Ifg.add_edge g ~parent:m ~child:t;
+          Ifg.add_edge g ~parent:c1 ~child:m;
+          Ifg.add_edge g ~parent:c2 ~child:t;
+          [ t ]) );
+    ( "nested-disj",
+      build (fun g add ->
+          let t = add (f "t") in
+          let a = add (f "a") and b = add (f "b") in
+          let x1 = add (f "x1") and x2 = add (f "x2") in
+          let c1 = add (cfg 1) and c2 = add (cfg 2) and c3 = add (cfg 3) in
+          ignore (Ifg.add_disj g ~target:t [ f "a"; f "b" ]);
+          ignore (Ifg.add_disj g ~target:a [ f "x1"; f "x2" ]);
+          Ifg.add_edge g ~parent:c1 ~child:x1;
+          Ifg.add_edge g ~parent:c2 ~child:x2;
+          Ifg.add_edge g ~parent:c3 ~child:b;
+          ignore (a, b, x1, x2);
+          [ t ]) );
+    ( "multi-tested",
+      build (fun g add ->
+          let t1 = add (f "t1") and t2 = add (f "t2") in
+          let alt1 = add (f "alt1") and alt2 = add (f "alt2") in
+          let c1 = add (cfg 1) in
+          ignore (Ifg.add_disj g ~target:t1 [ f "alt1"; f "alt2" ]);
+          Ifg.add_edge g ~parent:c1 ~child:alt1;
+          ignore alt2;
+          Ifg.add_edge g ~parent:c1 ~child:t2;
+          [ t1; t2 ]) );
+  ]
+
+let check_engines_agree ?pool name g tested =
+  let fresh = Label.run ~arena:false g ~tested in
+  let arena = Label.run ~arena:true ?pool g ~tested in
+  Alcotest.check eq_set (name ^ ": covered agrees") fresh.Label.covered
+    arena.Label.covered;
+  Alcotest.check eq_set (name ^ ": strong agrees") fresh.Label.strong
+    arena.Label.strong;
+  Alcotest.check eq_set (name ^ ": weak agrees") fresh.Label.weak
+    arena.Label.weak
+
+let test_engines_agree () =
+  List.iter (fun (name, (g, tested)) -> check_engines_agree name g tested)
+    (scenarios ())
+
+let test_engines_agree_pool () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      List.iter
+        (fun (name, (g, tested)) -> check_engines_agree ~pool name g tested)
+        (scenarios ()))
+
+(* Past the per-cone variable cap the arena engine must fall back to
+   the legacy path (the cap subset is defined by per-cone discovery
+   order), and both engines must still agree. n > max_cone_vars = 8192
+   configs sit behind one alternative; the other alternative is
+   config-free, so the cone predicate collapses to true and every
+   config is weak — which keeps the test linear in n instead of
+   paying the legacy engine's quadratic necessity loop over 8k
+   variables. *)
+let test_capped_cone_agrees () =
+  let n = 8300 in
+  let g = Ifg.create () in
+  let add x = fst (Ifg.add_fact g x) in
+  let t = add (f "t") in
+  for i = 0 to n - 1 do
+    (* x_i <- disj(alt_i, env_i); c_i -> alt_i; env_i is config-free,
+       so each x_i's predicate is (v_i or true) = true and the BDD
+       work stays constant per candidate. *)
+    let x = add (f (Printf.sprintf "x%d" i)) in
+    let alt = Printf.sprintf "alt%d" i and envf = Printf.sprintf "env%d" i in
+    ignore
+      (Ifg.add_disj g ~target:x [ Fact.F_edge alt; Fact.F_edge envf ]);
+    let c = add (cfg i) in
+    Ifg.add_edge g ~parent:c ~child:(fst (Ifg.add_fact g (Fact.F_edge alt)));
+    Ifg.add_edge g ~parent:x ~child:t
+  done;
+  let fresh = Label.run ~arena:false g ~tested:[ t ] in
+  let arena = Label.run ~arena:true g ~tested:[ t ] in
+  Alcotest.check eq_set "capped: strong agrees" fresh.Label.strong
+    arena.Label.strong;
+  Alcotest.check eq_set "capped: weak agrees" fresh.Label.weak
+    arena.Label.weak;
+  check_int "capped: covered size" n
+    (Element.Id_set.cardinal arena.Label.covered);
+  Alcotest.check eq_set "capped: nothing strong" Element.Id_set.empty
+    arena.Label.strong
+
+(* Trimming the calling domain's arena between passes must shrink it
+   back to the creation footprint and leave labels unchanged. *)
+let test_arena_trim () =
+  Label.trim_arena ();
+  let g, f1 = figure5 () in
+  let r1 = Label.run ~arena:true g ~tested:[ f1 ] in
+  check_bool "arena grew during the pass" true (Label.arena_node_count () >= 2);
+  let grown = Label.arena_node_count () in
+  Label.trim_arena ();
+  check_bool "trim shrank the arena" true (Label.arena_node_count () <= grown);
+  check_int "trim leaves only terminals" 2 (Label.arena_node_count ());
+  let g2, f1' = figure5 () in
+  let r2 = Label.run ~arena:true g2 ~tested:[ f1' ] in
+  Alcotest.check eq_set "strong unchanged after trim" r1.Label.strong
+    r2.Label.strong;
+  Alcotest.check eq_set "weak unchanged after trim" r1.Label.weak
+    r2.Label.weak
+
+(* A tiny watermark forces a self-trim on entry to every labeling
+   task; results must not change. *)
+let test_arena_watermark () =
+  check_bool "watermark below 2 rejected" true
+    (match Label.set_arena_watermark 1 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Label.set_arena_watermark 2;
+  Fun.protect
+    ~finally:(fun () -> Label.set_arena_watermark (1 lsl 20))
+    (fun () ->
+      let g, f1 = figure5 () in
+      let r = Label.run ~arena:true g ~tested:[ f1 ] in
+      Alcotest.check eq_set "strong under constant trimming"
+        (set_of [ 6; 7 ]) r.Label.strong;
+      Alcotest.check eq_set "weak under constant trimming" (set_of [ 5 ])
+        r.Label.weak)
+
 let () =
   Alcotest.run "label"
     [
@@ -139,5 +281,18 @@ let () =
           Alcotest.test_case "multiple tested" `Quick test_multiple_tested;
           Alcotest.test_case "empty graph" `Quick test_empty_graph;
           Alcotest.test_case "nested disjunctions" `Quick test_nested_disjunctions;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "engines agree (sequential)" `Quick
+            test_engines_agree;
+          Alcotest.test_case "engines agree (2-domain pool)" `Quick
+            test_engines_agree_pool;
+          Alcotest.test_case "capped cone falls back identically" `Quick
+            test_capped_cone_agrees;
+          Alcotest.test_case "trim shrinks, labels unchanged" `Quick
+            test_arena_trim;
+          Alcotest.test_case "tiny watermark self-trims safely" `Quick
+            test_arena_watermark;
         ] );
     ]
