@@ -17,6 +17,7 @@ open Netcov_core
 open Netcov_nettest
 open Netcov_workloads
 module Pool = Netcov_parallel.Pool
+module Registry_diff = Netcov_incr.Registry_diff
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 let timed = Timing.time
@@ -367,36 +368,216 @@ let ablation () =
 (* Mutation coverage comparison (paper section 3.1)                    *)
 (* ------------------------------------------------------------------ *)
 
-let mutation () =
-  section
-    "Mutation coverage vs IFG coverage (the alternative definition of \
-     section 3.1, on a k=4 fat-tree with the DefaultRouteCheck facts)";
+let float_median xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.
+  | s -> List.nth s (List.length s / 2)
+
+(* Stratified element sample: every (total/n)-th element id, so all
+   element kinds and devices are represented without running the full
+   per-element sweep. *)
+let mutation_sample reg n =
+  let total = Registry.n_elements reg in
+  if total <= n then List.init total Fun.id
+  else
+    let step = total / n in
+    List.init n (fun i -> i * step)
+
+(* Warm and scratch generate mutants in identical deterministic order,
+   so per-mutant times pair positionally. *)
+let mutation_speedups (warm : Mutation.result) (scratch : Mutation.result) =
+  if List.length warm.Mutation.outcomes <> List.length scratch.Mutation.outcomes
+  then []
+  else
+    List.filter_map
+      (fun ((w : Mutation.outcome), (s : Mutation.outcome)) ->
+        if
+          w.Mutation.o_element = s.Mutation.o_element
+          && w.Mutation.o_op = s.Mutation.o_op
+          && w.Mutation.o_seconds > 0.
+        then Some (s.Mutation.o_seconds /. w.Mutation.o_seconds)
+        else None)
+      (List.combine warm.Mutation.outcomes scratch.Mutation.outcomes)
+
+let mutation_verdicts_identical (a : Mutation.result) (b : Mutation.result) =
+  Element.Id_set.equal a.Mutation.killed b.Mutation.killed
+  && Element.Id_set.equal a.Mutation.survived b.Mutation.survived
+  && Element.Id_set.equal a.Mutation.skipped b.Mutation.skipped
+
+type mut_row = {
+  mm_name : string;
+  mm_elements : int;
+  mm_mutants : int;
+  mm_warm : Mutation.result;
+  mm_scratch : Mutation.result;
+  mm_median_speedup : float;
+  mm_identical : bool;
+}
+
+let run_mutation_row name reg facts sample =
+  let oracle = Mutation.facts_oracle facts in
+  let warm = Mutation.run reg ~oracle ~elements:sample ~mode:Mutation.Warm () in
+  let scratch =
+    Mutation.run reg ~oracle ~elements:sample ~mode:Mutation.Scratch ()
+  in
+  {
+    mm_name = name;
+    mm_elements = List.length sample;
+    mm_mutants = warm.Mutation.mutants_run;
+    mm_warm = warm;
+    mm_scratch = scratch;
+    mm_median_speedup = float_median (mutation_speedups warm scratch);
+    mm_identical = mutation_verdicts_identical warm scratch;
+  }
+
+let print_mut_row r =
+  Printf.printf
+    "%-12s %4d elements %4d mutants | warm %6.2fs scratch %6.2fs | median \
+     per-mutant speedup %6.2fx | verdicts %s | killed/survived/skipped \
+     %d/%d/%d\n"
+    r.mm_name r.mm_elements r.mm_mutants r.mm_warm.Mutation.seconds
+    r.mm_scratch.Mutation.seconds r.mm_median_speedup
+    (if r.mm_identical then "identical" else "DIVERGED")
+    (Element.Id_set.cardinal r.mm_warm.Mutation.killed)
+    (Element.Id_set.cardinal r.mm_warm.Mutation.survived)
+    (Element.Id_set.cardinal r.mm_warm.Mutation.skipped)
+
+(* Seconds-scale gate (@mutation-smoke): warm (incremental) mutant
+   execution must produce verdicts identical to the scratch reference
+   on a sampled k=4 fat-tree, with a median per-mutant speedup of at
+   least 2x, and every sampled mutant must be a single-device edit
+   under Registry_diff. *)
+let mutation_smoke () =
+  section "Mutation smoke: warm vs scratch verdict identity + speedup gate";
   let ft = Fattree.generate ~k:4 () in
   let reg = Registry.build ft.Fattree.devices in
   let state = Stable_state.compute reg in
   let t = Datacenter.default_route_check ft in
   let r = t.Nettest.run state in
-  let tested = r.Nettest.tested in
-  let report, ifg_s = timed (fun () -> Netcov.analyze state tested) in
+  let facts = r.Nettest.tested.Netcov.dp_facts in
+  let sample = mutation_sample reg 24 in
+  let row = run_mutation_row "fattree-k4" reg facts sample in
+  print_mut_row row;
+  let failures = ref [] in
+  if not row.mm_identical then
+    failures := "warm and scratch mutant verdicts diverge" :: !failures;
+  if row.mm_median_speedup < 2. then
+    failures :=
+      Printf.sprintf "median per-mutant speedup %.2fx < 2x"
+        row.mm_median_speedup
+      :: !failures;
+  (* Registry_diff single-device sanity on a few mutants. *)
+  List.iteri
+    (fun i id ->
+      if i < 3 then
+        match Mutation.mutants_of reg id with
+        | Some (m :: _) ->
+            let d =
+              Registry_diff.diff ~old:reg (Mutation.mutant_registry reg m)
+            in
+            if
+              d.Registry_diff.devices_changed
+              <> [ m.Mutation.mu_element.Element.device ]
+            then
+              failures :=
+                Printf.sprintf
+                  "mutant of element %d is not a single-device edit" id
+                :: !failures
+        | _ -> ())
+    sample;
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "mutation smoke failure: %s\n") !failures;
+    exit 1
+  end;
+  Printf.printf "mutation smoke ok (median per-mutant speedup %.2fx)\n"
+    row.mm_median_speedup
+
+(* Full run: fattree-k8 sampled sweep, writes BENCH_mutation.json
+   (docs/MUTATION.md, bench methodology). *)
+let mutation_full () =
+  section
+    "Mutation coverage: warm (incremental) vs scratch mutant execution, \
+     and vs IFG coverage (paper section 3.1)";
+  let ft = Lazy.force ft_env in
+  let reg = Stable_state.registry ft.ft_state in
+  (* The oracle re-checks its facts once per mutant, so its cost scales
+     the whole sweep: use the default-route suite (one fact per leaf
+     pair end-point) rather than the merged full suite's tens of
+     thousands of facts, matching the per-mutant cost profile a user
+     validating one property would see. *)
+  let t = Datacenter.default_route_check ft.ft in
+  let r = t.Nettest.run ft.ft_state in
+  let facts = r.Nettest.tested.Netcov.dp_facts in
+  let sample = mutation_sample reg 48 in
+  let row = run_mutation_row "fattree-k8" reg facts sample in
+  print_mut_row row;
+  (* IFG agreement on the same sample, for the section 3.1 comparison. *)
+  let report = suite_report ft.ft_state ft.ft_tests in
   let covered = Coverage.covered_elements report.Netcov.coverage in
-  let mut =
-    Mutation.run reg ~oracle:(Mutation.facts_oracle tested.Netcov.dp_facts) ()
+  let sample_covered =
+    List.filter (fun id -> Element.Id_set.mem id covered) sample
   in
-  let killed = mut.Mutation.killed in
-  let inter = Element.Id_set.inter covered killed in
-  Printf.printf "IFG coverage:      %4d elements in %.2fs\n"
-    (Element.Id_set.cardinal covered) ifg_s;
-  Printf.printf "mutation coverage: %4d elements in %.2fs (%d mutants)\n"
-    (Element.Id_set.cardinal killed) mut.Mutation.seconds mut.Mutation.mutants_run;
-  Printf.printf "agreement: %d common; %d only-IFG (redundant contributors); %d \
-                 only-mutation (competitor suppression)\n"
-    (Element.Id_set.cardinal inter)
-    (Element.Id_set.cardinal (Element.Id_set.diff covered killed))
-    (Element.Id_set.cardinal (Element.Id_set.diff killed covered));
+  let killed = row.mm_warm.Mutation.killed in
+  let only_ifg =
+    List.filter (fun id -> not (Element.Id_set.mem id killed)) sample_covered
+  in
+  let only_mut =
+    List.filter
+      (fun id ->
+        Element.Id_set.mem id killed
+        && not (Element.Id_set.mem id covered))
+      sample
+  in
   Printf.printf
-    "(paper: mutation-based coverage additionally reports elements that \
-     de-prioritize or reject competitors, and is significantly harder to \
-     compute)\n"
+    "IFG agreement on sample: %d covered, %d only-IFG (fall-through \
+     masking), %d only-mutation (competitor suppression)\n"
+    (List.length sample_covered) (List.length only_ifg)
+    (List.length only_mut);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"description\": \"warm (Stable_state.update_devices seeded from \
+     the baseline fixed point) vs scratch (Registry.build + \
+     Stable_state.compute) mutant execution on a sampled fattree-k8 \
+     element sweep; identical must stay true and the median per-mutant \
+     speedup is the headline number (target >= 5x)\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": \"%s\", \"elements\": %d, \"mutants\": %d,\n"
+       row.mm_name row.mm_elements row.mm_mutants);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"warm_wall_s\": %.4f, \"scratch_wall_s\": %.4f,\n"
+       row.mm_warm.Mutation.seconds row.mm_scratch.Mutation.seconds);
+  let speedups = mutation_speedups row.mm_warm row.mm_scratch in
+  let mean =
+    if speedups = [] then 0.
+    else List.fold_left ( +. ) 0. speedups /. float_of_int (List.length speedups)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"median_per_mutant_speedup\": %.3f, \
+        \"mean_per_mutant_speedup\": %.3f, \"identical\": %b,\n"
+       row.mm_median_speedup mean row.mm_identical);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"killed\": %d, \"survived\": %d, \"skipped\": %d,\n"
+       (Element.Id_set.cardinal killed)
+       (Element.Id_set.cardinal row.mm_warm.Mutation.survived)
+       (Element.Id_set.cardinal row.mm_warm.Mutation.skipped));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"sample_ifg_covered\": %d, \"only_ifg\": %d, \"only_mutation\": \
+        %d\n"
+       (List.length sample_covered) (List.length only_ifg)
+       (List.length only_mut));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_mutation.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_mutation.json\n"
+
+let mutation () = if !smoke then mutation_smoke () else mutation_full ()
 
 (* ------------------------------------------------------------------ *)
 (* What-if: coverage under failures (section 8 discussion)             *)

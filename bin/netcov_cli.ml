@@ -297,7 +297,30 @@ let mutation_cmd =
     Arg.(
       value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Fat-tree arity (even, >= 4).")
   in
-  let run verbose k trace metrics =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("warm", Mutation.Warm); ("scratch", Mutation.Scratch) ])
+          Mutation.Warm
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Mutant execution: $(b,warm) replays each mutant's dirty cone \
+             from the baseline fixed point; $(b,scratch) recomputes every \
+             mutant network from a fresh registry build (the reference \
+             semantics).")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (enum [ ("delete", `Delete); ("all", `All) ]) `Delete
+      & info [ "ops" ] ~docv:"OPS"
+          ~doc:
+            "Mutation operators: $(b,delete) (the paper's section 3.1 \
+             definition, comparable to IFG coverage) or $(b,all) (adds \
+             action flips, bound widening/narrowing, preference \
+             perturbation, community drops).")
+  in
+  let run verbose k mode ops trace metrics =
     setup_logs verbose;
     with_obs ~trace ~metrics @@ fun () ->
     let ft = Fattree.generate ~k () in
@@ -307,10 +330,16 @@ let mutation_cmd =
     let r = t.Nettest.run state in
     let report = Netcov.analyze state r.Nettest.tested in
     let covered = Coverage.covered_elements report.Netcov.coverage in
+    let operators =
+      match ops with
+      | `Delete -> Mutation.default_operators
+      | `All -> Mutation.all_operators
+    in
     let mut =
-      Mutation.run reg
-        ~oracle:(Mutation.facts_oracle r.Nettest.tested.Netcov.dp_facts)
-        ()
+      Netcov_parallel.Pool.with_pool (fun pool ->
+          Mutation.run reg
+            ~oracle:(Mutation.facts_oracle r.Nettest.tested.Netcov.dp_facts)
+            ~operators ~mode ~pool ())
     in
     Printf.printf "IFG coverage:      %d elements\n" (Element.Id_set.cardinal covered);
     Printf.printf "mutation coverage: %d elements (%d mutants, %.1fs)\n"
@@ -323,9 +352,10 @@ let mutation_cmd =
   Cmd.v
     (Cmd.info "mutation"
        ~doc:
-         "Compare IFG coverage against mutation-based coverage \
-          (one control-plane recomputation per configuration element).")
-    Term.(const run $ verbose $ k $ trace_out $ metrics_out)
+         "Compare IFG coverage against mutation-based coverage (typed \
+          mutation operators, one control-plane delta-recompute per mutant; \
+          see docs/MUTATION.md).")
+    Term.(const run $ verbose $ k $ mode $ ops $ trace_out $ metrics_out)
 
 let trace_cmd =
   let file =
@@ -991,8 +1021,8 @@ let fuzz_cmd =
          "Run the differential property oracles (emit/parse roundtrip, \
           parallel determinism, sim-cache equivalence, BDD vs truth table, \
           coverage monotonicity/merge, intern-reference, fault-isolation, \
-          incremental-scratch, label-arena) on random networks. Exits 1 and \
-          prints a shrunk counterexample \
+          incremental-scratch, label-arena, mutation-falsifiability) on \
+          random networks. Exits 1 and prints a shrunk counterexample \
           plus a reproduction seed on any divergence. See docs/TESTING.md.")
     Term.(const run $ verbose $ seed $ iters $ oracles)
 

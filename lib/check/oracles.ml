@@ -654,6 +654,71 @@ let label_arena_oracle =
   }
 
 (* ------------------------------------------------------------------ *)
+(* 10. mutation falsifiability                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutation coverage as ground truth (paper §3.1): mutating a strongly
+   covered element must change some test outcome, mutating an uncovered
+   element must change none — modulo the competitor class
+   (Mutation.competitor_prone) and elements strong only by decree
+   (cp_elements), both exempted by Incr.falsifiability. Piggybacked:
+   warm (incremental) mutant execution must agree verdict-for-verdict
+   with the scratch reference on a subsample. *)
+let mutation_prop (sc : Netgen.scenario) =
+  let state = state_of sc.Netgen.net in
+  let testeds = testeds_of state sc in
+  let session, (_ : Incr.stats) = Incr.create state testeds in
+  let reg = Incr.registry session in
+  let fz = Incr.falsifiability ~max_elements:16 session in
+  if fz.Incr.fz_missed <> [] || fz.Incr.fz_divergent <> [] then
+    fail "%s" (Incr.falsifiability_summary reg fz)
+  else
+    let sample =
+      List.filteri
+        (fun i _ -> i < 6)
+        (fz.Incr.fz_strong @ fz.Incr.fz_uncovered)
+    in
+    if sample = [] then Ok ()
+    else
+      let facts =
+        List.concat_map (fun (t : Netcov.tested) -> t.Netcov.dp_facts) testeds
+      in
+      let oracle = Mutation.facts_oracle facts in
+      let run mode =
+        Mutation.run reg ~oracle ~elements:sample ~mode ()
+      in
+      let warm = run Mutation.Warm and scratch = run Mutation.Scratch in
+      if
+        Element.Id_set.equal warm.Mutation.killed scratch.Mutation.killed
+        && Element.Id_set.equal warm.Mutation.survived
+             scratch.Mutation.survived
+        && Element.Id_set.equal warm.Mutation.skipped scratch.Mutation.skipped
+      then Ok ()
+      else
+        fail
+          "warm and scratch mutant verdicts diverge: warm %d/%d/%d vs \
+           scratch %d/%d/%d (killed/survived/skipped)"
+          (Element.Id_set.cardinal warm.Mutation.killed)
+          (Element.Id_set.cardinal warm.Mutation.survived)
+          (Element.Id_set.cardinal warm.Mutation.skipped)
+          (Element.Id_set.cardinal scratch.Mutation.killed)
+          (Element.Id_set.cardinal scratch.Mutation.survived)
+          (Element.Id_set.cardinal scratch.Mutation.skipped)
+
+let mutation_oracle =
+  {
+    name = "mutation-falsifiability";
+    describe =
+      "mutating a covered element changes some test outcome, mutating an \
+       uncovered one changes none (modulo the competitor class), and warm \
+       mutant execution matches the scratch reference";
+    run =
+      (fun ~seed ~iters ->
+        Check.run ~name:"mutation-falsifiability" ~seed ~iters
+          ~print:Netgen.print_scenario Netgen.scenario mutation_prop);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -666,6 +731,7 @@ let all =
     isolation_oracle;
     incr_oracle;
     label_arena_oracle;
+    mutation_oracle;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

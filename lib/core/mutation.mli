@@ -1,50 +1,207 @@
 (** Mutation-based coverage — the alternative definition the paper
     discusses in §3.1 and leaves to future work: an element is covered
-    by a test suite iff deleting it changes the suite's outcome.
+    by a test suite iff mutating it changes the suite's outcome.
 
-    This is far more expensive than IFG coverage (one full control-plane
-    computation per element) and is provided for comparison and for the
-    ablation benchmark. It also surfaces the class of elements IFG
-    coverage deliberately excludes: elements whose only effect is to
-    de-prioritize or reject the {e competitors} of tested facts. *)
+    This is far more expensive than IFG coverage (one control-plane
+    computation per mutant) and is provided for comparison, for the
+    ablation benchmark, and as the falsifiability ground truth the
+    [mutation-falsifiability] oracle checks IFG coverage against. It
+    also surfaces the class of elements IFG coverage deliberately
+    excludes: elements whose only effect is to de-prioritize or reject
+    the {e competitors} of tested facts (see {!competitor_prone}).
+
+    Two execution modes: [Scratch] recomputes every mutant's stable
+    state from a fresh registry build (the reference semantics), [Warm]
+    — the default — replays only the mutant's dirty cone through
+    {!Netcov_sim.Stable_state.update_devices}, seeded from the baseline
+    fixed point. The two must agree mutant-for-mutant; the
+    [@mutation-smoke] bench gate enforces it. See docs/MUTATION.md. *)
 
 open Netcov_config
 open Netcov_sim
+module Pool = Netcov_parallel.Pool
 
-(** [delete_element device key] removes the element from the device
-    configuration; [None] when the key does not name a removable element
-    of this device. *)
-val delete_element : Device.t -> Element.key -> Device.t option
+(** [occurrences device key] counts the configuration entries of
+    [device] matching [key]. {!Netcov_config.Registry.build} groups all
+    same-keyed entries under a single element, so this is the number of
+    distinct delete mutants the element yields. *)
+val occurrences : Device.t -> Element.key -> int
+
+(** [delete_element device key] removes {e one} occurrence of the
+    element from the device configuration ([occurrence] selects which,
+    0-based among same-keyed entries, default the first); [None] when
+    the key does not name that many removable entries of this device.
+    Deleting exactly one entry keeps e.g. two ECMP static routes to the
+    same prefix as two separate mutants instead of one over-strong
+    delete-both mutant. *)
+val delete_element :
+  ?occurrence:int -> Device.t -> Element.key -> Device.t option
+
+(** {1 Typed mutation operators} *)
+
+(** A mutation operator: given a device and an element key it targets,
+    produce zero or more mutated devices (one per mutant). Each mutant
+    differs from the baseline in exactly one device, so
+    [Registry_diff.diff ~old:reg (mutant_registry reg m)] reports a
+    single-device edit — the property the incremental engine relies
+    on. *)
+type operator = {
+  op_name : string;
+  op_describe : string;
+  op_mutate : Device.t -> Element.key -> Device.t list;
+}
+
+val op_delete : operator
+(** One delete mutant per same-keyed occurrence. *)
+
+val op_flip_policy_action : operator
+(** Accept <-> Reject inside the clause's action list. *)
+
+val op_widen_prefix_bounds : operator
+(** Raise a prefix-list entry's [le] bound to 32 (match more). *)
+
+val op_narrow_prefix_bounds : operator
+(** Drop a prefix-list entry's [ge]/[le] bounds (exact match only). *)
+
+val op_swap_acl_action : operator
+(** Flip the first ACL rule between permit and deny. *)
+
+val op_perturb_local_pref : operator
+(** Add 50 to a [set local-pref] action or a peer group's local-pref. *)
+
+val op_perturb_med : operator
+(** Add 50 to a [set med] action. *)
+
+val op_drop_community : operator
+(** Remove the first member of a community list. *)
+
+val all_operators : operator list
+
+(** Just {!op_delete} — the paper's §3.1 definition, and the default of
+    {!run} so mutation coverage stays comparable to IFG coverage. *)
+val default_operators : operator list
+
+val operator : string -> operator option
+
+(** {1 Mutants} *)
+
+type mutant = {
+  mu_element : Element.t;
+  mu_op : string;  (** operator name *)
+  mu_device : Device.t;  (** the element's device, mutated *)
+}
+
+(** All mutants of one element under the given operators; [None] when
+    the element's device is missing from the registry (the phantom
+    no-op case — callers must count it skipped, not run it). *)
+val mutants_of :
+  ?operators:operator list -> Registry.t -> Element.id -> mutant list option
+
+(** The full device list with the mutant's device substituted in. *)
+val mutant_devices : Registry.t -> mutant -> Device.t list
+
+(** A fresh registry of the mutant network (the scratch path; warm
+    execution skips this and keeps the baseline registry). *)
+val mutant_registry : Registry.t -> mutant -> Registry.t
+
+(** {1 Oracles} *)
 
 (** [fact_holds state fact] checks whether a tested data plane fact is
     (still) derivable from a stable state: the RIB entry exists, or some
     forwarding path between the endpoints still reaches. *)
 val fact_holds : Stable_state.t -> Fact.t -> bool
 
-type result = {
-  killed : Element.Id_set.t;
-      (** elements whose deletion changes the suite outcome *)
-  survived : Element.Id_set.t;
-  skipped : Element.Id_set.t;  (** elements that could not be mutated *)
-  mutants_run : int;
-  seconds : float;
+(** Convenience oracle: all the given facts still hold. *)
+val facts_oracle : Fact.t list -> Stable_state.t -> bool
+
+(** {1 Execution} *)
+
+(** [Scratch]: every mutant gets [Stable_state.compute (Registry.build
+    mutant_devices)] — the reference semantics. [Warm] (default): every
+    mutant gets [Stable_state.update_devices baseline] — the baseline
+    fixed point is reused and only the mutant's dirty cone is replayed;
+    the registry (coverage domain) stays the baseline's, which is sound
+    because mutant verdicts ask only simulation questions. *)
+type mode = Scratch | Warm
+
+(** Per-mutant record: which element, which operator, the verdict, and
+    the wall time of this mutant's state computation + oracle call. *)
+type outcome = {
+  o_element : Element.id;
+  o_op : string;
+  o_killed : bool;
+  o_seconds : float;
 }
 
-(** [run reg ~oracle ?elements ()] deletes each element in turn (by
-    default every element of every internal device; ids refer to [reg]),
-    recomputes the stable state of the mutant network, and asks the
-    oracle whether the test suite still passes. [oracle baseline] is
-    evaluated once on the unmutated network; a mutant kills its element
-    iff the oracle answer differs.
+type result = {
+  killed : Element.Id_set.t;
+      (** elements where some mutant changes the suite outcome *)
+  survived : Element.Id_set.t;
+  skipped : Element.Id_set.t;
+      (** elements with no applicable mutant, or whose device is
+          missing from the registry *)
+  mutants_run : int;
+  seconds : float;
+  outcomes : outcome list;  (** per-mutant detail, in element order *)
+}
+
+(** Elements of these kinds may legitimately be killed by mutation while
+    IFG reports them uncovered: their clauses can act purely on the
+    {e competitors} of tested facts (rejecting or de-prioritizing the
+    routes that would otherwise win), an effect IFG coverage's forward
+    slices deliberately exclude (mutation.mli header, docs/MUTATION.md).
+    The falsifiability oracle exempts exactly this class. *)
+val competitor_prone : Element.etype -> bool
+
+(** The symmetric divergence class in the other direction: elements of
+    these kinds may legitimately be strongly IFG-covered yet survive
+    every mutant — a deleted policy clause or match list can be
+    {e masked} by chain fall-through (a later clause, or the chain
+    default, re-admits the same route), leaving every tested fact
+    intact even though the clause genuinely participated in the
+    original derivation. IFG coverage is a dependency claim; mutation
+    coverage is a counterfactual one. The falsifiability oracle exempts
+    this class in the strong direction. *)
+val masking_prone : Element.etype -> bool
+
+(** The third divergence class: deleting an interface is an
+    environmental change the control plane is built to heal. The IGP
+    reroutes around the missing link, multihop sessions re-establish
+    over the surviving paths, and the tested facts come back identical
+    — so on redundant topologies, strong interfaces legitimately
+    survive deletion. The falsifiability oracle reports this class
+    separately ([fz_rerouted]) instead of flagging it as missed. *)
+val reroute_prone : Element.etype -> bool
+
+(** [run reg ~oracle ()] mutates each element in turn (by default every
+    element of every internal device with {!default_operators}; ids
+    refer to [reg]), computes the stable state of each mutant network,
+    and asks the oracle whether the test suite still passes.
+    [oracle baseline] is evaluated once on the unmutated network; an
+    element is killed iff {e some} of its mutants makes the oracle
+    answer differ.
+
+    Elements whose device is missing from the registry, or that no
+    operator can mutate, are skipped — never recomputed as phantom
+    no-ops. A mutant whose simulation or oracle raises a domain
+    exception ([Failure], [Invalid_argument], [Not_found]) is counted
+    killed and reported through [diags] as a [Sim_failure] with the
+    element's device/line provenance; any other exception
+    ([Out_of_memory], [Assert_failure], ...) propagates.
+
+    [pool] parallelizes at element granularity (default sequential);
+    the oracle must then be safe to call from multiple domains —
+    {!facts_oracle} is.
 
     The default oracle for data plane facts is
-    [fun st -> List.for_all (fact_holds st) tested.dp_facts]. *)
+    [facts_oracle tested.dp_facts]. *)
 val run :
   Registry.t ->
   oracle:(Stable_state.t -> bool) ->
   ?elements:Element.id list ->
+  ?operators:operator list ->
+  ?mode:mode ->
+  ?pool:Pool.t ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
   unit ->
   result
-
-(** Convenience oracle: all the given facts still hold. *)
-val facts_oracle : Fact.t list -> Stable_state.t -> bool

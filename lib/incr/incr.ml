@@ -674,3 +674,126 @@ let summary st =
     st.s_changed st.s_added st.s_removed st.s_dirty_cones st.s_reused
     st.s_relabeled st.s_full_fallbacks st.s_reuse_ratio st.s_evicted_sim
     st.s_evicted_labels st.s_sim_hits st.s_sim_misses st.s_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Falsifiability: mutation coverage as ground truth for the session's
+   IFG coverage (ISSUE: the tenth differential oracle). *)
+
+type falsifiability = {
+  fz_strong : Element.id list;
+  fz_uncovered : Element.id list;
+  fz_weak : Element.id list;
+  fz_missed : Element.id list;
+  fz_divergent : Element.id list;
+  fz_masked : Element.id list;
+  fz_rerouted : Element.id list;
+  fz_weak_killed : Element.id list;
+  fz_mutation : Mutation.result;
+}
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let falsifiability ?operators ?mode ?pool ?max_elements ?diags s =
+  let reg = s.reg in
+  let cov = s.rep.Netcov.coverage in
+  let facts = List.concat_map (fun t -> t.Netcov.dp_facts) s.testeds in
+  (* Elements strong only by decree — control-plane test targets
+     ([cp_elements], Coverage.with_strong) — are outside the
+     falsifiability claim: their coverage does not assert any
+     data-plane effect, so no mutant is required to kill them. *)
+  let decreed = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Netcov.tested) ->
+      List.iter (fun id -> Hashtbl.replace decreed id ()) t.Netcov.cp_elements)
+    s.testeds;
+  let strong = ref [] and weak = ref [] and uncov = ref [] in
+  Registry.iter_elements reg (fun e ->
+      if not (Hashtbl.mem decreed e.Element.id) then
+        match Coverage.element_status cov e.Element.id with
+        | Coverage.Strong -> strong := e.Element.id :: !strong
+        | Coverage.Weak -> weak := e.Element.id :: !weak
+        | Coverage.Not_covered -> uncov := e.Element.id :: !uncov);
+  let strong = List.rev !strong
+  and weak = List.rev !weak
+  and uncov = List.rev !uncov in
+  (* Budgeted sampling, deterministic in element-id order: every strong
+     element first (they carry the oracle's soundness direction), then
+     uncovered, then weak with what remains. *)
+  let strong_s, uncov_s, weak_s =
+    match max_elements with
+    | None -> (strong, uncov, weak)
+    | Some budget ->
+        let strong_s = take budget strong in
+        let budget = budget - List.length strong_s in
+        let uncov_s = take budget uncov in
+        let budget = budget - List.length uncov_s in
+        (strong_s, uncov_s, take budget weak)
+  in
+  let elements = strong_s @ uncov_s @ weak_s in
+  let fz_mutation =
+    Mutation.run reg
+      ~oracle:(Mutation.facts_oracle facts)
+      ~elements ?operators ?mode ?pool ?diags ()
+  in
+  let killed id = Element.Id_set.mem id fz_mutation.Mutation.killed in
+  let survived id = Element.Id_set.mem id fz_mutation.Mutation.survived in
+  let etype id = (Registry.element reg id).Element.ekey.Element.etype in
+  (* Strong-but-survived splits by kind: masking-prone elements (policy
+     clauses, match lists, ACLs) can be re-admitted by chain
+     fall-through, and reroute-prone ones (interfaces) self-heal via
+     IGP rerouting on redundant topologies — both are documented
+     divergences, not violations. *)
+  let missed_all = List.filter survived strong_s in
+  let fz_masked, rest =
+    List.partition (fun id -> Mutation.masking_prone (etype id)) missed_all
+  in
+  let fz_rerouted, fz_missed =
+    List.partition (fun id -> Mutation.reroute_prone (etype id)) rest
+  in
+  let fz_divergent =
+    List.filter
+      (fun id -> killed id && not (Mutation.competitor_prone (etype id)))
+      uncov_s
+  in
+  let fz_weak_killed = List.filter killed weak_s in
+  {
+    fz_strong = strong_s;
+    fz_uncovered = uncov_s;
+    fz_weak = weak_s;
+    fz_missed;
+    fz_divergent;
+    fz_masked;
+    fz_rerouted;
+    fz_weak_killed;
+    fz_mutation;
+  }
+
+let falsifiability_summary reg fz =
+  let name id =
+    let e = Registry.element reg id in
+    Printf.sprintf "%s:%s (%s)" e.Element.device e.Element.ekey.Element.name
+      (Element.etype_to_string e.Element.ekey.Element.etype)
+  in
+  let sample ids = String.concat ", " (List.map name (take 5 ids)) in
+  Printf.sprintf
+    "falsifiability: %d strong / %d uncovered / %d weak sampled, %d mutants \
+     in %.3fs\n\
+     missed (strong but survived, non-masking): %d%s\n\
+     divergent (uncovered but killed, non-competitor): %d%s\n\
+     masked (strong but survived, fall-through class): %d\n\
+     rerouted (strong but survived, IGP self-healing class): %d\n\
+     weak killed: %d\n"
+    (List.length fz.fz_strong)
+    (List.length fz.fz_uncovered)
+    (List.length fz.fz_weak) fz.fz_mutation.Mutation.mutants_run
+    fz.fz_mutation.Mutation.seconds
+    (List.length fz.fz_missed)
+    (if fz.fz_missed = [] then "" else " — " ^ sample fz.fz_missed)
+    (List.length fz.fz_divergent)
+    (if fz.fz_divergent = [] then "" else " — " ^ sample fz.fz_divergent)
+    (List.length fz.fz_masked)
+    (List.length fz.fz_rerouted)
+    (List.length fz.fz_weak_killed)

@@ -100,3 +100,60 @@ val testeds : session -> Netcov.tested list
 val last_diff : session -> Registry_diff.t option
 
 val summary : stats -> string
+
+(** {1 Falsifiability}
+
+    Mutation coverage as ground truth for the session's IFG coverage
+    (paper §3.1): mutating a {e covered} element must change some test
+    outcome; mutating an {e uncovered} element must change none, modulo
+    the competitor class ({!Netcov_core.Mutation.competitor_prone}).
+    This is what the [mutation-falsifiability] differential oracle
+    checks on random scenarios, and what [netcov_cli fuzz] and the
+    nightly soak drive. *)
+
+type falsifiability = {
+  fz_strong : Element.id list;
+      (** sampled strongly-covered elements; elements strong only by
+          decree (control-plane test targets, [cp_elements]) are
+          excluded — their coverage asserts no data-plane effect *)
+  fz_uncovered : Element.id list;  (** sampled uncovered elements *)
+  fz_weak : Element.id list;  (** sampled weakly-covered elements *)
+  fz_missed : Element.id list;
+      (** violation: strong and not masking-prone, yet every mutant
+          survived *)
+  fz_divergent : Element.id list;
+      (** violation: uncovered and not competitor-prone, yet killed *)
+  fz_masked : Element.id list;
+      (** informational: strong but survived, of a
+          {!Netcov_core.Mutation.masking_prone} kind — chain
+          fall-through re-admitted the route (documented divergence) *)
+  fz_rerouted : Element.id list;
+      (** informational: strong but survived, of a
+          {!Netcov_core.Mutation.reroute_prone} kind — the IGP rerouted
+          around the deleted interface and the facts self-healed
+          (documented divergence on redundant topologies) *)
+  fz_weak_killed : Element.id list;
+      (** informational: weak elements killed (ECMP alternatives may go
+          either way) *)
+  fz_mutation : Mutation.result;
+}
+
+(** [falsifiability s] runs mutation coverage over the session's
+    registry against the session's tested data-plane facts (warm mutant
+    execution by default) and cross-checks the verdicts against the
+    session's coverage map. [max_elements] caps the sample: all strong
+    elements first, then uncovered, then weak, deterministically in
+    element-id order. The check passes iff [fz_missed] and
+    [fz_divergent] are both empty. *)
+val falsifiability :
+  ?operators:Mutation.operator list ->
+  ?mode:Mutation.mode ->
+  ?pool:Netcov_parallel.Pool.t ->
+  ?max_elements:int ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
+  session ->
+  falsifiability
+
+(** Human-readable multi-line summary with element provenance for the
+    violating samples. *)
+val falsifiability_summary : Registry.t -> falsifiability -> string

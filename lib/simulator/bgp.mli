@@ -56,9 +56,74 @@ type result = {
   bgp_ribs : (string, Rib.bgp_entry Rib.table) Hashtbl.t;
   main_ribs : (string, Rib.main_entry Rib.table) Hashtbl.t;
   igp_ribs : (string, Rib.igp_entry Rib.table) Hashtbl.t;
+  pre_mains : (string, Rib.main_entry Rib.table) Hashtbl.t;
+      (** pre-BGP main RIBs (connected + static + IGP), kept so warm
+          restarts can diff them without recomputing *)
   edges : Session.edge list;
   rounds : int;  (** rounds to converge *)
 }
+
+(** [compute_pre_mains devices igp_ribs] builds each device's pre-BGP
+    main RIB (connected, static, IGP entries) — the local inputs to the
+    fixed point. *)
+val compute_pre_mains :
+  Device.t list ->
+  (string, Rib.igp_entry Rib.table) Hashtbl.t ->
+  (string, Rib.main_entry Rib.table) Hashtbl.t
+
+(** [reach_of pre_mains host ip] is the pre-BGP reachability predicate
+    used for session establishment. *)
+val reach_of :
+  (string, Rib.main_entry Rib.table) Hashtbl.t -> string -> Ipv4.t -> bool
+
+(** Memo of per-(edge, prefix) import pipelines — the sender's group
+    filtered and transformed by the export and import simulations —
+    primed once from a converged state with {!build_import_memo}.
+    During a warm {!fixed_point} a lookup is replayed verbatim when the
+    sender's current group is physically the one the memo was primed
+    from (the warm iteration structurally shares untouched prefixes)
+    and neither edge endpoint is in the dirty seed. Read-only once
+    primed, so it is safe to share across parallel warm replays. *)
+type import_memo
+
+(** [build_import_memo find_device ~edges ~pre_mains ~bgp_ribs] primes
+    a memo from a converged state's edges and tables — about one
+    round's worth of policy evaluation. *)
+val build_import_memo :
+  find_device ->
+  edges:Session.edge list ->
+  pre_mains:(string, Rib.main_entry Rib.table) Hashtbl.t ->
+  bgp_ribs:(string, Rib.bgp_entry Rib.table) Hashtbl.t ->
+  import_memo
+
+(** Warm-start seed for {!fixed_point}: a previous run's converged
+    tables plus the set of hosts whose round function changed (their
+    configuration, pre-BGP main RIB, or in-edge set differs from the
+    run that produced the tables). [w_main_reuse] supplies main RIBs to
+    reuse for hosts outside the affected cone; [w_memo] optionally
+    supplies an import memo primed from the same state. *)
+type warm = {
+  w_tables : (string, Rib.bgp_entry Rib.table) Hashtbl.t;
+  w_dirty : (string, unit) Hashtbl.t;
+  w_main_reuse : (string, Rib.main_entry Rib.table) Hashtbl.t;
+  w_memo : import_memo option;
+}
+
+(** [fixed_point devices ~igp_ribs ~pre_mains ~edges] runs the
+    synchronous iteration from explicit inputs. Without [warm] it
+    starts from empty tables (equivalent to {!run} given the same
+    inputs); with [warm] it replays only the dirty cone of an edit,
+    which matches a from-scratch run whenever the iteration's fixed
+    point is unique. *)
+val fixed_point :
+  ?max_rounds:int ->
+  ?diags:(Netcov_diag.Diag.t -> unit) ->
+  ?warm:warm ->
+  Device.t list ->
+  igp_ribs:(string, Rib.igp_entry Rib.table) Hashtbl.t ->
+  pre_mains:(string, Rib.main_entry Rib.table) Hashtbl.t ->
+  edges:Session.edge list ->
+  result
 
 (** [run devices topo] computes the stable state. [max_rounds] caps the
     iteration (default 64); non-convergence logs a warning and returns

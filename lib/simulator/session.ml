@@ -16,7 +16,19 @@ let edge_key e =
 
 let pp_edge fmt e = Format.pp_print_string fmt (edge_key e)
 
-let compare_edge a b = String.compare (edge_key a) (edge_key b)
+(* Field-wise, allocation-free total order (warm updates sort the full
+   edge list per mutant). Only consistency with equality matters to
+   callers; the order itself is arbitrary. *)
+let compare_edge a b =
+  match String.compare a.send_host b.send_host with
+  | 0 -> (
+      match Ipv4.compare a.send_ip b.send_ip with
+      | 0 -> (
+          match String.compare a.recv_host b.recv_host with
+          | 0 -> Ipv4.compare a.recv_ip b.recv_ip
+          | c -> c)
+      | c -> c)
+  | c -> c
 
 let find_neighbor (d : Device.t) ip =
   match d.bgp with
@@ -35,7 +47,7 @@ let local_session_addr (topo : Topology.t) (d : Device.t) (nb : Device.neighbor)
         (fun (e : Topology.endpoint) -> e.ip)
         (Topology.on_shared_subnet topo d.hostname nb.nb_ip)
 
-let establish devices topo ~reach =
+let establish_scan devices topo ~reach ~scan =
   let dev_tbl = Hashtbl.create 64 in
   List.iter (fun (d : Device.t) -> Hashtbl.replace dev_tbl d.hostname d) devices;
   let owner_of_ip ip =
@@ -85,8 +97,58 @@ let establish devices topo ~reach =
                           }
                           :: !edges))
             b.neighbors)
-    devices;
-  List.sort_uniq compare_edge !edges
+    scan;
+  !edges
+
+let establish devices topo ~reach =
+  List.sort_uniq compare_edge (establish_scan devices topo ~reach ~scan:devices)
+
+let establish_delta devices topo ~reach ~affected ~prev =
+  (* An edge's existence and attributes depend only on its two
+     endpoints' configurations and pre-BGP reachability, plus the
+     topology — and of the topology only the endpoints' own interface
+     addressing and the ownership of the addresses they name, all of
+     which can move only when one of the two hosts is affected. The
+     per-device scan emits the edges {e received} by the scanned
+     device, so it must rerun for every host whose incoming edges
+     could move: the affected hosts themselves, any host with a
+     neighbor statement addressed at an interface an affected host now
+     owns, and any previous receiver of an affected sender (whose
+     sender-side endpoint may have disappeared altogether — the
+     ownership probe below, which runs against the new topology, no
+     longer sees it). Every other host's incoming edges carry over
+     from [prev]. *)
+  let is_affected h = Hashtbl.mem affected h in
+  let prev_recv_of_affected = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if is_affected e.send_host then
+        Hashtbl.replace prev_recv_of_affected e.recv_host ())
+    prev;
+  let needs_rescan (d : Device.t) =
+    is_affected d.hostname
+    || Hashtbl.mem prev_recv_of_affected d.hostname
+    ||
+    match d.bgp with
+    | None -> false
+    | Some b ->
+        List.exists
+          (fun (nb : Device.neighbor) ->
+            match Topology.endpoint_of_ip topo nb.nb_ip with
+            | Some (e : Topology.endpoint) -> is_affected e.host
+            | None -> false)
+          b.neighbors
+  in
+  let scan = List.filter needs_rescan devices in
+  let rescanned = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Device.t) -> Hashtbl.replace rescanned d.hostname ())
+    scan;
+  let kept =
+    List.filter (fun e -> not (Hashtbl.mem rescanned e.recv_host)) prev
+  in
+  List.sort_uniq compare_edge
+    (kept @ establish_scan devices topo ~reach ~scan)
 
 let recv_neighbor (d : Device.t) (e : edge) = find_neighbor d e.send_ip
 let send_neighbor (d : Device.t) (e : edge) = find_neighbor d e.recv_ip

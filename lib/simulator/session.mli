@@ -30,6 +30,23 @@ val establish :
   reach:(string -> Ipv4.t -> bool) ->
   edge list
 
+(** [establish_delta devices topo ~reach ~affected ~prev] recomputes
+    {!establish} incrementally for a warm update: [affected] holds every
+    host whose device configuration (including interfaces — so any host
+    whose topology endpoints moved), or pre-BGP reachability differs
+    from the run that produced the [prev] edges. Only the affected
+    hosts, the hosts whose neighbor statements point at an interface an
+    affected host owns, and the previous receivers of affected senders
+    are rescanned; everything else carries over. The result equals a
+    full [establish devices topo ~reach]. *)
+val establish_delta :
+  Device.t list ->
+  Topology.t ->
+  reach:(string -> Ipv4.t -> bool) ->
+  affected:(string, unit) Hashtbl.t ->
+  prev:edge list ->
+  edge list
+
 (** Config lookups for an edge. *)
 
 (** The receiver-side neighbor statement matching the sender's address. *)

@@ -9,6 +9,11 @@ type t = {
   (* devices as simulated: interface failures applied (the registry keeps
      the unmodified configurations for coverage) *)
   sim_devices : (string, Device.t) Hashtbl.t;
+  down : (string * string) list;
+  mutable import_memo : Bgp.import_memo option;
+      (* primed lazily by [prime]; always [None] on a freshly assembled
+         state — a memo is only valid for warm updates seeded from the
+         exact state it was primed on, so it never carries over *)
 }
 
 let edge_index_key ~recv_host ~send_ip =
@@ -53,6 +58,30 @@ let m_edges =
   M.gauge M.default ~help:"routing edges in the last computed stable state"
     ~unit_:"edges" "sim.bgp_edges"
 
+let record_metrics t dt =
+  M.inc m_runs 1;
+  M.inc m_rounds t.sim.rounds;
+  M.observe m_seconds dt;
+  M.set m_rib_entries
+    (float_of_int
+       (Hashtbl.fold (fun _ table acc -> acc + Rib.table_count table) t.sim.main_ribs 0));
+  M.set m_edges (float_of_int (List.length t.sim.edges));
+  t
+
+let assemble reg down topo sim devices =
+  let edge_index = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Session.edge) ->
+      Hashtbl.replace edge_index
+        (edge_index_key ~recv_host:e.recv_host ~send_ip:e.send_ip)
+        e)
+    sim.Bgp.edges;
+  let sim_devices = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Device.t) -> Hashtbl.replace sim_devices d.hostname d)
+    devices;
+  { reg; topo; sim; edge_index; sim_devices; down; import_memo = None }
+
 let compute ?max_rounds ?diags ?(down = []) reg =
   let n_devices = List.length (Registry.devices reg) in
   Netcov_obs.Trace.with_span "simulate"
@@ -63,27 +92,151 @@ let compute ?max_rounds ?diags ?(down = []) reg =
         let devices = apply_down down (Registry.devices reg) in
         let topo = Topology.build devices in
         let sim = Bgp.run ?max_rounds ?diags devices topo in
-        let edge_index = Hashtbl.create 256 in
-        List.iter
-          (fun (e : Session.edge) ->
-            Hashtbl.replace edge_index
-              (edge_index_key ~recv_host:e.recv_host ~send_ip:e.send_ip)
-              e)
-          sim.edges;
-        let sim_devices = Hashtbl.create 64 in
-        List.iter
-          (fun (d : Device.t) -> Hashtbl.replace sim_devices d.hostname d)
-          devices;
-        { reg; topo; sim; edge_index; sim_devices })
+        assemble reg down topo sim devices)
   in
-  M.inc m_runs 1;
-  M.inc m_rounds t.sim.rounds;
-  M.observe m_seconds dt;
-  M.set m_rib_entries
-    (float_of_int
-       (Hashtbl.fold (fun _ table acc -> acc + Rib.table_count table) t.sim.main_ribs 0));
-  M.set m_edges (float_of_int (List.length t.sim.edges));
+  record_metrics t dt
+
+(* Warm restart: seed the BGP fixed point from [prev]'s converged
+   tables and replay only the cone affected by the device edits. A
+   host's round function is determined by its configuration, its
+   pre-BGP main RIB, and its in-edge set, so the dirty seed is exactly
+   the hosts where one of those three differs; Bgp.fixed_point then
+   adds receivers of dirty senders in round one (export policies are
+   evaluated receiver-side) and propagates normally. Topology and IGP
+   depend only on interface stanzas and are reused when no edited
+   device touches them. Exact whenever the synchronous iteration's
+   fixed point is unique — differentially gated by @mutation-smoke and
+   the mutation-falsifiability oracle. *)
+
+let main_tables_equal a b =
+  Prefix_trie.equal
+    (fun xs ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun x y -> Rib.compare_main x y = 0) xs ys)
+    a b
+
+let edges_in_map edges =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Session.edge) ->
+      let cur = Option.value (Hashtbl.find_opt t e.recv_host) ~default:[] in
+      Hashtbl.replace t e.recv_host (cur @ [ e ]))
+    edges;
   t
+
+let update_core ?max_rounds ?diags prev reg raw_devices =
+  let devices = apply_down prev.down raw_devices in
+  let same_hosts =
+    List.length devices = Hashtbl.length prev.sim_devices
+    && List.for_all
+         (fun (d : Device.t) -> Hashtbl.mem prev.sim_devices d.hostname)
+         devices
+  in
+  if not same_hosts then
+    (* Host added or removed: the cheap dirty analysis below assumes a
+       stable host set; fall back to a full computation. *)
+    compute ?max_rounds ?diags ~down:prev.down reg
+  else
+    Netcov_obs.Trace.with_span "simulate.update"
+      ~args:[ ("devices", Netcov_obs.Trace.I (List.length devices)) ]
+    @@ fun () ->
+    let t, dt =
+      Netcov_obs.Timing.time (fun () ->
+          let changed =
+            List.filter
+              (fun (d : Device.t) ->
+                match Hashtbl.find_opt prev.sim_devices d.hostname with
+                | Some old -> old <> d
+                | None -> true)
+              devices
+          in
+          let ifaces_same =
+            List.for_all
+              (fun (d : Device.t) ->
+                match Hashtbl.find_opt prev.sim_devices d.hostname with
+                | Some old -> old.Device.interfaces = d.Device.interfaces
+                | None -> false)
+              changed
+          in
+          let topo, igp_ribs =
+            if ifaces_same then (prev.topo, prev.sim.Bgp.igp_ribs)
+            else
+              let topo = Topology.build devices in
+              (topo, Igp.compute devices topo)
+          in
+          let pre_mains =
+            if ifaces_same then (
+              (* IGP tables unchanged: only edited devices can see a
+                 different pre-BGP main RIB. *)
+              let pm = Hashtbl.copy prev.sim.Bgp.pre_mains in
+              let fresh = Bgp.compute_pre_mains changed igp_ribs in
+              Hashtbl.iter (fun h t -> Hashtbl.replace pm h t) fresh;
+              pm)
+            else Bgp.compute_pre_mains devices igp_ribs
+          in
+          let dirty = Hashtbl.create 16 in
+          List.iter
+            (fun (d : Device.t) -> Hashtbl.replace dirty d.hostname ())
+            changed;
+          let pre_check = if ifaces_same then changed else devices in
+          List.iter
+            (fun (d : Device.t) ->
+              if not (Hashtbl.mem dirty d.hostname) then
+                let old =
+                  Option.value
+                    (Hashtbl.find_opt prev.sim.Bgp.pre_mains d.hostname)
+                    ~default:Prefix_trie.empty
+                in
+                let now =
+                  Option.value
+                    (Hashtbl.find_opt pre_mains d.hostname)
+                    ~default:Prefix_trie.empty
+                in
+                if not (main_tables_equal old now) then
+                  Hashtbl.replace dirty d.hostname ())
+            pre_check;
+          let edges =
+            (* [dirty] at this point holds exactly the hosts whose
+               config (interfaces included) or pre-BGP main RIB moved
+               — establish_delta's [affected] contract. *)
+            Session.establish_delta devices topo
+              ~reach:(Bgp.reach_of pre_mains) ~affected:dirty
+              ~prev:prev.sim.Bgp.edges
+          in
+          let prev_in = edges_in_map prev.sim.Bgp.edges in
+          let now_in = edges_in_map edges in
+          List.iter
+            (fun (d : Device.t) ->
+              if not (Hashtbl.mem dirty d.hostname) then
+                let old =
+                  Option.value (Hashtbl.find_opt prev_in d.hostname) ~default:[]
+                in
+                let now =
+                  Option.value (Hashtbl.find_opt now_in d.hostname) ~default:[]
+                in
+                if old <> now then Hashtbl.replace dirty d.hostname ())
+            devices;
+          let warm =
+            {
+              Bgp.w_tables = prev.sim.Bgp.bgp_ribs;
+              w_dirty = dirty;
+              w_main_reuse = prev.sim.Bgp.main_ribs;
+              w_memo = prev.import_memo;
+            }
+          in
+          let sim =
+            Bgp.fixed_point ?max_rounds ?diags ~warm devices ~igp_ribs
+              ~pre_mains ~edges
+          in
+          assemble reg prev.down topo sim devices)
+    in
+    record_metrics t dt
+
+let update ?max_rounds ?diags prev reg =
+  update_core ?max_rounds ?diags prev reg (Registry.devices reg)
+
+let update_devices ?max_rounds ?diags prev devices =
+  update_core ?max_rounds ?diags prev prev.reg devices
 
 let registry t = t.reg
 let topology t = t.topo
@@ -93,6 +246,21 @@ let find_device t host =
   | Some d -> d
   | None -> Registry.device t.reg host
 let is_external t host = Registry.is_external t.reg host
+
+(* Idempotent: prime once, then every [update]/[update_devices] seeded
+   from [t] replays unchanged (edge, prefix) imports from the memo. The
+   memo is immutable after priming, so a primed state can serve many
+   parallel warm updates (one domain per mutant) without synchronization.
+   Derived states come out with [import_memo = None] — re-prime them if
+   they will seed further batches. *)
+let prime t =
+  match t.import_memo with
+  | Some _ -> ()
+  | None ->
+      t.import_memo <-
+        Some
+          (Bgp.build_import_memo (find_device t) ~edges:t.sim.Bgp.edges
+             ~pre_mains:t.sim.Bgp.pre_mains ~bgp_ribs:t.sim.Bgp.bgp_ribs)
 
 let table_of tbl host =
   Option.value (Hashtbl.find_opt tbl host) ~default:Prefix_trie.empty

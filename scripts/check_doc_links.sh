@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Fail on broken relative links in the markdown docs.
 #
-# Scans README.md, DESIGN.md and docs/*.md for inline markdown links
-# [text](target) and checks that every relative target resolves to an
-# existing file or directory (relative to the linking file). External
+# Scans README.md, DESIGN.md, docs/*.md and the test-corpus READMEs
+# for inline markdown links [text](target) and checks that every
+# relative target resolves to an existing file or directory (relative
+# to the linking file). External
 # links (http/https/mailto) and pure-anchor links (#section) are
 # skipped; a "path#anchor" target is checked for the path part only —
 # anchor names are not validated.
@@ -14,7 +15,7 @@ set -u
 fail=0
 checked=0
 
-for doc in README.md DESIGN.md docs/*.md; do
+for doc in README.md DESIGN.md docs/*.md test/corpus-*/README.md; do
   [ -f "$doc" ] || continue
   dir=$(dirname "$doc")
   # one "lineno:target" per inline link; grep exits 1 on no match

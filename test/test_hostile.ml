@@ -1,0 +1,183 @@
+(* Hostile scenario corpus (test/corpus-hostile/): ACL shadowing,
+   summary-only aggregation, deaggregation, duplicate hostnames and a
+   malformed stanza. Everything hostile must degrade into diagnostics
+   — never abort — and on the surviving network the control plane must
+   converge to the documented routes, with warm mutant execution
+   verdict-identical to scratch. *)
+open Netcov_types
+open Netcov_config
+open Netcov_sim
+open Netcov_core
+module Diag = Netcov_diag.Diag
+module Incr = Netcov_incr.Incr
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Explicit order: the genuine h3.cfg must precede the impostor
+   h3-dup.cfg, because build_lenient keeps the first definition. *)
+let corpus_files = [ "h1.cfg"; "h2.cfg"; "h3.cfg"; "h3-dup.cfg" ]
+
+(* dune runtest runs in _build/default/test; dune exec from the root. *)
+let corpus_dir =
+  if Sys.file_exists "corpus-hostile" then "corpus-hostile"
+  else "test/corpus-hostile"
+
+let parsed =
+  lazy
+    (List.map
+       (fun f ->
+         let path = Filename.concat corpus_dir f in
+         match Parse_junos.parse_lenient ~file:f (read_file path) with
+         | Ok (d, diags) -> (f, d, diags)
+         | Error d -> Alcotest.failf "%s: fatal parse: %s" f (Diag.to_string d))
+       corpus_files)
+
+let registry_and_diags =
+  lazy
+    (Registry.build_lenient
+       (List.map (fun (_, d, _) -> d) (Lazy.force parsed)))
+
+let state =
+  lazy
+    (let reg, _ = Lazy.force registry_and_diags in
+     let c = Diag.collector () in
+     let st = Stable_state.compute ~diags:(Diag.sink c) reg in
+     (st, Diag.items c))
+
+let tested_facts =
+  lazy
+    (let st, _ = Lazy.force state in
+     List.concat_map
+       (fun pfx ->
+         List.map
+           (fun entry -> Fact.F_main_rib { host = "h1"; entry })
+           (Stable_state.main_lookup st "h1" (p pfx)))
+       [ "10.80.0.0/16"; "10.81.0.0/24" ])
+
+(* ---------------- parsing under hostility ---------------- *)
+
+let test_lenient_parse () =
+  List.iter
+    (fun (f, d, diags) ->
+      if f = "h3-dup.cfg" then begin
+        check_int "impostor: one recovered stanza" 1 (List.length diags);
+        let d0 = List.hd diags in
+        check_bool "recovered kind" true (d0.Diag.kind = Diag.Parse_recovered);
+        check_bool "hostname still parsed" true (d.Device.hostname = "h3");
+        check_bool "bad prefix-list dropped" true
+          (Device.find_prefix_list d "BAD-LIST" = None);
+        check_bool "sibling prefix-list kept" true
+          (Device.find_prefix_list d "OK-LIST" <> None)
+      end
+      else check_int (f ^ ": parses clean") 0 (List.length diags))
+    (Lazy.force parsed)
+
+let test_duplicate_host () =
+  let reg, diags = Lazy.force registry_and_diags in
+  let dups = List.filter (fun d -> d.Diag.kind = Diag.Duplicate_host) diags in
+  check_int "one duplicate-host diagnostic" 1 (List.length dups);
+  check_bool "names the contested hostname" true
+    ((List.hd dups).Diag.device = Some "h3");
+  check_int "impostor dropped from the registry" 3
+    (List.length (Registry.devices reg));
+  (* The first definition won: the genuine h3 has the eBGP session. *)
+  check_bool "genuine h3 kept" true
+    ((Registry.device reg "h3").Device.bgp <> None)
+
+(* ---------------- convergence and semantics ---------------- *)
+
+let test_convergence () =
+  let st, diags = Lazy.force state in
+  check_bool "no error diagnostics" true
+    (not (List.exists Diag.is_error diags));
+  (* Summary-only aggregation: h1 sees the /16 aggregate but neither
+     suppressed /24 contributor. *)
+  check_bool "aggregate reaches h1" true
+    (Stable_state.main_lookup st "h1" (p "10.80.0.0/16") <> []);
+  check_bool "contributor suppressed" true
+    (Stable_state.main_lookup st "h1" (p "10.80.1.0/24") = []);
+  (* Deaggregation meets policy: h2's import rejects exactly the low
+     /17, the high /17 gets through. *)
+  check_bool "blocked deaggregate absent" true
+    (Stable_state.main_lookup st "h2" (p "10.77.0.0/17") = []);
+  check_bool "admitted deaggregate present" true
+    (Stable_state.main_lookup st "h2" (p "10.77.128.0/17") <> []);
+  (* h3's LAN propagates across the eBGP edge and the next-hop-self
+     iBGP hop. *)
+  check_bool "external LAN reaches h1" true
+    (Stable_state.main_lookup st "h1" (p "10.81.0.0/24") <> [])
+
+let test_ecmp_duplicates () =
+  let reg, _ = Lazy.force registry_and_diags in
+  let h1 = Registry.device reg "h1" in
+  check_int "two same-prefix statics survive parsing" 2
+    (Mutation.occurrences h1 (Element.key Element.Static_route "10.77.0.0/16"));
+  let st, _ = Lazy.force state in
+  check_bool "the covering /16 is installed" true
+    (Stable_state.main_lookup st "h1" (p "10.77.0.0/16") <> [])
+
+let test_acl_shadowing () =
+  let reg, _ = Lazy.force registry_and_diags in
+  let h1 = Registry.device reg "h1" in
+  let acl = Option.get (Device.find_acl h1 "SVC-PROTECT") in
+  check_bool "blocked range rejected" true
+    (not (fst (Device.acl_permits acl (Ipv4.of_string "10.9.255.5"))));
+  check_bool "service range admitted" true
+    (fst (Device.acl_permits acl (Ipv4.of_string "10.9.100.5")));
+  (* The later reject term is shadowed by the broader accept. *)
+  check_bool "shadowed deny never fires" true
+    (fst (Device.acl_permits acl (Ipv4.of_string "10.9.100.200")))
+
+(* ---------------- mutation engine on the hostile net ---------------- *)
+
+let test_warm_matches_scratch () =
+  let reg, _ = Lazy.force registry_and_diags in
+  let oracle = Mutation.facts_oracle (Lazy.force tested_facts) in
+  let warm = Mutation.run reg ~oracle ~mode:Mutation.Warm () in
+  let scratch = Mutation.run reg ~oracle ~mode:Mutation.Scratch () in
+  check_bool "killed identical" true
+    (Element.Id_set.equal warm.Mutation.killed scratch.Mutation.killed);
+  check_bool "survived identical" true
+    (Element.Id_set.equal warm.Mutation.survived scratch.Mutation.survived);
+  check_bool "skipped identical" true
+    (Element.Id_set.equal warm.Mutation.skipped scratch.Mutation.skipped)
+
+let test_falsifiability () =
+  let st, _ = Lazy.force state in
+  let tested = { Netcov.dp_facts = Lazy.force tested_facts; cp_elements = [] } in
+  let session, _ = Incr.create st [ tested ] in
+  let fz = Incr.falsifiability session in
+  let reg, _ = Lazy.force registry_and_diags in
+  if fz.Incr.fz_missed <> [] || fz.Incr.fz_divergent <> [] then
+    Alcotest.fail (Incr.falsifiability_summary reg fz)
+
+let () =
+  Alcotest.run "hostile"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "lenient parse" `Quick test_lenient_parse;
+          Alcotest.test_case "duplicate host" `Quick test_duplicate_host;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "convergence" `Quick test_convergence;
+          Alcotest.test_case "ecmp duplicates" `Quick test_ecmp_duplicates;
+          Alcotest.test_case "acl shadowing" `Quick test_acl_shadowing;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "warm matches scratch" `Slow
+            test_warm_matches_scratch;
+          Alcotest.test_case "falsifiability" `Slow test_falsifiability;
+        ] );
+    ]

@@ -277,6 +277,103 @@ let test_strong_weak_vs_mutation_on_fattree () =
         | Coverage.Not_covered -> ()
       end)
 
+(* ---------------- over-deletion regression ---------------- *)
+
+let test_delete_one_of_duplicates () =
+  (* Two ECMP static routes to one prefix share an element key; a delete
+     mutant must remove exactly one occurrence. The historical behavior
+     filtered out every same-keyed entry at once, turning the pair into
+     a single over-strong mutant and inflating kill counts. *)
+  let ip = Ipv4.of_string in
+  let d =
+    Device.make
+      ~static_routes:
+        [
+          { Device.st_prefix = p "10.50.0.0/16"; st_next_hop = ip "192.168.0.1" };
+          { Device.st_prefix = p "10.50.0.0/16"; st_next_hop = ip "192.168.0.2" };
+        ]
+      "d"
+  in
+  let key = Element.key Element.Static_route "10.50.0.0/16" in
+  Alcotest.(check int) "two occurrences" 2 (Mutation.occurrences d key);
+  (match Mutation.delete_element d key with
+  | None -> Alcotest.fail "expected deletion"
+  | Some d' ->
+      Alcotest.(check int)
+        "exactly one removed" 1
+        (List.length d'.Device.static_routes);
+      check_bool "the second occurrence survives" true
+        (List.exists
+           (fun (s : Device.static_route) ->
+             Ipv4.equal s.st_next_hop (ip "192.168.0.2"))
+           d'.Device.static_routes));
+  (match Mutation.delete_element ~occurrence:1 d key with
+  | None -> Alcotest.fail "expected deletion of occurrence 1"
+  | Some d' ->
+      check_bool "occurrence 1 removes the other entry" true
+        (List.exists
+           (fun (s : Device.static_route) ->
+             Ipv4.equal s.st_next_hop (ip "192.168.0.1"))
+           d'.Device.static_routes));
+  Alcotest.(check int)
+    "one delete mutant per occurrence" 2
+    (List.length (Mutation.op_delete.Mutation.op_mutate d key))
+
+(* ---------------- warm vs scratch differential ---------------- *)
+
+let test_warm_matches_scratch () =
+  let reg = Lazy.force reg in
+  let oracle = Mutation.facts_oracle (Lazy.force tested_facts) in
+  let warm = Mutation.run reg ~oracle ~mode:Mutation.Warm () in
+  let scratch = Mutation.run reg ~oracle ~mode:Mutation.Scratch () in
+  check_bool "killed identical" true
+    (Element.Id_set.equal warm.Mutation.killed scratch.Mutation.killed);
+  check_bool "survived identical" true
+    (Element.Id_set.equal warm.Mutation.survived scratch.Mutation.survived);
+  check_bool "skipped identical" true
+    (Element.Id_set.equal warm.Mutation.skipped scratch.Mutation.skipped)
+
+(* ---------------- falsifiability ---------------- *)
+
+module Incr = Netcov_incr.Incr
+module Nettest = Netcov_nettest.Nettest
+
+let check_falsifiable name (reg : Registry.t) (fz : Incr.falsifiability) =
+  (match (fz.Incr.fz_missed, fz.Incr.fz_divergent) with
+  | [], [] -> ()
+  | _ -> Alcotest.fail (Incr.falsifiability_summary reg fz));
+  check_bool (name ^ ": sampled some strong elements") true
+    (fz.Incr.fz_strong <> [])
+
+let test_falsifiability_fattree_default_route () =
+  (* The fat-tree default-route suite: every strongly covered element's
+     deletion must kill a tested fact (modulo the documented
+     fall-through masking class), every uncovered element's deletion
+     must kill none (modulo the competitor class). *)
+  let ft = Netcov_workloads.Fattree.generate ~k:4 () in
+  let reg = Registry.build ft.Netcov_workloads.Fattree.devices in
+  let state = Stable_state.compute reg in
+  let t = Netcov_nettest.Datacenter.default_route_check ft in
+  let r = t.Nettest.run state in
+  let session, (_ : Incr.stats) = Incr.create state [ r.Nettest.tested ] in
+  let fz = Incr.falsifiability ~max_elements:24 session in
+  check_falsifiable "fattree" (Incr.registry session) fz
+
+let test_falsifiability_internet2 () =
+  let net =
+    Netcov_workloads.Internet2.generate Netcov_workloads.Internet2.test_params
+  in
+  let reg = Registry.build net.Netcov_workloads.Internet2.devices in
+  let state = Stable_state.compute reg in
+  let testeds =
+    List.map
+      (fun (t : Nettest.t) -> (t.Nettest.run state).Nettest.tested)
+      (Netcov_nettest.Bagpipe.suite net)
+  in
+  let session, (_ : Incr.stats) = Incr.create state testeds in
+  let fz = Incr.falsifiability ~max_elements:24 session in
+  check_falsifiable "internet2" (Incr.registry session) fz
+
 let test_skipped_accounting () =
   let r = Lazy.force mutation_result in
   let reg = Lazy.force reg in
@@ -296,6 +393,8 @@ let () =
           Alcotest.test_case "missing" `Quick test_delete_missing;
           Alcotest.test_case "network statement" `Quick test_delete_network_statement;
           Alcotest.test_case "policy clause" `Quick test_delete_policy_clause;
+          Alcotest.test_case "one of duplicates" `Quick
+            test_delete_one_of_duplicates;
         ] );
       ("facts", [ Alcotest.test_case "fact_holds" `Quick test_fact_holds ]);
       ( "analysis",
@@ -309,5 +408,17 @@ let () =
           Alcotest.test_case "strong/weak vs mutation (fat-tree)" `Slow
             test_strong_weak_vs_mutation_on_fattree;
           Alcotest.test_case "accounting" `Slow test_skipped_accounting;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "warm matches scratch" `Slow
+            test_warm_matches_scratch;
+        ] );
+      ( "falsifiability",
+        [
+          Alcotest.test_case "fattree default-route" `Slow
+            test_falsifiability_fattree_default_route;
+          Alcotest.test_case "internet2 bagpipe" `Slow
+            test_falsifiability_internet2;
         ] );
     ]
